@@ -1,0 +1,48 @@
+//! Engine-cost ablation: how the simulator's wall time scales with the
+//! model knobs (VL count, buffer depth, packet size). The *result-quality*
+//! ablation (accepted traffic / latency per knob) is the `ablation`
+//! binary; this bench tracks the computational cost of the same knobs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ib_fabric::prelude::*;
+use ib_fabric::sim::{run_once, RunSpec};
+use std::hint::black_box;
+
+fn run(fabric: &Fabric, vls: u8, buffers: u8, bytes: u32) -> u64 {
+    let mut cfg = SimConfig::paper(vls);
+    cfg.buffer_packets = buffers;
+    cfg.packet_bytes = bytes;
+    run_once(
+        fabric.network(),
+        fabric.routing(),
+        cfg,
+        TrafficPattern::Uniform,
+        RunSpec::new(0.6, 30_000),
+    )
+    .events_processed
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let fabric = Fabric::builder(8, 2).build().unwrap();
+    let mut group = c.benchmark_group("ablation_cost");
+    group.sample_size(10);
+    for vls in [1u8, 2, 4] {
+        group.bench_function(BenchmarkId::new("vls", vls), |b| {
+            b.iter(|| black_box(run(&fabric, vls, 1, 256)))
+        });
+    }
+    for buffers in [1u8, 4] {
+        group.bench_function(BenchmarkId::new("buffers", buffers), |b| {
+            b.iter(|| black_box(run(&fabric, 1, buffers, 256)))
+        });
+    }
+    for bytes in [64u32, 1024] {
+        group.bench_function(BenchmarkId::new("packet_bytes", bytes), |b| {
+            b.iter(|| black_box(run(&fabric, 1, 1, bytes)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Cost of the subnet-manager role: building a full set of linear
+//! forwarding tables for each evaluated network size and scheme. This is
+//! the work re-done at every subnet (re)initialization, so it matters for
+//! fabric bring-up time.
+
+use bench::EVAL_CONFIGS;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ib_fabric::prelude::*;
+use std::hint::black_box;
+
+fn bench_lft_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lft_build");
+    for &(m, n) in &EVAL_CONFIGS {
+        let params = TreeParams::new(m, n).unwrap();
+        let net = Network::mport_ntree(params);
+        for kind in [RoutingKind::Slid, RoutingKind::Mlid, RoutingKind::UpDown] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.as_str(), format!("{m}x{n}")),
+                &net,
+                |b, net| b.iter(|| black_box(Routing::build(black_box(net), kind))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_topology_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_build");
+    for &(m, n) in &EVAL_CONFIGS {
+        let params = TreeParams::new(m, n).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{n}")),
+            &params,
+            |b, &params| b.iter(|| black_box(Network::mport_ntree(params))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_verification(c: &mut Criterion) {
+    // The full delivery sweep is the expensive half of `Fabric::verify`;
+    // it bounds how often an operator can re-validate a live fabric.
+    let mut group = c.benchmark_group("verify_all_lids");
+    group.sample_size(10);
+    for (m, n) in [(4, 3), (8, 2)] {
+        let fabric = Fabric::builder(m, n).build().unwrap();
+        group.bench_function(BenchmarkId::from_parameter(format!("{m}x{n}")), |b| {
+            b.iter(|| {
+                ib_fabric::routing::verify_all_lids_deliver(fabric.network(), fabric.routing())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sm_bring_up(c: &mut Criterion) {
+    // Discovery + recognition + table computation (the SM role), per size.
+    let mut group = c.benchmark_group("sm_initialize");
+    for &(m, n) in &EVAL_CONFIGS {
+        let net = Network::mport_ntree(TreeParams::new(m, n).unwrap());
+        let sm = ib_fabric::SubnetManager::new(RoutingKind::Mlid, NodeId(0));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{n}")),
+            &net,
+            |b, net| b.iter(|| black_box(sm.initialize(black_box(net)).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lft_build,
+    bench_topology_build,
+    bench_verification,
+    bench_sm_bring_up
+);
+criterion_main!(benches);

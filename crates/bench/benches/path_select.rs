@@ -1,0 +1,51 @@
+//! Cost of the per-packet routing decisions: MLID path selection (what a
+//! host stack runs per destination) and full route tracing through the
+//! programmed tables (what verification sweeps run per pair).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ib_fabric::prelude::*;
+use std::hint::black_box;
+
+fn bench_select_dlid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select_dlid");
+    for (m, n) in [(8, 3), (32, 2)] {
+        for kind in [RoutingKind::Slid, RoutingKind::Mlid] {
+            let fabric = Fabric::builder(m, n).routing(kind).build().unwrap();
+            let nodes = fabric.num_nodes();
+            group.bench_function(BenchmarkId::new(kind.as_str(), format!("{m}x{n}")), |b| {
+                let mut i = 0u32;
+                b.iter(|| {
+                    i = i.wrapping_add(1);
+                    let src = NodeId(i % nodes);
+                    let dst = NodeId((i * 7 + 3) % nodes);
+                    black_box(fabric.routing().select_dlid(src, dst))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_trace_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_route");
+    for (m, n) in [(8, 3), (32, 2)] {
+        let fabric = Fabric::builder(m, n).build().unwrap();
+        let nodes = fabric.num_nodes();
+        group.bench_function(BenchmarkId::from_parameter(format!("{m}x{n}")), |b| {
+            let mut i = 0u32;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let src = NodeId(i % nodes);
+                let dst = NodeId((i * 13 + 5) % nodes);
+                if src == dst {
+                    return;
+                }
+                black_box(fabric.route(src, dst).unwrap());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_select_dlid, bench_trace_route);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Wall-clock throughput of the discrete-event engine: how fast the
+//! simulator chews through a fixed amount of simulated fabric time at a
+//! moderate load. The interesting figure is simulated-ns per wall-second,
+//! which criterion exposes via the per-iteration time of a fixed 50 µs
+//! simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ib_fabric::prelude::*;
+use ib_fabric::sim::{run_once, RunSpec};
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_50us");
+    group.sample_size(10);
+    for (m, n) in [(4, 3), (8, 3), (16, 2)] {
+        let fabric = Fabric::builder(m, n).build().unwrap();
+        for vls in [1u8, 4] {
+            group.bench_function(
+                BenchmarkId::new(format!("{m}x{n}"), format!("vl{vls}")),
+                |b| {
+                    b.iter(|| {
+                        let report = run_once(
+                            fabric.network(),
+                            fabric.routing(),
+                            SimConfig::paper(vls),
+                            TrafficPattern::Uniform,
+                            RunSpec::new(0.5, 50_000),
+                        );
+                        black_box(report.events_processed)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

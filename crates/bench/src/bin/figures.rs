@@ -1,0 +1,130 @@
+//! Regenerates the paper's result figures: average message latency vs
+//! accepted traffic for {SLID, MLID} × {1, 2, 4} virtual lanes, per
+//! network size and traffic pattern.
+//!
+//! ```text
+//! # One figure:
+//! cargo run --release -p bench --bin figures -- --config 8x3 --pattern centric
+//! # Everything (all 8 figures; writes results/*.csv + *.json):
+//! cargo run --release -p bench --bin figures -- --all
+//! ```
+//!
+//! Options:
+//!   --config MxN        network size (default 4x3)
+//!   --pattern P         uniform | centric | bitcomp (default uniform)
+//!   --sim-time-us T     simulated microseconds per point (default 200)
+//!   --loads a,b,c       offered-load grid (default 0.05..1.0)
+//!   --vls a,b,c         VL counts (default 1,2,4)
+//!   --out DIR           output directory for CSV/JSON (default results)
+//!   --all               run the full 4-size × 2-pattern matrix
+
+use bench::{figure_to_csv, loads_for, run_figure, EVAL_CONFIGS, EVAL_VLS};
+use ib_fabric::prelude::*;
+use std::path::PathBuf;
+
+struct Args {
+    configs: Vec<(u32, u32)>,
+    /// `None` means "bit-complement, instantiated per config".
+    patterns: Vec<Option<TrafficPattern>>,
+    sim_time_ns: u64,
+    /// Explicit load grid; `None` picks a per-(pattern, size) grid.
+    loads: Option<Vec<f64>>,
+    vls: Vec<u8>,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        configs: vec![(4, 3)],
+        patterns: vec![Some(TrafficPattern::Uniform)],
+        sim_time_ns: 200_000,
+        loads: None,
+        vls: EVAL_VLS.to_vec(),
+        out: PathBuf::from("results"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--config" => {
+                let v = value();
+                let (m, n) = v
+                    .split_once(['x', 'X'])
+                    .unwrap_or_else(|| panic!("--config expects MxN, got {v}"));
+                args.configs = vec![(m.parse().expect("ports"), n.parse().expect("levels"))];
+            }
+            "--pattern" => {
+                args.patterns = vec![match value().as_str() {
+                    "uniform" => Some(TrafficPattern::Uniform),
+                    "centric" => Some(TrafficPattern::paper_centric()),
+                    "bitcomp" => None,
+                    other => panic!("unknown pattern {other}"),
+                }];
+            }
+            "--sim-time-us" => args.sim_time_ns = value().parse::<u64>().expect("µs") * 1_000,
+            "--loads" => {
+                args.loads = Some(
+                    value()
+                        .split(',')
+                        .map(|s| s.parse().expect("load"))
+                        .collect(),
+                );
+            }
+            "--vls" => {
+                args.vls = value().split(',').map(|s| s.parse().expect("vl")).collect();
+            }
+            "--out" => args.out = PathBuf::from(value()),
+            "--all" => {
+                args.configs = EVAL_CONFIGS.to_vec();
+                args.patterns = vec![
+                    Some(TrafficPattern::Uniform),
+                    Some(TrafficPattern::paper_centric()),
+                ];
+            }
+            other => panic!("unknown flag {other} (see --help in the header comment)"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    std::fs::create_dir_all(&args.out).expect("create output dir");
+
+    let mut fig_no = 12; // the paper's first result figure
+    for &(m, n) in &args.configs {
+        for pattern_opt in &args.patterns {
+            let nodes = TreeParams::new(m, n).expect("valid config").num_nodes();
+            let pattern = pattern_opt
+                .clone()
+                .unwrap_or_else(|| TrafficPattern::bit_complement(nodes));
+            let loads = args
+                .loads
+                .clone()
+                .unwrap_or_else(|| loads_for(&pattern, nodes));
+            eprintln!(
+                "running {m}-port {n}-tree / {} ({} loads x {} VLs x 2 schemes)…",
+                pattern.name(),
+                loads.len(),
+                args.vls.len()
+            );
+            let fig = run_figure(m, n, &pattern, &loads, args.sim_time_ns, &args.vls);
+            println!("{}", bench::render_figure_text(&fig));
+            println!("{}", bench::render_figure_plot(&fig, 64, 18));
+
+            let stem = format!("fig{}_{}x{}_{}", fig_no, m, n, fig.pattern);
+            std::fs::write(args.out.join(format!("{stem}.csv")), figure_to_csv(&fig))
+                .expect("write csv");
+            std::fs::write(
+                args.out.join(format!("{stem}.json")),
+                serde_json::to_string_pretty(&fig).expect("figure serializes"),
+            )
+            .expect("write json");
+            eprintln!("wrote {}/{stem}.{{csv,json}}", args.out.display());
+            fig_no += 1;
+        }
+    }
+}

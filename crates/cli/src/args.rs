@@ -1,0 +1,290 @@
+//! Argument parsing for the `ibfat` CLI (no external parser crate).
+#![allow(clippy::module_name_repetitions)]
+
+use ib_fabric::{NodeId, RoutingKind, TrafficPattern};
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage: ibfat <command> <MxN> [options]
+
+commands:
+  info <MxN>                     network facts (Table-1 row)
+  route <MxN> <src> <dst>        trace the selected route
+  verify <MxN>                   delivery / minimality / deadlock checks
+  discover <MxN>                 subnet-manager sweep + label recovery
+  simulate <MxN>                 one simulation run
+  sweep <MxN>                    load sweep, CSV on stdout
+
+options:
+  --scheme mlid|slid|updown      routing scheme        (default mlid)
+  --pattern uniform|centric|bitcomp                    (default uniform)
+  --load L                       offered load, (0,1]   (default 0.3)
+  --loads a,b,c                  sweep grid            (default 0.1..1.0)
+  --vls V                        virtual lanes         (default 1)
+  --time-us T                    simulated microseconds (default 200)
+  --seed S                       RNG seed
+  --fail-links i,j,k             remove cables by index before anything else
+  --json                         machine-readable output";
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cmd {
+    /// Which subcommand.
+    pub action: Action,
+    /// Ports per switch.
+    pub m: u32,
+    /// Tree levels.
+    pub n: u32,
+    /// Routing scheme.
+    pub scheme: RoutingKind,
+    /// Traffic pattern (None = bit-complement, instantiated later).
+    pub pattern: Option<TrafficPattern>,
+    /// Offered load for `simulate`.
+    pub load: f64,
+    /// Load grid for `sweep`.
+    pub loads: Vec<f64>,
+    /// Virtual lanes.
+    pub vls: u8,
+    /// Simulated time, ns.
+    pub time_ns: u64,
+    /// RNG seed.
+    pub seed: Option<u64>,
+    /// Cables to fail before acting.
+    pub fail_links: Vec<usize>,
+    /// Emit JSON instead of text.
+    pub json: bool,
+}
+
+/// The subcommands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    Info,
+    Route { src: NodeRef, dst: NodeRef },
+    Verify,
+    Discover,
+    Simulate,
+    Sweep,
+}
+
+/// A node given either as a dense id (`5`) or a paper label (`P(010)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeRef {
+    /// Dense id.
+    Id(NodeId),
+    /// Label text, resolved against the fabric's parameters later.
+    Label(String),
+}
+
+impl NodeRef {
+    fn parse(s: &str) -> Result<Self, String> {
+        if s.starts_with('P') {
+            Ok(NodeRef::Label(s.to_string()))
+        } else {
+            Ok(NodeRef::Id(NodeId(
+                s.parse().map_err(|_| format!("bad node '{s}'"))?,
+            )))
+        }
+    }
+
+    /// Resolve to a node id for the given parameters.
+    pub fn resolve(&self, params: ib_fabric::TreeParams) -> Result<NodeId, String> {
+        match self {
+            NodeRef::Id(id) => Ok(*id),
+            NodeRef::Label(text) => ib_fabric::NodeLabel::parse(params, text)
+                .map(|l| l.id(params))
+                .map_err(|e| e.to_string()),
+        }
+    }
+}
+
+/// Parse argv (without the program name).
+pub fn parse(argv: &[String]) -> Result<Cmd, String> {
+    let mut it = argv.iter();
+    let action_word = it.next().ok_or("missing command")?;
+    let config = it.next().ok_or("missing network size (MxN)")?;
+    let (m, n) = parse_config(config)?;
+
+    let mut positional: Vec<&String> = Vec::new();
+    let mut cmd = Cmd {
+        action: Action::Info, // placeholder until resolved below
+        m,
+        n,
+        scheme: RoutingKind::Mlid,
+        pattern: Some(TrafficPattern::Uniform),
+        load: 0.3,
+        loads: vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0],
+        vls: 1,
+        time_ns: 200_000,
+        seed: None,
+        fail_links: Vec::new(),
+        json: false,
+    };
+
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scheme" => {
+                cmd.scheme = next_value(&mut it, arg)?.parse::<RoutingKind>()?;
+            }
+            "--pattern" => {
+                cmd.pattern = match next_value(&mut it, arg)?.as_str() {
+                    "uniform" => Some(TrafficPattern::Uniform),
+                    "centric" => Some(TrafficPattern::paper_centric()),
+                    "bitcomp" => None,
+                    other => return Err(format!("unknown pattern '{other}'")),
+                };
+            }
+            "--load" => cmd.load = parse_num(next_value(&mut it, arg)?, "load")?,
+            "--loads" => {
+                cmd.loads = next_value(&mut it, arg)?
+                    .split(',')
+                    .map(|s| parse_num(s, "load"))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--vls" => {
+                cmd.vls = next_value(&mut it, arg)?
+                    .parse()
+                    .map_err(|_| "bad --vls value".to_string())?;
+            }
+            "--time-us" => {
+                let us: u64 = next_value(&mut it, arg)?
+                    .parse()
+                    .map_err(|_| "bad --time-us value".to_string())?;
+                cmd.time_ns = us * 1_000;
+            }
+            "--seed" => {
+                cmd.seed = Some(
+                    next_value(&mut it, arg)?
+                        .parse()
+                        .map_err(|_| "bad --seed value".to_string())?,
+                );
+            }
+            "--fail-links" => {
+                cmd.fail_links = next_value(&mut it, arg)?
+                    .split(',')
+                    .map(|s| s.parse().map_err(|_| format!("bad link index '{s}'")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--json" => cmd.json = true,
+            other if !other.starts_with("--") => positional.push(arg),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+
+    cmd.action = match action_word.as_str() {
+        "info" => Action::Info,
+        "verify" => Action::Verify,
+        "discover" => Action::Discover,
+        "simulate" => Action::Simulate,
+        "sweep" => Action::Sweep,
+        "route" => {
+            let [src, dst] = positional.as_slice() else {
+                return Err("route needs <src> <dst> (ids or P(...) labels)".into());
+            };
+            Action::Route {
+                src: NodeRef::parse(src)?,
+                dst: NodeRef::parse(dst)?,
+            }
+        }
+        other => return Err(format!("unknown command '{other}'")),
+    };
+    Ok(cmd)
+}
+
+fn parse_config(s: &str) -> Result<(u32, u32), String> {
+    let (m, n) = s
+        .split_once(['x', 'X'])
+        .ok_or_else(|| format!("expected MxN, got '{s}'"))?;
+    Ok((
+        m.parse().map_err(|_| "bad port count".to_string())?,
+        n.parse().map_err(|_| "bad level count".to_string())?,
+    ))
+}
+
+fn next_value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a String, String> {
+    it.next().ok_or_else(|| format!("missing value for {flag}"))
+}
+
+fn parse_num(s: &str, what: &str) -> Result<f64, String> {
+    s.parse().map_err(|_| format!("bad {what} '{s}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_info() {
+        let cmd = parse(&argv("info 8x3")).unwrap();
+        assert_eq!(cmd.action, Action::Info);
+        assert_eq!((cmd.m, cmd.n), (8, 3));
+        assert_eq!(cmd.scheme, RoutingKind::Mlid);
+    }
+
+    #[test]
+    fn parses_route_with_scheme() {
+        let cmd = parse(&argv("route 4x3 0 15 --scheme slid")).unwrap();
+        assert_eq!(
+            cmd.action,
+            Action::Route {
+                src: NodeRef::Id(NodeId(0)),
+                dst: NodeRef::Id(NodeId(15))
+            }
+        );
+        assert_eq!(cmd.scheme, RoutingKind::Slid);
+    }
+
+    #[test]
+    fn parses_route_with_labels() {
+        let cmd = parse(&argv("route 4x3 P(000) P(100)")).unwrap();
+        let Action::Route { src, dst } = cmd.action else {
+            panic!("expected route");
+        };
+        let params = ib_fabric::TreeParams::new(4, 3).unwrap();
+        assert_eq!(src.resolve(params).unwrap(), NodeId(0));
+        assert_eq!(dst.resolve(params).unwrap(), NodeId(4));
+        assert!(NodeRef::Label("P(9)".into()).resolve(params).is_err());
+    }
+
+    #[test]
+    fn parses_simulate_options() {
+        let cmd = parse(&argv(
+            "simulate 16x2 --pattern centric --load 0.4 --vls 2 --time-us 300 --seed 7 --json",
+        ))
+        .unwrap();
+        assert_eq!(cmd.action, Action::Simulate);
+        assert_eq!(cmd.pattern, Some(TrafficPattern::paper_centric()));
+        assert!((cmd.load - 0.4).abs() < 1e-12);
+        assert_eq!(cmd.vls, 2);
+        assert_eq!(cmd.time_ns, 300_000);
+        assert_eq!(cmd.seed, Some(7));
+        assert!(cmd.json);
+    }
+
+    #[test]
+    fn parses_sweep_loads_and_failures() {
+        let cmd = parse(&argv("sweep 8x2 --loads 0.1,0.5 --fail-links 3,9")).unwrap();
+        assert_eq!(cmd.action, Action::Sweep);
+        assert_eq!(cmd.loads, vec![0.1, 0.5]);
+        assert_eq!(cmd.fail_links, vec![3, 9]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse(&argv("bogus 4x2")).is_err());
+        assert!(parse(&argv("info")).is_err());
+        assert!(parse(&argv("info 4by2")).is_err());
+        assert!(parse(&argv("route 4x2 0")).is_err());
+        assert!(parse(&argv("info 4x2 --nope")).is_err());
+        assert!(parse(&argv("simulate 4x2 --load abc")).is_err());
+    }
+
+    #[test]
+    fn bitcomp_is_deferred() {
+        let cmd = parse(&argv("simulate 4x2 --pattern bitcomp")).unwrap();
+        assert_eq!(cmd.pattern, None);
+    }
+}

@@ -1,0 +1,240 @@
+//! Command implementations for the `ibfat` CLI.
+
+use crate::args::{Action, Cmd};
+use ib_fabric::prelude::*;
+use ib_fabric::sm::SubnetManager;
+use ib_fabric::topology::analysis;
+
+/// Run a parsed command.
+pub fn run(cmd: Cmd) -> Result<(), String> {
+    let fabric = build_fabric(&cmd)?;
+    match cmd.action {
+        Action::Info => info(&cmd, &fabric),
+        Action::Route { ref src, ref dst } => {
+            let src = src.resolve(fabric.params())?;
+            let dst = dst.resolve(fabric.params())?;
+            route(&cmd, &fabric, src, dst)
+        }
+        Action::Verify => verify(&fabric),
+        Action::Discover => discover(&cmd, &fabric),
+        Action::Simulate => simulate(&cmd, &fabric),
+        Action::Sweep => sweep(&cmd, &fabric),
+    }
+}
+
+fn build_fabric(cmd: &Cmd) -> Result<Fabric, String> {
+    let fabric = Fabric::builder(cmd.m, cmd.n)
+        .routing(cmd.scheme)
+        .build()
+        .map_err(|e| e.to_string())?;
+    if cmd.fail_links.is_empty() {
+        return Ok(fabric);
+    }
+    let max = fabric.network().links().len();
+    for &idx in &cmd.fail_links {
+        if idx >= max {
+            return Err(format!("link index {idx} out of range (fabric has {max})"));
+        }
+    }
+    Ok(fabric.with_failed_links(&cmd.fail_links))
+}
+
+fn pattern_of(cmd: &Cmd, fabric: &Fabric) -> TrafficPattern {
+    cmd.pattern
+        .clone()
+        .unwrap_or_else(|| TrafficPattern::bit_complement(fabric.num_nodes()))
+}
+
+fn info(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
+    let p = fabric.params();
+    if cmd.json {
+        let value = serde_json::json!({
+            "m": p.m(),
+            "n": p.n(),
+            "nodes": p.num_nodes(),
+            "switches": p.num_switches(),
+            "links": fabric.network().links().len(),
+            "height": p.height(),
+            "lmc": p.lmc(),
+            "lids_per_node": p.lids_per_node(),
+            "max_paths": p.num_lcas(0),
+            "avg_min_hops": analysis::average_min_hops(p),
+            "scheme": cmd.scheme.as_str(),
+        });
+        println!("{}", serde_json::to_string_pretty(&value).expect("json"));
+        return Ok(());
+    }
+    println!("{p} under {} routing", cmd.scheme.as_str().to_uppercase());
+    println!("  processing nodes : {}", p.num_nodes());
+    println!("  switches         : {}", p.num_switches());
+    println!("  cables           : {}", fabric.network().links().len());
+    println!("  height           : {}", p.height());
+    println!(
+        "  LMC              : {} ({} LIDs per node)",
+        p.lmc(),
+        p.lids_per_node()
+    );
+    println!("  max disjoint LCAs: {}", p.num_lcas(0));
+    println!("  avg minimal hops : {:.3}", analysis::average_min_hops(p));
+    for w in analysis::level_wiring(p) {
+        println!(
+            "  level {}: {} switches, {} down / {} up cables each",
+            w.level, w.switches, w.down_per_switch, w.up_per_switch
+        );
+    }
+    Ok(())
+}
+
+fn route(cmd: &Cmd, fabric: &Fabric, src: NodeId, dst: NodeId) -> Result<(), String> {
+    let nodes = fabric.num_nodes();
+    if src.0 >= nodes || dst.0 >= nodes {
+        return Err(format!("node ids must be < {nodes}"));
+    }
+    let route = fabric.route(src, dst).map_err(|e| e.to_string())?;
+    let params = fabric.params();
+    if cmd.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&route).expect("route serializes")
+        );
+        return Ok(());
+    }
+    println!(
+        "{} -> {} via DLID {} ({} links):",
+        NodeLabel::from_id(params, src),
+        NodeLabel::from_id(params, dst),
+        route.dlid.0,
+        route.num_links()
+    );
+    for hop in &route.hops {
+        println!(
+            "  {:<12} in p{} -> out p{}",
+            SwitchLabel::from_id(params, hop.switch).to_string(),
+            hop.in_port.0,
+            hop.out_port.0
+        );
+    }
+    Ok(())
+}
+
+fn verify(fabric: &Fabric) -> Result<(), String> {
+    let start = std::time::Instant::now();
+    fabric.verify().map_err(|e| e.to_string())?;
+    println!(
+        "ok: every LID delivers from every source, selected routes are minimal,\n\
+         and the channel dependency graph is acyclic ({} switches, {:.2?})",
+        fabric.num_switches(),
+        start.elapsed()
+    );
+    Ok(())
+}
+
+fn discover(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
+    let sm = SubnetManager::new(cmd.scheme, NodeId(0));
+    match sm.initialize(fabric.network()) {
+        Ok(outcome) => {
+            let p = outcome.recovered.params;
+            println!(
+                "sweep from N0 found {} devices over {} cables",
+                outcome.discovery.devices.len(),
+                outcome.discovery.edges.len()
+            );
+            println!("recognized as {p}; labels recovered for every device");
+            println!(
+                "installed {} forwarding tables ({} entries each), LMC {}",
+                outcome.routing.lfts().len(),
+                outcome.routing.lid_space().max_lid().0,
+                outcome.routing.lid_space().lmc()
+            );
+            let (bring_up, _) = ib_fabric::sm::time_bring_up(
+                fabric.network(),
+                NodeId(0),
+                ib_fabric::sm::MadCosts::default(),
+            );
+            println!(
+                "bring-up cost: {} SMPs ({} discovery, {} LID, {} LFT blocks), \
+                 ~{:.2} ms serially, longest directed route {} hops",
+                bring_up.total_smps(),
+                bring_up.discovery_smps,
+                bring_up.lid_smps,
+                bring_up.lft_smps,
+                bring_up.total_time_ns as f64 / 1e6,
+                bring_up.max_route_hops
+            );
+            Ok(())
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn simulate(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
+    let mut experiment = fabric
+        .experiment()
+        .virtual_lanes(cmd.vls)
+        .traffic(pattern_of(cmd, fabric))
+        .offered_load(cmd.load)
+        .duration_ns(cmd.time_ns);
+    if let Some(seed) = cmd.seed {
+        experiment = experiment.seed(seed);
+    }
+    let report = experiment.run();
+    if cmd.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serializes")
+        );
+        return Ok(());
+    }
+    println!(
+        "simulated {} µs of {} under {} ({} VLs, offered {:.2}):",
+        report.sim_time_ns / 1000,
+        fabric.params(),
+        pattern_of(cmd, fabric).name(),
+        cmd.vls,
+        cmd.load
+    );
+    println!(
+        "  accepted   : {:.4} bytes/ns/node (offered {:.4})",
+        report.accepted_bytes_per_ns_per_node, report.offered_bytes_per_ns_per_node
+    );
+    println!(
+        "  latency    : avg {:.0} ns, p99 {} ns, min {} ns (network-only avg {:.0} ns)",
+        report.avg_latency_ns(),
+        report.latency.quantile(0.99),
+        report.latency.min(),
+        report.network_latency.mean()
+    );
+    println!(
+        "  packets    : {} delivered, {} dropped, {} in flight at end",
+        report.delivered, report.dropped, report.in_flight_at_end
+    );
+    println!(
+        "  links      : mean utilization {:.1}%, peak {:.1}%",
+        100.0 * report.mean_link_utilization,
+        100.0 * report.max_link_utilization
+    );
+    println!("  engine     : {} events", report.events_processed);
+    Ok(())
+}
+
+fn sweep(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
+    let reports = fabric
+        .experiment()
+        .virtual_lanes(cmd.vls)
+        .traffic(pattern_of(cmd, fabric))
+        .duration_ns(cmd.time_ns)
+        .run_sweep(&cmd.loads);
+    println!("offered,accepted,avg_latency_ns,p99_latency_ns,delivered,dropped");
+    for r in &reports {
+        println!(
+            "{},{},{},{},{},{}",
+            r.offered_load,
+            r.accepted_bytes_per_ns_per_node,
+            r.avg_latency_ns(),
+            r.latency.quantile(0.99),
+            r.delivered,
+            r.dropped
+        );
+    }
+    Ok(())
+}

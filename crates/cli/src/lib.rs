@@ -1,0 +1,5 @@
+//! Library backing the `ibfat` binary — exposed so the command layer is
+//! unit-testable.
+
+pub mod args;
+pub mod commands;

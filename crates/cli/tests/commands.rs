@@ -1,0 +1,67 @@
+//! End-to-end CLI command tests (through the library layer; output goes
+//! to stdout, so these assert on success/failure and side effects).
+
+use ibfat_cli::{args, commands};
+
+fn run(line: &str) -> Result<(), String> {
+    let argv: Vec<String> = line.split_whitespace().map(String::from).collect();
+    let cmd = args::parse(&argv).map_err(|e| format!("parse: {e}"))?;
+    commands::run(cmd)
+}
+
+#[test]
+fn info_runs_for_all_schemes() {
+    for scheme in ["mlid", "slid", "updown"] {
+        run(&format!("info 4x2 --scheme {scheme}")).unwrap();
+    }
+}
+
+#[test]
+fn info_json_runs() {
+    run("info 8x2 --json").unwrap();
+}
+
+#[test]
+fn route_by_id_and_label() {
+    run("route 4x3 0 4").unwrap();
+    run("route 4x3 P(000) P(100)").unwrap();
+    run("route 4x3 0 4 --json").unwrap();
+}
+
+#[test]
+fn route_rejects_bad_nodes() {
+    assert!(run("route 4x2 0 99").is_err());
+    assert!(run("route 4x3 P(999) 0").is_err());
+}
+
+#[test]
+fn verify_small_fabric() {
+    run("verify 4x2").unwrap();
+    run("verify 4x2 --scheme slid").unwrap();
+}
+
+#[test]
+fn discover_reports() {
+    run("discover 4x3").unwrap();
+    // up*/down* is not installable by the fat-tree SM.
+    assert!(run("discover 4x2 --scheme updown").is_err());
+}
+
+#[test]
+fn simulate_and_sweep_run() {
+    run("simulate 4x2 --load 0.2 --time-us 30 --seed 1").unwrap();
+    run("simulate 4x2 --pattern centric --vls 2 --time-us 30").unwrap();
+    run("simulate 4x2 --pattern bitcomp --time-us 30").unwrap();
+    run("sweep 4x2 --loads 0.2,0.5 --time-us 30").unwrap();
+}
+
+#[test]
+fn failed_links_flow_through() {
+    run("simulate 4x2 --fail-links 8 --time-us 30").unwrap();
+    assert!(run("simulate 4x2 --fail-links 9999 --time-us 30").is_err());
+}
+
+#[test]
+fn invalid_fabric_is_an_error_not_a_panic() {
+    assert!(run("info 6x2").is_err());
+}

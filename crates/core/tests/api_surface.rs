@@ -1,0 +1,90 @@
+//! Exercise the remaining public API surface of the high-level crate.
+
+use ib_fabric::prelude::*;
+use ib_fabric::{aggregate, LidSpace};
+
+#[test]
+fn replicated_experiments_aggregate() {
+    let fabric = Fabric::builder(4, 2).build().unwrap();
+    let reports = fabric
+        .experiment()
+        .offered_load(0.4)
+        .duration_ns(60_000)
+        .run_replicated(&[11, 22, 33]);
+    assert_eq!(reports.len(), 3);
+    let agg = aggregate(&reports);
+    assert_eq!(agg.n, 3);
+    assert!(agg.mean_accepted > 0.0);
+    assert!(agg.mean_latency_ns > 0.0);
+}
+
+#[test]
+fn link_stats_cover_every_directed_link() {
+    let fabric = Fabric::builder(4, 2).build().unwrap();
+    let report = fabric
+        .experiment()
+        .offered_load(0.3)
+        .duration_ns(60_000)
+        .collect_link_stats(true)
+        .run();
+    let links = report.link_utilization.unwrap();
+    // m ports per switch + one injection side per node.
+    let expected = fabric.num_switches() as usize * 4 + fabric.num_nodes() as usize;
+    assert_eq!(links.len(), expected);
+    assert!(links.iter().all(|l| (0.0..=1.0).contains(&l.utilization)));
+    assert!(links.iter().any(|l| l.utilization > 0.0));
+}
+
+#[test]
+fn fabric_exposes_consistent_views() {
+    let fabric = Fabric::builder(8, 2)
+        .routing(RoutingKind::Slid)
+        .build()
+        .unwrap();
+    assert_eq!(fabric.num_nodes(), 32);
+    assert_eq!(fabric.num_switches(), 12);
+    assert_eq!(fabric.params().m(), 8);
+    assert_eq!(fabric.routing().kind(), RoutingKind::Slid);
+    assert_eq!(fabric.network().params(), fabric.params());
+    assert_eq!(
+        fabric.routing().lid_space(),
+        &LidSpace::new(32, 0),
+        "SLID assigns one LID per node"
+    );
+}
+
+#[test]
+fn route_to_every_lid_of_every_destination() {
+    let fabric = Fabric::builder(4, 2).build().unwrap();
+    let space = fabric.routing().lid_space().clone();
+    for src in 0..fabric.num_nodes() {
+        for dst in 0..fabric.num_nodes() {
+            for lid in space.lids(NodeId(dst)) {
+                let route = fabric.route_to_lid(NodeId(src), lid).unwrap();
+                assert_eq!(route.dst, NodeId(dst));
+            }
+        }
+    }
+}
+
+#[test]
+fn experiment_defaults_match_the_paper() {
+    let fabric = Fabric::builder(4, 2).build().unwrap();
+    let report = fabric.experiment().duration_ns(40_000).run();
+    // Defaults: 256-byte packets at 0.3 load -> offered 0.3 B/ns/node.
+    assert!((report.offered_bytes_per_ns_per_node - 0.3).abs() < 1e-9);
+    assert_eq!(report.sim_time_ns, 40_000);
+    assert_eq!(report.warmup_ns, 8_000);
+}
+
+#[test]
+fn error_types_render_readably() {
+    let err = Fabric::builder(6, 2).build().unwrap_err();
+    let text = err.to_string();
+    assert!(text.contains("power of two"), "{text}");
+    let fabric = Fabric::builder(4, 2).build().unwrap();
+    let bad = fabric
+        .route_to_lid(NodeId(0), ib_fabric::Lid(999))
+        .unwrap_err();
+    assert!(bad.to_string().contains("not assigned"), "{bad}");
+}

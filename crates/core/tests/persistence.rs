@@ -1,0 +1,82 @@
+//! Serialization and degraded-fabric behaviour through the public API.
+
+use ib_fabric::prelude::*;
+
+#[test]
+fn routing_survives_a_serde_round_trip() {
+    // A subnet manager might persist its computed state; the routing must
+    // round-trip losslessly.
+    for kind in [RoutingKind::Mlid, RoutingKind::Slid] {
+        let fabric = Fabric::builder(4, 3).routing(kind).build().unwrap();
+        let json = serde_json::to_string(fabric.routing()).unwrap();
+        let back: Routing = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.lfts(), fabric.routing().lfts());
+        assert_eq!(back.lid_space(), fabric.routing().lid_space());
+        assert_eq!(back.kind(), kind);
+        // The revived routing still routes.
+        let route = back
+            .trace(
+                fabric.network(),
+                NodeId(0),
+                back.select_dlid(NodeId(0), NodeId(7)),
+            )
+            .unwrap();
+        assert_eq!(route.dst, NodeId(7));
+    }
+}
+
+#[test]
+fn network_survives_a_serde_round_trip() {
+    let net = Network::mport_ntree(TreeParams::new(8, 2).unwrap());
+    let json = serde_json::to_string(&net).unwrap();
+    let back: Network = serde_json::from_str(&json).unwrap();
+    back.validate().unwrap();
+    assert_eq!(back.num_nodes(), net.num_nodes());
+    assert_eq!(back.links().len(), net.links().len());
+    assert_eq!(back.params(), net.params());
+}
+
+#[test]
+fn sim_report_serializes_with_all_extensions_enabled() {
+    let fabric = Fabric::builder(4, 2).build().unwrap();
+    let report = fabric
+        .experiment()
+        .duration_ns(50_000)
+        .collect_link_stats(true)
+        .trace_first_packets(4)
+        .run();
+    let json = serde_json::to_string(&report).unwrap();
+    let back: SimReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.delivered, report.delivered);
+    assert_eq!(
+        back.link_utilization.as_ref().map(Vec::len),
+        report.link_utilization.as_ref().map(Vec::len)
+    );
+    assert_eq!(back.traces.as_ref().map(Vec::len), Some(4));
+}
+
+#[test]
+fn with_failed_links_deduplicates_and_handles_unsorted_input() {
+    let fabric = Fabric::builder(4, 2).build().unwrap();
+    let inter = fabric.network().inter_switch_link_indices();
+    let (a, b) = (inter[0], inter[3]);
+    // Duplicates and reverse order must both work.
+    let degraded = fabric.with_failed_links(&[b, a, b, a]);
+    assert_eq!(
+        degraded.network().links().len(),
+        fabric.network().links().len() - 2
+    );
+    degraded.network().is_connected();
+}
+
+#[test]
+fn config_round_trips_including_policies() {
+    let mut cfg = SimConfig::paper(4);
+    cfg.path_selection = PathSelection::RoundRobinPerSource;
+    cfg.vl_assignment = VlAssignment::DestinationHash;
+    cfg.vl_arbitration = VlArbitration::Weighted(vec![(0, 3), (1, 1), (2, 1), (3, 1)]);
+    cfg.adaptive_up = true;
+    let json = serde_json::to_string(&cfg).unwrap();
+    let back: SimConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, cfg);
+}

@@ -1,0 +1,55 @@
+use ibfat_topology::NodeId;
+use std::fmt;
+
+use crate::Lid;
+
+/// Errors raised while tracing or verifying routes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoutingError {
+    /// The DLID maps to no assigned endport.
+    UnknownLid(Lid),
+    /// A switch's forwarding table has no entry for the DLID.
+    NoLftEntry { switch: u32, lid: Lid },
+    /// An LFT entry points at an uncabled port.
+    DanglingPort { switch: u32, port: u8 },
+    /// The route exceeded the hop budget — a forwarding loop.
+    LoopDetected { src: NodeId, lid: Lid },
+    /// The route terminated at the wrong endport.
+    Misdelivered {
+        src: NodeId,
+        lid: Lid,
+        expected: NodeId,
+        actual: NodeId,
+    },
+    /// A verification pass found a property violation.
+    PropertyViolation(String),
+}
+
+impl fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingError::UnknownLid(lid) => write!(f, "LID {lid} is not assigned"),
+            RoutingError::NoLftEntry { switch, lid } => {
+                write!(f, "switch S{switch} has no LFT entry for {lid}")
+            }
+            RoutingError::DanglingPort { switch, port } => {
+                write!(f, "switch S{switch} LFT points at uncabled port {port}")
+            }
+            RoutingError::LoopDetected { src, lid } => {
+                write!(f, "forwarding loop from {src} toward {lid}")
+            }
+            RoutingError::Misdelivered {
+                src,
+                lid,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "packet from {src} with DLID {lid} reached {actual}, expected {expected}"
+            ),
+            RoutingError::PropertyViolation(s) => write!(f, "routing property violated: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for RoutingError {}

@@ -1,0 +1,342 @@
+//! Fault-tolerant forwarding tables for degraded fat trees.
+//!
+//! The paper's schemes assume the full `IBFT(m, n)` wiring. Real fabrics
+//! lose links; the subnet manager then has to reprogram the tables. This
+//! module rebuilds MLID/SLID-style tables on a *degraded* network (some
+//! cables removed) such that:
+//!
+//! * on an intact network the tables are **bit-identical** to the base
+//!   scheme's (repair is conservative);
+//! * every node that is still physically reachable stays reachable from
+//!   everywhere, over an up\*-then-down\* path (so the routing remains
+//!   deadlock-free);
+//! * the multipath spreading of the base scheme is preserved wherever the
+//!   designated port survives, and degrades gracefully (deterministic
+//!   remap onto the surviving candidates) where it does not.
+//!
+//! The algorithm is two label-driven sweeps:
+//!
+//! 1. **Down-reachability** (leaves → roots): `reach_down[s]` = the set of
+//!    nodes reachable from switch `s` using only live downward links.
+//!    In a fat tree the child that can reach node `p` from level `l` is
+//!    uniquely determined by digit `p_l`, so membership is exact.
+//! 2. **Feasibility** (roots → leaves): `feasible[s]` = nodes deliverable
+//!    from `s` by climbing zero or more live up-links and then descending:
+//!    `feasible[s] = reach_down[s] ∪ ⋃ feasible[parent]`.
+//!
+//! An LFT entry then descends when the owner is in `reach_down`
+//! (Equation 1, guarded by liveness) and otherwise climbs through the
+//! scheme's designated up-port if that parent is feasible, falling back to
+//! the designated-index rotation over the surviving feasible up-ports.
+
+use crate::{Lft, Lid, MlidScheme, Routing, RoutingKind, RoutingScheme, SlidScheme};
+use ibfat_topology::{DeviceRef, Level, Network, NodeLabel, PortNum, SwitchId, SwitchLabel};
+
+/// A dense bitset over node ids.
+#[derive(Clone)]
+struct NodeSet {
+    words: Vec<u64>,
+}
+
+impl NodeSet {
+    fn new(n: usize) -> Self {
+        NodeSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, i: u32) {
+        self.words[(i / 64) as usize] |= 1 << (i % 64);
+    }
+
+    #[inline]
+    fn contains(&self, i: u32) -> bool {
+        self.words[(i / 64) as usize] & (1 << (i % 64)) != 0
+    }
+
+    fn union_with(&mut self, other: &NodeSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+}
+
+/// Build fault-tolerant forwarding tables for a (possibly degraded)
+/// `IBFT(m, n)` network, mirroring the base scheme `kind`
+/// ([`RoutingKind::Mlid`] or [`RoutingKind::Slid`]).
+///
+/// Entries for nodes that are physically unreachable from a switch are
+/// left unprogrammed; tracing such a pair reports
+/// [`crate::RoutingError::NoLftEntry`].
+///
+/// # Panics
+/// Panics if `kind` is [`RoutingKind::UpDown`] (it is already
+/// graph-generic — build it directly on the degraded network).
+pub fn build_fault_tolerant(net: &Network, kind: RoutingKind) -> Routing {
+    let params = net.params();
+    let space = match kind {
+        RoutingKind::Mlid => MlidScheme.lid_space(net),
+        RoutingKind::Slid => SlidScheme.lid_space(net),
+        RoutingKind::UpDown => panic!("up*/down* handles degraded graphs natively"),
+    };
+
+    let num_nodes = net.num_nodes();
+    let num_switches = net.num_switches();
+    let half = params.half();
+
+    // Pass 1: reach_down, computed leaves -> roots (descending level).
+    let mut reach_down: Vec<NodeSet> = vec![NodeSet::new(num_nodes); num_switches];
+    let mut by_level: Vec<Vec<SwitchId>> = vec![Vec::new(); params.n() as usize];
+    for label in SwitchLabel::all(params) {
+        by_level[label.level().index()].push(label.id(params));
+    }
+    for level in (0..params.n()).rev() {
+        for &sw in &by_level[level as usize] {
+            let down_ports = if level == 0 { params.m() } else { half };
+            let mut set = NodeSet::new(num_nodes);
+            for k in 0..down_ports {
+                let port = PortNum(k as u8 + 1);
+                // Uncabled ports are simply skipped (failed links).
+                if let Some(peer) = net.peer_of(DeviceRef::Switch(sw), port) {
+                    match peer.device {
+                        DeviceRef::Node(n) => set.insert(n.0),
+                        DeviceRef::Switch(child) => {
+                            set.union_with(&reach_down[child.index()]);
+                        }
+                    }
+                }
+            }
+            reach_down[sw.index()] = set;
+        }
+    }
+
+    // Pass 2: feasibility, roots -> leaves (ascending level).
+    let mut feasible = reach_down.clone();
+    for level in 1..params.n() {
+        for &sw in &by_level[level as usize] {
+            let mut set = feasible[sw.index()].clone();
+            for k in half..params.m() {
+                let port = PortNum(k as u8 + 1);
+                if let Some(peer) = net.peer_of(DeviceRef::Switch(sw), port) {
+                    if let DeviceRef::Switch(parent) = peer.device {
+                        set.union_with(&feasible[parent.index()]);
+                    }
+                }
+            }
+            feasible[sw.index()] = set;
+        }
+    }
+
+    // Pass 3: program the tables.
+    let max_lid = space.max_lid();
+    let mut lfts = Vec::with_capacity(num_switches);
+    for label in SwitchLabel::all(params) {
+        let sw = label.id(params);
+        let level = label.level();
+        let mut lft = Lft::new(max_lid);
+
+        // Live, feasible up-port candidates are shared by every LID at
+        // this switch, except for the per-destination feasibility check.
+        let live_up: Vec<(u32, SwitchId)> = (half..params.m())
+            .filter_map(|k| {
+                net.peer_of(DeviceRef::Switch(sw), PortNum(k as u8 + 1))
+                    .and_then(|peer| match peer.device {
+                        DeviceRef::Switch(parent) => Some((k, parent)),
+                        DeviceRef::Node(_) => None,
+                    })
+            })
+            .collect();
+
+        for node in NodeLabel::all(params) {
+            let nid = node.id(params);
+            for lid in space.lids(nid) {
+                if reach_down[sw.index()].contains(nid.0) {
+                    let port = down_port_live(net, params, sw, level, &node, &reach_down);
+                    if let Some(port) = port {
+                        lft.set(lid, port);
+                    }
+                    continue;
+                }
+                // Climb: designated digit per the base scheme's Equation 2.
+                let designated = eq2_digit(params, lid, u32::from(level.0));
+                let candidates: Vec<u32> = live_up
+                    .iter()
+                    .filter(|(_, parent)| feasible[parent.index()].contains(nid.0))
+                    .map(|&(k, _)| k)
+                    .collect();
+                if candidates.is_empty() {
+                    continue; // physically unreachable from here
+                }
+                let port = if candidates.contains(&(designated + half)) {
+                    designated + half
+                } else {
+                    candidates[designated as usize % candidates.len()]
+                };
+                lft.set(lid, PortNum(port as u8 + 1));
+            }
+        }
+        lfts.push(lft);
+    }
+
+    Routing::assemble(kind, params, space, lfts)
+}
+
+/// The unique live down-port toward `node`, if its subtree link survives
+/// and the subtree can still reach the node.
+fn down_port_live(
+    net: &Network,
+    params: ibfat_topology::TreeParams,
+    sw: SwitchId,
+    level: Level,
+    node: &NodeLabel,
+    reach_down: &[NodeSet],
+) -> Option<PortNum> {
+    let port = PortNum(node.digit(level.index()) + 1);
+    let peer = net.peer_of(DeviceRef::Switch(sw), port)?;
+    match peer.device {
+        DeviceRef::Node(n) => (n == node.id(params)).then_some(port),
+        DeviceRef::Switch(child) => reach_down[child.index()]
+            .contains(node.id(params).0)
+            .then_some(port),
+    }
+}
+
+/// Digit `n-1-l` of `lid - 1` in base `m/2` — the up-port index the base
+/// schemes designate (Equation 2 without the port offset).
+fn eq2_digit(params: ibfat_topology::TreeParams, lid: Lid, level: u32) -> u32 {
+    let half = params.half();
+    (u32::from(lid.0 - 1) / half.pow(params.n() - 1 - level)) % half
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{verify_all_lids_deliver, verify_deadlock_free};
+    use ibfat_topology::TreeParams;
+
+    fn build(m: u32, n: u32) -> Network {
+        Network::mport_ntree(TreeParams::new(m, n).unwrap())
+    }
+
+    #[test]
+    fn intact_network_repair_is_identity() {
+        for kind in [RoutingKind::Mlid, RoutingKind::Slid] {
+            for (m, n) in [(4, 2), (4, 3), (8, 2)] {
+                let net = build(m, n);
+                let base = Routing::build(&net, kind);
+                let ft = build_fault_tolerant(&net, kind);
+                assert_eq!(
+                    base.lfts(),
+                    ft.lfts(),
+                    "{kind} IBFT({m},{n}): repair changed intact tables"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_failure_keeps_full_delivery() {
+        let net = build(4, 2);
+        for idx in net.inter_switch_link_indices() {
+            let mut degraded = net.clone();
+            degraded.remove_link(idx);
+            assert!(degraded.is_connected());
+            for kind in [RoutingKind::Mlid, RoutingKind::Slid] {
+                let routing = build_fault_tolerant(&degraded, kind);
+                verify_all_lids_deliver(&degraded, &routing)
+                    .unwrap_or_else(|e| panic!("{kind} after failing link {idx}: {e}"));
+                verify_deadlock_free(&degraded, &routing)
+                    .unwrap_or_else(|e| panic!("{kind} after failing link {idx}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn double_failures_on_ft43_degrade_gracefully() {
+        // Sampled pairs of inter-switch failures on the 4-port 3-tree.
+        // Two failures can make pairs unreachable under up*-then-down*
+        // semantics even when the graph stays connected (the only
+        // surviving walk turns down-then-up); such pairs must fail
+        // cleanly with a missing LFT entry — never loop or misdeliver —
+        // and every other pair must still deliver on a legal path.
+        let net = build(4, 3);
+        let inter = net.inter_switch_link_indices();
+        let mut total_pairs = 0u32;
+        let mut unreachable = 0u32;
+        for (a_i, &a) in inter.iter().enumerate().step_by(7) {
+            for &b in inter.iter().skip(a_i + 1).step_by(11) {
+                let mut degraded = net.clone();
+                // Remove the higher index first so the lower stays valid.
+                degraded.remove_link(b.max(a));
+                degraded.remove_link(b.min(a));
+                if !degraded.is_connected() {
+                    continue;
+                }
+                let routing = build_fault_tolerant(&degraded, RoutingKind::Mlid);
+                let space = routing.lid_space();
+                for src in 0..degraded.num_nodes() as u32 {
+                    for lid in 1..=space.max_lid().0 {
+                        total_pairs += 1;
+                        match routing.trace(&degraded, ibfat_topology::NodeId(src), Lid(lid)) {
+                            Ok(_) => {}
+                            Err(crate::RoutingError::NoLftEntry { .. }) => unreachable += 1,
+                            Err(e) => panic!("links {a},{b}, src {src}, lid {lid}: {e}"),
+                        }
+                    }
+                }
+                verify_deadlock_free(&degraded, &routing)
+                    .unwrap_or_else(|e| panic!("failing links {a},{b}: {e}"));
+            }
+        }
+        assert!(total_pairs > 0);
+        // The overwhelming majority of pairs must survive two failures.
+        assert!(
+            f64::from(unreachable) < 0.05 * f64::from(total_pairs),
+            "{unreachable}/{total_pairs} pairs unreachable"
+        );
+    }
+
+    #[test]
+    fn unreachable_entries_stay_unprogrammed() {
+        // Cut a node's only cable: every switch loses its entries for that
+        // node's LIDs, everything else still delivers.
+        let mut net = build(4, 2);
+        let victim_link = net
+            .links()
+            .iter()
+            .position(|l| {
+                l.a.device == DeviceRef::Node(ibfat_topology::NodeId(0))
+                    || l.b.device == DeviceRef::Node(ibfat_topology::NodeId(0))
+            })
+            .unwrap();
+        net.remove_link(victim_link);
+        let routing = build_fault_tolerant(&net, RoutingKind::Mlid);
+        let space = routing.lid_space();
+        let victim_lid = space.base_lid(ibfat_topology::NodeId(0));
+        for sw in 0..net.num_switches() {
+            assert_eq!(
+                routing.lft(SwitchId(sw as u32)).get(victim_lid),
+                None,
+                "S{sw} still routes to the isolated node"
+            );
+        }
+        // Every other pair still delivers.
+        for src in 1..net.num_nodes() as u32 {
+            for dst in 1..net.num_nodes() as u32 {
+                let dlid =
+                    routing.select_dlid(ibfat_topology::NodeId(src), ibfat_topology::NodeId(dst));
+                routing
+                    .trace(&net, ibfat_topology::NodeId(src), dlid)
+                    .unwrap();
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "natively")]
+    fn updown_is_rejected() {
+        let net = build(4, 2);
+        build_fault_tolerant(&net, RoutingKind::UpDown);
+    }
+}

@@ -1,0 +1,189 @@
+use ibfat_topology::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A Local Identifier — the InfiniBand subnet-local address of an endport.
+/// Unicast LIDs are `0x0001..=0xBFFF`; LID 0 is reserved (and used here as
+/// "none" in packed tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Lid(pub u16);
+
+impl Lid {
+    /// First valid unicast LID.
+    pub const MIN_UNICAST: Lid = Lid(1);
+    /// Last valid unicast LID per the IBA spec.
+    pub const MAX_UNICAST: Lid = Lid(0xBFFF);
+
+    /// The LID as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is a valid unicast LID.
+    #[inline]
+    pub fn is_unicast(self) -> bool {
+        self >= Self::MIN_UNICAST && self <= Self::MAX_UNICAST
+    }
+}
+
+impl fmt::Display for Lid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LID{}", self.0)
+    }
+}
+
+/// The subnet's LID assignment: every node owns a window of `2^lmc`
+/// consecutive LIDs starting at its base LID, exactly as an InfiniBand
+/// subnet manager partitions the LID space under the LMC mechanism.
+///
+/// Base LIDs are laid out densely in node-id (PID) order starting at LID 1:
+/// `base(P) = PID(P) * 2^lmc + 1`. This is the paper's `BaseLID` formula
+/// (for `lmc = 0` it degenerates to the SLID scheme's `PID + 1`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LidSpace {
+    lmc: u32,
+    num_nodes: u32,
+}
+
+impl LidSpace {
+    /// Assign `2^lmc` LIDs to each of `num_nodes` nodes.
+    ///
+    /// # Panics
+    /// Panics if the assignment would exceed the unicast LID range or the
+    /// IBA maximum of `lmc <= 7`.
+    pub fn new(num_nodes: u32, lmc: u32) -> Self {
+        assert!(lmc <= 7, "IBA limits LMC to 3 bits (lmc <= 7), got {lmc}");
+        let total = u64::from(num_nodes) << lmc;
+        assert!(
+            total <= u64::from(Lid::MAX_UNICAST.0),
+            "{num_nodes} nodes x 2^{lmc} LIDs exceeds the unicast LID space"
+        );
+        LidSpace { lmc, num_nodes }
+    }
+
+    /// The LID Mask Control value.
+    #[inline]
+    pub fn lmc(&self) -> u32 {
+        self.lmc
+    }
+
+    /// LIDs owned by each node, `2^lmc`.
+    #[inline]
+    pub fn lids_per_node(&self) -> u32 {
+        1 << self.lmc
+    }
+
+    /// Number of addressed nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// The base LID of a node.
+    #[inline]
+    pub fn base_lid(&self, node: NodeId) -> Lid {
+        debug_assert!(node.0 < self.num_nodes);
+        Lid(((node.0 << self.lmc) + 1) as u16)
+    }
+
+    /// All LIDs owned by a node, ascending.
+    pub fn lids(&self, node: NodeId) -> impl Iterator<Item = Lid> {
+        let base = self.base_lid(node).0;
+        (base..base + self.lids_per_node() as u16).map(Lid)
+    }
+
+    /// A specific LID of a node: `base + offset`.
+    ///
+    /// # Panics
+    /// Panics (debug) if `offset >= 2^lmc`.
+    #[inline]
+    pub fn lid_with_offset(&self, node: NodeId, offset: u32) -> Lid {
+        debug_assert!(
+            offset < self.lids_per_node(),
+            "offset {offset} out of range"
+        );
+        Lid(self.base_lid(node).0 + offset as u16)
+    }
+
+    /// The highest assigned LID (tables are sized `max_lid + 1`).
+    #[inline]
+    pub fn max_lid(&self) -> Lid {
+        Lid((self.num_nodes << self.lmc) as u16)
+    }
+
+    /// Resolve a LID to its owning node and the offset within the node's
+    /// window, or `None` for unassigned LIDs.
+    #[inline]
+    pub fn resolve(&self, lid: Lid) -> Option<(NodeId, u32)> {
+        if lid.0 == 0 || lid > self.max_lid() {
+            return None;
+        }
+        let linear = u32::from(lid.0) - 1;
+        Some((
+            NodeId(linear >> self.lmc),
+            linear & (self.lids_per_node() - 1),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_base_lid_example() {
+        // FT(4, 3): LMC = 2, BaseLID(P(010)) = 9 with LIDset {9, 10, 11, 12}
+        // (PID(P(010)) = 2).
+        let space = LidSpace::new(16, 2);
+        assert_eq!(space.base_lid(NodeId(2)), Lid(9));
+        let lids: Vec<u16> = space.lids(NodeId(2)).map(|l| l.0).collect();
+        assert_eq!(lids, vec![9, 10, 11, 12]);
+    }
+
+    #[test]
+    fn resolve_inverts_assignment() {
+        let space = LidSpace::new(37, 3);
+        for node in 0..37 {
+            for (off, lid) in space.lids(NodeId(node)).enumerate() {
+                assert_eq!(space.resolve(lid), Some((NodeId(node), off as u32)));
+            }
+        }
+        assert_eq!(space.resolve(Lid(0)), None);
+        assert_eq!(space.resolve(Lid(space.max_lid().0 + 1)), None);
+    }
+
+    #[test]
+    fn slid_degenerate_case() {
+        let space = LidSpace::new(16, 0);
+        assert_eq!(space.base_lid(NodeId(0)), Lid(1));
+        assert_eq!(space.base_lid(NodeId(15)), Lid(16));
+        assert_eq!(space.lids_per_node(), 1);
+        assert_eq!(space.max_lid(), Lid(16));
+    }
+
+    #[test]
+    fn windows_are_disjoint_and_dense() {
+        let space = LidSpace::new(8, 2);
+        let mut seen = vec![false; space.max_lid().index() + 1];
+        for node in 0..8 {
+            for lid in space.lids(NodeId(node)) {
+                assert!(!seen[lid.index()], "LID {lid} assigned twice");
+                seen[lid.index()] = true;
+            }
+        }
+        assert!(seen[1..].iter().all(|&s| s), "gap in the LID space");
+    }
+
+    #[test]
+    #[should_panic(expected = "unicast LID space")]
+    fn overflow_panics() {
+        LidSpace::new(50_000, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "LMC to 3 bits")]
+    fn lmc_cap_panics() {
+        LidSpace::new(4, 8);
+    }
+}

@@ -1,0 +1,177 @@
+//! Static channel-load analysis.
+//!
+//! For a deterministic routing, the load of a directed link under a given
+//! traffic matrix is the number of (source, destination) flows routed
+//! across it — a simulator-free predictor of contention. A scheme's
+//! worst-case link load under all-to-all traffic bounds its saturation
+//! throughput from above: a link crossed by `L` of the `N-1` flows each
+//! node sends can deliver at most `1/L`th of a link per flow.
+
+use crate::{Routing, RoutingError};
+use ibfat_topology::{DeviceRef, Network, NodeId, PortNum, SwitchLabel};
+use std::collections::HashMap;
+
+/// Load statistics over the directed links of a subnet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelLoads {
+    /// Flows crossing each directed link, keyed by the transmitting
+    /// `(device, port)`.
+    pub per_link: HashMap<(DeviceRef, PortNum), u32>,
+    /// Maximum over the *upward* inter-switch links.
+    pub max_up: u32,
+    /// Maximum over the *downward* inter-switch links.
+    pub max_down: u32,
+    /// Total links carrying at least one flow.
+    pub used_links: usize,
+}
+
+impl ChannelLoads {
+    /// The highest load over every link (including edge links).
+    pub fn max(&self) -> u32 {
+        self.per_link.values().copied().max().unwrap_or(0)
+    }
+}
+
+/// Compute channel loads for the all-to-all traffic matrix under the
+/// routing's own path selection (every ordered pair sends one flow).
+pub fn all_to_all_loads(net: &Network, routing: &Routing) -> Result<ChannelLoads, RoutingError> {
+    let mut matrix = Vec::new();
+    for src in 0..net.num_nodes() as u32 {
+        for dst in 0..net.num_nodes() as u32 {
+            if src != dst {
+                matrix.push((NodeId(src), NodeId(dst)));
+            }
+        }
+    }
+    loads_for_matrix(net, routing, &matrix)
+}
+
+/// Compute channel loads for an explicit flow matrix.
+pub fn loads_for_matrix(
+    net: &Network,
+    routing: &Routing,
+    flows: &[(NodeId, NodeId)],
+) -> Result<ChannelLoads, RoutingError> {
+    let params = net.params();
+    let mut per_link: HashMap<(DeviceRef, PortNum), u32> = HashMap::new();
+    for &(src, dst) in flows {
+        let dlid = routing.select_dlid(src, dst);
+        let route = routing.trace(net, src, dlid)?;
+        for (device, port) in route.directed_links() {
+            *per_link.entry((device, port)).or_insert(0) += 1;
+        }
+    }
+    let mut max_up = 0;
+    let mut max_down = 0;
+    for (&(device, port), &load) in &per_link {
+        if let DeviceRef::Switch(sw) = device {
+            let label = SwitchLabel::from_id(params, sw);
+            let is_up = label.level().0 > 0 && u32::from(port.0) > params.half();
+            if is_up {
+                max_up = max_up.max(load);
+            } else {
+                max_down = max_down.max(load);
+            }
+        }
+    }
+    Ok(ChannelLoads {
+        used_links: per_link.len(),
+        per_link,
+        max_up,
+        max_down,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RoutingKind;
+    use ibfat_topology::TreeParams;
+
+    fn loads(m: u32, n: u32, kind: RoutingKind) -> ChannelLoads {
+        let net = Network::mport_ntree(TreeParams::new(m, n).unwrap());
+        let routing = Routing::build(&net, kind);
+        all_to_all_loads(&net, &routing).unwrap()
+    }
+
+    #[test]
+    fn all_to_all_upward_load_is_balanced_for_both_schemes() {
+        // Under the *uniform* all-to-all matrix both schemes balance the
+        // upward links perfectly (MLID partitions them by source, SLID by
+        // destination digit): every leaf up-link of FT(4,3) carries
+        // exactly N-2 flows (one source's 15 flows minus the leaf-sibling
+        // one for MLID; 7+7 destination-split flows for SLID). The
+        // schemes only separate on *skewed* matrices — see
+        // `all_to_one_matrix_separates_the_schemes`.
+        let n = 16u32;
+        for kind in [RoutingKind::Mlid, RoutingKind::Slid] {
+            let l = loads(4, 3, kind);
+            assert_eq!(l.max_up, n - 2, "{kind}");
+        }
+    }
+
+    #[test]
+    fn all_to_one_matrix_separates_the_schemes() {
+        // Every node sends one flow to node 0 — the hot-spot matrix. MLID
+        // bounds the upward load at 1 everywhere; SLID concentrates the
+        // whole column onto shared up-links.
+        for (m, n) in [(4, 3), (8, 2), (16, 2)] {
+            let net = Network::mport_ntree(TreeParams::new(m, n).unwrap());
+            let flows: Vec<_> = (1..net.num_nodes() as u32)
+                .map(|s| (NodeId(s), NodeId(0)))
+                .collect();
+            let mlid = Routing::build(&net, RoutingKind::Mlid);
+            let slid = Routing::build(&net, RoutingKind::Slid);
+            let lm = loads_for_matrix(&net, &mlid, &flows).unwrap();
+            let ls = loads_for_matrix(&net, &slid, &flows).unwrap();
+            assert_eq!(lm.max_up, 1, "IBFT({m},{n}): MLID upward exclusivity");
+            assert!(
+                ls.max_up as u64 >= (net.num_nodes() as u64 - 1) / u64::from(m),
+                "IBFT({m},{n}): SLID should concentrate ({} flows on one up-link)",
+                ls.max_up
+            );
+        }
+    }
+
+    #[test]
+    fn every_edge_link_carries_exactly_n_minus_one_flows() {
+        // All-to-all: every node sends N-1 flows over its injection link
+        // and receives N-1 over its delivery link.
+        let net = Network::mport_ntree(TreeParams::new(4, 2).unwrap());
+        let routing = Routing::build(&net, RoutingKind::Mlid);
+        let l = all_to_all_loads(&net, &routing).unwrap();
+        let nodes = net.num_nodes() as u32;
+        for node in 0..nodes {
+            let injection = l.per_link[&(DeviceRef::Node(NodeId(node)), PortNum(1))];
+            assert_eq!(injection, nodes - 1);
+        }
+        // Delivery links: the leaf switch port toward each node.
+        let mut delivered = 0u32;
+        for (&(device, port), &load) in &l.per_link {
+            if let DeviceRef::Switch(sw) = device {
+                if let Some(peer) = net.peer_of(device, port) {
+                    if matches!(peer.device, DeviceRef::Node(_)) {
+                        assert_eq!(load, nodes - 1, "delivery link of {sw}");
+                        delivered += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(delivered, nodes);
+    }
+
+    #[test]
+    fn custom_matrix_loads() {
+        // The paper's Figure 11 scenario: gcpg(0,1) -> P(100). Four flows,
+        // each upward link used at most once under MLID.
+        let net = Network::mport_ntree(TreeParams::new(4, 3).unwrap());
+        let routing = Routing::build(&net, RoutingKind::Mlid);
+        let flows: Vec<_> = (0..4).map(|s| (NodeId(s), NodeId(4))).collect();
+        let l = loads_for_matrix(&net, &routing, &flows).unwrap();
+        assert_eq!(l.max_up, 1, "paper's routes Q,R,S,T are upward-disjoint");
+        // Under SLID the same four flows pile onto shared up-links.
+        let slid = Routing::build(&net, RoutingKind::Slid);
+        let ls = loads_for_matrix(&net, &slid, &flows).unwrap();
+        assert!(ls.max_up >= 2);
+    }
+}

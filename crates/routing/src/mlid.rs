@@ -1,0 +1,204 @@
+//! The paper's Multiple LID (MLID) routing scheme (Section 4).
+//!
+//! Three cooperating pieces:
+//!
+//! 1. **Processing-node addressing** — every node gets `2^LMC` LIDs,
+//!    `LMC = log2((m/2)^(n-1))`, `BaseLID(P(p)) = PID(P(p))·2^LMC + 1`.
+//! 2. **Path selection** — for a source `s` and destination `d` with
+//!    greatest common prefix length `alpha`, the source's rank `r` in
+//!    `gcpg(s_0..s_alpha, alpha+1)` picks `DLID = BaseLID(d) + r`.
+//! 3. **Forwarding-table assignment** — per switch `SW<w, l>` and LID
+//!    `lid` owned by node `P(p)`:
+//!    * *Case 1* (`p` reachable downward, i.e. `p_0..p_{l-1} = w_0..w_{l-1}`):
+//!      `k = p_l + 1`                              — Equation (1)
+//!    * *Case 2* (otherwise, climb):
+//!      `k = (⌊(lid-1)/(m/2)^(n-1-l)⌋ mod m/2) + m/2 + 1`  — Equation (2)
+//!
+//! Equation (2) reads digit `n-1-l` of `lid - 1` in base `m/2`. Because the
+//! low `LMC` digits of `lid - 1` are the path-selection offset `r`, and `r`'s
+//! digits are exactly the source's label digits (`digit_j(r) = s_{n-1-j}`),
+//! the switch reached while climbing at level `l` is *the source label with
+//! digit `l` deleted* — so every upward link is used by exactly one source
+//! node, which is what spreads hot-spot traffic over all the least common
+//! ancestors.
+
+use crate::{Lft, Lid, LidSpace, RoutingScheme};
+use ibfat_topology::{
+    gcp_len, rank_in, Gcpg, Network, NodeId, NodeLabel, PortNum, SwitchLabel, TreeParams,
+};
+
+/// The MLID scheme (stateless; all state lives in the produced artifacts).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MlidScheme;
+
+impl MlidScheme {
+    /// The paper's path selection: `BaseLID(dst) + rank(src)` where the
+    /// rank is taken in the source's prefix group one digit deeper than the
+    /// greatest common prefix with the destination.
+    ///
+    /// For `src == dst` (self-addressed traffic) the base LID is returned.
+    pub fn select(params: TreeParams, space: &LidSpace, src: NodeId, dst: NodeId) -> Lid {
+        if src == dst {
+            return space.base_lid(dst);
+        }
+        let ls = NodeLabel::from_id(params, src);
+        let ld = NodeLabel::from_id(params, dst);
+        let alpha = gcp_len(&ls, &ld);
+        let group = Gcpg::of(params, &ls, alpha + 1);
+        let r = rank_in(params, &group, &ls);
+        debug_assert!(r < space.lids_per_node());
+        space.lid_with_offset(dst, r)
+    }
+
+    /// Equation (1): the down-port (IB numbering) toward the owner of a
+    /// LID from a switch that has it in its subtree.
+    #[inline]
+    pub fn eq1_down_port(owner: &NodeLabel, level: usize) -> PortNum {
+        PortNum(owner.digit(level) + 1)
+    }
+
+    /// Equation (2): the up-port (IB numbering) for a LID at a level-`l`
+    /// switch that must climb.
+    #[inline]
+    pub fn eq2_up_port(params: TreeParams, lid: Lid, level: u32) -> PortNum {
+        let half = params.half();
+        let digit_index = params.n() - 1 - level;
+        let digit = (u32::from(lid.0 - 1) / half.pow(digit_index)) % half;
+        PortNum((digit + half + 1) as u8)
+    }
+}
+
+impl RoutingScheme for MlidScheme {
+    fn name(&self) -> &'static str {
+        "MLID"
+    }
+
+    fn lid_space(&self, net: &Network) -> LidSpace {
+        let params = net.params();
+        LidSpace::new(params.num_nodes(), params.lmc())
+    }
+
+    fn build_lfts(&self, net: &Network, space: &LidSpace) -> Vec<Lft> {
+        let params = net.params();
+        let max_lid = space.max_lid();
+        let mut lfts = Vec::with_capacity(net.num_switches());
+        for sw in SwitchLabel::all(params) {
+            let level = sw.level().index();
+            let mut lft = Lft::new(max_lid);
+            for node in NodeLabel::all(params) {
+                // Case 1 applies iff the first `level` digits match.
+                let below = (0..level).all(|i| sw.digit(i) == node.digit(i));
+                for lid in space.lids(node.id(params)) {
+                    let port = if below {
+                        Self::eq1_down_port(&node, level)
+                    } else {
+                        Self::eq2_up_port(params, lid, level as u32)
+                    };
+                    lft.set(lid, port);
+                }
+            }
+            lfts.push(lft);
+        }
+        lfts
+    }
+
+    fn select_dlid(&self, net: &Network, space: &LidSpace, src: NodeId, dst: NodeId) -> Lid {
+        Self::select(net.params(), space, src, dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibfat_topology::Level;
+
+    fn setup() -> (TreeParams, Network, LidSpace, Vec<Lft>) {
+        let params = TreeParams::new(4, 3).unwrap();
+        let net = Network::mport_ntree(params);
+        let space = MlidScheme.lid_space(&net);
+        let lfts = MlidScheme.build_lfts(&net, &space);
+        (params, net, space, lfts)
+    }
+
+    #[test]
+    fn addressing_matches_paper() {
+        let (_, net, space, _) = setup();
+        assert_eq!(space.lmc(), 2);
+        assert_eq!(space.lids_per_node(), 4);
+        assert_eq!(space.max_lid(), Lid(64));
+        assert_eq!(net.num_nodes(), 16);
+        // BaseLID(P(010)) = 9 (PID 2).
+        assert_eq!(space.base_lid(NodeId(2)), Lid(9));
+    }
+
+    #[test]
+    fn path_selection_assigns_distinct_offsets_within_subgroup() {
+        // The paper's example: P(000), P(001), P(010), P(011) sending to
+        // P(100) select the four consecutive LIDs of P(100) in rank order.
+        let (params, _, space, _) = setup();
+        let dst = NodeId(4); // P(100)
+        let base = space.base_lid(dst).0;
+        for (i, src) in [0u32, 1, 2, 3].into_iter().enumerate() {
+            let dlid = MlidScheme::select(params, &space, NodeId(src), dst);
+            assert_eq!(dlid, Lid(base + i as u16), "src P(0..) #{i}");
+        }
+    }
+
+    #[test]
+    fn paper_path_q_walkthrough() {
+        // DLID 17 (base LID of P(100)) from P(000): the LFT entries along
+        // path Q: SW<00,2> -> SW<00,1> -> SW<00,0> -> SW<10,1> -> SW<10,2>.
+        let (params, _, _, lfts) = setup();
+        let lid = Lid(17);
+        let at = |w: &[u8], l: u8| {
+            let id = SwitchLabel::new(params, w, Level(l)).unwrap().id(params);
+            lfts[id.index()].get(lid).unwrap()
+        };
+        // Climbing: offset = (17-1) mod 4 = 0 -> both up hops use the first
+        // up-port, IB port 3.
+        assert_eq!(at(&[0, 0], 2), PortNum(3));
+        assert_eq!(at(&[0, 0], 1), PortNum(3));
+        // At the root SW<00,0>: descend toward p0 = 1 -> IB port 2.
+        assert_eq!(at(&[0, 0], 0), PortNum(2));
+        // Descending: SW<10,1> uses p1 = 0 -> port 1; SW<10,2> uses p2 = 0
+        // -> port 1.
+        assert_eq!(at(&[1, 0], 1), PortNum(1));
+        assert_eq!(at(&[1, 0], 2), PortNum(1));
+    }
+
+    #[test]
+    fn every_lft_entry_is_populated() {
+        let (_, net, space, lfts) = setup();
+        for (i, lft) in lfts.iter().enumerate() {
+            assert_eq!(
+                lft.populated(),
+                space.max_lid().index(),
+                "switch S{i} has unpopulated entries"
+            );
+        }
+        assert_eq!(lfts.len(), net.num_switches());
+    }
+
+    #[test]
+    fn eq2_up_ports_stay_in_up_range() {
+        let (params, _, space, _) = setup();
+        for lid in 1..=space.max_lid().0 {
+            for level in 1..params.n() {
+                let p = MlidScheme::eq2_up_port(params, Lid(lid), level);
+                assert!(
+                    u32::from(p.0) > params.half() && u32::from(p.0) <= params.m(),
+                    "lid {lid} level {level}: port {p} out of up range"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn self_traffic_uses_base_lid() {
+        let (params, _, space, _) = setup();
+        assert_eq!(
+            MlidScheme::select(params, &space, NodeId(5), NodeId(5)),
+            space.base_lid(NodeId(5))
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the routing schemes.
+
+use ibfat_routing::{Lid, MlidScheme, Routing, RoutingKind, RoutingScheme, SlidScheme};
+use ibfat_topology::{analysis, gcp_len, Network, NodeId, NodeLabel, TreeParams};
+use proptest::prelude::*;
+
+fn params() -> impl Strategy<Value = TreeParams> {
+    prop_oneof![
+        Just(TreeParams::new(4, 2).unwrap()),
+        Just(TreeParams::new(4, 3).unwrap()),
+        Just(TreeParams::new(8, 2).unwrap()),
+        Just(TreeParams::new(8, 3).unwrap()),
+        Just(TreeParams::new(16, 2).unwrap()),
+        Just(TreeParams::new(2, 3).unwrap()),
+    ]
+}
+
+fn routed(kind: RoutingKind) -> impl Strategy<Value = (Network, Routing, u32, u32)> {
+    params().prop_flat_map(move |p| {
+        let nodes = p.num_nodes();
+        (Just(p), 0..nodes, 0..nodes).prop_map(move |(p, a, b)| {
+            let net = Network::mport_ntree(p);
+            let routing = Routing::build(&net, kind);
+            (net, routing, a, b)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mlid_every_lid_delivers_from_any_source((net, routing, src, _b) in routed(RoutingKind::Mlid)) {
+        let space = routing.lid_space();
+        for lid in 1..=space.max_lid().0 {
+            let route = routing.trace(&net, NodeId(src), Lid(lid)).unwrap();
+            let (owner, _) = space.resolve(Lid(lid)).unwrap();
+            prop_assert_eq!(route.dst, owner);
+        }
+    }
+
+    #[test]
+    fn mlid_selected_routes_are_minimal((net, routing, a, b) in routed(RoutingKind::Mlid)) {
+        prop_assume!(a != b);
+        let dlid = routing.select_dlid(NodeId(a), NodeId(b));
+        let route = routing.trace(&net, NodeId(a), dlid).unwrap();
+        prop_assert_eq!(
+            route.num_links() as u32,
+            analysis::min_hops(net.params(), NodeId(a), NodeId(b))
+        );
+    }
+
+    #[test]
+    fn slid_selected_routes_are_minimal((net, routing, a, b) in routed(RoutingKind::Slid)) {
+        prop_assume!(a != b);
+        let dlid = routing.select_dlid(NodeId(a), NodeId(b));
+        let route = routing.trace(&net, NodeId(a), dlid).unwrap();
+        prop_assert_eq!(
+            route.num_links() as u32,
+            analysis::min_hops(net.params(), NodeId(a), NodeId(b))
+        );
+    }
+
+    #[test]
+    fn mlid_dlid_offset_equals_subgroup_rank((net, routing, a, b) in routed(RoutingKind::Mlid)) {
+        prop_assume!(a != b);
+        let params = net.params();
+        let space = routing.lid_space();
+        let dlid = routing.select_dlid(NodeId(a), NodeId(b));
+        let (owner, offset) = space.resolve(dlid).unwrap();
+        prop_assert_eq!(owner, NodeId(b));
+        // Offset must be the source's rank one digit below the gcp.
+        let la = NodeLabel::from_id(params, NodeId(a));
+        let lb = NodeLabel::from_id(params, NodeId(b));
+        let alpha = gcp_len(&la, &lb);
+        let group = ibfat_topology::Gcpg::of(params, &la, alpha + 1);
+        prop_assert_eq!(offset, ibfat_topology::rank_in(params, &group, &la));
+        // And it must fit the LMC window with room for the whole subgroup.
+        prop_assert!(offset < space.lids_per_node());
+    }
+
+    #[test]
+    fn subgroup_senders_get_distinct_lcas((net, routing, _a, b) in routed(RoutingKind::Mlid)) {
+        // All sources in one sibling subgroup of the destination reach the
+        // destination through pairwise distinct first-descent switches.
+        let params = net.params();
+        prop_assume!(params.n() >= 2);
+        let dst = NodeId(b);
+        let ld = NodeLabel::from_id(params, dst);
+        // The sibling subgroup: flip the destination's first digit.
+        let flip = if ld.digit(0) == 0 { 1 } else { 0 };
+        let group = ibfat_topology::Gcpg::new(params, &[flip]);
+        let mut lca_entries = std::collections::HashSet::new();
+        let mut count = 0usize;
+        for member in group.members(params) {
+            let src = member.id(params);
+            if src == dst { continue; }
+            let dlid = routing.select_dlid(src, dst);
+            let route = routing.trace(&net, src, dlid).unwrap();
+            // The "peak" switch of the route: the one reached at the gcp
+            // level — for these pairs, alpha = 0, so it is the root hop,
+            // the unique hop whose switch is at level 0.
+            let peak: Vec<_> = route
+                .hops
+                .iter()
+                .filter(|h| {
+                    ibfat_topology::SwitchLabel::from_id(params, h.switch).level().0 == 0
+                })
+                .collect();
+            prop_assert_eq!(peak.len(), 1);
+            lca_entries.insert(peak[0].switch);
+            count += 1;
+        }
+        // Distinct LCAs up to the number of roots.
+        let roots = params.num_lcas(0) as usize;
+        prop_assert_eq!(lca_entries.len(), count.min(roots));
+    }
+
+    #[test]
+    fn mlid_and_slid_agree_on_descent((net, _r, a, b) in routed(RoutingKind::Mlid)) {
+        // Equation (1) is shared: from any common ancestor the down path is
+        // unique, so the last hop of any route to b enters b's leaf switch.
+        prop_assume!(a != b);
+        for kind in [RoutingKind::Mlid, RoutingKind::Slid] {
+            let routing = Routing::build(&net, kind);
+            let dlid = routing.select_dlid(NodeId(a), NodeId(b));
+            let route = routing.trace(&net, NodeId(a), dlid).unwrap();
+            let last = route.hops.last().unwrap();
+            let label = ibfat_topology::SwitchLabel::from_id(net.params(), last.switch);
+            prop_assert_eq!(u32::from(label.level().0), net.params().n() - 1);
+        }
+    }
+}
+
+#[test]
+fn mlid_upward_exclusivity_on_all_eval_sizes() {
+    for (m, n) in [(4, 2), (4, 3), (8, 2), (8, 3), (16, 2)] {
+        let params = TreeParams::new(m, n).unwrap();
+        let net = Network::mport_ntree(params);
+        let routing = Routing::build(&net, RoutingKind::Mlid);
+        let conflicts = ibfat_routing::verify_upward_link_exclusivity(&net, &routing).unwrap();
+        assert_eq!(conflicts, 0, "IBFT({m},{n})");
+    }
+}
+
+#[test]
+fn scheme_names_are_stable() {
+    assert_eq!(MlidScheme.name(), "MLID");
+    assert_eq!(SlidScheme.name(), "SLID");
+    assert_eq!(RoutingKind::Mlid.as_str(), "mlid");
+    assert_eq!("MLID".parse::<RoutingKind>().unwrap(), RoutingKind::Mlid);
+    assert!("bogus".parse::<RoutingKind>().is_err());
+}

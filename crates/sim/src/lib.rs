@@ -1,0 +1,68 @@
+//! # ibfat-sim
+//!
+//! A discrete-event simulator for InfiniBand subnets, built to reproduce
+//! the evaluation methodology of Lin, Chung and Huang's MLID paper
+//! (IPDPS 2004). It models:
+//!
+//! * `m`-port crossbar switches with per-(port, VL) input/output buffers,
+//! * up to 15 data virtual lanes with round-robin or weighted
+//!   (IBA VLArbitration-style) arbitration,
+//! * credit-based link-level flow control (IBA-style),
+//! * virtual cut-through switching,
+//! * forwarding purely by linear-forwarding-table lookup on the DLID
+//!   (plus an optional adaptive-climbing comparator that is *not*
+//!   achievable with real tables — see [`SimConfig::adaptive_up`]),
+//! * per-packet path-selection policies over the destination LID window
+//!   and VL-assignment policies at the source,
+//! * constant-rate (or Poisson) traffic under uniform, hot-spot, and
+//!   permutation patterns,
+//! * a flight recorder ([`SimConfig::trace_first_packets`]), per-link
+//!   utilization, out-of-order accounting, analytic bounds
+//!   ([`bounds`]), and multi-seed replication ([`replicate`]).
+//!
+//! The full event semantics are specified in `docs/MODEL.md`.
+//!
+//! Timing constants default to the paper's: 20 ns wire flight, 100 ns
+//! switch routing, 1 ns/byte (4X link), 256-byte packets, one-packet
+//! buffers per VL. Runs are bit-for-bit deterministic per seed.
+//!
+//! ## Example
+//!
+//! ```
+//! use ibfat_topology::{Network, TreeParams};
+//! use ibfat_routing::{Routing, RoutingKind};
+//! use ibfat_sim::{run_once, RunSpec, SimConfig, TrafficPattern};
+//!
+//! let net = Network::mport_ntree(TreeParams::new(4, 2).unwrap());
+//! let routing = Routing::build(&net, RoutingKind::Mlid);
+//! let report = run_once(
+//!     &net,
+//!     &routing,
+//!     SimConfig::paper(1),
+//!     TrafficPattern::Uniform,
+//!     RunSpec::new(0.2, 100_000),
+//! );
+//! assert!(report.delivered > 0);
+//! assert!(report.avg_latency_ns() > 0.0);
+//! ```
+
+pub mod bounds;
+mod config;
+mod engine;
+mod metrics;
+mod packet;
+mod runner;
+mod sim;
+mod trace;
+mod traffic;
+mod vlarb;
+
+pub use config::{InjectionProcess, PathSelection, SimConfig, VlAssignment};
+pub use engine::{EventQueue, Time};
+pub use metrics::{LatencyStats, LinkUse, SimReport};
+pub use packet::{Packet, PacketId, PacketSlab};
+pub use runner::{aggregate, replicate, run_once, sweep, Aggregate, RunSpec};
+pub use sim::Simulator;
+pub use trace::{PacketTrace, TraceEvent};
+pub use traffic::TrafficPattern;
+pub use vlarb::{VlArbiter, VlArbitration};

@@ -1,0 +1,229 @@
+//! Measurement: accepted traffic, latency distributions, link utilization.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming latency statistics with a logarithmic histogram for
+/// percentile estimates (buckets: `[2^k, 2^(k+1))` ns).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyStats {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    /// Log2 buckets over 1 ns .. ~1 s.
+    buckets: Vec<u64>,
+}
+
+impl LatencyStats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        LatencyStats {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: vec![0; 40],
+        }
+    }
+
+    /// Record one latency sample (ns).
+    #[inline]
+    pub fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.sum += ns;
+        self.min = self.min.min(ns);
+        self.max = self.max.max(ns);
+        let b = (64 - ns.max(1).leading_zeros() as usize - 1).min(self.buckets.len() - 1);
+        self.buckets[b] += 1;
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency (ns); 0 for no samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Minimum sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate quantile from the log histogram (upper bucket bound).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return 1u64 << (b + 1);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another set of samples into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        LatencyStats::new()
+    }
+}
+
+/// Utilization of one directed link (the sending side identifies it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkUse {
+    /// The transmitting device ("S3" for switches, "N7" for nodes).
+    pub from: String,
+    /// The transmitting port (IB numbering; 1 for nodes).
+    pub port: u8,
+    /// Busy fraction over the whole run.
+    pub utilization: f64,
+}
+
+/// Everything measured during one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Offered load as configured (fraction of link bandwidth per node).
+    pub offered_load: f64,
+    /// Simulated time (ns) including warm-up.
+    pub sim_time_ns: u64,
+    /// Warm-up time (ns) excluded from measurement.
+    pub warmup_ns: u64,
+    /// Packets generated inside the measurement window.
+    pub generated: u64,
+    /// Packets discarded by switches for lack of an LFT entry (only
+    /// possible on degraded fabrics), over the whole run.
+    pub dropped: u64,
+    /// Packets generated over the whole run (including warm-up).
+    pub total_generated: u64,
+    /// Packets delivered over the whole run (including warm-up).
+    pub total_delivered: u64,
+    /// Packets delivered inside the measurement window.
+    pub delivered: u64,
+    /// Bytes delivered inside the measurement window.
+    pub delivered_bytes: u64,
+    /// Packets still in flight or queued at the end.
+    pub in_flight_at_end: u64,
+    /// Accepted traffic in bytes/ns per node over the window — the paper's
+    /// x-axis.
+    pub accepted_bytes_per_ns_per_node: f64,
+    /// Offered traffic in bytes/ns per node (for reference).
+    pub offered_bytes_per_ns_per_node: f64,
+    /// Latency from generation to delivery (the paper's y-axis: "time
+    /// elapsed since the packet transmission is initiated until the packet
+    /// is received", including source queueing).
+    pub latency: LatencyStats,
+    /// Latency from first byte on the wire to delivery (network-only).
+    pub network_latency: LatencyStats,
+    /// Events processed (engine throughput diagnostics).
+    pub events_processed: u64,
+    /// Mean utilization (busy fraction) over all directed links.
+    pub mean_link_utilization: f64,
+    /// Peak utilization over all directed links.
+    pub max_link_utilization: f64,
+    /// Per-link utilization (only when `collect_link_stats` is set).
+    pub link_utilization: Option<Vec<LinkUse>>,
+    /// Flight-recorder timelines (only when `trace_first_packets > 0`).
+    pub traces: Option<Vec<crate::trace::PacketTrace>>,
+    /// Packets delivered out of order within their (src, dst) flow, over
+    /// the whole run. InfiniBand transport expects in-order delivery on a
+    /// path, so multipath policies that reorder (random/round-robin
+    /// per-packet selection) would pay for this in real hardware; the
+    /// paper's rank-based selection keeps every flow on one path and this
+    /// count at zero.
+    pub out_of_order: u64,
+}
+
+impl SimReport {
+    /// Average end-to-end latency in ns — the headline metric.
+    pub fn avg_latency_ns(&self) -> f64 {
+        self.latency.mean()
+    }
+
+    /// Throughput as a fraction of the per-node link bandwidth.
+    pub fn normalized_accepted(&self, link_bytes_per_ns: f64) -> f64 {
+        self.accepted_bytes_per_ns_per_node / link_bytes_per_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_min_max() {
+        let mut s = LatencyStats::new();
+        for v in [100, 200, 300] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 3);
+        assert!((s.mean() - 200.0).abs() < 1e-9);
+        assert_eq!(s.min(), 100);
+        assert_eq!(s.max(), 300);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = LatencyStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_bounding() {
+        let mut s = LatencyStats::new();
+        for v in 1..=1000u64 {
+            s.record(v);
+        }
+        let q50 = s.quantile(0.5);
+        let q99 = s.quantile(0.99);
+        assert!(q50 <= q99);
+        assert!((500 / 2..=1024).contains(&q50), "q50 = {q50}");
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyStats::new();
+        a.record(10);
+        let mut b = LatencyStats::new();
+        b.record(30);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean() - 20.0).abs() < 1e-9);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 30);
+    }
+}

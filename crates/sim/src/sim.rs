@@ -1,0 +1,919 @@
+//! The InfiniBand subnet simulator.
+//!
+//! ## Model (Section 5 of the paper)
+//!
+//! * **Switches** are `m`-port crossbars. Every port has one input and one
+//!   output buffer *per virtual lane*, each holding `buffer_packets`
+//!   packets (the paper: exactly one). The crossbar lets any number of
+//!   disjoint input→output transfers proceed simultaneously; transfers to
+//!   the same output buffer serialize through arbitration.
+//! * **Virtual cut-through**: a packet begins leaving a switch as soon as
+//!   its header has been routed and the output buffer is free — it never
+//!   waits for its own tail. A buffer is held from the moment a packet is
+//!   granted into it until the packet's tail has left it.
+//! * **Credit-based link-level flow control**: a sender may start a packet
+//!   on a link only while it holds a credit for the downstream input
+//!   buffer of that VL; the credit returns (one wire flight later) when
+//!   the packet's tail vacates that buffer.
+//! * **Timing**: header routing costs `routing_time_ns` per switch; wire
+//!   propagation costs `fly_time_ns` per link; serialization costs
+//!   `packet_bytes * byte_time_ns` per link.
+//! * **End nodes** generate packets at a constant (or Poisson) rate into
+//!   an unbounded source queue, draining it in FIFO order onto their
+//!   injection link; they consume arriving packets immediately.
+//!
+//! The simulation is single-threaded and fully deterministic for a given
+//! seed: events at equal timestamps fire in scheduling order.
+
+use crate::engine::{EventQueue, Time};
+use crate::metrics::{LatencyStats, SimReport};
+use crate::packet::{Packet, PacketId, PacketSlab};
+use crate::trace::{PacketTrace, TraceEvent};
+use crate::vlarb::VlArbiter;
+use crate::{InjectionProcess, PathSelection, SimConfig, TrafficPattern, VlAssignment};
+use ibfat_routing::Routing;
+use ibfat_topology::{DeviceRef, Network, NodeId, PortNum};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use std::collections::VecDeque;
+
+/// What a switch port's output side is cabled to.
+#[derive(Debug, Clone, Copy)]
+enum PeerRef {
+    SwitchPort {
+        sw: u32,
+        port: u8,
+    },
+    Node {
+        node: u32,
+    },
+    /// Uncabled (failed) port — carries no traffic.
+    Dead,
+}
+
+/// A packet held in an input buffer.
+#[derive(Debug, Clone, Copy)]
+struct InEntry {
+    pkt: PacketId,
+    state: InState,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InState {
+    /// Header is being routed (the `routing_time_ns` pipeline stage).
+    Routing,
+    /// Routed, waiting for space in the output buffer `out_port`.
+    Waiting(u8),
+    /// Granted to the output buffer; tail is streaming out.
+    Departing,
+}
+
+/// A packet held in an output buffer.
+#[derive(Debug, Clone, Copy)]
+struct OutEntry {
+    pkt: PacketId,
+    transmitting: bool,
+}
+
+/// One switch port: input and output state per VL.
+#[derive(Debug)]
+struct SwPort {
+    peer: PeerRef,
+    /// Link output direction is serialized until this time.
+    busy_until: Time,
+    /// A `SwTryOutput` retry is already scheduled for `busy_until`.
+    retry_pending: bool,
+    /// Egress VL arbitration state (table lives on the simulator).
+    arb: VlArbiter,
+    /// Credits held for the downstream input buffers, per VL.
+    credits: Vec<u8>,
+    /// Output buffers, per VL (FIFO within a VL).
+    out_q: Vec<VecDeque<OutEntry>>,
+    /// Input ports whose routed head waits for space in this output, per VL.
+    waiters: Vec<VecDeque<u8>>,
+    /// Input buffers, per VL.
+    in_q: Vec<VecDeque<InEntry>>,
+    /// Accumulated transmission time on the outgoing direction (ns).
+    busy_ns: u64,
+}
+
+/// One end node.
+#[derive(Debug)]
+struct NodeSt {
+    peer_sw: u32,
+    peer_port: u8,
+    /// Unbounded FIFO source queues, one per VL. Real HCAs arbitrate VLs
+    /// at the egress port, so a lane stalled on credits never blocks the
+    /// others (per-VL queues avoid cross-VL head-of-line blocking).
+    inj_q: Vec<VecDeque<PacketId>>,
+    /// Egress VL arbitration state for the injection link.
+    arb: VlArbiter,
+    busy_until: Time,
+    retry_pending: bool,
+    /// Credits for the leaf switch's input buffers, per VL.
+    credits: Vec<u8>,
+    /// Next generation instant (f64 to carry fractional inter-arrivals).
+    next_gen: f64,
+    /// Whether this node generates traffic at all (permutation patterns
+    /// may silence self-mapped nodes).
+    active: bool,
+    /// Round-robin offset cursor for `PathSelection::RoundRobinPerSource`.
+    rr_offset: u32,
+    busy_ns: u64,
+}
+
+/// Simulator events.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Generate the next packet at a node.
+    Inject { node: u32 },
+    /// Attempt to start transmitting the node's queue head.
+    TryNodeSend { node: u32 },
+    /// A packet header reached a switch input buffer.
+    SwHeaderArrive {
+        sw: u32,
+        port: u8,
+        vl: u8,
+        pkt: PacketId,
+    },
+    /// Routing of the input-buffer head finished.
+    SwRouteDone { sw: u32, port: u8, vl: u8 },
+    /// The tail of the input-buffer head left through the crossbar.
+    SwInputDeparted { sw: u32, port: u8, vl: u8 },
+    /// Attempt to start a transmission on a switch output port.
+    SwTryOutput { sw: u32, port: u8 },
+    /// The tail of a transmitting packet left the output buffer.
+    SwOutputDeparted { sw: u32, port: u8, vl: u8 },
+    /// A credit came back to a switch output port.
+    CreditToSwitch { sw: u32, port: u8, vl: u8 },
+    /// A credit came back to a node's injection side.
+    CreditToNode { node: u32, vl: u8 },
+    /// A packet's tail arrived at its destination endport.
+    Deliver { node: u32, vl: u8, pkt: PacketId },
+    /// A discarded (unroutable) packet finished draining into its input
+    /// buffer; free the buffer.
+    SwDiscardDone { sw: u32, port: u8, vl: u8 },
+}
+
+/// The discrete-event simulator for one (network, routing, traffic, load)
+/// operating point.
+pub struct Simulator {
+    cfg: SimConfig,
+    pattern: TrafficPattern,
+    offered_load: f64,
+    interarrival_ns: f64,
+    sim_time_ns: Time,
+    warmup_ns: Time,
+
+    pkt_ns: u64,
+    fly: u64,
+    route_ns: u64,
+    num_vls: usize,
+    cap: u8,
+    /// Shared VL arbitration entry table.
+    arb_table: Vec<(u8, u8)>,
+
+    routing: Routing,
+    /// Flattened LFTs: `lft[sw][lid]` is the 0-based output port.
+    lft: Vec<Vec<u8>>,
+    /// Per-switch 0-based first up-port (= m/2), or `u8::MAX` for roots
+    /// (which have no up-ports). Used by adaptive upward routing.
+    up_ports_from: Vec<u8>,
+
+    switches: Vec<Vec<SwPort>>,
+    nodes: Vec<NodeSt>,
+
+    queue: EventQueue<Ev>,
+    slab: PacketSlab,
+    rng: ChaCha12Rng,
+    now: Time,
+
+    // measurement
+    /// Next sequence number per (src, dst, vl) flow. InfiniBand only
+    /// orders traffic within a lane, so the flow key includes the VL.
+    flow_next_seq: Vec<u32>,
+    /// Highest delivered sequence per (src, dst, vl) flow (u32::MAX = none).
+    flow_delivered: Vec<u32>,
+    out_of_order: u64,
+    dropped: u64,
+    total_generated: u64,
+    total_delivered: u64,
+    generated_in_window: u64,
+    delivered_in_window: u64,
+    delivered_bytes_in_window: u64,
+    latency: LatencyStats,
+    network_latency: LatencyStats,
+    events_processed: u64,
+    traces: Vec<PacketTrace>,
+}
+
+impl Simulator {
+    /// Build a simulator. `offered_load` is normalized to the injection
+    /// link bandwidth (`1.0` = one packet every `packet_time_ns`).
+    ///
+    /// # Panics
+    /// Panics on invalid configuration or a subnet with fewer than two
+    /// nodes.
+    pub fn new(
+        net: &Network,
+        routing: &Routing,
+        cfg: SimConfig,
+        pattern: TrafficPattern,
+        offered_load: f64,
+        sim_time_ns: Time,
+        warmup_ns: Time,
+    ) -> Simulator {
+        cfg.validate().expect("invalid simulator configuration");
+        assert!(net.num_nodes() >= 2, "need at least two nodes");
+        assert!(warmup_ns < sim_time_ns, "warm-up must end before the run");
+        let num_vls = cfg.num_vls as usize;
+        let cap = cfg.buffer_packets;
+        let arb_table = cfg.vl_arbitration.table(cfg.num_vls);
+
+        // Flatten forwarding tables to 0-based ports for the hot path.
+        let max_lid = routing.lid_space().max_lid().index();
+        let mut lft = Vec::with_capacity(net.num_switches());
+        for sw in 0..net.num_switches() {
+            let table = routing.lft(ibfat_topology::SwitchId(sw as u32));
+            let mut flat = vec![u8::MAX; max_lid + 1];
+            for (lid, port) in table.entries() {
+                flat[lid.index()] = port.0 - 1;
+            }
+            lft.push(flat);
+        }
+
+        let params = net.params();
+        let up_ports_from: Vec<u8> = (0..net.num_switches())
+            .map(|sw| {
+                let label = ibfat_topology::SwitchLabel::from_id(
+                    params,
+                    ibfat_topology::SwitchId(sw as u32),
+                );
+                if label.level().0 == 0 {
+                    u8::MAX
+                } else {
+                    params.half() as u8
+                }
+            })
+            .collect();
+        if cfg.adaptive_up {
+            let intact = (0..net.num_switches()).all(|sw| {
+                net.switch(ibfat_topology::SwitchId(sw as u32))
+                    .peers()
+                    .count()
+                    == params.m() as usize
+            });
+            assert!(intact, "adaptive upward routing requires an intact fabric");
+        }
+
+        let switches: Vec<Vec<SwPort>> = (0..net.num_switches())
+            .map(|sw| {
+                (0..net.params().m())
+                    .map(|p| {
+                        let port = PortNum(p as u8 + 1);
+                        // Degraded subnets may have uncabled (failed)
+                        // ports; a repaired routing never forwards into
+                        // them, which `sw_try_output` asserts.
+                        let peer = net
+                            .peer_of(DeviceRef::Switch(ibfat_topology::SwitchId(sw as u32)), port)
+                            .map(|peer| match peer.device {
+                                DeviceRef::Switch(s) => PeerRef::SwitchPort {
+                                    sw: s.0,
+                                    port: peer.port.0 - 1,
+                                },
+                                DeviceRef::Node(n) => PeerRef::Node { node: n.0 },
+                            })
+                            .unwrap_or(PeerRef::Dead);
+                        SwPort {
+                            peer,
+                            busy_until: 0,
+                            retry_pending: false,
+                            arb: VlArbiter::new(&arb_table),
+                            credits: vec![cap; num_vls],
+                            out_q: vec![VecDeque::new(); num_vls],
+                            waiters: vec![VecDeque::new(); num_vls],
+                            in_q: vec![VecDeque::new(); num_vls],
+                            busy_ns: 0,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let nodes: Vec<NodeSt> = (0..net.num_nodes())
+            .map(|n| {
+                // An isolated node (failed endport cable) neither sends
+                // nor receives; peers may still address it, and those
+                // packets are dropped at the first unprogrammed LFT entry.
+                let peer = net.peer_of(DeviceRef::Node(NodeId(n as u32)), PortNum(1));
+                let (peer_sw, peer_port, active) = match peer {
+                    Some(p) => match p.device {
+                        DeviceRef::Switch(s) => (s.0, p.port.0 - 1, true),
+                        DeviceRef::Node(_) => unreachable!("endports attach to switches"),
+                    },
+                    None => (u32::MAX, u8::MAX, false),
+                };
+                NodeSt {
+                    peer_sw,
+                    peer_port,
+                    inj_q: vec![VecDeque::new(); num_vls],
+                    arb: VlArbiter::new(&arb_table),
+                    busy_until: 0,
+                    retry_pending: false,
+                    credits: vec![cap; num_vls],
+                    next_gen: 0.0,
+                    active,
+                    rr_offset: 0,
+                    busy_ns: 0,
+                }
+            })
+            .collect();
+
+        Simulator {
+            pkt_ns: cfg.packet_time_ns(),
+            fly: cfg.fly_time_ns,
+            route_ns: cfg.routing_time_ns,
+            num_vls,
+            cap,
+            arb_table,
+            interarrival_ns: cfg.interarrival_ns(offered_load),
+            offered_load,
+            sim_time_ns,
+            warmup_ns,
+            pattern,
+            routing: routing.clone(),
+            lft,
+            up_ports_from,
+            switches,
+            nodes,
+            queue: EventQueue::new(),
+            slab: PacketSlab::new(),
+            rng: ChaCha12Rng::seed_from_u64(cfg.seed),
+            now: 0,
+            flow_next_seq: vec![0; net.num_nodes() * net.num_nodes() * num_vls],
+            flow_delivered: vec![u32::MAX; net.num_nodes() * net.num_nodes() * num_vls],
+            out_of_order: 0,
+            dropped: 0,
+            total_generated: 0,
+            total_delivered: 0,
+            generated_in_window: 0,
+            delivered_in_window: 0,
+            delivered_bytes_in_window: 0,
+            latency: LatencyStats::new(),
+            network_latency: LatencyStats::new(),
+            events_processed: 0,
+            traces: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Run to completion and produce the report.
+    pub fn run(mut self) -> SimReport {
+        // Prime every node with a randomly phased first injection so the
+        // deterministic process does not fire in lockstep across nodes.
+        for node in 0..self.nodes.len() as u32 {
+            if !self.nodes[node as usize].active {
+                continue;
+            }
+            let phase = self.rng.gen_range(0.0..self.interarrival_ns);
+            self.nodes[node as usize].next_gen = phase;
+            self.queue.schedule(phase as Time, Ev::Inject { node });
+        }
+
+        while let Some((t, ev)) = self.queue.pop() {
+            if t >= self.sim_time_ns {
+                break;
+            }
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.events_processed += 1;
+            self.dispatch(ev);
+        }
+        self.report()
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Inject { node } => self.inject(node),
+            Ev::TryNodeSend { node } => {
+                self.nodes[node as usize].retry_pending = false;
+                self.try_node_send(node);
+            }
+            Ev::SwHeaderArrive { sw, port, vl, pkt } => self.sw_header_arrive(sw, port, vl, pkt),
+            Ev::SwRouteDone { sw, port, vl } => self.sw_route_done(sw, port, vl),
+            Ev::SwInputDeparted { sw, port, vl } => self.sw_input_departed(sw, port, vl),
+            Ev::SwTryOutput { sw, port } => {
+                self.switches[sw as usize][port as usize].retry_pending = false;
+                self.sw_try_output(sw, port);
+            }
+            Ev::SwOutputDeparted { sw, port, vl } => self.sw_output_departed(sw, port, vl),
+            Ev::CreditToSwitch { sw, port, vl } => {
+                let p = &mut self.switches[sw as usize][port as usize];
+                p.credits[vl as usize] += 1;
+                debug_assert!(p.credits[vl as usize] <= self.cap);
+                self.sw_try_output(sw, port);
+            }
+            Ev::CreditToNode { node, vl } => {
+                let n = &mut self.nodes[node as usize];
+                n.credits[vl as usize] += 1;
+                debug_assert!(n.credits[vl as usize] <= self.cap);
+                self.try_node_send(node);
+            }
+            Ev::Deliver { node, vl, pkt } => self.deliver(node, vl, pkt),
+            Ev::SwDiscardDone { sw, port, vl } => self.sw_discard_done(sw, port, vl),
+        }
+    }
+
+    /// Append a flight-recorder event for a traced packet.
+    #[inline]
+    fn record(&mut self, pkt: PacketId, ev: TraceEvent) {
+        let slot = self.slab.get(pkt).trace;
+        if slot != u32::MAX {
+            self.traces[slot as usize].events.push((self.now, ev));
+        }
+    }
+
+    // ----- end-node behaviour ------------------------------------------
+
+    fn inject(&mut self, node: u32) {
+        let num_nodes = self.nodes.len() as u32;
+        let src = NodeId(node);
+        let dst = self.pattern.sample(src, num_nodes, &mut self.rng);
+        let Some(dst) = dst else {
+            // Silent under this pattern: stop generating.
+            self.nodes[node as usize].active = false;
+            return;
+        };
+        let dlid = match self.cfg.path_selection {
+            PathSelection::Paper => self.routing.select_dlid(src, dst),
+            PathSelection::RandomPerPacket => {
+                let space = self.routing.lid_space();
+                let offset = self.rng.gen_range(0..space.lids_per_node());
+                space.lid_with_offset(dst, offset)
+            }
+            PathSelection::RoundRobinPerSource => {
+                let space = self.routing.lid_space();
+                let st = &mut self.nodes[node as usize];
+                let offset = st.rr_offset % space.lids_per_node();
+                st.rr_offset = st.rr_offset.wrapping_add(1);
+                space.lid_with_offset(dst, offset)
+            }
+        };
+        let vl = match self.cfg.vl_assignment {
+            VlAssignment::Random => self.rng.gen_range(0..self.num_vls) as u8,
+            VlAssignment::DestinationHash => (dst.0 as usize % self.num_vls) as u8,
+            VlAssignment::SourceHash => (node as usize % self.num_vls) as u8,
+        };
+        let trace = if (self.traces.len() as u32) < self.cfg.trace_first_packets {
+            self.traces.push(PacketTrace {
+                src: node,
+                dst: dst.0,
+                dlid: dlid.0,
+                vl,
+                events: Vec::new(),
+            });
+            (self.traces.len() - 1) as u32
+        } else {
+            u32::MAX
+        };
+        let flow = (node as usize * self.nodes.len() + dst.index()) * self.num_vls + vl as usize;
+        let flow_seq = self.flow_next_seq[flow];
+        self.flow_next_seq[flow] += 1;
+        let pkt = self.slab.insert(Packet {
+            src: node,
+            dst: dst.0,
+            dlid,
+            vl,
+            t_gen: self.now,
+            t_inject: 0,
+            trace,
+            flow_seq,
+        });
+        self.record(pkt, TraceEvent::Generated);
+        self.total_generated += 1;
+        if self.now >= self.warmup_ns {
+            self.generated_in_window += 1;
+        }
+        self.nodes[node as usize].inj_q[vl as usize].push_back(pkt);
+        self.try_node_send(node);
+
+        // Schedule the next generation.
+        let next = match self.cfg.injection {
+            InjectionProcess::Deterministic => {
+                self.nodes[node as usize].next_gen + self.interarrival_ns
+            }
+            InjectionProcess::Poisson => {
+                let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+                self.now as f64 - self.interarrival_ns * u.ln()
+            }
+        };
+        self.nodes[node as usize].next_gen = next;
+        let at = next as Time;
+        if at < self.sim_time_ns {
+            self.queue.schedule(at.max(self.now), Ev::Inject { node });
+        }
+    }
+
+    fn try_node_send(&mut self, node: u32) {
+        let num_vls = self.num_vls;
+        let n = &mut self.nodes[node as usize];
+        let sendable = |n: &NodeSt, vl: usize| !n.inj_q[vl].is_empty() && n.credits[vl] > 0;
+        if n.busy_until > self.now {
+            if !n.retry_pending && (0..num_vls).any(|vl| sendable(n, vl)) {
+                n.retry_pending = true;
+                self.queue.schedule(n.busy_until, Ev::TryNodeSend { node });
+            }
+            return;
+        }
+        // VL arbitration on the injection link, mirroring the switches'
+        // egress arbitration (weighted tables included).
+        let mask: u16 = (0..num_vls)
+            .filter(|&vl| sendable(n, vl))
+            .fold(0, |m, vl| m | (1 << vl));
+        let Some(vl) = n
+            .arb
+            .grant(&self.arb_table, |vl| mask & (1 << vl) != 0)
+            .map(usize::from)
+        else {
+            return; // woken by CreditToNode or the next Inject
+        };
+        // Start transmission.
+        let head = n.inj_q[vl].pop_front().expect("checked nonempty");
+        n.credits[vl] -= 1;
+        let tx_end = self.now + self.pkt_ns;
+        n.busy_until = tx_end;
+        n.busy_ns += self.pkt_ns.min(self.sim_time_ns - self.now);
+        let (sw, port) = (n.peer_sw, n.peer_port);
+        self.slab.get_mut(head).t_inject = self.now;
+        self.record(head, TraceEvent::InjectionStart);
+        self.queue.schedule(
+            self.now + self.fly,
+            Ev::SwHeaderArrive {
+                sw,
+                port,
+                vl: vl as u8,
+                pkt: head,
+            },
+        );
+        // The next queued packet can follow once the link is clear.
+        self.queue.schedule(tx_end, Ev::TryNodeSend { node });
+        self.nodes[node as usize].retry_pending = true;
+    }
+
+    fn deliver(&mut self, node: u32, vl: u8, pkt: PacketId) {
+        self.record(pkt, TraceEvent::Delivered);
+        let p = self.slab.remove(pkt);
+        debug_assert_eq!(p.dst, node);
+        {
+            let flow =
+                (p.src as usize * self.nodes.len() + node as usize) * self.num_vls + vl as usize;
+            let last = &mut self.flow_delivered[flow];
+            if *last != u32::MAX && p.flow_seq < *last {
+                self.out_of_order += 1;
+            } else {
+                *last = p.flow_seq;
+            }
+        }
+        self.total_delivered += 1;
+        if self.now >= self.warmup_ns {
+            self.delivered_in_window += 1;
+            self.delivered_bytes_in_window += u64::from(self.cfg.packet_bytes);
+            if p.t_gen >= self.warmup_ns {
+                self.latency.record(self.now - p.t_gen);
+                self.network_latency.record(self.now - p.t_inject);
+            }
+        }
+        // Immediate consumption: the endport buffer frees now; the credit
+        // flies back to the leaf switch.
+        let n = &self.nodes[node as usize];
+        self.queue.schedule(
+            self.now + self.fly,
+            Ev::CreditToSwitch {
+                sw: n.peer_sw,
+                port: n.peer_port,
+                vl,
+            },
+        );
+    }
+
+    // ----- switch behaviour --------------------------------------------
+
+    fn sw_header_arrive(&mut self, sw: u32, port: u8, vl: u8, pkt: PacketId) {
+        self.record(pkt, TraceEvent::HeaderArrive { sw, port });
+        let p = &mut self.switches[sw as usize][port as usize];
+        let q = &mut p.in_q[vl as usize];
+        debug_assert!(
+            q.len() < self.cap as usize,
+            "credit protocol overflowed an input buffer"
+        );
+        q.push_back(InEntry {
+            pkt,
+            state: InState::Routing,
+        });
+        if q.len() == 1 {
+            self.queue
+                .schedule(self.now + self.route_ns, Ev::SwRouteDone { sw, port, vl });
+        }
+    }
+
+    fn sw_route_done(&mut self, sw: u32, port: u8, vl: u8) {
+        let head = self.switches[sw as usize][port as usize].in_q[vl as usize]
+            .front()
+            .copied()
+            .expect("route-done with empty input buffer");
+        debug_assert_eq!(head.state, InState::Routing);
+        let dlid = self.slab.get(head.pkt).dlid;
+        let out_port = self.lft[sw as usize][dlid.index()];
+        if out_port == u8::MAX {
+            // No LFT entry (possible on degraded fabrics): the switch
+            // discards the packet, per IBA semantics. The input buffer
+            // frees once the tail has fully arrived; model that as the
+            // remaining serialization time from now (the header has been
+            // in the buffer for exactly `route_ns`).
+            self.dropped += 1;
+            self.record(head.pkt, TraceEvent::Dropped { sw });
+            self.slab.remove(head.pkt);
+            let head_mut = self.switches[sw as usize][port as usize].in_q[vl as usize]
+                .front_mut()
+                .expect("checked nonempty");
+            head_mut.state = InState::Departing;
+            let drain = self.pkt_ns.saturating_sub(self.route_ns);
+            self.queue
+                .schedule(self.now + drain, Ev::SwDiscardDone { sw, port, vl });
+            return;
+        }
+        // Adaptive upward routing: any parent reaches every destination
+        // that is not below this switch, so a climbing packet may take the
+        // least-occupied up-port instead of the designated one.
+        let out_port = if self.cfg.adaptive_up {
+            self.adaptive_out_port(sw, vl, out_port)
+        } else {
+            out_port
+        };
+        self.record(head.pkt, TraceEvent::Routed { sw, out_port });
+        self.sw_request_output(sw, port, vl, out_port);
+    }
+
+    /// Pick the best up-port for a climbing packet: prefer output buffers
+    /// with space, then fewer queued packets, then available credits; the
+    /// scan starts at the designated port so ties keep the table's choice.
+    fn adaptive_out_port(&self, sw: u32, vl: u8, designated: u8) -> u8 {
+        let first_up = self.up_ports_from[sw as usize];
+        if first_up == u8::MAX || designated < first_up {
+            return designated; // descending (or a root): the path is forced
+        }
+        let ports = &self.switches[sw as usize];
+        let m = ports.len() as u8;
+        let score = |port: u8| -> u32 {
+            let p = &ports[port as usize];
+            let q = p.out_q[vl as usize].len() as u32;
+            let no_space = u32::from(q >= self.cap as u32);
+            let no_credit = u32::from(p.credits[vl as usize] == 0);
+            (no_space << 16) + (q << 1) + no_credit
+        };
+        let span = m - first_up;
+        let mut best = designated;
+        let mut best_score = score(designated);
+        for i in 1..span {
+            let port = first_up + (designated - first_up + i) % span;
+            let s = score(port);
+            if s < best_score {
+                best = port;
+                best_score = s;
+            }
+        }
+        best
+    }
+
+    /// A discarded packet's tail has fully arrived; free the buffer and
+    /// return the credit, then route the next head if any.
+    fn sw_discard_done(&mut self, sw: u32, port: u8, vl: u8) {
+        // Identical bookkeeping to a departure, except the packet is gone.
+        self.sw_input_departed(sw, port, vl);
+    }
+
+    /// The routed head of input `(port, vl)` requests output `out_port`.
+    fn sw_request_output(&mut self, sw: u32, in_port: u8, vl: u8, out_port: u8) {
+        let ports = &mut self.switches[sw as usize];
+        let has_space = ports[out_port as usize].out_q[vl as usize].len() < self.cap as usize;
+        if has_space {
+            let head = ports[in_port as usize].in_q[vl as usize]
+                .front_mut()
+                .expect("granting an empty input");
+            head.state = InState::Departing;
+            let pkt = head.pkt;
+            ports[out_port as usize].out_q[vl as usize].push_back(OutEntry {
+                pkt,
+                transmitting: false,
+            });
+            self.record(pkt, TraceEvent::Granted { sw, out_port });
+            self.queue.schedule(
+                self.now + self.pkt_ns,
+                Ev::SwInputDeparted {
+                    sw,
+                    port: in_port,
+                    vl,
+                },
+            );
+            self.sw_try_output(sw, out_port);
+        } else {
+            let head = ports[in_port as usize].in_q[vl as usize]
+                .front_mut()
+                .expect("blocking an empty input");
+            head.state = InState::Waiting(out_port);
+            ports[out_port as usize].waiters[vl as usize].push_back(in_port);
+        }
+    }
+
+    fn sw_input_departed(&mut self, sw: u32, port: u8, vl: u8) {
+        let p = &mut self.switches[sw as usize][port as usize];
+        let gone = p.in_q[vl as usize]
+            .pop_front()
+            .expect("departed from empty");
+        debug_assert_eq!(gone.state, InState::Departing);
+        let upstream = p.peer;
+        let next_head = p.in_q[vl as usize].front().copied();
+        // The freed buffer's credit flies back to whoever feeds this port.
+        match upstream {
+            PeerRef::SwitchPort {
+                sw: usw,
+                port: uport,
+            } => self.queue.schedule(
+                self.now + self.fly,
+                Ev::CreditToSwitch {
+                    sw: usw,
+                    port: uport,
+                    vl,
+                },
+            ),
+            PeerRef::Node { node } => self
+                .queue
+                .schedule(self.now + self.fly, Ev::CreditToNode { node, vl }),
+            PeerRef::Dead => unreachable!("packets never arrive through a failed port"),
+        }
+        // The next buffered packet (fully or partially arrived) becomes
+        // head and enters the routing stage.
+        if let Some(entry) = next_head {
+            debug_assert_eq!(entry.state, InState::Routing);
+            self.queue
+                .schedule(self.now + self.route_ns, Ev::SwRouteDone { sw, port, vl });
+        }
+    }
+
+    fn sw_try_output(&mut self, sw: u32, port: u8) {
+        let num_vls = self.num_vls;
+        let p = &mut self.switches[sw as usize][port as usize];
+        // Anything eligible at all?
+        let eligible = |p: &SwPort, vl: usize| {
+            p.credits[vl] > 0 && p.out_q[vl].front().is_some_and(|head| !head.transmitting)
+        };
+        if p.busy_until > self.now {
+            if !p.retry_pending && (0..num_vls).any(|vl| eligible(p, vl)) {
+                p.retry_pending = true;
+                self.queue
+                    .schedule(p.busy_until, Ev::SwTryOutput { sw, port });
+            }
+            return;
+        }
+        // VL arbitration (round-robin or weighted table).
+        let mask: u16 = (0..num_vls)
+            .filter(|&vl| eligible(p, vl))
+            .fold(0, |m, vl| m | (1 << vl));
+        let granted = p
+            .arb
+            .grant(&self.arb_table, |vl| mask & (1 << vl) != 0)
+            .map(usize::from);
+        if let Some(vl) = granted {
+            let head = p.out_q[vl].front_mut().expect("checked nonempty");
+            head.transmitting = true;
+            let pkt = head.pkt;
+            p.credits[vl] -= 1;
+            let tx_end = self.now + self.pkt_ns;
+            let tx_record = pkt;
+            p.busy_until = tx_end;
+            p.busy_ns += self.pkt_ns.min(self.sim_time_ns - self.now);
+            let peer = p.peer;
+            self.queue.schedule(
+                tx_end,
+                Ev::SwOutputDeparted {
+                    sw,
+                    port,
+                    vl: vl as u8,
+                },
+            );
+            match peer {
+                PeerRef::SwitchPort {
+                    sw: dsw,
+                    port: dport,
+                } => self.queue.schedule(
+                    self.now + self.fly,
+                    Ev::SwHeaderArrive {
+                        sw: dsw,
+                        port: dport,
+                        vl: vl as u8,
+                        pkt,
+                    },
+                ),
+                PeerRef::Node { node } => self.queue.schedule(
+                    self.now + self.fly + self.pkt_ns,
+                    Ev::Deliver {
+                        node,
+                        vl: vl as u8,
+                        pkt,
+                    },
+                ),
+                PeerRef::Dead => panic!("routing forwarded a packet into a failed port"),
+            }
+            self.record(tx_record, TraceEvent::TransmitStart { sw, out_port: port });
+        }
+    }
+
+    fn sw_output_departed(&mut self, sw: u32, port: u8, vl: u8) {
+        let p = &mut self.switches[sw as usize][port as usize];
+        let gone = p.out_q[vl as usize]
+            .pop_front()
+            .expect("departed from empty");
+        debug_assert!(gone.transmitting);
+        // Space freed: grant the oldest waiter for this (port, vl), if any.
+        if let Some(in_port) = p.waiters[vl as usize].pop_front() {
+            let head = self.switches[sw as usize][in_port as usize].in_q[vl as usize]
+                .front()
+                .copied()
+                .expect("waiter with empty input");
+            debug_assert_eq!(head.state, InState::Waiting(port));
+            self.sw_request_output(sw, in_port, vl, port);
+        }
+        // The link is free exactly now; another VL may proceed.
+        self.sw_try_output(sw, port);
+    }
+
+    // ----- reporting ----------------------------------------------------
+
+    fn report(self) -> SimReport {
+        let window = (self.sim_time_ns - self.warmup_ns) as f64;
+        let nodes = self.nodes.len() as f64;
+        let accepted = self.delivered_bytes_in_window as f64 / window / nodes;
+        let offered = self.cfg.packet_bytes as f64 / self.interarrival_ns;
+
+        let mut total_busy = 0u64;
+        let mut max_busy = 0u64;
+        let mut links = 0u64;
+        for ports in &self.switches {
+            for p in ports {
+                total_busy += p.busy_ns;
+                max_busy = max_busy.max(p.busy_ns);
+                links += 1;
+            }
+        }
+        for n in &self.nodes {
+            total_busy += n.busy_ns;
+            max_busy = max_busy.max(n.busy_ns);
+            links += 1;
+        }
+        let span = self.sim_time_ns as f64;
+
+        let link_utilization = self.cfg.collect_link_stats.then(|| {
+            let mut out = Vec::new();
+            for (sw, ports) in self.switches.iter().enumerate() {
+                for (port, p) in ports.iter().enumerate() {
+                    out.push(crate::metrics::LinkUse {
+                        from: format!("S{sw}"),
+                        port: port as u8 + 1,
+                        utilization: p.busy_ns as f64 / span,
+                    });
+                }
+            }
+            for (n, node) in self.nodes.iter().enumerate() {
+                out.push(crate::metrics::LinkUse {
+                    from: format!("N{n}"),
+                    port: 1,
+                    utilization: node.busy_ns as f64 / span,
+                });
+            }
+            out
+        });
+
+        SimReport {
+            offered_load: self.offered_load,
+            sim_time_ns: self.sim_time_ns,
+            warmup_ns: self.warmup_ns,
+            generated: self.generated_in_window,
+            dropped: self.dropped,
+            total_generated: self.total_generated,
+            total_delivered: self.total_delivered,
+            delivered: self.delivered_in_window,
+            delivered_bytes: self.delivered_bytes_in_window,
+            in_flight_at_end: self.slab.live() as u64,
+            accepted_bytes_per_ns_per_node: accepted,
+            offered_bytes_per_ns_per_node: offered,
+            latency: self.latency,
+            network_latency: self.network_latency,
+            events_processed: self.events_processed,
+            mean_link_utilization: total_busy as f64 / (links as f64 * span),
+            max_link_utilization: max_busy as f64 / span,
+            link_utilization,
+            traces: (self.cfg.trace_first_packets > 0).then_some(self.traces),
+            out_of_order: self.out_of_order,
+        }
+    }
+}

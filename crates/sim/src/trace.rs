@@ -1,0 +1,189 @@
+//! The flight recorder: per-packet event timelines.
+//!
+//! When `SimConfig::trace_first_packets > 0`, the simulator records every
+//! lifecycle event of the first N generated packets. Traces explain *why*
+//! a packet saw the latency it did — which buffer it waited in, which
+//! grant it lost — and anchor the timing model in tests.
+
+use serde::{Deserialize, Serialize};
+
+/// One recorded packet lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// Entered the source queue.
+    Generated,
+    /// First byte left the source endport.
+    InjectionStart,
+    /// Header reached a switch input buffer.
+    HeaderArrive {
+        /// Switch id.
+        sw: u32,
+        /// 0-based input port.
+        port: u8,
+    },
+    /// Forwarding decision made.
+    Routed {
+        /// Switch id.
+        sw: u32,
+        /// 0-based output port.
+        out_port: u8,
+    },
+    /// Granted into the output buffer.
+    Granted {
+        /// Switch id.
+        sw: u32,
+        /// 0-based output port.
+        out_port: u8,
+    },
+    /// Started onto the next link.
+    TransmitStart {
+        /// Switch id.
+        sw: u32,
+        /// 0-based output port.
+        out_port: u8,
+    },
+    /// Tail arrived at the destination endport.
+    Delivered,
+    /// Discarded for lack of an LFT entry.
+    Dropped {
+        /// Switch id.
+        sw: u32,
+    },
+}
+
+/// The timeline of one packet.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PacketTrace {
+    /// Source node id.
+    pub src: u32,
+    /// Destination node id.
+    pub dst: u32,
+    /// DLID carried.
+    pub dlid: u16,
+    /// Virtual lane.
+    pub vl: u8,
+    /// `(time_ns, event)` pairs in order.
+    pub events: Vec<(u64, TraceEvent)>,
+}
+
+impl PacketTrace {
+    /// Timestamp of the first event (generation).
+    pub fn t_start(&self) -> u64 {
+        self.events.first().map(|&(t, _)| t).unwrap_or(0)
+    }
+
+    /// Whether the packet completed (delivered or dropped).
+    pub fn completed(&self) -> bool {
+        matches!(
+            self.events.last(),
+            Some((_, TraceEvent::Delivered | TraceEvent::Dropped { .. }))
+        )
+    }
+
+    /// End-to-end latency if delivered.
+    pub fn latency_ns(&self) -> Option<u64> {
+        match self.events.last() {
+            Some(&(t, TraceEvent::Delivered)) => Some(t - self.t_start()),
+            _ => None,
+        }
+    }
+
+    /// Render a human-readable timeline.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "packet N{} -> N{} (DLID {}, VL {}):",
+            self.src, self.dst, self.dlid, self.vl
+        );
+        let t0 = self.t_start();
+        for &(t, ev) in &self.events {
+            let what = match ev {
+                TraceEvent::Generated => "generated".to_string(),
+                TraceEvent::InjectionStart => "first byte on wire".to_string(),
+                TraceEvent::HeaderArrive { sw, port } => {
+                    format!("header at S{sw} in-port {}", port + 1)
+                }
+                TraceEvent::Routed { sw, out_port } => {
+                    format!("routed at S{sw} -> out-port {}", out_port + 1)
+                }
+                TraceEvent::Granted { sw, out_port } => {
+                    format!("granted into S{sw} out-buffer {}", out_port + 1)
+                }
+                TraceEvent::TransmitStart { sw, out_port } => {
+                    format!("leaving S{sw} via port {}", out_port + 1)
+                }
+                TraceEvent::Delivered => "delivered".to_string(),
+                TraceEvent::Dropped { sw } => format!("DROPPED at S{sw} (no LFT entry)"),
+            };
+            let _ = writeln!(out, "  t+{:>6} ns  {what}", t - t0);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PacketTrace {
+        PacketTrace {
+            src: 0,
+            dst: 4,
+            dlid: 17,
+            vl: 0,
+            events: vec![
+                (100, TraceEvent::Generated),
+                (100, TraceEvent::InjectionStart),
+                (120, TraceEvent::HeaderArrive { sw: 12, port: 0 }),
+                (
+                    220,
+                    TraceEvent::Routed {
+                        sw: 12,
+                        out_port: 2,
+                    },
+                ),
+                (
+                    220,
+                    TraceEvent::Granted {
+                        sw: 12,
+                        out_port: 2,
+                    },
+                ),
+                (
+                    220,
+                    TraceEvent::TransmitStart {
+                        sw: 12,
+                        out_port: 2,
+                    },
+                ),
+                (496, TraceEvent::Delivered),
+            ],
+        }
+    }
+
+    #[test]
+    fn latency_and_completion() {
+        let t = sample();
+        assert!(t.completed());
+        assert_eq!(t.latency_ns(), Some(396));
+        assert_eq!(t.t_start(), 100);
+    }
+
+    #[test]
+    fn incomplete_trace_has_no_latency() {
+        let mut t = sample();
+        t.events.pop();
+        assert!(!t.completed());
+        assert_eq!(t.latency_ns(), None);
+    }
+
+    #[test]
+    fn render_contains_the_route() {
+        let text = sample().render();
+        assert!(text.contains("N0 -> N4"));
+        assert!(text.contains("header at S12"));
+        assert!(text.contains("delivered"));
+    }
+}

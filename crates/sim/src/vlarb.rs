@@ -1,0 +1,160 @@
+//! Virtual-lane arbitration (IBA VLArbitration tables, simplified to
+//! packet granularity).
+//!
+//! Every egress port (switch output or HCA injection side) cycles through
+//! a table of `(vl, weight)` entries: while the current entry's VL has an
+//! eligible packet and remaining weight, it transmits; otherwise the
+//! arbiter advances to the next entry, replenishing its weight. Plain
+//! round-robin is the all-weights-one table. Weights are counted in
+//! packets (IBA counts 64-byte units; with fixed-size packets the two are
+//! proportional).
+
+use serde::{Deserialize, Serialize};
+
+/// Arbitration policy for a port's egress.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum VlArbitration {
+    /// One packet per VL in cyclic order (the paper's implicit policy).
+    #[default]
+    RoundRobin,
+    /// A weighted table of `(vl, weight)` entries, serviced cyclically.
+    /// VLs may appear multiple times; entries with weight 0 are skipped.
+    Weighted(Vec<(u8, u8)>),
+}
+
+impl VlArbitration {
+    /// Materialize the entry table for `num_vls` lanes.
+    pub fn table(&self, num_vls: u8) -> Vec<(u8, u8)> {
+        match self {
+            VlArbitration::RoundRobin => (0..num_vls).map(|vl| (vl, 1)).collect(),
+            VlArbitration::Weighted(entries) => entries
+                .iter()
+                .copied()
+                .filter(|&(vl, w)| vl < num_vls && w > 0)
+                .collect(),
+        }
+    }
+
+    /// Validate against a VL count.
+    pub fn validate(&self, num_vls: u8) -> Result<(), String> {
+        let table = self.table(num_vls);
+        if table.is_empty() {
+            return Err("VL arbitration table has no usable entries".into());
+        }
+        for vl in 0..num_vls {
+            if !table.iter().any(|&(v, _)| v == vl) {
+                return Err(format!("VL {vl} never serviced by the arbitration table"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-port arbiter state over a shared entry table.
+#[derive(Debug, Clone)]
+pub struct VlArbiter {
+    /// Index of the current entry.
+    idx: usize,
+    /// Packets the current entry may still send before yielding.
+    remaining: u8,
+}
+
+impl VlArbiter {
+    /// Fresh state positioned at the first entry.
+    pub fn new(table: &[(u8, u8)]) -> Self {
+        VlArbiter {
+            idx: 0,
+            remaining: table.first().map(|&(_, w)| w).unwrap_or(0),
+        }
+    }
+
+    /// Pick the VL to transmit next among those for which `eligible`
+    /// holds, honouring weights; `None` if nothing is eligible. The
+    /// arbiter state advances only when a grant is made or an entry is
+    /// exhausted/ineligible and skipped.
+    pub fn grant<F: Fn(u8) -> bool>(&mut self, table: &[(u8, u8)], eligible: F) -> Option<u8> {
+        if table.is_empty() {
+            return None;
+        }
+        // At most one full cycle of the table plus the current entry.
+        for step in 0..=table.len() {
+            let (vl, weight) = table[self.idx];
+            if self.remaining > 0 && eligible(vl) {
+                self.remaining -= 1;
+                return Some(vl);
+            }
+            // Exhausted or ineligible: advance (but never spin forever).
+            if step == table.len() {
+                break;
+            }
+            self.idx = (self.idx + 1) % table.len();
+            self.remaining = table[self.idx].1;
+            let _ = weight;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(arb: &mut VlArbiter, table: &[(u8, u8)], n: usize) -> Vec<u8> {
+        (0..n)
+            .map(|_| arb.grant(table, |_| true).expect("always eligible"))
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_alternates() {
+        let table = VlArbitration::RoundRobin.table(3);
+        let mut arb = VlArbiter::new(&table);
+        assert_eq!(drain(&mut arb, &table, 6), vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn weights_are_respected() {
+        let table = VlArbitration::Weighted(vec![(0, 3), (1, 1)]).table(2);
+        let mut arb = VlArbiter::new(&table);
+        assert_eq!(drain(&mut arb, &table, 8), vec![0, 0, 0, 1, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn ineligible_vls_are_skipped_without_starvation() {
+        let table = VlArbitration::Weighted(vec![(0, 2), (1, 2)]).table(2);
+        let mut arb = VlArbiter::new(&table);
+        // Only VL 1 has traffic.
+        assert_eq!(arb.grant(&table, |vl| vl == 1), Some(1));
+        assert_eq!(arb.grant(&table, |vl| vl == 1), Some(1));
+        // Then VL 0 becomes eligible again.
+        assert_eq!(arb.grant(&table, |_| true), Some(0));
+    }
+
+    #[test]
+    fn nothing_eligible_returns_none_without_state_loss() {
+        let table = VlArbitration::RoundRobin.table(2);
+        let mut arb = VlArbiter::new(&table);
+        assert_eq!(arb.grant(&table, |_| false), None);
+        assert_eq!(arb.grant(&table, |_| true), Some(0));
+    }
+
+    #[test]
+    fn validation_requires_full_coverage() {
+        assert!(VlArbitration::RoundRobin.validate(4).is_ok());
+        assert!(VlArbitration::Weighted(vec![(0, 1)]).validate(2).is_err());
+        assert!(VlArbitration::Weighted(vec![(0, 0)]).validate(1).is_err());
+        assert!(VlArbitration::Weighted(vec![(0, 2), (1, 1)])
+            .validate(2)
+            .is_ok());
+        // Out-of-range VLs are filtered, leaving coverage incomplete.
+        assert!(VlArbitration::Weighted(vec![(0, 1), (5, 1)])
+            .validate(2)
+            .is_err());
+    }
+
+    #[test]
+    fn zero_weight_entries_are_dropped() {
+        let table = VlArbitration::Weighted(vec![(0, 0), (1, 2)]).table(2);
+        assert_eq!(table, vec![(1, 2)]);
+    }
+}

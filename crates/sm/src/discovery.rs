@@ -1,0 +1,228 @@
+//! Topology discovery: the SM's directed-route sweep.
+//!
+//! Starting from one endport, the sweep walks every cable exactly once,
+//! reading each device's kind and port count and recording which port of
+//! which device each cable joins — the information real SMP
+//! (`NodeInfo` / `PortInfo`) sweeps return. Devices are numbered in
+//! discovery order; nothing of the construction-time identity leaks into
+//! the result except the opaque `handle` the manager later uses to
+//! address the physical device (the SM's directed route in real
+//! hardware).
+
+use ibfat_topology::{DeviceKind, DeviceRef, Network, NodeId, PortNum};
+use std::collections::{HashMap, VecDeque};
+
+/// One discovered device.
+#[derive(Debug, Clone)]
+pub struct DiscoveredDevice {
+    /// Opaque handle for addressing the physical device (the directed
+    /// route, in real hardware).
+    pub handle: DeviceRef,
+    /// Switch or end node.
+    pub kind: DeviceKind,
+    /// Number of external ports.
+    pub num_ports: u8,
+}
+
+/// One discovered cable: `(device a, port a) <-> (device b, port b)`,
+/// with devices given as discovery-order indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Discovery index of one endpoint.
+    pub a: usize,
+    /// Port on `a` (IB numbering).
+    pub a_port: PortNum,
+    /// Discovery index of the other endpoint.
+    pub b: usize,
+    /// Port on `b` (IB numbering).
+    pub b_port: PortNum,
+}
+
+/// The sweep result.
+#[derive(Debug, Clone)]
+pub struct DiscoveredTopology {
+    /// Devices in discovery order. Index 0 is the sweep's starting node.
+    pub devices: Vec<DiscoveredDevice>,
+    /// Every cable, discovered exactly once.
+    pub edges: Vec<Edge>,
+}
+
+impl DiscoveredTopology {
+    /// Indices of the discovered switches.
+    pub fn switches(&self) -> impl Iterator<Item = usize> + '_ {
+        self.devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.kind == DeviceKind::Switch)
+            .map(|(i, _)| i)
+    }
+
+    /// Indices of the discovered end nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.kind == DeviceKind::Node)
+            .map(|(i, _)| i)
+    }
+
+    /// Per-device adjacency: `adj[i]` lists `(my port, peer index, peer port)`.
+    pub fn adjacency(&self) -> Vec<Vec<(PortNum, usize, PortNum)>> {
+        let mut adj = vec![Vec::new(); self.devices.len()];
+        for e in &self.edges {
+            adj[e.a].push((e.a_port, e.b, e.b_port));
+            adj[e.b].push((e.b_port, e.a, e.a_port));
+        }
+        for list in &mut adj {
+            list.sort_by_key(|(p, _, _)| p.0);
+        }
+        adj
+    }
+}
+
+/// Sweep the subnet starting from `start`'s endport.
+///
+/// Only devices reachable over live cables appear; on a degraded subnet
+/// the result may cover a fragment of the physical fabric, exactly as a
+/// real sweep would.
+pub fn discover(net: &Network, start: NodeId) -> DiscoveredTopology {
+    fn intern(
+        net: &Network,
+        r: DeviceRef,
+        index: &mut HashMap<DeviceRef, usize>,
+        devices: &mut Vec<DiscoveredDevice>,
+        queue: &mut VecDeque<DeviceRef>,
+    ) -> usize {
+        if let Some(&i) = index.get(&r) {
+            return i;
+        }
+        let i = devices.len();
+        index.insert(r, i);
+        let dev = net.device(r);
+        devices.push(DiscoveredDevice {
+            handle: r,
+            kind: dev.kind(),
+            num_ports: dev.num_ports() as u8,
+        });
+        queue.push_back(r);
+        i
+    }
+
+    let mut index: HashMap<DeviceRef, usize> = HashMap::new();
+    let mut devices = Vec::new();
+    let mut edges = Vec::new();
+    let mut queue = VecDeque::new();
+
+    intern(
+        net,
+        DeviceRef::Node(start),
+        &mut index,
+        &mut devices,
+        &mut queue,
+    );
+    while let Some(here) = queue.pop_front() {
+        let here_idx = index[&here];
+        for (port, peer) in net.device(here).peers() {
+            let peer_idx = intern(net, peer.device, &mut index, &mut devices, &mut queue);
+            // Record each cable once: when first seen from either side.
+            let duplicate = edges.iter().any(|e: &Edge| {
+                (e.a == here_idx && e.a_port == port) || (e.b == here_idx && e.b_port == port)
+            });
+            if !duplicate {
+                edges.push(Edge {
+                    a: here_idx,
+                    a_port: port,
+                    b: peer_idx,
+                    b_port: peer.port,
+                });
+            }
+        }
+    }
+
+    DiscoveredTopology { devices, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibfat_topology::TreeParams;
+
+    fn sweep(m: u32, n: u32) -> (Network, DiscoveredTopology) {
+        let net = Network::mport_ntree(TreeParams::new(m, n).unwrap());
+        let disc = discover(&net, NodeId(0));
+        (net, disc)
+    }
+
+    #[test]
+    fn discovers_every_device_and_cable() {
+        for (m, n) in [(4, 2), (4, 3), (8, 2)] {
+            let (net, disc) = sweep(m, n);
+            assert_eq!(
+                disc.devices.len(),
+                net.num_nodes() + net.num_switches(),
+                "IBFT({m},{n}) devices"
+            );
+            assert_eq!(disc.edges.len(), net.links().len(), "IBFT({m},{n}) cables");
+            assert_eq!(disc.switches().count(), net.num_switches());
+            assert_eq!(disc.nodes().count(), net.num_nodes());
+        }
+    }
+
+    #[test]
+    fn start_node_is_device_zero() {
+        let (_, disc) = sweep(4, 2);
+        assert_eq!(disc.devices[0].handle, DeviceRef::Node(NodeId(0)));
+        assert_eq!(disc.devices[0].kind, DeviceKind::Node);
+        assert_eq!(disc.devices[0].num_ports, 1);
+    }
+
+    #[test]
+    fn edges_reference_valid_ports() {
+        let (_, disc) = sweep(8, 2);
+        for e in &disc.edges {
+            assert!(e.a_port.0 >= 1 && e.a_port.0 <= disc.devices[e.a].num_ports);
+            assert!(e.b_port.0 >= 1 && e.b_port.0 <= disc.devices[e.b].num_ports);
+        }
+    }
+
+    #[test]
+    fn degraded_fabric_discovers_the_reachable_fragment() {
+        let params = TreeParams::new(4, 2).unwrap();
+        let full = Network::mport_ntree(params);
+        let mut net = full.clone();
+        // Cut node 7 off.
+        let idx = net
+            .links()
+            .iter()
+            .position(|l| {
+                l.a.device == DeviceRef::Node(NodeId(7)) || l.b.device == DeviceRef::Node(NodeId(7))
+            })
+            .unwrap();
+        net.remove_link(idx);
+        let disc = discover(&net, NodeId(0));
+        assert_eq!(
+            disc.devices.len(),
+            full.num_nodes() + full.num_switches() - 1
+        );
+        assert!(disc
+            .devices
+            .iter()
+            .all(|d| d.handle != DeviceRef::Node(NodeId(7))));
+    }
+
+    #[test]
+    fn adjacency_is_port_sorted_and_symmetric() {
+        let (_, disc) = sweep(4, 2);
+        let adj = disc.adjacency();
+        for (i, list) in adj.iter().enumerate() {
+            for window in list.windows(2) {
+                assert!(window[0].0 < window[1].0, "device {i} ports out of order");
+            }
+            for &(my_port, peer, peer_port) in list {
+                assert!(adj[peer]
+                    .iter()
+                    .any(|&(p, q, qp)| p == peer_port && q == i && qp == my_port));
+            }
+        }
+    }
+}

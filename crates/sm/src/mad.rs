@@ -1,0 +1,290 @@
+//! Directed-route management datagrams (SMPs) and the subnet bring-up
+//! cost model.
+//!
+//! Before LIDs are assigned, the subnet manager can only address devices
+//! by *directed route*: "leave my port, then exit port 3, then port 5…".
+//! Real IBA subnet-management packets (SMPs, IBA §14) carry exactly that
+//! port vector plus a hop pointer; switches forward them in hardware on
+//! the management VL. This module models directed routes over the cabled
+//! graph, drives a discovery sweep through them, and prices the whole
+//! initialization — the phase the paper attributes to the SM ("the SM is
+//! responsible for the configuration and the control of a subnet").
+//!
+//! Costs follow the data-path constants (an SMP is one 256-byte MAD on
+//! the wire) plus a subnet-management-agent processing time per visit.
+//! LFT installation is priced as real subnet managers pay it: one SMP per
+//! 64-entry `LinearForwardingTable` block per switch.
+
+use crate::{discover, recognize, DiscoveredTopology};
+use ibfat_topology::{DeviceKind, DeviceRef, Network, NodeId, PortNum};
+use std::collections::{HashMap, VecDeque};
+
+/// A directed route: the port to exit at each successive device, starting
+/// from the SM host's endport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectedRoute {
+    /// Output port at each hop (the first entry is always the host's
+    /// port 1).
+    pub ports: Vec<PortNum>,
+}
+
+impl DirectedRoute {
+    /// Number of link traversals.
+    pub fn hops(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Walk the route from `host` over live cables; returns the device
+    /// reached, or `None` if a hop is uncabled or exits a node mid-route.
+    pub fn walk(&self, net: &Network, host: NodeId) -> Option<DeviceRef> {
+        let mut at = DeviceRef::Node(host);
+        for &port in &self.ports {
+            let peer = net.peer_of(at, port)?;
+            at = peer.device;
+        }
+        Some(at)
+    }
+}
+
+/// Timing constants for SMP exchanges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MadCosts {
+    /// Wire flying time per hop, ns (same wire as data).
+    pub fly_ns: u64,
+    /// Per-switch forwarding time for a directed-route SMP, ns.
+    pub forward_ns: u64,
+    /// SMP serialization time (256-byte MAD at 1 ns/byte), ns.
+    pub packet_ns: u64,
+    /// Subnet-management-agent processing per request, ns.
+    pub sma_ns: u64,
+}
+
+impl Default for MadCosts {
+    fn default() -> Self {
+        MadCosts {
+            fly_ns: 20,
+            forward_ns: 100,
+            packet_ns: 256,
+            sma_ns: 2_000,
+        }
+    }
+}
+
+impl MadCosts {
+    /// Round-trip cost of one SMP exchange over a route of `hops` links:
+    /// request out, SMA processing, response back. The packet pays
+    /// serialization once per direction (cut-through pipelining across
+    /// hops), forwarding at every intermediate device, and flight per
+    /// link.
+    pub fn round_trip_ns(&self, hops: usize) -> u64 {
+        let h = hops as u64;
+        let one_way = self.packet_ns + h * self.fly_ns + h.saturating_sub(1) * self.forward_ns;
+        2 * one_way + self.sma_ns
+    }
+}
+
+/// What a timed bring-up did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BringUpReport {
+    /// Discovery SMPs (NodeInfo per device + PortInfo per switch port).
+    pub discovery_smps: u64,
+    /// LID-assignment SMPs (one PortInfo(Set) per endport).
+    pub lid_smps: u64,
+    /// LFT-programming SMPs (64-entry blocks per switch).
+    pub lft_smps: u64,
+    /// Estimated serial bring-up time, ns (SMPs issued one at a time, as
+    /// a simple SM does).
+    pub total_time_ns: u64,
+    /// Longest directed route used.
+    pub max_route_hops: usize,
+}
+
+impl BringUpReport {
+    /// All SMPs issued.
+    pub fn total_smps(&self) -> u64 {
+        self.discovery_smps + self.lid_smps + self.lft_smps
+    }
+}
+
+/// Compute shortest directed routes from `host` to every device, walking
+/// only live cables (breadth-first, exactly the order a sweep discovers
+/// devices).
+pub fn directed_routes(net: &Network, host: NodeId) -> HashMap<DeviceRef, DirectedRoute> {
+    let mut routes: HashMap<DeviceRef, DirectedRoute> = HashMap::new();
+    let mut queue = VecDeque::new();
+    routes.insert(DeviceRef::Node(host), DirectedRoute { ports: Vec::new() });
+    queue.push_back(DeviceRef::Node(host));
+    while let Some(here) = queue.pop_front() {
+        let base = routes[&here].clone();
+        for (port, peer) in net.device(here).peers() {
+            if routes.contains_key(&peer.device) {
+                continue;
+            }
+            let mut ports = base.ports.clone();
+            ports.push(port);
+            routes.insert(peer.device, DirectedRoute { ports });
+            queue.push_back(peer.device);
+        }
+    }
+    routes
+}
+
+/// Price a full subnet initialization from `host`: discovery sweep, LID
+/// assignment, and LFT installation for a `max_lid`-entry table per
+/// switch. Also returns the sweep itself for cross-checking.
+pub fn time_bring_up(
+    net: &Network,
+    host: NodeId,
+    costs: MadCosts,
+) -> (BringUpReport, DiscoveredTopology) {
+    let disc = discover(net, host);
+    let routes = directed_routes(net, host);
+
+    let mut discovery_smps = 0u64;
+    let mut lid_smps = 0u64;
+    let mut lft_smps = 0u64;
+    let mut total_time_ns = 0u64;
+    let mut max_route_hops = 0usize;
+
+    // LFT size: if the fabric recognizes, use the MLID LID space; else a
+    // one-LID-per-node table.
+    let lids = match recognize(&disc) {
+        Ok(rec) => rec.params.num_nodes() * rec.params.lids_per_node(),
+        Err(_) => disc.nodes().count() as u32,
+    };
+    let lft_blocks = lids.div_ceil(64) as u64;
+
+    for dev in &disc.devices {
+        let route = &routes[&dev.handle];
+        max_route_hops = max_route_hops.max(route.hops());
+        let rt = costs.round_trip_ns(route.hops());
+        match dev.kind {
+            DeviceKind::Switch => {
+                // NodeInfo + one PortInfo per external port + LFT blocks.
+                let smps = 1 + u64::from(dev.num_ports);
+                discovery_smps += smps;
+                lft_smps += lft_blocks;
+                total_time_ns += (smps + lft_blocks) * rt;
+            }
+            DeviceKind::Node => {
+                // NodeInfo + PortInfo(Get) + PortInfo(Set LID/LMC).
+                discovery_smps += 2;
+                lid_smps += 1;
+                total_time_ns += 3 * rt;
+            }
+        }
+    }
+
+    (
+        BringUpReport {
+            discovery_smps,
+            lid_smps,
+            lft_smps,
+            total_time_ns,
+            max_route_hops,
+        },
+        disc,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibfat_topology::TreeParams;
+
+    fn net(m: u32, n: u32) -> Network {
+        Network::mport_ntree(TreeParams::new(m, n).unwrap())
+    }
+
+    #[test]
+    fn directed_routes_reach_every_device() {
+        let net = net(4, 3);
+        let routes = directed_routes(&net, NodeId(0));
+        assert_eq!(routes.len(), net.num_nodes() + net.num_switches());
+        for (dev, route) in &routes {
+            assert_eq!(route.walk(&net, NodeId(0)), Some(*dev), "{dev}");
+        }
+    }
+
+    #[test]
+    fn routes_are_shortest() {
+        // The directed route to another node must match the fat-tree
+        // minimal hop count (via analysis::min_hops).
+        let network = net(4, 3);
+        let params = network.params();
+        let routes = directed_routes(&network, NodeId(0));
+        for dst in 1..params.num_nodes() {
+            let route = &routes[&DeviceRef::Node(NodeId(dst))];
+            assert_eq!(
+                route.hops() as u32,
+                ibfat_topology::analysis::min_hops(params, NodeId(0), NodeId(dst)),
+                "node {dst}"
+            );
+        }
+    }
+
+    #[test]
+    fn walk_fails_on_dead_ports() {
+        let mut network = net(4, 2);
+        let idx = network.inter_switch_link_indices()[0];
+        let link = network.remove_link(idx);
+        // A route that tries to cross the failed cable dies at the hop.
+        let host = NodeId(0);
+        let full = Network::mport_ntree(network.params());
+        let routes = directed_routes(&full, host);
+        // Find any device whose (full-fabric) route used the dead cable.
+        let dead_from = link.a;
+        let affected = routes.iter().find(|(_, r)| {
+            let mut at = DeviceRef::Node(host);
+            for &port in &r.ports {
+                if at == dead_from.device && port == dead_from.port {
+                    return true;
+                }
+                match full.peer_of(at, port) {
+                    Some(p) => at = p.device,
+                    None => return false,
+                }
+            }
+            false
+        });
+        if let Some((_, route)) = affected {
+            assert_eq!(route.walk(&network, host), None);
+        }
+    }
+
+    #[test]
+    fn round_trip_cost_formula() {
+        let c = MadCosts::default();
+        // 1 hop: 2 * (256 + 20) + 2000 = 2552.
+        assert_eq!(c.round_trip_ns(1), 2552);
+        // 3 hops: one way = 256 + 60 + 200 = 516; total 3032.
+        assert_eq!(c.round_trip_ns(3), 3032);
+        assert!(c.round_trip_ns(5) > c.round_trip_ns(3));
+    }
+
+    #[test]
+    fn bring_up_counts_scale_with_the_fabric() {
+        let small = time_bring_up(&net(4, 2), NodeId(0), MadCosts::default()).0;
+        let large = time_bring_up(&net(8, 3), NodeId(0), MadCosts::default()).0;
+        assert!(large.total_smps() > small.total_smps());
+        assert!(large.total_time_ns > small.total_time_ns);
+        // FT(4,2): 6 switches x (1 + 4) discovery SMPs + 8 nodes x 2.
+        assert_eq!(small.discovery_smps, 6 * 5 + 8 * 2);
+        assert_eq!(small.lid_smps, 8);
+        // MLID LID space: 8 nodes x 2 LIDs = 16 -> 1 block per switch.
+        assert_eq!(small.lft_smps, 6);
+    }
+
+    #[test]
+    fn bring_up_time_is_sub_second_even_for_the_largest_config() {
+        let network = net(32, 2);
+        let (report, disc) = time_bring_up(&network, NodeId(0), MadCosts::default());
+        assert_eq!(
+            disc.devices.len(),
+            network.num_nodes() + network.num_switches()
+        );
+        // 512 nodes + 48 switches: well under 100 ms of serial SMPs.
+        assert!(report.total_time_ns < 100_000_000);
+        assert!(report.max_route_hops <= 4);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based tests for discovery and recognition.
+
+use ibfat_sm::{discover, recognize};
+use ibfat_topology::{Network, NodeId, TreeParams};
+use proptest::prelude::*;
+
+fn params() -> impl Strategy<Value = TreeParams> {
+    prop_oneof![
+        Just(TreeParams::new(4, 2).unwrap()),
+        Just(TreeParams::new(4, 3).unwrap()),
+        Just(TreeParams::new(8, 2).unwrap()),
+        Just(TreeParams::new(8, 3).unwrap()),
+        Just(TreeParams::new(16, 2).unwrap()),
+        Just(TreeParams::new(2, 3).unwrap()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn recognition_succeeds_from_any_origin(p in params(), origin in 0u32..10_000) {
+        let net = Network::mport_ntree(p);
+        let origin = NodeId(origin % p.num_nodes());
+        let disc = discover(&net, origin);
+        prop_assert_eq!(
+            disc.devices.len(),
+            net.num_nodes() + net.num_switches()
+        );
+        let rec = recognize(&disc).expect("healthy fabric recognizes");
+        prop_assert_eq!(rec.params, p);
+        // Every device got exactly one label of the right kind.
+        for (i, dev) in disc.devices.iter().enumerate() {
+            match dev.kind {
+                ibfat_topology::DeviceKind::Switch => {
+                    prop_assert!(rec.switch_labels[i].is_some());
+                    prop_assert!(rec.node_labels[i].is_none());
+                }
+                ibfat_topology::DeviceKind::Node => {
+                    prop_assert!(rec.node_labels[i].is_some());
+                    prop_assert!(rec.switch_labels[i].is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_fabrics_never_panic_recognition(p in params(), cuts in prop::collection::vec(0usize..10_000, 1..4), origin in 0u32..10_000) {
+        // Random link failures: recognition must fail with a structured
+        // error on an incomplete fat tree — never panic, never mislabel.
+        let mut net = Network::mport_ntree(p);
+        for c in cuts {
+            if net.links().is_empty() {
+                break;
+            }
+            let idx = c % net.links().len();
+            net.remove_link(idx);
+        }
+        let origin = NodeId(origin % p.num_nodes());
+        if net.node(origin).peer(ibfat_topology::PortNum(1)).is_none() {
+            return Ok(()); // origin isolated; a real SM would move hosts
+        }
+        let disc = discover(&net, origin);
+        // Cutting at least one link always breaks the closed-form counts.
+        prop_assert!(recognize(&disc).is_err());
+    }
+}

@@ -1,0 +1,216 @@
+//! Construction of `IBFT(m, n)`: the m-port n-tree realized with InfiniBand
+//! switches (Section 3 of the paper).
+//!
+//! Wiring rules (0-based fat-tree ports; the IB port number is one higher
+//! because switch port 0 is the management port):
+//!
+//! * **Switch ↔ switch.** `SW<w, l>.port(k)` connects to
+//!   `SW<w', l+1>.port(k')` iff `w` and `w'` agree on every digit except
+//!   position `l`, with `k = w'_l` and `k' = w_l + m/2`. Hence a level-`l`
+//!   switch reaches, through down-port `k`, the level-`l+1` switch obtained
+//!   by rewriting digit `l` to `k`; and a level-`l+1` switch reaches its
+//!   parents through up-ports `m/2..m`, the choice of parent setting digit
+//!   `l` of the parent's label. Root switches (level 0, whose digit 0 only
+//!   ranges over `0..m/2`) use **all** `m` ports as down-ports, which is
+//!   what folds two half-trees together and doubles the node count.
+//! * **Switch ↔ node.** Leaf switch `SW<w, n-1>.port(k)` connects to node
+//!   `P(p)` iff `p_0..p_{n-2} = w` and `k = p_{n-1}`.
+
+use crate::{DeviceRef, Level, Network, NodeLabel, Peer, PortNum, SwitchLabel, TreeParams};
+
+impl Network {
+    /// Build the `IBFT(m, n)` subnet.
+    pub fn mport_ntree(params: TreeParams) -> Network {
+        let mut net = Network::new_empty(params);
+        let n = params.n();
+        let half = params.half();
+
+        // Inter-switch cables: for every switch at level l+1 (the lower
+        // switch), wire each of its m/2 up-ports to the corresponding
+        // parent at level l.
+        for l in 0..n.saturating_sub(1) {
+            for upper in SwitchLabel::all_at_level(params, Level(l as u8)) {
+                // Down-ports of the upper switch: k = w'_l of the lower
+                // switch. At level 0 the rewritten digit (digit 0 of a
+                // level-1 switch) has radix m; elsewhere radix m/2.
+                let radix = params.switch_digit_radix(l + 1, l as usize);
+                for k in 0..radix {
+                    let mut w_lower = *upper.w();
+                    w_lower[l as usize] = k as u8;
+                    let lower = SwitchLabel::new(params, w_lower.as_slice(), Level(l as u8 + 1))
+                        .expect("derived child label is valid");
+                    let upper_port = PortNum(k as u8 + 1);
+                    let lower_port = PortNum((u32::from(upper.digit(l as usize)) + half) as u8 + 1);
+                    net.connect(
+                        Peer {
+                            device: DeviceRef::Switch(upper.id(params)),
+                            port: upper_port,
+                        },
+                        Peer {
+                            device: DeviceRef::Switch(lower.id(params)),
+                            port: lower_port,
+                        },
+                    );
+                }
+            }
+        }
+
+        // Node cables: leaf switch SW<w, n-1> port p_{n-1} to P(w · p_{n-1}).
+        for leaf in SwitchLabel::all_at_level(params, Level(n as u8 - 1)) {
+            // The final node digit has radix m/2 for n >= 2; for n = 1 the
+            // single leaf-level switch is also the root and fans out to all
+            // m nodes (digit 0 has radix m).
+            let radix = params.node_digit_radix(params.node_digits() - 1);
+            for k in 0..radix {
+                let mut digits = [0u8; crate::digits::MAX_DIGITS];
+                let nd = params.node_digits();
+                digits[..nd - 1].copy_from_slice(leaf.w().as_slice());
+                digits[nd - 1] = k as u8;
+                let node = NodeLabel::new(params, &digits[..nd]).expect("derived node label");
+                net.connect(
+                    Peer {
+                        device: DeviceRef::Switch(leaf.id(params)),
+                        port: PortNum(k as u8 + 1),
+                    },
+                    Peer {
+                        device: DeviceRef::Node(node.id(params)),
+                        port: PortNum(1),
+                    },
+                );
+            }
+        }
+
+        net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NodeId, SwitchId};
+
+    fn build(m: u32, n: u32) -> Network {
+        Network::mport_ntree(TreeParams::new(m, n).unwrap())
+    }
+
+    #[test]
+    fn paper_4port_3tree_counts_and_validation() {
+        let net = build(4, 3);
+        assert_eq!(net.num_nodes(), 16);
+        assert_eq!(net.num_switches(), 20);
+        // 16 node links + (8 + 8) * 2 inter-switch links.
+        assert_eq!(net.links().len(), 16 + 32);
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn evaluation_configs_validate() {
+        for (m, n) in [(4, 2), (4, 3), (8, 2), (8, 3), (16, 2), (32, 2), (2, 3)] {
+            let net = build(m, n);
+            net.validate()
+                .unwrap_or_else(|e| panic!("IBFT({m},{n}): {e}"));
+        }
+    }
+
+    #[test]
+    fn paper_wiring_example() {
+        // The paper's example: SW<00, 0> port 2 (0-based) connects to
+        // SW<20, 1> port 2 (0-based: w_0 + m/2 = 0 + 2). In IB numbering:
+        // port 3 of SW<00,0> to port 3 of SW<20,1>.
+        let params = TreeParams::new(4, 3).unwrap();
+        let net = Network::mport_ntree(params);
+        let upper = SwitchLabel::new(params, &[0, 0], Level(0)).unwrap();
+        let lower = SwitchLabel::new(params, &[2, 0], Level(1)).unwrap();
+        let peer = net
+            .peer_of(DeviceRef::Switch(upper.id(params)), PortNum(3))
+            .unwrap();
+        assert_eq!(peer.device, DeviceRef::Switch(lower.id(params)));
+        assert_eq!(peer.port, PortNum(3));
+    }
+
+    #[test]
+    fn leaf_wiring_example() {
+        // SW<11, 2> port p_2 = 1 connects to P(111) (paper: port SW<w,n-1>_k
+        // connected to P(p) iff w = p0 p1 and k = p2).
+        let params = TreeParams::new(4, 3).unwrap();
+        let net = Network::mport_ntree(params);
+        let leaf = SwitchLabel::new(params, &[1, 1], Level(2)).unwrap();
+        let node = NodeLabel::new(params, &[1, 1, 1]).unwrap();
+        let peer = net
+            .peer_of(DeviceRef::Switch(leaf.id(params)), PortNum(2))
+            .unwrap();
+        assert_eq!(peer.device, DeviceRef::Node(node.id(params)));
+    }
+
+    #[test]
+    fn non_root_switch_port_split() {
+        // Levels >= 1: ports 1..=m/2 go down, m/2+1..=m go up.
+        let params = TreeParams::new(4, 3).unwrap();
+        let net = Network::mport_ntree(params);
+        for label in SwitchLabel::all(params) {
+            let id = label.id(params);
+            for (port, peer) in net.switch(id).peers() {
+                let peer_level = match peer.device {
+                    DeviceRef::Switch(s) => Some(SwitchLabel::from_id(params, s).level().0 as i32),
+                    DeviceRef::Node(_) => None, // below everything
+                };
+                let my_level = label.level().0 as i32;
+                let goes_down = match peer_level {
+                    Some(pl) => pl > my_level,
+                    None => true,
+                };
+                if label.level().0 == 0 {
+                    assert!(goes_down, "{label} {port} must go down (root)");
+                } else if port.0 <= params.half() as u8 {
+                    assert!(goes_down, "{label} {port} should go down");
+                } else {
+                    assert!(!goes_down, "{label} {port} should go up");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_zero_connects_to_leftmost_leaf() {
+        let params = TreeParams::new(8, 3).unwrap();
+        let net = Network::mport_ntree(params);
+        let peer = net.peer_of(DeviceRef::Node(NodeId(0)), PortNum(1)).unwrap();
+        match peer.device {
+            DeviceRef::Switch(s) => {
+                let label = SwitchLabel::from_id(params, s);
+                assert_eq!(label.level().0 as u32, params.n() - 1);
+                assert!(label.w().iter().all(|d| d == 0));
+            }
+            _ => panic!("node cabled to a node"),
+        }
+        assert_eq!(peer.port, PortNum(1));
+    }
+
+    #[test]
+    fn single_level_tree() {
+        // FT(4, 1): one switch, all 4 ports to nodes.
+        let net = build(4, 1);
+        assert_eq!(net.num_switches(), 1);
+        assert_eq!(net.num_nodes(), 4);
+        net.validate().unwrap();
+        let sw = net.switch(SwitchId(0));
+        assert_eq!(sw.peers().count(), 4);
+        assert!(sw
+            .peers()
+            .all(|(_, p)| matches!(p.device, DeviceRef::Node(_))));
+    }
+
+    #[test]
+    fn every_link_joins_adjacent_levels() {
+        let params = TreeParams::new(8, 3).unwrap();
+        let net = Network::mport_ntree(params);
+        for link in net.links() {
+            let lv = |d: DeviceRef| match d {
+                DeviceRef::Switch(s) => SwitchLabel::from_id(params, s).level().0 as i32,
+                DeviceRef::Node(_) => params.n() as i32, // conceptually one below leaves
+            };
+            let (la, lb) = (lv(link.a.device), lv(link.b.device));
+            assert_eq!((la - lb).abs(), 1, "link {:?} skips levels", link);
+        }
+    }
+}

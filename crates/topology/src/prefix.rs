@@ -1,0 +1,261 @@
+//! Greatest-common-prefix algebra (Definitions 1–4 of the paper).
+//!
+//! These definitions drive the MLID scheme: the length of the greatest
+//! common prefix of two node labels determines the set of least common
+//! ancestor switches, and a node's *rank* within a prefix group determines
+//! which of the destination's LIDs it uses.
+
+use crate::{Level, NodeId, NodeLabel, SwitchId, SwitchLabel, TreeParams};
+
+/// Definition 1: the length `alpha` of the greatest common prefix
+/// `gcp(P(p), P(p'))` of two node labels. `alpha = 0` means the labels share
+/// no prefix; `alpha = n` means the labels are identical.
+#[inline]
+pub fn gcp_len(a: &NodeLabel, b: &NodeLabel) -> u32 {
+    a.digits().common_prefix_len(b.digits()) as u32
+}
+
+/// Definition 2: the set of least common ancestors of two distinct nodes:
+/// all switches `SW<w, alpha>` at level `alpha = gcp_len(a, b)` whose first
+/// `alpha` digits equal the common prefix. There are `(m/2)^(n-1-alpha)`
+/// of them; the remaining digits range freely.
+///
+/// Returned in ascending switch-id order.
+///
+/// # Panics
+/// Panics if `a == b` (two equal labels have no LCA *switch set* in the
+/// paper's sense — the "ancestor" would be the node itself).
+pub fn lca_switches(params: TreeParams, a: &NodeLabel, b: &NodeLabel) -> Vec<SwitchId> {
+    assert_ne!(a, b, "lca_switches requires distinct nodes");
+    let alpha = gcp_len(a, b) as usize;
+    debug_assert!(alpha < params.node_digits());
+    let half = params.half();
+    let free = params.switch_digits() - alpha;
+    let count = half.pow(free as u32);
+    let mut out = Vec::with_capacity(count as usize);
+    for i in 0..count {
+        // Fill the free digit positions alpha..n-1 with the mixed-radix
+        // expansion of i (all free digits have radix m/2: position 0 only
+        // has radix m at levels >= 1, and an LCA at level alpha > 0 has its
+        // digit 0 fixed by the prefix; at alpha = 0 the switch is a root,
+        // where digit 0 has radix m/2 anyway).
+        let mut w = [0u8; crate::digits::MAX_DIGITS];
+        w[..alpha].copy_from_slice(&a.digits().as_slice()[..alpha]);
+        let mut rem = i;
+        for pos in (alpha..params.switch_digits()).rev() {
+            w[pos] = (rem % half) as u8;
+            rem /= half;
+        }
+        let label = SwitchLabel::new(params, &w[..params.switch_digits()], Level(alpha as u8))
+            .expect("constructed LCA label is valid");
+        out.push(label.id(params));
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Definition 3: the greatest-common-prefix group `gcpg(x, alpha)` — the set
+/// of processing nodes whose labels start with the `alpha`-digit prefix `x`.
+///
+/// `gcpg(ε, 0)` is the set of all nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gcpg {
+    prefix: crate::Digits,
+}
+
+impl Gcpg {
+    /// The group of all nodes whose label starts with `prefix`.
+    ///
+    /// # Panics
+    /// Panics if the prefix is longer than a node label or contains an
+    /// out-of-radix digit.
+    pub fn new(params: TreeParams, prefix: &[u8]) -> Self {
+        assert!(prefix.len() <= params.node_digits(), "prefix too long");
+        for (i, &d) in prefix.iter().enumerate() {
+            assert!(
+                u32::from(d) < params.node_digit_radix(i),
+                "prefix digit {i} = {d} out of radix"
+            );
+        }
+        Gcpg {
+            prefix: crate::Digits::from_slice(prefix),
+        }
+    }
+
+    /// The group containing `label` with prefix length `alpha`.
+    pub fn of(params: TreeParams, label: &NodeLabel, alpha: u32) -> Self {
+        Gcpg::new(params, &label.digits().as_slice()[..alpha as usize])
+    }
+
+    /// The prefix length `alpha`.
+    #[inline]
+    pub fn alpha(&self) -> u32 {
+        self.prefix.len() as u32
+    }
+
+    /// The prefix digits `x`.
+    #[inline]
+    pub fn prefix(&self) -> &crate::Digits {
+        &self.prefix
+    }
+
+    /// Number of nodes in the group.
+    pub fn len(&self, params: TreeParams) -> u32 {
+        params.gcpg_size(self.alpha())
+    }
+
+    /// Whether the group is empty (never, for valid parameters).
+    pub fn is_empty(&self, _params: TreeParams) -> bool {
+        false
+    }
+
+    /// Whether `label` belongs to this group.
+    pub fn contains(&self, label: &NodeLabel) -> bool {
+        label.digits().common_prefix_len(&self.prefix) == self.prefix.len()
+    }
+
+    /// Iterate over the members in rank order.
+    pub fn members(&self, params: TreeParams) -> impl Iterator<Item = NodeLabel> + '_ {
+        let n = self.len(params);
+        (0..n).map(move |r| self.member_at(params, r))
+    }
+
+    /// The member with a given rank (inverse of [`rank_in`]).
+    ///
+    /// # Panics
+    /// Panics if `rank >= self.len(params)`.
+    pub fn member_at(&self, params: TreeParams, rank: u32) -> NodeLabel {
+        assert!(rank < self.len(params), "rank out of range");
+        let alpha = self.prefix.len();
+        let half = params.half();
+        let mut digits = [0u8; crate::digits::MAX_DIGITS];
+        digits[..alpha].copy_from_slice(self.prefix.as_slice());
+        let mut rem = rank;
+        for pos in (alpha..params.node_digits()).rev() {
+            let radix = if pos == 0 { params.m() } else { half };
+            digits[pos] = (rem % radix) as u8;
+            rem /= radix;
+        }
+        debug_assert_eq!(rem, 0);
+        NodeLabel::new(params, &digits[..params.node_digits()])
+            .expect("constructed member label is valid")
+    }
+}
+
+/// Definition 4: the rank of a node within `gcpg(x, alpha)` — its label's
+/// suffix (digits `alpha..n`) read as a mixed-radix number. Ranks run from
+/// `0` to `gcpg_size(alpha) - 1`.
+///
+/// # Panics
+/// Panics (debug) if `label` is not a member of `group`.
+pub fn rank_in(params: TreeParams, group: &Gcpg, label: &NodeLabel) -> u32 {
+    debug_assert!(group.contains(label), "{label} not in group");
+    let alpha = group.alpha() as usize;
+    let mut v = 0u32;
+    for pos in alpha..params.node_digits() {
+        let radix = if pos == 0 { params.m() } else { params.half() };
+        v = v * radix + u32::from(label.digit(pos));
+    }
+    v
+}
+
+/// The paper's `PID`: a node's rank in `gcpg(ε, 0)`, which is also its dense
+/// [`NodeId`].
+#[inline]
+pub fn pid(params: TreeParams, label: &NodeLabel) -> NodeId {
+    label.id(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ft43() -> TreeParams {
+        TreeParams::new(4, 3).unwrap()
+    }
+
+    fn node(digits: &[u8]) -> NodeLabel {
+        NodeLabel::new(ft43(), digits).unwrap()
+    }
+
+    #[test]
+    fn paper_gcp_and_lca_example() {
+        // gcp(P(100), P(111)) = "1"; lca = {SW<10, 1>, SW<11, 1>}.
+        let a = node(&[1, 0, 0]);
+        let b = node(&[1, 1, 1]);
+        assert_eq!(gcp_len(&a, &b), 1);
+        let lcas = lca_switches(ft43(), &a, &b);
+        assert_eq!(lcas.len(), 2);
+        let labels: Vec<String> = lcas
+            .iter()
+            .map(|&id| SwitchLabel::from_id(ft43(), id).to_string())
+            .collect();
+        assert_eq!(labels, vec!["SW<10, 1>", "SW<11, 1>"]);
+    }
+
+    #[test]
+    fn paper_rank_example() {
+        // P(100) and P(111) are in gcpg("1", 1); ranks 0 and 3.
+        let g = Gcpg::new(ft43(), &[1]);
+        assert_eq!(g.len(ft43()), 4);
+        assert_eq!(rank_in(ft43(), &g, &node(&[1, 0, 0])), 0);
+        assert_eq!(rank_in(ft43(), &g, &node(&[1, 1, 1])), 3);
+    }
+
+    #[test]
+    fn paper_pid_examples() {
+        assert_eq!(pid(ft43(), &node(&[1, 0, 0])), NodeId(4));
+        assert_eq!(pid(ft43(), &node(&[1, 1, 1])), NodeId(7));
+    }
+
+    #[test]
+    fn gcpg_members_roundtrip_rank() {
+        let params = TreeParams::new(8, 3).unwrap();
+        for alpha in 0..=params.n() {
+            let probe = NodeLabel::from_id(params, NodeId(37));
+            let g = Gcpg::of(params, &probe, alpha);
+            for (r, member) in g.members(params).enumerate() {
+                assert!(g.contains(&member));
+                assert_eq!(rank_in(params, &g, &member), r as u32);
+                assert_eq!(g.member_at(params, r as u32), member);
+            }
+        }
+    }
+
+    #[test]
+    fn gcpg_zero_is_all_nodes_in_pid_order() {
+        let params = ft43();
+        let g = Gcpg::new(params, &[]);
+        let ids: Vec<NodeId> = g.members(params).map(|l| l.id(params)).collect();
+        let expected: Vec<NodeId> = (0..params.num_nodes()).map(NodeId).collect();
+        assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn lca_of_distant_nodes_is_all_roots() {
+        // Nodes differing in digit 0 have alpha = 0: every root is an LCA.
+        let params = ft43();
+        let lcas = lca_switches(params, &node(&[0, 0, 0]), &node(&[1, 0, 0]));
+        assert_eq!(lcas.len(), 4);
+        for id in &lcas {
+            assert_eq!(SwitchLabel::from_id(params, *id).level(), Level(0));
+        }
+    }
+
+    #[test]
+    fn lca_of_leaf_siblings_is_their_leaf_switch() {
+        // Nodes sharing all but the last digit: alpha = n-1; one LCA, the
+        // leaf switch they both hang from.
+        let params = ft43();
+        let lcas = lca_switches(params, &node(&[2, 1, 0]), &node(&[2, 1, 1]));
+        assert_eq!(lcas.len(), 1);
+        let label = SwitchLabel::from_id(params, lcas[0]);
+        assert_eq!(label.to_string(), "SW<21, 2>");
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct nodes")]
+    fn lca_of_equal_nodes_panics() {
+        lca_switches(ft43(), &node(&[0, 0, 0]), &node(&[0, 0, 0]));
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the m-port n-tree substrate.
+
+use ibfat_topology::{
+    analysis, gcp_len, lca_switches, rank_in, Gcpg, Level, Network, NodeId, NodeLabel, SwitchLabel,
+    TreeParams,
+};
+use proptest::prelude::*;
+
+/// Strategy over laptop-sized valid (m, n) parameter pairs.
+fn params() -> impl Strategy<Value = TreeParams> {
+    prop_oneof![
+        (1u32..=4).prop_map(|e| (2u32 << e, 2u32)), // m in {4..32}, n = 2
+        (1u32..=2).prop_map(|e| (2u32 << e, 3u32)), // m in {4, 8}, n = 3
+        Just((4u32, 4u32)),
+        Just((2u32, 3u32)),
+    ]
+    .prop_map(|(m, n)| TreeParams::new(m, n).expect("valid params"))
+}
+
+fn node_pair() -> impl Strategy<Value = (TreeParams, NodeId, NodeId)> {
+    params().prop_flat_map(|p| {
+        let n = p.num_nodes();
+        (Just(p), 0..n, 0..n).prop_map(|(p, a, b)| (p, NodeId(a), NodeId(b)))
+    })
+}
+
+proptest! {
+    #[test]
+    fn label_id_roundtrip((p, a, _b) in node_pair()) {
+        let label = NodeLabel::from_id(p, a);
+        prop_assert_eq!(label.id(p), a);
+    }
+
+    #[test]
+    fn switch_label_id_roundtrip(p in params(), seed in 0u32..10_000) {
+        let id = ibfat_topology::SwitchId(seed % p.num_switches());
+        let label = SwitchLabel::from_id(p, id);
+        prop_assert_eq!(label.id(p), id);
+    }
+
+    #[test]
+    fn gcp_is_symmetric_and_bounded((p, a, b) in node_pair()) {
+        let la = NodeLabel::from_id(p, a);
+        let lb = NodeLabel::from_id(p, b);
+        let alpha = gcp_len(&la, &lb);
+        prop_assert_eq!(alpha, gcp_len(&lb, &la));
+        prop_assert!(alpha <= p.n());
+        if a == b {
+            prop_assert_eq!(alpha, p.n());
+        } else {
+            prop_assert!(alpha < p.n());
+        }
+    }
+
+    #[test]
+    fn lca_count_matches_closed_form((p, a, b) in node_pair()) {
+        prop_assume!(a != b);
+        let la = NodeLabel::from_id(p, a);
+        let lb = NodeLabel::from_id(p, b);
+        let alpha = gcp_len(&la, &lb);
+        let lcas = lca_switches(p, &la, &lb);
+        prop_assert_eq!(lcas.len() as u32, p.num_lcas(alpha));
+        // LCAs are distinct and all at level alpha with the right prefix.
+        let mut seen = std::collections::HashSet::new();
+        for id in &lcas {
+            prop_assert!(seen.insert(*id));
+            let sl = SwitchLabel::from_id(p, *id);
+            prop_assert_eq!(sl.level(), Level(alpha as u8));
+            for i in 0..alpha as usize {
+                prop_assert_eq!(sl.digit(i), la.digit(i));
+            }
+        }
+    }
+
+    #[test]
+    fn rank_is_a_bijection_within_groups(p in params(), alpha in 0u32..4, probe in 0u32..10_000) {
+        let alpha = alpha.min(p.n());
+        let label = NodeLabel::from_id(p, NodeId(probe % p.num_nodes()));
+        let g = Gcpg::of(p, &label, alpha);
+        let mut seen = vec![false; g.len(p) as usize];
+        for member in g.members(p) {
+            let r = rank_in(p, &g, &member) as usize;
+            prop_assert!(!seen[r], "duplicate rank {r}");
+            seen[r] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bfs_distance_equals_analytic(p in params(), src in 0u32..10_000) {
+        // One BFS per case keeps this cheap; the pairwise check lives in
+        // the unit tests for small fixed sizes.
+        let net = Network::mport_ntree(p);
+        let src = NodeId(src % p.num_nodes());
+        let dist = analysis::bfs_hops(&net, src);
+        for b in 0..p.num_nodes() {
+            prop_assert_eq!(dist[b as usize], analysis::min_hops(p, src, NodeId(b)));
+        }
+    }
+
+    #[test]
+    fn construction_validates(p in params()) {
+        Network::mport_ntree(p).validate().unwrap();
+    }
+
+    #[test]
+    fn counts_match_closed_forms(p in params()) {
+        let net = Network::mport_ntree(p);
+        prop_assert_eq!(net.num_nodes() as u32, 2 * p.half().pow(p.n()));
+        prop_assert_eq!(net.num_switches() as u32, (2 * p.n() - 1) * p.half().pow(p.n() - 1));
+    }
+}
+
+mod digit_props {
+    use ibfat_topology::Digits;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn from_slice_roundtrips(v in prop::collection::vec(0u8..200, 0..16)) {
+            let d = Digits::from_slice(&v);
+            prop_assert_eq!(d.as_slice(), v.as_slice());
+            prop_assert_eq!(d.len(), v.len());
+            prop_assert_eq!(d.is_empty(), v.is_empty());
+        }
+
+        #[test]
+        fn push_appends(v in prop::collection::vec(0u8..200, 0..15), extra in 0u8..200) {
+            let mut d = Digits::from_slice(&v);
+            d.push(extra);
+            prop_assert_eq!(d.len(), v.len() + 1);
+            prop_assert_eq!(d[v.len()], extra);
+        }
+
+        #[test]
+        fn common_prefix_is_symmetric_and_bounded(
+            a in prop::collection::vec(0u8..4, 0..10),
+            b in prop::collection::vec(0u8..4, 0..10),
+        ) {
+            let da = Digits::from_slice(&a);
+            let db = Digits::from_slice(&b);
+            let p = da.common_prefix_len(&db);
+            prop_assert_eq!(p, db.common_prefix_len(&da));
+            prop_assert!(p <= a.len().min(b.len()));
+            prop_assert!(a[..p] == b[..p]);
+            if p < a.len() && p < b.len() {
+                prop_assert_ne!(a[p], b[p]);
+            }
+        }
+    }
+}

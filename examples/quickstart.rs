@@ -1,0 +1,65 @@
+//! Quickstart: build a fat-tree InfiniBand fabric, inspect its routing,
+//! and simulate it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ib_fabric::prelude::*;
+
+fn main() {
+    // An 8-port 3-tree: 128 processing nodes, 80 switches.
+    let fabric = Fabric::builder(8, 3)
+        .routing(RoutingKind::Mlid)
+        .build()
+        .expect("valid parameters");
+
+    let params = fabric.params();
+    println!(
+        "built {params}: {} nodes, {} switches",
+        fabric.num_nodes(),
+        fabric.num_switches()
+    );
+    println!(
+        "MLID addressing: LMC = {}, so every node owns {} LIDs ({} paths between distant nodes)",
+        params.lmc(),
+        params.lids_per_node(),
+        params.num_lcas(0),
+    );
+
+    // Where do packets go? Trace a route.
+    let (src, dst) = (NodeId(0), NodeId(100));
+    let route = fabric.route(src, dst).expect("routable");
+    println!(
+        "\nroute {src} -> {dst} uses DLID {} over {} links:",
+        route.dlid,
+        route.num_links()
+    );
+    for hop in &route.hops {
+        let label = SwitchLabel::from_id(params, hop.switch);
+        println!(
+            "  {label}: in port {} -> out port {}",
+            hop.in_port, hop.out_port
+        );
+    }
+
+    // Simulate uniform traffic at 40% offered load with 2 virtual lanes.
+    let report = fabric
+        .experiment()
+        .virtual_lanes(2)
+        .traffic(TrafficPattern::Uniform)
+        .offered_load(0.4)
+        .duration_ns(200_000)
+        .seed(7)
+        .run();
+
+    println!(
+        "\nsimulated {} µs: accepted {:.3} bytes/ns/node (offered {:.3}), \
+         avg latency {:.0} ns over {} delivered packets",
+        report.sim_time_ns / 1000,
+        report.accepted_bytes_per_ns_per_node,
+        report.offered_bytes_per_ns_per_node,
+        report.avg_latency_ns(),
+        report.delivered,
+    );
+}

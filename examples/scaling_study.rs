@@ -1,0 +1,57 @@
+//! Remark 3 of the paper: the MLID advantage grows with network size.
+//!
+//! Sweeps the evaluated network sizes at saturation load and reports the
+//! accepted traffic of both schemes under both traffic patterns.
+//!
+//! ```text
+//! cargo run --release --example scaling_study
+//! ```
+
+use ib_fabric::prelude::*;
+
+fn saturation(fabric: &Fabric, pattern: &TrafficPattern, vls: u8) -> f64 {
+    fabric
+        .experiment()
+        .virtual_lanes(vls)
+        .traffic(pattern.clone())
+        .offered_load(1.0)
+        .duration_ns(200_000)
+        .run()
+        .accepted_bytes_per_ns_per_node
+}
+
+fn main() {
+    println!(
+        "{:<8} {:>6} {:>10} {:>12} {:>12} {:>9}",
+        "network", "nodes", "pattern", "SLID(B/ns)", "MLID(B/ns)", "MLID/SLID"
+    );
+    for (m, n) in [(4, 3), (8, 3), (16, 2), (32, 2)] {
+        let slid = Fabric::builder(m, n)
+            .routing(RoutingKind::Slid)
+            .build()
+            .expect("valid");
+        let mlid = Fabric::builder(m, n)
+            .routing(RoutingKind::Mlid)
+            .build()
+            .expect("valid");
+        let patterns = [
+            TrafficPattern::Uniform,
+            TrafficPattern::paper_centric(),
+            TrafficPattern::bit_complement(slid.num_nodes()),
+        ];
+        for pattern in &patterns {
+            let s = saturation(&slid, pattern, 1);
+            let ml = saturation(&mlid, pattern, 1);
+            println!(
+                "{:<8} {:>6} {:>10} {:>12.4} {:>12.4} {:>9.2}",
+                format!("{m}x{n}"),
+                slid.num_nodes(),
+                pattern.name(),
+                s,
+                ml,
+                ml / s
+            );
+        }
+    }
+    println!("\n(1 VL, offered load 1.0, 200 µs simulated per point)");
+}

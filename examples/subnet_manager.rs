@@ -1,0 +1,72 @@
+//! Watch the subnet manager bring up a fabric the way real InfiniBand
+//! does: sweep the cables, recognize the topology, recover every label
+//! from port numbers alone, assign LIDs, and install forwarding tables —
+//! then cross-check the installed state against the direct construction.
+//!
+//! ```text
+//! cargo run --release --example subnet_manager
+//! ```
+
+use ib_fabric::prelude::*;
+use ib_fabric::sm::{discover, recognize, SubnetManager};
+use ib_fabric::Routing;
+
+fn main() {
+    let fabric = Fabric::builder(8, 2).build().expect("valid");
+    let net = fabric.network();
+
+    // Step 1: the sweep. The SM knows nothing but what the port walk
+    // returns: anonymous devices, their kinds, and cable endpoints.
+    let disc = discover(net, NodeId(5));
+    println!(
+        "sweep from N5: {} devices ({} switches, {} nodes), {} cables",
+        disc.devices.len(),
+        disc.switches().count(),
+        disc.nodes().count(),
+        disc.edges.len()
+    );
+
+    // Step 2: recognition. Is this an m-port n-tree? Which one, and
+    // which switch is which?
+    let rec = recognize(&disc).expect("a healthy IBFT always recognizes");
+    println!("recognized: {}", rec.params);
+    let mut shown = 0;
+    for (i, dev) in disc.devices.iter().enumerate() {
+        if let Some(label) = rec.switch_labels[i] {
+            println!("  discovered device #{i:<3} ({}) is {label}", dev.handle);
+            shown += 1;
+            if shown == 4 {
+                println!("  …");
+                break;
+            }
+        }
+    }
+
+    // Step 3: full initialization through the SM, and the cross-check:
+    // tables computed from *recovered* labels must equal tables computed
+    // from construction-time knowledge.
+    let sm = SubnetManager::new(RoutingKind::Mlid, NodeId(5));
+    let outcome = sm.initialize(net).expect("initialization succeeds");
+    let direct = Routing::build(net, RoutingKind::Mlid);
+    assert_eq!(outcome.routing.lfts(), direct.lfts());
+    println!(
+        "\nSM installed {} forwarding tables with {} entries each — bit-identical",
+        outcome.routing.lfts().len(),
+        outcome.routing.lid_space().max_lid().0
+    );
+    println!("to the tables derived from construction-time labels.");
+
+    // Step 4: break a cable and reconfigure.
+    let idx = net.inter_switch_link_indices()[3];
+    let mut degraded = net.clone();
+    let gone = degraded.remove_link(idx);
+    println!(
+        "\nfailing cable {}:{} <-> {}:{} and reconfiguring…",
+        gone.a.device, gone.a.port, gone.b.device, gone.b.port
+    );
+    let repaired = sm.reconfigure(&degraded).expect("repairable");
+    ib_fabric::routing::verify_all_lids_deliver(&degraded, &repaired)
+        .expect("full delivery with one failure");
+    ib_fabric::routing::verify_deadlock_free(&degraded, &repaired).expect("still deadlock-free");
+    println!("repaired tables verified: every LID delivers, CDG acyclic.");
+}

@@ -1,0 +1,7 @@
+//! Umbrella crate for the MLID fat-tree InfiniBand reproduction.
+//!
+//! This package exists to host the workspace-level `examples/` and `tests/`
+//! directories; all functionality lives in the member crates and is
+//! re-exported through [`ib_fabric`].
+
+pub use ib_fabric::*;

@@ -1,0 +1,101 @@
+//! Integration: the failure/repair/reconfiguration story through the
+//! public API.
+
+use ib_fabric::prelude::*;
+use ib_fabric::sm::SubnetManager;
+
+#[test]
+fn degraded_fabric_routes_and_simulates_end_to_end() {
+    let fabric = Fabric::builder(8, 2).build().unwrap();
+    let inter = fabric.network().inter_switch_link_indices();
+    let degraded = fabric.with_failed_links(&inter[..3]);
+    assert!(degraded.network().is_connected());
+
+    // Everything still routes (8x2 keeps full up*/down* reachability with
+    // three inter-switch failures in this deterministic selection).
+    let nodes = degraded.num_nodes();
+    for src in 0..nodes {
+        for dst in 0..nodes {
+            if src != dst {
+                degraded
+                    .route(NodeId(src), NodeId(dst))
+                    .unwrap_or_else(|e| panic!("{src}->{dst}: {e}"));
+            }
+        }
+    }
+
+    // And the simulator runs on it.
+    let report = degraded
+        .experiment()
+        .offered_load(0.3)
+        .duration_ns(150_000)
+        .run();
+    assert!(report.delivered > 0);
+    assert_eq!(
+        report.total_generated,
+        report.total_delivered + report.dropped + report.in_flight_at_end
+    );
+}
+
+#[test]
+fn intact_repair_tables_are_identical_to_direct_build() {
+    let fabric = Fabric::builder(4, 3).build().unwrap();
+    let same = fabric.with_failed_links(&[]);
+    assert_eq!(fabric.routing().lfts(), same.routing().lfts());
+}
+
+#[test]
+fn sm_initialization_matches_fabric_builder() {
+    for kind in [RoutingKind::Mlid, RoutingKind::Slid] {
+        let fabric = Fabric::builder(8, 2).routing(kind).build().unwrap();
+        let sm = SubnetManager::new(kind, NodeId(0));
+        let outcome = sm.initialize(fabric.network()).unwrap();
+        assert_eq!(outcome.routing.lfts(), fabric.routing().lfts());
+        assert_eq!(outcome.recovered.params, fabric.params());
+    }
+}
+
+#[test]
+fn repeated_failures_degrade_monotonically_not_catastrophically() {
+    let fabric = Fabric::builder(8, 2).build().unwrap();
+    let inter = fabric.network().inter_switch_link_indices();
+    let mut last_routable = u32::MAX;
+    for k in [0, 2, 4, 8] {
+        let degraded = fabric.with_failed_links(&inter[..k]);
+        let nodes = degraded.num_nodes();
+        let mut routable = 0u32;
+        for src in 0..nodes {
+            for dst in 0..nodes {
+                if src != dst && degraded.route(NodeId(src), NodeId(dst)).is_ok() {
+                    routable += 1;
+                }
+            }
+        }
+        assert!(routable <= last_routable, "repair must not conjure paths");
+        // Even at 8 of 32 inter-switch links failed, the vast majority of
+        // pairs survive.
+        assert!(
+            routable * 10 >= nodes * (nodes - 1) * 9,
+            "{routable} routable pairs after {k} failures"
+        );
+        last_routable = routable;
+    }
+}
+
+#[test]
+fn updown_handles_the_same_degraded_fabric() {
+    let fabric = Fabric::builder(8, 2)
+        .routing(RoutingKind::UpDown)
+        .build()
+        .unwrap();
+    let inter = fabric.network().inter_switch_link_indices();
+    let degraded = fabric.with_failed_links(&inter[..2]);
+    let nodes = degraded.num_nodes();
+    for src in 0..nodes {
+        for dst in 0..nodes {
+            if src != dst {
+                degraded.route(NodeId(src), NodeId(dst)).unwrap();
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Every worked example in the paper's text, verified end to end through
+//! the public API. These pin the reproduction to the paper: if any of
+//! these fail, we are no longer implementing the published scheme.
+
+use ib_fabric::prelude::*;
+use ib_fabric::routing::Lid;
+use ib_fabric::topology::{gcp_len, lca_switches, rank_in, Gcpg, Level, NodeLabel, SwitchLabel};
+
+fn ft43() -> TreeParams {
+    TreeParams::new(4, 3).unwrap()
+}
+
+#[test]
+fn section3_counts() {
+    // "the height of the 4-port 3-tree is 4. There are 16 processing nodes
+    // and 20 communication switches."
+    let p = ft43();
+    assert_eq!(p.height(), 4);
+    assert_eq!(p.num_nodes(), 16);
+    assert_eq!(p.num_switches(), 20);
+}
+
+#[test]
+fn section3_switch_sets() {
+    // "The sets of switches in level 0, 1, and 2 are {SW<00,0>, SW<01,0>,
+    // SW<10,0>, SW<11,0>}, {SW<00,1>, ..., SW<31,1>}, and {...}."
+    let p = ft43();
+    let level0: Vec<String> = SwitchLabel::all_at_level(p, Level(0))
+        .map(|s| s.to_string())
+        .collect();
+    assert_eq!(
+        level0,
+        vec!["SW<00, 0>", "SW<01, 0>", "SW<10, 0>", "SW<11, 0>"]
+    );
+    assert_eq!(SwitchLabel::all_at_level(p, Level(1)).count(), 8);
+    assert_eq!(SwitchLabel::all_at_level(p, Level(2)).count(), 8);
+}
+
+#[test]
+fn definitions_1_to_4() {
+    // gcp(P(100), P(111)) = "1"; lca = {SW<10,1>, SW<11,1>}; both in
+    // gcpg("1", 1) of 4 nodes; ranks 0 and 3; PIDs 4 and 7.
+    let p = ft43();
+    let a = NodeLabel::new(p, &[1, 0, 0]).unwrap();
+    let b = NodeLabel::new(p, &[1, 1, 1]).unwrap();
+    assert_eq!(gcp_len(&a, &b), 1);
+    let lcas: Vec<String> = lca_switches(p, &a, &b)
+        .into_iter()
+        .map(|id| SwitchLabel::from_id(p, id).to_string())
+        .collect();
+    assert_eq!(lcas, vec!["SW<10, 1>", "SW<11, 1>"]);
+    let g = Gcpg::new(p, &[1]);
+    assert_eq!(g.len(p), 4);
+    assert_eq!(rank_in(p, &g, &a), 0);
+    assert_eq!(rank_in(p, &g, &b), 3);
+    assert_eq!(a.id(p), NodeId(4));
+    assert_eq!(b.id(p), NodeId(7));
+}
+
+#[test]
+fn section4_addressing() {
+    // LMC = log2((m/2)^(n-1)) = 2; BaseLID(P(010)) = 9;
+    // LIDset(P(010)) = {9, 10, 11, 12}.
+    let fabric = Fabric::builder(4, 3).build().unwrap();
+    let space = fabric.routing().lid_space();
+    assert_eq!(space.lmc(), 2);
+    let p010 = NodeLabel::new(ft43(), &[0, 1, 0]).unwrap();
+    let id = p010.id(ft43());
+    assert_eq!(space.base_lid(id), Lid(9));
+    let lids: Vec<u16> = space.lids(id).map(|l| l.0).collect();
+    assert_eq!(lids, vec![9, 10, 11, 12]);
+}
+
+#[test]
+fn section4_path_selection() {
+    // "If each processing node in gcpg(0, 1) wants to send message to
+    // P(100) in gcpg(1, 1), P(000), P(001), P(010), and P(011) will select
+    // 17, 18, 19, and 20 as the LID of P(100)" (base LID 17 = PID 4 * 4 + 1).
+    let fabric = Fabric::builder(4, 3).build().unwrap();
+    let dst = NodeId(4);
+    for (i, src) in (0..4).enumerate() {
+        let dlid = fabric.routing().select_dlid(NodeId(src), dst);
+        assert_eq!(dlid, Lid(17 + i as u16));
+    }
+}
+
+#[test]
+fn section4_forwarding_walkthrough_path_q() {
+    // "ports SW<00,2>, SW<00,1>, SW<00,0>, SW<10,1>, and SW<10,2> will be
+    // traversed in sequence" for the packet P(000) -> P(100) with DLID 17.
+    let fabric = Fabric::builder(4, 3).build().unwrap();
+    let route = fabric.route_to_lid(NodeId(0), Lid(17)).unwrap();
+    assert_eq!(route.dst, NodeId(4));
+    let switches: Vec<String> = route
+        .hops
+        .iter()
+        .map(|h| SwitchLabel::from_id(ft43(), h.switch).to_string())
+        .collect();
+    assert_eq!(
+        switches,
+        vec![
+            "SW<00, 2>",
+            "SW<00, 1>",
+            "SW<00, 0>",
+            "SW<10, 1>",
+            "SW<10, 2>"
+        ]
+    );
+}
+
+#[test]
+fn section4_routes_q_r_s_t_use_distinct_roots_and_disjoint_ascents() {
+    // Figure 11: the four packets reach P(100) through the four roots.
+    let fabric = Fabric::builder(4, 3).build().unwrap();
+    let params = fabric.params();
+    let mut roots = std::collections::HashSet::new();
+    let mut up_links = std::collections::HashSet::new();
+    for src in 0..4 {
+        let route = fabric.route(NodeId(src), NodeId(4)).unwrap();
+        for hop in &route.hops {
+            if SwitchLabel::from_id(params, hop.switch).level().0 == 0 {
+                roots.insert(hop.switch);
+            }
+        }
+        for link in route.upward_links(params) {
+            assert!(up_links.insert(link), "upward links must be disjoint");
+        }
+    }
+    assert_eq!(roots.len(), 4);
+}
+
+#[test]
+fn figure_8_forwarding_table_shape() {
+    // Section 4's motivating example (an 8-port 2-tree): packets from one
+    // leaf switch to the four nodes E, F, G, H of another leaf spread
+    // over four distinct least-common-ancestor roots.
+    let fabric = Fabric::builder(8, 2).build().unwrap();
+    let params = fabric.params();
+    // Source x = leaf of nodes 0..4; destinations E..H = nodes 4..8
+    // (the adjacent leaf; gcp = 0 would need digit-0 difference, so pick
+    // nodes 16..20 whose first digit differs).
+    let mut roots = std::collections::HashSet::new();
+    for dst in 16..20 {
+        let route = fabric.route(NodeId(0), NodeId(dst)).unwrap();
+        // The route from node 0 to each of the 4 nodes of that leaf peaks
+        // at SOME root; with a single source they need not differ, but the
+        // descent must enter through the destination leaf.
+        let last = route.hops.last().unwrap();
+        let leaf = SwitchLabel::from_id(params, last.switch);
+        assert_eq!(u32::from(leaf.level().0), params.n() - 1);
+        for hop in &route.hops {
+            if SwitchLabel::from_id(params, hop.switch).level().0 == 0 {
+                roots.insert(hop.switch);
+            }
+        }
+    }
+    // All four destinations share the same source subgroup rank, so the
+    // source uses the same offset — but destination leaf-level spreading
+    // still exercises all roots via different sources:
+    let mut roots_all_sources = std::collections::HashSet::new();
+    for src in [0u32, 1, 2, 3] {
+        let route = fabric.route(NodeId(src), NodeId(16)).unwrap();
+        for hop in &route.hops {
+            if SwitchLabel::from_id(params, hop.switch).level().0 == 0 {
+                roots_all_sources.insert(hop.switch);
+            }
+        }
+    }
+    assert_eq!(roots_all_sources.len(), 4, "four sources, four roots");
+}
