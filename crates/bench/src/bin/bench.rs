@@ -1,0 +1,243 @@
+//! The bench-trajectory harness: run the representative workloads, write
+//! `BENCH_sim.json`, and compare against the committed baseline.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench -- [options]
+//!   --out <path>        where to write the snapshot  [BENCH_sim.json]
+//!   --baseline <path>   baseline to diff against     [the --out path]
+//!   --threshold <frac>  regression threshold         [0.25 = 25% slower]
+//!   --iters <n>         iterations per workload (best-of) [3]
+//!   --warn-only         report regressions but exit 0
+//!   --quick             shorter simulations (CI smoke; same names)
+//! ```
+//!
+//! The exit code is non-zero when any workload regressed beyond the
+//! threshold (unless `--warn-only`). Wall times are host-dependent;
+//! compare trajectories only across runs on comparable hardware.
+
+use bench::trajectory::{compare, BenchReport, WorkloadResult};
+use ibfat_routing::{Routing, RoutingKind};
+use ibfat_sim::{run_once, CalendarKind, RunSpec, SimConfig, TrafficPattern};
+use ibfat_topology::{Network, TreeParams};
+use std::time::Instant;
+
+/// Simulated configurations: the `sim_50us` criterion set, with VL 4 on
+/// the paper's mid-size FT(8,3) as the headline.
+const SIM_CONFIGS: [(u32, u32, u8); 5] = [(4, 3, 1), (4, 3, 4), (8, 3, 1), (8, 3, 4), (16, 2, 1)];
+
+/// Routing-build configurations (Table 1 sizes × both schemes).
+const LFT_CONFIGS: [(u32, u32); 4] = [(4, 3), (8, 3), (16, 2), (32, 2)];
+
+struct Opts {
+    out: String,
+    baseline: Option<String>,
+    threshold: f64,
+    iters: u32,
+    warn_only: bool,
+    quick: bool,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        out: "BENCH_sim.json".into(),
+        baseline: None,
+        threshold: 0.25,
+        iters: 3,
+        warn_only: false,
+        quick: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} requires a value"))
+        };
+        match arg.as_str() {
+            "--out" => opts.out = value("--out"),
+            "--baseline" => opts.baseline = Some(value("--baseline")),
+            "--threshold" => {
+                opts.threshold = value("--threshold")
+                    .parse()
+                    .expect("--threshold takes a fraction, e.g. 0.25")
+            }
+            "--iters" => {
+                opts.iters = value("--iters")
+                    .parse()
+                    .expect("--iters takes a positive integer")
+            }
+            "--warn-only" => opts.warn_only = true,
+            "--quick" => opts.quick = true,
+            other => panic!("unknown option: {other}"),
+        }
+    }
+    assert!(opts.iters > 0, "--iters must be positive");
+    opts
+}
+
+/// Run `work` `iters` times; return the best wall time (ns) and the
+/// (deterministic) work-unit count it reported.
+fn best_of(iters: u32, mut work: impl FnMut() -> u64) -> (u64, u64) {
+    let mut best = u64::MAX;
+    let mut events = 0;
+    for _ in 0..iters {
+        let start = Instant::now();
+        events = work();
+        best = best.min(start.elapsed().as_nanos() as u64);
+    }
+    (best, events)
+}
+
+fn result(name: String, wall_ns: u64, events: u64, iters: u32) -> WorkloadResult {
+    let events_per_sec = if events > 0 && wall_ns > 0 {
+        events as f64 / (wall_ns as f64 / 1e9)
+    } else {
+        0.0
+    };
+    println!(
+        "  {name:<28} {:>9.3} ms   {:>10.0} ev/s",
+        wall_ns as f64 / 1e6,
+        events_per_sec
+    );
+    WorkloadResult {
+        name,
+        wall_ns,
+        events,
+        events_per_sec,
+        iters,
+    }
+}
+
+fn run_workloads(opts: &Opts) -> Vec<WorkloadResult> {
+    let sim_time_ns: u64 = if opts.quick { 20_000 } else { 50_000 };
+    let mut out = Vec::new();
+
+    println!("sim_engine ({} ns simulated, load 0.5):", sim_time_ns);
+    for &(m, n, vls) in &SIM_CONFIGS {
+        let net = Network::mport_ntree(TreeParams::new(m, n).expect("valid configs"));
+        let routing = Routing::build(&net, RoutingKind::Mlid);
+        // Both calendars on every configuration: the `_heap` twin rows
+        // keep the wheel-vs-heap gap visible in the committed trajectory.
+        for (prefix, calendar) in [
+            ("sim_engine", CalendarKind::TimingWheel),
+            ("sim_engine_heap", CalendarKind::BinaryHeap),
+        ] {
+            let cfg = SimConfig {
+                calendar,
+                ..SimConfig::paper(vls)
+            };
+            let (wall, events) = best_of(opts.iters, || {
+                run_once(
+                    &net,
+                    &routing,
+                    cfg.clone(),
+                    TrafficPattern::Uniform,
+                    RunSpec::new(0.5, sim_time_ns),
+                )
+                .events_processed
+            });
+            out.push(result(
+                format!("{prefix}/{m}x{n}/vl{vls}"),
+                wall,
+                events,
+                opts.iters,
+            ));
+        }
+    }
+
+    println!("lft_build:");
+    for &(m, n) in &LFT_CONFIGS {
+        let net = Network::mport_ntree(TreeParams::new(m, n).expect("valid configs"));
+        for kind in [RoutingKind::Slid, RoutingKind::Mlid] {
+            let (wall, events) = best_of(opts.iters, || {
+                let routing = Routing::build(&net, kind);
+                // Work unit: programmed forwarding entries.
+                (0..net.num_switches())
+                    .map(|sw| {
+                        routing
+                            .lft(ibfat_topology::SwitchId(sw as u32))
+                            .entries()
+                            .count() as u64
+                    })
+                    .sum()
+            });
+            out.push(result(
+                format!("lft_build/{m}x{n}/{}", kind.as_str()),
+                wall,
+                events,
+                opts.iters,
+            ));
+        }
+    }
+
+    println!("path_select:");
+    let lookups: u64 = if opts.quick { 200_000 } else { 1_000_000 };
+    for &(m, n) in &[(8u32, 3u32), (32, 2)] {
+        let net = Network::mport_ntree(TreeParams::new(m, n).expect("valid configs"));
+        let routing = Routing::build(&net, RoutingKind::Mlid);
+        let nodes = net.num_nodes() as u32;
+        let (wall, events) = best_of(opts.iters, || {
+            let mut acc = 0u64;
+            for i in 0..lookups {
+                let src = ibfat_topology::NodeId(((i * 7 + 1) % u64::from(nodes)) as u32);
+                let dst = ibfat_topology::NodeId(((i * 13 + 3) % u64::from(nodes)) as u32);
+                if src != dst {
+                    acc = acc.wrapping_add(u64::from(routing.select_dlid(src, dst).0));
+                }
+            }
+            std::hint::black_box(acc);
+            lookups
+        });
+        out.push(result(
+            format!("path_select/{m}x{n}"),
+            wall,
+            events,
+            opts.iters,
+        ));
+    }
+
+    out
+}
+
+fn main() {
+    let opts = parse_opts();
+    let report = BenchReport::new(run_workloads(&opts));
+
+    // Compare against the baseline BEFORE overwriting --out.
+    let baseline_path = opts.baseline.as_deref().unwrap_or(&opts.out);
+    let mut regressed = false;
+    match std::fs::read_to_string(baseline_path) {
+        Ok(text) => {
+            let baseline = BenchReport::parse(&text)
+                .unwrap_or_else(|e| panic!("unreadable baseline {baseline_path}: {e}"));
+            let deltas = compare(&baseline, &report).expect("comparable schemas");
+            println!(
+                "\nvs baseline {baseline_path} (threshold {:.0}%):",
+                opts.threshold * 100.0
+            );
+            for d in &deltas {
+                let verdict = if d.is_regression(opts.threshold) {
+                    regressed = true;
+                    "REGRESSION"
+                } else if d.ratio < 1.0 {
+                    "faster"
+                } else {
+                    "ok"
+                };
+                println!("  {:<28} {:>6.2}x  {verdict}", d.name, d.ratio);
+            }
+            if deltas.is_empty() {
+                println!("  (no overlapping workloads)");
+            }
+        }
+        Err(_) => println!("\nno baseline at {baseline_path}; writing a fresh trajectory"),
+    }
+
+    std::fs::write(&opts.out, report.to_json())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", opts.out));
+    println!("wrote {}", opts.out);
+
+    if regressed && !opts.warn_only {
+        eprintln!("performance regression beyond threshold; failing (use --warn-only to ignore)");
+        std::process::exit(1);
+    }
+}

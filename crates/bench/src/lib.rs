@@ -2,6 +2,8 @@
 //! figures. The binaries (`table1`, `figures`, `ablation`) and the
 //! criterion benches all build on this.
 
+pub mod trajectory;
+
 use ib_fabric::prelude::*;
 use serde::Serialize;
 

@@ -1,0 +1,475 @@
+//! The persisted bench trajectory: a schema-stable `BENCH_sim.json` at
+//! the repo root, written by the `bench` binary and compared across
+//! commits.
+//!
+//! The format is emitted and parsed by hand (a tiny JSON subset) so the
+//! trajectory does not depend on any serialization crate: the file is
+//! byte-stable for unchanged measurements modulo the numbers themselves,
+//! and the comparison step runs anywhere the workspace compiles.
+
+use std::fmt::Write as _;
+
+/// Version stamp of the JSON layout. Bump only on breaking changes;
+/// the comparator refuses to diff across schema versions.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One measured workload configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadResult {
+    /// Stable identifier, e.g. `sim_engine/8x3/vl4`.
+    pub name: String,
+    /// Best-of-iterations wall time, ns.
+    pub wall_ns: u64,
+    /// Work units processed per iteration (simulator events, LID lookups,
+    /// …; 0 when the workload has no natural unit).
+    pub events: u64,
+    /// `events / wall`, in units per second (0 when `events` is 0).
+    pub events_per_sec: f64,
+    /// Iterations the minimum was taken over.
+    pub iters: u32,
+}
+
+/// A whole trajectory snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Layout version ([`SCHEMA_VERSION`]).
+    pub schema: u32,
+    /// All measured workloads, in a stable order.
+    pub workloads: Vec<WorkloadResult>,
+}
+
+impl BenchReport {
+    /// A report of the current schema version.
+    pub fn new(workloads: Vec<WorkloadResult>) -> Self {
+        BenchReport {
+            schema: SCHEMA_VERSION,
+            workloads,
+        }
+    }
+
+    /// Find a workload by name.
+    pub fn get(&self, name: &str) -> Option<&WorkloadResult> {
+        self.workloads.iter().find(|w| w.name == name)
+    }
+
+    /// Serialize to the canonical pretty-printed JSON layout.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": {},", self.schema);
+        let _ = writeln!(out, "  \"workloads\": [");
+        for (i, w) in self.workloads.iter().enumerate() {
+            let comma = if i + 1 < self.workloads.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "    {{");
+            let _ = writeln!(out, "      \"name\": \"{}\",", escape(&w.name));
+            let _ = writeln!(out, "      \"wall_ns\": {},", w.wall_ns);
+            let _ = writeln!(out, "      \"events\": {},", w.events);
+            let _ = writeln!(out, "      \"events_per_sec\": {:.1},", w.events_per_sec);
+            let _ = writeln!(out, "      \"iters\": {}", w.iters);
+            let _ = writeln!(out, "    }}{comma}");
+        }
+        let _ = writeln!(out, "  ]");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parse a report previously written by [`to_json`](Self::to_json)
+    /// (tolerant of whitespace and key order, not a general JSON parser).
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        let value = Parser::new(text).parse_document()?;
+        let obj = value.as_object("top level")?;
+        let schema = obj.field("schema")?.as_u64("schema")? as u32;
+        let mut workloads = Vec::new();
+        for (i, item) in obj
+            .field("workloads")?
+            .as_array("workloads")?
+            .iter()
+            .enumerate()
+        {
+            let w = item.as_object(&format!("workloads[{i}]"))?;
+            workloads.push(WorkloadResult {
+                name: w.field("name")?.as_string("name")?.to_string(),
+                wall_ns: w.field("wall_ns")?.as_u64("wall_ns")?,
+                events: w.field("events")?.as_u64("events")?,
+                events_per_sec: w.field("events_per_sec")?.as_f64("events_per_sec")?,
+                iters: w.field("iters")?.as_u64("iters")? as u32,
+            });
+        }
+        Ok(BenchReport { schema, workloads })
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+// ----- comparison ------------------------------------------------------
+
+/// How one workload moved between two snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Workload name.
+    pub name: String,
+    /// Baseline wall time, ns.
+    pub base_wall_ns: u64,
+    /// Current wall time, ns.
+    pub cur_wall_ns: u64,
+    /// `current / baseline` (> 1 is slower).
+    pub ratio: f64,
+}
+
+impl Delta {
+    /// Whether this delta exceeds the regression threshold (e.g. `0.25`
+    /// = fail when more than 25% slower than the baseline).
+    pub fn is_regression(&self, threshold: f64) -> bool {
+        self.ratio > 1.0 + threshold
+    }
+}
+
+/// Compare two snapshots workload-by-workload (intersection by name).
+///
+/// # Errors
+/// Fails when the schema versions differ — deltas across layouts are
+/// meaningless.
+pub fn compare(baseline: &BenchReport, current: &BenchReport) -> Result<Vec<Delta>, String> {
+    if baseline.schema != current.schema {
+        return Err(format!(
+            "schema mismatch: baseline v{}, current v{}",
+            baseline.schema, current.schema
+        ));
+    }
+    Ok(current
+        .workloads
+        .iter()
+        .filter_map(|cur| {
+            let base = baseline.get(&cur.name)?;
+            (base.wall_ns > 0).then(|| Delta {
+                name: cur.name.clone(),
+                base_wall_ns: base.wall_ns,
+                cur_wall_ns: cur.wall_ns,
+                ratio: cur.wall_ns as f64 / base.wall_ns as f64,
+            })
+        })
+        .collect())
+}
+
+// ----- a minimal JSON subset parser ------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+struct Obj<'a>(&'a [(String, Json)]);
+
+impl Obj<'_> {
+    fn field(&self, key: &str) -> Result<&Json, String> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field \"{key}\""))
+    }
+}
+
+impl Json {
+    fn as_object(&self, what: &str) -> Result<Obj<'_>, String> {
+        match self {
+            Json::Object(fields) => Ok(Obj(fields)),
+            _ => Err(format!("{what}: expected an object")),
+        }
+    }
+    fn as_array(&self, what: &str) -> Result<&[Json], String> {
+        match self {
+            Json::Array(items) => Ok(items),
+            _ => Err(format!("{what}: expected an array")),
+        }
+    }
+    fn as_string(&self, what: &str) -> Result<&str, String> {
+        match self {
+            Json::String(s) => Ok(s),
+            _ => Err(format!("{what}: expected a string")),
+        }
+    }
+    fn as_f64(&self, what: &str) -> Result<f64, String> {
+        match self {
+            Json::Number(x) => Ok(*x),
+            _ => Err(format!("{what}: expected a number")),
+        }
+    }
+    fn as_u64(&self, what: &str) -> Result<u64, String> {
+        let x = self.as_f64(what)?;
+        if x < 0.0 || x.fract() != 0.0 {
+            return Err(format!("{what}: expected a non-negative integer, got {x}"));
+        }
+        Ok(x as u64)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<Json, String> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing content at byte {}", self.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        let got = self.peek()?;
+        if got != b {
+            return Err(format!(
+                "expected '{}' at byte {}, found '{}'",
+                b as char, self.pos, got as char
+            ));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.parse_object(),
+            b'[' => self.parse_array(),
+            b'"' => Ok(Json::String(self.parse_string()?)),
+            _ => self.parse_number(),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                other => return Err(format!("expected ',' or '}}', found '{}'", other as char)),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                other => return Err(format!("expected ',' or ']', found '{}'", other as char)),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("unsupported escape: {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    // Multi-byte UTF-8 passes through byte by byte; the
+                    // input is a &str, so the result stays valid.
+                    let start = self.pos;
+                    let len = match b {
+                        _ if b < 0x80 => 1,
+                        _ if b >= 0xF0 => 4,
+                        _ if b >= 0xE0 => 3,
+                        _ => 2,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or("truncated UTF-8 sequence")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|_| format!("invalid number \"{text}\" at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport::new(vec![
+            WorkloadResult {
+                name: "sim_engine/8x3/vl4".into(),
+                wall_ns: 123_456_789,
+                events: 1_000_000,
+                events_per_sec: 8_100_000.5,
+                iters: 3,
+            },
+            WorkloadResult {
+                name: "lft_build/32x2/mlid".into(),
+                wall_ns: 42_000,
+                events: 0,
+                events_per_sec: 0.0,
+                iters: 5,
+            },
+        ])
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let report = sample();
+        let text = report.to_json();
+        let back = BenchReport::parse(&text).unwrap();
+        assert_eq!(back.schema, SCHEMA_VERSION);
+        assert_eq!(back.workloads.len(), 2);
+        assert_eq!(back.workloads[0].name, "sim_engine/8x3/vl4");
+        assert_eq!(back.workloads[0].wall_ns, 123_456_789);
+        assert_eq!(back.workloads[1].events, 0);
+        // Emit is canonical: a second round trip is byte-identical.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(BenchReport::parse("").is_err());
+        assert!(BenchReport::parse("{}").is_err(), "missing fields");
+        assert!(BenchReport::parse("{\"schema\": 1}").is_err());
+        assert!(BenchReport::parse("not json").is_err());
+        assert!(BenchReport::parse("{\"schema\": 1, \"workloads\": []} x").is_err());
+    }
+
+    #[test]
+    fn compare_flags_only_real_regressions() {
+        let base = sample();
+        let mut cur = sample();
+        cur.workloads[0].wall_ns = 123_456_789 * 2; // 2.0x slower
+        cur.workloads[1].wall_ns = 43_000; // ~2% slower: noise
+        let deltas = compare(&base, &cur).unwrap();
+        assert_eq!(deltas.len(), 2);
+        let slow = deltas
+            .iter()
+            .find(|d| d.name.contains("sim_engine"))
+            .unwrap();
+        assert!(slow.is_regression(0.25));
+        assert!((slow.ratio - 2.0).abs() < 1e-9);
+        let ok = deltas
+            .iter()
+            .find(|d| d.name.contains("lft_build"))
+            .unwrap();
+        assert!(!ok.is_regression(0.25));
+    }
+
+    #[test]
+    fn compare_ignores_unmatched_names_and_checks_schema() {
+        let base = sample();
+        let mut cur = sample();
+        cur.workloads[0].name = "renamed".into();
+        assert_eq!(compare(&base, &cur).unwrap().len(), 1);
+        cur.schema = SCHEMA_VERSION + 1;
+        assert!(compare(&base, &cur).is_err());
+    }
+}

@@ -213,7 +213,11 @@ fn simulate(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
         100.0 * report.mean_link_utilization,
         100.0 * report.max_link_utilization
     );
-    println!("  engine     : {} events", report.events_processed);
+    println!(
+        "  engine     : {} events ({:.2} Mev/s)",
+        report.events_processed,
+        report.events_per_sec / 1e6
+    );
     Ok(())
 }
 

@@ -1,3 +1,4 @@
+use crate::engine::CalendarKind;
 use crate::VlArbitration;
 use serde::{Deserialize, Serialize};
 
@@ -95,6 +96,12 @@ pub struct SimConfig {
     /// achievable with LFT lookup (the paper's setting) and it reorders
     /// flows. Valid on intact fat trees only.
     pub adaptive_up: bool,
+    /// Which event-calendar implementation backs the run. Purely a
+    /// performance knob: both calendars obey the same `(time, insertion
+    /// order)` contract, so reports are bit-identical across them for a
+    /// given seed (the equivalence tests assert exactly that).
+    #[serde(default)]
+    pub calendar: CalendarKind,
 }
 
 impl Default for SimConfig {
@@ -114,6 +121,7 @@ impl Default for SimConfig {
             collect_link_stats: false,
             trace_first_packets: 0,
             adaptive_up: false,
+            calendar: CalendarKind::default(),
         }
     }
 }

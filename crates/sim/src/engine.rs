@@ -1,48 +1,248 @@
 //! The discrete-event core: a monotonically ordered event calendar.
 //!
-//! Events at equal timestamps are processed in insertion order (a strictly
-//! increasing sequence number breaks ties), so a simulation is a pure
-//! function of its inputs and seed.
+//! Events at equal timestamps are processed in insertion order, so a
+//! simulation is a pure function of its inputs and seed. Two calendar
+//! implementations share that contract:
+//!
+//! * [`TimingWheel`] — the default. Event deltas in this simulator are
+//!   tiny discrete nanosecond quanta (20 ns fly, 100 ns route, 1 ns/byte
+//!   serialization), so almost every event lands within a few microseconds
+//!   of the cursor. A wheel of 1-ns FIFO buckets over a 4096-ns horizon
+//!   turns the O(log n) heap push/pop into O(1) bucket appends/pops, with
+//!   a sorted overflow level (far-future events, e.g. low-load injections)
+//!   that migrates into the wheel as the cursor advances.
+//! * [`HeapCalendar`] — the classic `BinaryHeap` ordered by `(time, seq)`.
+//!   Kept as a differential oracle: the `heap-calendar` feature makes it
+//!   the default, and the equivalence tests drive both side by side.
+//!
+//! Tie-break order is part of the determinism contract (see
+//! `docs/MODEL.md` § Performance & determinism): both calendars pop equal
+//! timestamps strictly in scheduling order.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use serde::{Deserialize, Serialize};
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 /// Simulation time in nanoseconds.
 pub type Time = u64;
 
-/// The event calendar. `E` is the simulator's event payload.
+/// Which calendar implementation backs an [`EventQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CalendarKind {
+    /// Hierarchical timing wheel: O(1) schedule/pop for near-future
+    /// events, sorted overflow for far-future ones.
+    TimingWheel,
+    /// Binary heap ordered by `(time, seq)`: O(log n), the original
+    /// implementation, kept as a differential oracle.
+    BinaryHeap,
+}
+
+impl Default for CalendarKind {
+    /// The wheel, unless the `heap-calendar` feature flips the fallback
+    /// back on (used by CI equivalence runs).
+    fn default() -> Self {
+        if cfg!(feature = "heap-calendar") {
+            CalendarKind::BinaryHeap
+        } else {
+            CalendarKind::TimingWheel
+        }
+    }
+}
+
+/// Wheel horizon in slots (= ns, one bucket per ns). Must be a power of
+/// two. 4096 ns comfortably covers every in-flight delta of the model
+/// (max ≈ fly + packet serialization) at the paper's constants; only
+/// injection events at very low offered load overflow.
+const WHEEL_SLOTS: usize = 1 << 12;
+const WHEEL_MASK: u64 = WHEEL_SLOTS as u64 - 1;
+
+/// A calendar queue with 1-ns FIFO buckets over a sliding 4096-ns
+/// (`WHEEL_SLOTS`) horizon plus a sorted overflow level beyond it.
+///
+/// Invariants:
+/// * `cursor` never exceeds the earliest pending event's time.
+/// * every buffered event with `time < cursor + WHEEL_SLOTS` lives in
+///   `slots[time % WHEEL_SLOTS]` (so a bucket holds exactly one
+///   timestamp), later events live in `overflow`,
+/// * each bucket and each overflow entry is FIFO in scheduling order.
 #[derive(Debug)]
-pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<(Time, u64, EventBox<E>)>>,
+pub struct TimingWheel<E> {
+    slots: Vec<VecDeque<E>>,
+    /// Next candidate timestamp; everything earlier has been popped.
+    cursor: Time,
+    /// Events currently inside the wheel horizon.
+    near: usize,
+    /// Far-future events, FIFO per timestamp.
+    overflow: BTreeMap<Time, VecDeque<E>>,
+    /// Events currently in `overflow`.
+    far: usize,
+}
+
+impl<E> TimingWheel<E> {
+    /// An empty wheel with the cursor at t = 0.
+    pub fn new() -> Self {
+        TimingWheel {
+            slots: (0..WHEEL_SLOTS).map(|_| VecDeque::new()).collect(),
+            cursor: 0,
+            near: 0,
+            overflow: BTreeMap::new(),
+            far: 0,
+        }
+    }
+
+    /// Schedule `event` at absolute time `at`. Scheduling in the past
+    /// (before the last popped timestamp) is a logic error; debug builds
+    /// assert, release builds clamp to the cursor to keep monotonicity.
+    #[inline]
+    pub fn schedule(&mut self, at: Time, event: E) {
+        debug_assert!(
+            at >= self.cursor,
+            "scheduled {at} before cursor {}",
+            self.cursor
+        );
+        let at = at.max(self.cursor);
+        if at - self.cursor < WHEEL_SLOTS as u64 {
+            self.slots[(at & WHEEL_MASK) as usize].push_back(event);
+            self.near += 1;
+        } else {
+            self.overflow.entry(at).or_default().push_back(event);
+            self.far += 1;
+        }
+    }
+
+    /// Pop the earliest event, if any.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        loop {
+            if self.near == 0 {
+                if self.far == 0 {
+                    return None;
+                }
+                // The wheel is empty: jump straight to the earliest
+                // overflow timestamp and pull the new window in.
+                let (&t, _) = self.overflow.first_key_value().expect("far > 0");
+                self.cursor = t;
+                self.refill();
+                continue;
+            }
+            if let Some(ev) = self.slots[(self.cursor & WHEEL_MASK) as usize].pop_front() {
+                self.near -= 1;
+                return Some((self.cursor, ev));
+            }
+            self.advance();
+        }
+    }
+
+    /// Timestamp of the earliest pending event. O(horizon) worst case —
+    /// for tests and diagnostics, not the hot path (the simulator only
+    /// pops).
+    pub fn peek_time(&self) -> Option<Time> {
+        if self.near > 0 {
+            for i in 0..WHEEL_SLOTS as u64 {
+                let t = self.cursor + i;
+                if !self.slots[(t & WHEEL_MASK) as usize].is_empty() {
+                    return Some(t);
+                }
+            }
+            unreachable!("near > 0 but no occupied bucket in the horizon");
+        }
+        self.overflow.first_key_value().map(|(&t, _)| t)
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.near + self.far
+    }
+
+    /// Whether the calendar is drained.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Advance the cursor past an empty bucket. The window slides by one
+    /// ns, so exactly one new timestamp (`old cursor + WHEEL_SLOTS`)
+    /// becomes coverable; its bucket is the one just vacated.
+    #[inline]
+    fn advance(&mut self) {
+        let new_edge = self.cursor + WHEEL_SLOTS as u64;
+        self.cursor += 1;
+        if self.far > 0 {
+            if let Some(entry) = self.overflow.first_entry() {
+                if *entry.key() == new_edge {
+                    let mut q = entry.remove();
+                    self.far -= q.len();
+                    self.near += q.len();
+                    let slot = &mut self.slots[(new_edge & WHEEL_MASK) as usize];
+                    debug_assert!(slot.is_empty(), "migrating into an occupied bucket");
+                    slot.append(&mut q);
+                }
+            }
+        }
+    }
+
+    /// After a cursor jump, migrate every overflow entry that now falls
+    /// inside the horizon (FIFO order per timestamp is preserved).
+    fn refill(&mut self) {
+        let horizon = self.cursor + WHEEL_SLOTS as u64;
+        while let Some(entry) = self.overflow.first_entry() {
+            let t = *entry.key();
+            if t >= horizon {
+                break;
+            }
+            let mut q = entry.remove();
+            self.far -= q.len();
+            self.near += q.len();
+            self.slots[(t & WHEEL_MASK) as usize].append(&mut q);
+        }
+    }
+}
+
+impl<E> Default for TimingWheel<E> {
+    fn default() -> Self {
+        TimingWheel::new()
+    }
+}
+
+/// Binary-heap calendar ordered by the unique `(time, seq)` key.
+#[derive(Debug)]
+pub struct HeapCalendar<E> {
+    heap: BinaryHeap<Reverse<HeapEntry<E>>>,
     seq: u64,
 }
 
-/// Payload wrapper that never participates in heap ordering (ordering is
-/// fully decided by `(time, seq)`, which is unique).
+/// One scheduled event. Ordering is decided entirely by the `(at, seq)`
+/// key, which is unique per entry (`seq` strictly increases), so the
+/// payload never participates in comparisons.
 #[derive(Debug)]
-struct EventBox<E>(E);
+struct HeapEntry<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
 
-impl<E> PartialEq for EventBox<E> {
-    fn eq(&self, _: &Self) -> bool {
-        true
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
     }
 }
-impl<E> Eq for EventBox<E> {}
-impl<E> PartialOrd for EventBox<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> Ord for EventBox<E> {
-    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
-        std::cmp::Ordering::Equal
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> HeapCalendar<E> {
     /// An empty calendar.
     pub fn new() -> Self {
-        EventQueue {
+        HeapCalendar {
             heap: BinaryHeap::new(),
             seq: 0,
         }
@@ -52,19 +252,23 @@ impl<E> EventQueue<E> {
     #[inline]
     pub fn schedule(&mut self, at: Time, event: E) {
         self.seq += 1;
-        self.heap.push(Reverse((at, self.seq, EventBox(event))));
+        self.heap.push(Reverse(HeapEntry {
+            at,
+            seq: self.seq,
+            event,
+        }));
     }
 
     /// Pop the earliest event, if any.
     #[inline]
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        self.heap.pop().map(|Reverse((t, _, e))| (t, e.0))
+        self.heap.pop().map(|Reverse(e)| (e.at, e.event))
     }
 
     /// Timestamp of the earliest pending event.
     #[inline]
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|Reverse((t, _, _))| *t)
+        self.heap.peek().map(|Reverse(e)| e.at)
     }
 
     /// Number of pending events.
@@ -80,6 +284,91 @@ impl<E> EventQueue<E> {
     }
 }
 
+impl<E> Default for HeapCalendar<E> {
+    fn default() -> Self {
+        HeapCalendar::new()
+    }
+}
+
+/// The event calendar. `E` is the simulator's event payload.
+///
+/// An enum (not a trait object) so the hot path stays monomorphized and
+/// branch-predictable; both variants obey the same `(time, insertion
+/// order)` pop contract.
+#[derive(Debug)]
+pub enum EventQueue<E> {
+    /// Timing-wheel calendar (default).
+    Wheel(TimingWheel<E>),
+    /// Binary-heap calendar (differential oracle / `heap-calendar`
+    /// feature fallback).
+    Heap(HeapCalendar<E>),
+}
+
+impl<E> EventQueue<E> {
+    /// An empty calendar of the default kind (see [`CalendarKind`]).
+    pub fn new() -> Self {
+        EventQueue::with_kind(CalendarKind::default())
+    }
+
+    /// An empty calendar of an explicit kind.
+    pub fn with_kind(kind: CalendarKind) -> Self {
+        match kind {
+            CalendarKind::TimingWheel => EventQueue::Wheel(TimingWheel::new()),
+            CalendarKind::BinaryHeap => EventQueue::Heap(HeapCalendar::new()),
+        }
+    }
+
+    /// Which implementation this queue runs on.
+    pub fn kind(&self) -> CalendarKind {
+        match self {
+            EventQueue::Wheel(_) => CalendarKind::TimingWheel,
+            EventQueue::Heap(_) => CalendarKind::BinaryHeap,
+        }
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    #[inline]
+    pub fn schedule(&mut self, at: Time, event: E) {
+        match self {
+            EventQueue::Wheel(w) => w.schedule(at, event),
+            EventQueue::Heap(h) => h.schedule(at, event),
+        }
+    }
+
+    /// Pop the earliest event, if any.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        match self {
+            EventQueue::Wheel(w) => w.pop(),
+            EventQueue::Heap(h) => h.pop(),
+        }
+    }
+
+    /// Timestamp of the earliest pending event.
+    #[inline]
+    pub fn peek_time(&self) -> Option<Time> {
+        match self {
+            EventQueue::Wheel(w) => w.peek_time(),
+            EventQueue::Heap(h) => h.peek_time(),
+        }
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            EventQueue::Wheel(w) => w.len(),
+            EventQueue::Heap(h) => h.len(),
+        }
+    }
+
+    /// Whether the calendar is drained.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         EventQueue::new()
@@ -90,36 +379,108 @@ impl<E> Default for EventQueue<E> {
 mod tests {
     use super::*;
 
+    fn both() -> [EventQueue<&'static str>; 2] {
+        [
+            EventQueue::with_kind(CalendarKind::TimingWheel),
+            EventQueue::with_kind(CalendarKind::BinaryHeap),
+        ]
+    }
+
     #[test]
     fn events_pop_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(30, "c");
-        q.schedule(10, "a");
-        q.schedule(20, "b");
-        assert_eq!(q.pop(), Some((10, "a")));
-        assert_eq!(q.pop(), Some((20, "b")));
-        assert_eq!(q.pop(), Some((30, "c")));
-        assert_eq!(q.pop(), None);
+        for mut q in both() {
+            q.schedule(30, "c");
+            q.schedule(10, "a");
+            q.schedule(20, "b");
+            assert_eq!(q.pop(), Some((10, "a")), "{:?}", q.kind());
+            assert_eq!(q.pop(), Some((20, "b")));
+            assert_eq!(q.pop(), Some((30, "c")));
+            assert_eq!(q.pop(), None);
+        }
     }
 
     #[test]
     fn ties_break_by_insertion_order() {
-        let mut q = EventQueue::new();
-        q.schedule(5, 1);
-        q.schedule(5, 2);
-        q.schedule(5, 3);
-        assert_eq!(q.pop(), Some((5, 1)));
-        assert_eq!(q.pop(), Some((5, 2)));
-        assert_eq!(q.pop(), Some((5, 3)));
+        for kind in [CalendarKind::TimingWheel, CalendarKind::BinaryHeap] {
+            let mut q = EventQueue::with_kind(kind);
+            q.schedule(5, 1);
+            q.schedule(5, 2);
+            q.schedule(5, 3);
+            assert_eq!(q.pop(), Some((5, 1)), "{kind:?}");
+            assert_eq!(q.pop(), Some((5, 2)));
+            assert_eq!(q.pop(), Some((5, 3)));
+        }
     }
 
     #[test]
     fn peek_and_len() {
-        let mut q = EventQueue::new();
-        assert!(q.is_empty());
-        assert_eq!(q.peek_time(), None);
-        q.schedule(42, ());
-        assert_eq!(q.peek_time(), Some(42));
-        assert_eq!(q.len(), 1);
+        for mut q in both() {
+            assert!(q.is_empty());
+            assert_eq!(q.peek_time(), None);
+            q.schedule(42, "x");
+            assert_eq!(q.peek_time(), Some(42));
+            assert_eq!(q.len(), 1);
+        }
+    }
+
+    #[test]
+    fn far_future_events_cross_the_horizon() {
+        let far = 10 * WHEEL_SLOTS as u64 + 17;
+        for kind in [CalendarKind::TimingWheel, CalendarKind::BinaryHeap] {
+            let mut q = EventQueue::with_kind(kind);
+            q.schedule(far, 1u32);
+            q.schedule(3, 2);
+            q.schedule(far, 3);
+            q.schedule(far + 1, 4);
+            assert_eq!(q.peek_time(), Some(3), "{kind:?}");
+            assert_eq!(q.pop(), Some((3, 2)));
+            assert_eq!(q.peek_time(), Some(far));
+            assert_eq!(q.pop(), Some((far, 1)), "FIFO across the overflow");
+            assert_eq!(q.pop(), Some((far, 3)));
+            assert_eq!(q.pop(), Some((far + 1, 4)));
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn overflow_merges_with_direct_inserts_at_the_same_time() {
+        let mut q = EventQueue::with_kind(CalendarKind::TimingWheel);
+        let t = WHEEL_SLOTS as u64 + 100;
+        q.schedule(t, 1u32); // beyond horizon: overflow
+        q.schedule(0, 0);
+        assert_eq!(q.pop(), Some((0, 0)));
+        // Walk the cursor close enough that t is inside the horizon, then
+        // insert directly into the (already migrated) bucket.
+        q.schedule(200, 2);
+        assert_eq!(q.pop(), Some((200, 2)));
+        q.schedule(t, 3); // same timestamp, later insertion
+        assert_eq!(q.pop(), Some((t, 1)), "migrated event pops first");
+        assert_eq!(q.pop(), Some((t, 3)));
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_keeps_order() {
+        // Schedule-while-popping at the current timestamp: the new event
+        // must pop after everything already queued at that time.
+        for kind in [CalendarKind::TimingWheel, CalendarKind::BinaryHeap] {
+            let mut q = EventQueue::with_kind(kind);
+            q.schedule(7, 1u32);
+            q.schedule(7, 2);
+            assert_eq!(q.pop(), Some((7, 1)));
+            q.schedule(7, 3); // "now" insert during dispatch
+            assert_eq!(q.pop(), Some((7, 2)), "{kind:?}");
+            assert_eq!(q.pop(), Some((7, 3)));
+        }
+    }
+
+    #[test]
+    fn default_kind_follows_the_feature_flag() {
+        let expected = if cfg!(feature = "heap-calendar") {
+            CalendarKind::BinaryHeap
+        } else {
+            CalendarKind::TimingWheel
+        };
+        assert_eq!(EventQueue::<u32>::new().kind(), expected);
+        assert_eq!(CalendarKind::default(), expected);
     }
 }

@@ -58,10 +58,10 @@ mod traffic;
 mod vlarb;
 
 pub use config::{InjectionProcess, PathSelection, SimConfig, VlAssignment};
-pub use engine::{EventQueue, Time};
+pub use engine::{CalendarKind, EventQueue, HeapCalendar, Time, TimingWheel};
 pub use metrics::{LatencyStats, LinkUse, SimReport};
 pub use packet::{Packet, PacketId, PacketSlab};
-pub use runner::{aggregate, replicate, run_once, sweep, Aggregate, RunSpec};
+pub use runner::{aggregate, par_map_indexed, replicate, run_once, sweep, Aggregate, RunSpec};
 pub use sim::Simulator;
 pub use trace::{PacketTrace, TraceEvent};
 pub use traffic::TrafficPattern;

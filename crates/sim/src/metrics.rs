@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 
 /// Streaming latency statistics with a logarithmic histogram for
 /// percentile estimates (buckets: `[2^k, 2^(k+1))` ns).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LatencyStats {
     count: u64,
     sum: u64,
@@ -112,7 +112,12 @@ pub struct LinkUse {
 }
 
 /// Everything measured during one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` compares every field, including the wall-clock-derived
+/// [`events_per_sec`](SimReport::events_per_sec); comparisons that only
+/// care about simulated behaviour (e.g. the calendar equivalence tests)
+/// should zero that field first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
     /// Offered load as configured (fraction of link bandwidth per node).
     pub offered_load: f64,
@@ -148,6 +153,11 @@ pub struct SimReport {
     pub network_latency: LatencyStats,
     /// Events processed (engine throughput diagnostics).
     pub events_processed: u64,
+    /// Events processed per wall-clock second, measured inside `run()`.
+    /// A host-dependent diagnostic: the only report field that is not a
+    /// deterministic function of the inputs and seed.
+    #[serde(default)]
+    pub events_per_sec: f64,
     /// Mean utilization (busy fraction) over all directed links.
     pub mean_link_utilization: f64,
     /// Peak utilization over all directed links.

@@ -46,6 +46,47 @@ pub fn run_once(
     .run()
 }
 
+/// Apply `f` to every item of `items` across a scoped OS-thread pool,
+/// returning the outputs in input order.
+///
+/// Threads self-schedule off a shared atomic cursor (work stealing by
+/// index), so uneven per-item cost — a saturated simulation next to an
+/// idle one — still balances. `f` may borrow shared state (network,
+/// routing); nothing is cloned per item by the pool itself.
+pub fn par_map_indexed<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    let slots: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    let results = std::sync::Mutex::new(slots);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let (results, next, f) = (&results, &next, &f);
+        for _ in 0..threads {
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(i, &items[i]);
+                results.lock().expect("no panics hold the lock")[i] = Some(out);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("no panics hold the lock")
+        .into_iter()
+        .map(|r| r.expect("every index was processed"))
+        .collect()
+}
+
 /// Sweep a list of offered loads, one independent simulation per point,
 /// fanned out over OS threads (each point is single-threaded and
 /// deterministic; the sweep result order matches `loads`).
@@ -57,34 +98,10 @@ pub fn sweep(
     loads: &[f64],
     sim_time_ns: u64,
 ) -> Vec<SimReport> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(loads.len().max(1));
-    let results = std::sync::Mutex::new(vec![None; loads.len()]);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        let results = &results;
-        let next = &next;
-        for _ in 0..threads {
-            let cfg = cfg.clone();
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= loads.len() {
-                    break;
-                }
-                let spec = RunSpec::new(loads[i], sim_time_ns);
-                let report = run_once(net, routing, cfg.clone(), pattern.clone(), spec);
-                results.lock().expect("no panics hold the lock")[i] = Some(report);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("no panics hold the lock")
-        .into_iter()
-        .map(|r| r.expect("sweep point ran"))
-        .collect()
+    par_map_indexed(loads, |_, &load| {
+        let spec = RunSpec::new(load, sim_time_ns);
+        run_once(net, routing, cfg.clone(), pattern.clone(), spec)
+    })
 }
 
 #[cfg(test)]
@@ -92,6 +109,17 @@ mod tests {
     use super::*;
     use ibfat_routing::RoutingKind;
     use ibfat_topology::TreeParams;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map_indexed(&items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * x
+        });
+        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<u64>>());
+        assert!(par_map_indexed(&[] as &[u64], |_, &x| x).is_empty());
+    }
 
     #[test]
     fn sweep_returns_points_in_order() {
@@ -125,35 +153,11 @@ pub fn replicate(
     spec: RunSpec,
     seeds: &[u64],
 ) -> Vec<SimReport> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(seeds.len().max(1));
-    let results = std::sync::Mutex::new(vec![None; seeds.len()]);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        let results = &results;
-        let next = &next;
-        for _ in 0..threads {
-            let cfg = cfg.clone();
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= seeds.len() {
-                    break;
-                }
-                let mut cfg = cfg.clone();
-                cfg.seed = seeds[i];
-                let report = run_once(net, routing, cfg, pattern.clone(), spec);
-                results.lock().expect("no panics hold the lock")[i] = Some(report);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("no panics hold the lock")
-        .into_iter()
-        .map(|r| r.expect("replica ran"))
-        .collect()
+    par_map_indexed(seeds, |_, &seed| {
+        let mut cfg = cfg.clone();
+        cfg.seed = seed;
+        run_once(net, routing, cfg, pattern.clone(), spec)
+    })
 }
 
 /// Mean and sample standard deviation over replicated runs.

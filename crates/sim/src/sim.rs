@@ -157,7 +157,11 @@ enum Ev {
 
 /// The discrete-event simulator for one (network, routing, traffic, load)
 /// operating point.
-pub struct Simulator {
+///
+/// Borrows the routing for its whole lifetime — building a simulator
+/// copies nothing heavier than the forwarding tables it flattens, so
+/// sweeps and replications share one `Routing` across threads.
+pub struct Simulator<'a> {
     cfg: SimConfig,
     pattern: TrafficPattern,
     offered_load: f64,
@@ -173,9 +177,14 @@ pub struct Simulator {
     /// Shared VL arbitration entry table.
     arb_table: Vec<(u8, u8)>,
 
-    routing: Routing,
-    /// Flattened LFTs: `lft[sw][lid]` is the 0-based output port.
-    lft: Vec<Vec<u8>>,
+    routing: &'a Routing,
+    /// All forwarding tables in one contiguous buffer:
+    /// `lft[sw * lft_stride + lid]` is the 0-based output port
+    /// (`u8::MAX` = no entry). One allocation, stride-indexed, so the
+    /// per-hop lookup stays in cache across switches.
+    lft: Vec<u8>,
+    /// Row length of `lft` (= max LID index + 1).
+    lft_stride: usize,
     /// Per-switch 0-based first up-port (= m/2), or `u8::MAX` for roots
     /// (which have no up-ports). Used by adaptive upward routing.
     up_ports_from: Vec<u8>,
@@ -207,7 +216,7 @@ pub struct Simulator {
     traces: Vec<PacketTrace>,
 }
 
-impl Simulator {
+impl<'a> Simulator<'a> {
     /// Build a simulator. `offered_load` is normalized to the injection
     /// link bandwidth (`1.0` = one packet every `packet_time_ns`).
     ///
@@ -216,13 +225,13 @@ impl Simulator {
     /// nodes.
     pub fn new(
         net: &Network,
-        routing: &Routing,
+        routing: &'a Routing,
         cfg: SimConfig,
         pattern: TrafficPattern,
         offered_load: f64,
         sim_time_ns: Time,
         warmup_ns: Time,
-    ) -> Simulator {
+    ) -> Simulator<'a> {
         cfg.validate().expect("invalid simulator configuration");
         assert!(net.num_nodes() >= 2, "need at least two nodes");
         assert!(warmup_ns < sim_time_ns, "warm-up must end before the run");
@@ -230,16 +239,16 @@ impl Simulator {
         let cap = cfg.buffer_packets;
         let arb_table = cfg.vl_arbitration.table(cfg.num_vls);
 
-        // Flatten forwarding tables to 0-based ports for the hot path.
-        let max_lid = routing.lid_space().max_lid().index();
-        let mut lft = Vec::with_capacity(net.num_switches());
+        // Flatten forwarding tables to 0-based ports for the hot path:
+        // one contiguous stride-indexed buffer across all switches.
+        let lft_stride = routing.lid_space().max_lid().index() + 1;
+        let mut lft = vec![u8::MAX; net.num_switches() * lft_stride];
         for sw in 0..net.num_switches() {
             let table = routing.lft(ibfat_topology::SwitchId(sw as u32));
-            let mut flat = vec![u8::MAX; max_lid + 1];
+            let row = &mut lft[sw * lft_stride..(sw + 1) * lft_stride];
             for (lid, port) in table.entries() {
-                flat[lid.index()] = port.0 - 1;
+                row[lid.index()] = port.0 - 1;
             }
-            lft.push(flat);
         }
 
         let params = net.params();
@@ -266,6 +275,15 @@ impl Simulator {
             assert!(intact, "adaptive upward routing requires an intact fabric");
         }
 
+        // Pre-size every per-(port, VL) queue from the topology: buffers
+        // hold at most `cap` packets, and at most `m` inputs can wait on
+        // one output — so the hot path never reallocates.
+        let m = net.params().m() as usize;
+        fn queues<T>(num_vls: usize, capacity: usize) -> Vec<VecDeque<T>> {
+            (0..num_vls)
+                .map(|_| VecDeque::with_capacity(capacity))
+                .collect()
+        }
         let switches: Vec<Vec<SwPort>> = (0..net.num_switches())
             .map(|sw| {
                 (0..net.params().m())
@@ -290,9 +308,9 @@ impl Simulator {
                             retry_pending: false,
                             arb: VlArbiter::new(&arb_table),
                             credits: vec![cap; num_vls],
-                            out_q: vec![VecDeque::new(); num_vls],
-                            waiters: vec![VecDeque::new(); num_vls],
-                            in_q: vec![VecDeque::new(); num_vls],
+                            out_q: queues(num_vls, cap as usize),
+                            waiters: queues(num_vls, m),
+                            in_q: queues(num_vls, cap as usize),
                             busy_ns: 0,
                         }
                     })
@@ -316,7 +334,9 @@ impl Simulator {
                 NodeSt {
                     peer_sw,
                     peer_port,
-                    inj_q: vec![VecDeque::new(); num_vls],
+                    // Source queues are unbounded; a few slots of headroom
+                    // covers the common transient backlog without growth.
+                    inj_q: queues(num_vls, 8),
                     arb: VlArbiter::new(&arb_table),
                     busy_until: 0,
                     retry_pending: false,
@@ -341,12 +361,13 @@ impl Simulator {
             sim_time_ns,
             warmup_ns,
             pattern,
-            routing: routing.clone(),
+            routing,
             lft,
+            lft_stride,
             up_ports_from,
             switches,
             nodes,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_kind(cfg.calendar),
             slab: PacketSlab::new(),
             rng: ChaCha12Rng::seed_from_u64(cfg.seed),
             now: 0,
@@ -362,13 +383,16 @@ impl Simulator {
             latency: LatencyStats::new(),
             network_latency: LatencyStats::new(),
             events_processed: 0,
-            traces: Vec::new(),
+            // Pre-size the flight recorder; clamp huge trace requests so
+            // an accidental `u32::MAX` does not reserve gigabytes.
+            traces: Vec::with_capacity(cfg.trace_first_packets.min(65_536) as usize),
             cfg,
         }
     }
 
     /// Run to completion and produce the report.
     pub fn run(mut self) -> SimReport {
+        let wall_start = std::time::Instant::now();
         // Prime every node with a randomly phased first injection so the
         // deterministic process does not fire in lockstep across nodes.
         for node in 0..self.nodes.len() as u32 {
@@ -389,7 +413,8 @@ impl Simulator {
             self.events_processed += 1;
             self.dispatch(ev);
         }
-        self.report()
+        let wall = wall_start.elapsed().as_secs_f64();
+        self.report(wall)
     }
 
     fn dispatch(&mut self, ev: Ev) {
@@ -623,7 +648,7 @@ impl Simulator {
             .expect("route-done with empty input buffer");
         debug_assert_eq!(head.state, InState::Routing);
         let dlid = self.slab.get(head.pkt).dlid;
-        let out_port = self.lft[sw as usize][dlid.index()];
+        let out_port = self.lft[sw as usize * self.lft_stride + dlid.index()];
         if out_port == u8::MAX {
             // No LFT entry (possible on degraded fabrics): the switch
             // discards the packet, per IBA semantics. The input buffer
@@ -849,7 +874,7 @@ impl Simulator {
 
     // ----- reporting ----------------------------------------------------
 
-    fn report(self) -> SimReport {
+    fn report(self, wall_secs: f64) -> SimReport {
         let window = (self.sim_time_ns - self.warmup_ns) as f64;
         let nodes = self.nodes.len() as f64;
         let accepted = self.delivered_bytes_in_window as f64 / window / nodes;
@@ -909,6 +934,11 @@ impl Simulator {
             latency: self.latency,
             network_latency: self.network_latency,
             events_processed: self.events_processed,
+            events_per_sec: if wall_secs > 0.0 {
+                self.events_processed as f64 / wall_secs
+            } else {
+                0.0
+            },
             mean_link_utilization: total_busy as f64 / (links as f64 * span),
             max_link_utilization: max_busy as f64 / span,
             link_utilization,

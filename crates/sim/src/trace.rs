@@ -52,7 +52,7 @@ pub enum TraceEvent {
 }
 
 /// The timeline of one packet.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PacketTrace {
     /// Source node id.
     pub src: u32,

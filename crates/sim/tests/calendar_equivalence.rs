@@ -1,0 +1,128 @@
+//! The determinism contract across calendar implementations.
+//!
+//! The timing wheel and the binary heap must be observably identical:
+//! same pop order for any legal schedule/pop interleaving (including
+//! equal-time FIFO ties), and therefore bit-identical simulation reports
+//! for equal seeds. These tests are the license to swap the calendar
+//! out from under the simulator.
+
+use ibfat_routing::{Routing, RoutingKind};
+use ibfat_sim::{
+    run_once, CalendarKind, EventQueue, RunSpec, SimConfig, SimReport, TrafficPattern,
+};
+use ibfat_topology::{Network, TreeParams};
+use proptest::prelude::*;
+
+/// A popped `(time, payload)` sequence.
+type Popped = Vec<(u64, u32)>;
+
+/// Drive both calendars through the same operation stream and collect
+/// each one's pop sequence.
+///
+/// `ops` encodes, per step, how many events to schedule (with time
+/// deltas relative to the virtual "now") and how many to pop. Times
+/// never go backwards, mirroring how the simulator uses the queue.
+fn pop_sequences(ops: &[(Vec<u64>, usize)]) -> (Popped, Popped) {
+    let mut out = Vec::new();
+    for kind in [CalendarKind::TimingWheel, CalendarKind::BinaryHeap] {
+        let mut q: EventQueue<u32> = EventQueue::with_kind(kind);
+        let mut now = 0u64;
+        let mut tag = 0u32;
+        let mut popped = Vec::new();
+        for (deltas, pops) in ops {
+            for &d in deltas {
+                q.schedule(now + d, tag);
+                tag += 1;
+            }
+            for _ in 0..*pops {
+                let Some((t, ev)) = q.pop() else { break };
+                assert!(t >= now, "{kind:?} popped into the past");
+                now = t;
+                popped.push((t, ev));
+            }
+        }
+        while let Some((t, ev)) = q.pop() {
+            assert!(t >= now);
+            now = t;
+            popped.push((t, ev));
+        }
+        out.push(popped);
+    }
+    let heap = out.pop().expect("two sequences");
+    let wheel = out.pop().expect("two sequences");
+    (wheel, heap)
+}
+
+#[test]
+fn identical_pop_order_on_a_tie_heavy_stream() {
+    // Many duplicate timestamps, deltas straddling the wheel horizon.
+    let ops = vec![
+        (vec![5, 5, 5, 0, 7000, 7000, 1, 5], 3),
+        (vec![0, 0, 2, 4096, 4096, 100_000], 4),
+        (vec![], 2),
+        (vec![3, 3, 3, 3, 9000, 0], 0),
+    ];
+    let (wheel, heap) = pop_sequences(&ops);
+    assert_eq!(wheel, heap);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn identical_pop_order_for_random_streams(
+        steps in prop::collection::vec(
+            (
+                // Deltas biased toward ties (0) and the sim's tiny quanta,
+                // with occasional far-future jumps past the wheel horizon.
+                prop::collection::vec(
+                    prop_oneof![
+                        Just(0u64),
+                        Just(20u64),
+                        Just(100u64),
+                        Just(256u64),
+                        1u64..5000,
+                        4000u64..200_000,
+                    ],
+                    0..12,
+                ),
+                0usize..8,
+            ),
+            1..20,
+        ),
+    ) {
+        let (wheel, heap) = pop_sequences(&steps);
+        prop_assert_eq!(wheel, heap);
+    }
+}
+
+/// Run one operating point on an explicit calendar.
+fn report_with(kind: CalendarKind) -> SimReport {
+    let net = Network::mport_ntree(TreeParams::new(4, 3).expect("valid params"));
+    let routing = Routing::build(&net, RoutingKind::Mlid);
+    let cfg = SimConfig {
+        num_vls: 2,
+        seed: 0xDEC0DE,
+        trace_first_packets: 32,
+        calendar: kind,
+        ..SimConfig::default()
+    };
+    let mut report = run_once(
+        &net,
+        &routing,
+        cfg,
+        TrafficPattern::Uniform,
+        RunSpec::new(0.4, 60_000),
+    );
+    // The only host-dependent field; everything else must match exactly.
+    report.events_per_sec = 0.0;
+    report
+}
+
+#[test]
+fn ft43_uniform_reports_are_bit_identical_across_calendars() {
+    let wheel = report_with(CalendarKind::TimingWheel);
+    let heap = report_with(CalendarKind::BinaryHeap);
+    assert!(wheel.delivered > 0, "the run must carry traffic");
+    assert_eq!(wheel, heap);
+}
