@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-079d321c15a4a24b.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/libablation-079d321c15a4a24b.rmeta: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

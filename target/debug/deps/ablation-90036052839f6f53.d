@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-90036052839f6f53.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/libablation-90036052839f6f53.rmeta: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

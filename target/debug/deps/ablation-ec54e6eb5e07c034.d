@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-ec54e6eb5e07c034.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-ec54e6eb5e07c034: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

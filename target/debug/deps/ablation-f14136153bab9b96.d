@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-f14136153bab9b96.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/debug/deps/libablation-f14136153bab9b96.rmeta: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/api_surface-21cc5f6718d7bdde.d: crates/core/tests/api_surface.rs
+
+/root/repo/target/debug/deps/libapi_surface-21cc5f6718d7bdde.rmeta: crates/core/tests/api_surface.rs
+
+crates/core/tests/api_surface.rs:

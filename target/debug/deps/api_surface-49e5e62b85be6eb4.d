@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/api_surface-49e5e62b85be6eb4.d: crates/core/tests/api_surface.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapi_surface-49e5e62b85be6eb4.rmeta: crates/core/tests/api_surface.rs Cargo.toml
+
+crates/core/tests/api_surface.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

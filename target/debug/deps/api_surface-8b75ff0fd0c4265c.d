@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/api_surface-8b75ff0fd0c4265c.d: crates/core/tests/api_surface.rs
+
+/root/repo/target/debug/deps/api_surface-8b75ff0fd0c4265c: crates/core/tests/api_surface.rs
+
+crates/core/tests/api_surface.rs:

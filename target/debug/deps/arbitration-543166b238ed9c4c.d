@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arbitration-543166b238ed9c4c.d: crates/sim/tests/arbitration.rs
+
+/root/repo/target/debug/deps/arbitration-543166b238ed9c4c: crates/sim/tests/arbitration.rs
+
+crates/sim/tests/arbitration.rs:

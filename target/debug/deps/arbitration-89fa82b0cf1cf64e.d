@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arbitration-89fa82b0cf1cf64e.d: crates/sim/tests/arbitration.rs
+
+/root/repo/target/debug/deps/libarbitration-89fa82b0cf1cf64e.rmeta: crates/sim/tests/arbitration.rs
+
+crates/sim/tests/arbitration.rs:

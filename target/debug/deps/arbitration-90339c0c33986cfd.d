@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arbitration-90339c0c33986cfd.d: crates/sim/tests/arbitration.rs
+
+/root/repo/target/debug/deps/arbitration-90339c0c33986cfd: crates/sim/tests/arbitration.rs
+
+crates/sim/tests/arbitration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arbitration-cc05078bbedfd08c.d: crates/sim/tests/arbitration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarbitration-cc05078bbedfd08c.rmeta: crates/sim/tests/arbitration.rs Cargo.toml
+
+crates/sim/tests/arbitration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

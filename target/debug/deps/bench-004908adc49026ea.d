@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-004908adc49026ea.d: crates/bench/src/bin/bench.rs
+
+/root/repo/target/debug/deps/bench-004908adc49026ea: crates/bench/src/bin/bench.rs
+
+crates/bench/src/bin/bench.rs:

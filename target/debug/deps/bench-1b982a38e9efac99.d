@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bench-1b982a38e9efac99.d: crates/bench/src/lib.rs crates/bench/src/trajectory.rs
+
+/root/repo/target/debug/deps/libbench-1b982a38e9efac99.rlib: crates/bench/src/lib.rs crates/bench/src/trajectory.rs
+
+/root/repo/target/debug/deps/libbench-1b982a38e9efac99.rmeta: crates/bench/src/lib.rs crates/bench/src/trajectory.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/trajectory.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/bench-26ccf3f13e6600a8.d: crates/bench/src/lib.rs crates/bench/src/trajectory.rs
+
+/root/repo/target/debug/deps/libbench-26ccf3f13e6600a8.rmeta: crates/bench/src/lib.rs crates/bench/src/trajectory.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/trajectory.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench-330064705d930844.d: crates/bench/src/lib.rs crates/bench/src/trajectory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-330064705d930844.rmeta: crates/bench/src/lib.rs crates/bench/src/trajectory.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/trajectory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

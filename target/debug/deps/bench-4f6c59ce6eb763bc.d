@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench-4f6c59ce6eb763bc.d: crates/bench/src/lib.rs crates/bench/src/trajectory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-4f6c59ce6eb763bc.rmeta: crates/bench/src/lib.rs crates/bench/src/trajectory.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/trajectory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

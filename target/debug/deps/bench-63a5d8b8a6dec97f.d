@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-63a5d8b8a6dec97f.d: crates/bench/src/bin/bench.rs
+
+/root/repo/target/debug/deps/libbench-63a5d8b8a6dec97f.rmeta: crates/bench/src/bin/bench.rs
+
+crates/bench/src/bin/bench.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/bench-af5149a3c4fe0f48.d: crates/bench/src/lib.rs crates/bench/src/trajectory.rs
+
+/root/repo/target/debug/deps/bench-af5149a3c4fe0f48: crates/bench/src/lib.rs crates/bench/src/trajectory.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/trajectory.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/bench-bbe044ddd84619f4.d: crates/bench/src/lib.rs crates/bench/src/trajectory.rs
+
+/root/repo/target/debug/deps/libbench-bbe044ddd84619f4.rmeta: crates/bench/src/lib.rs crates/bench/src/trajectory.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/trajectory.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-d72eaf312650a8ae.d: crates/bench/src/bin/bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-d72eaf312650a8ae.rmeta: crates/bench/src/bin/bench.rs Cargo.toml
+
+crates/bench/src/bin/bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-e1a67293634af8c4.d: crates/bench/src/bin/bench.rs
+
+/root/repo/target/debug/deps/libbench-e1a67293634af8c4.rmeta: crates/bench/src/bin/bench.rs
+
+crates/bench/src/bin/bench.rs:

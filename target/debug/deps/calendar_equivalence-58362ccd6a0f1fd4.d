@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calendar_equivalence-58362ccd6a0f1fd4.d: crates/sim/tests/calendar_equivalence.rs
+
+/root/repo/target/debug/deps/calendar_equivalence-58362ccd6a0f1fd4: crates/sim/tests/calendar_equivalence.rs
+
+crates/sim/tests/calendar_equivalence.rs:

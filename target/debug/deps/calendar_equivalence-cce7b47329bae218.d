@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calendar_equivalence-cce7b47329bae218.d: crates/sim/tests/calendar_equivalence.rs
+
+/root/repo/target/debug/deps/calendar_equivalence-cce7b47329bae218: crates/sim/tests/calendar_equivalence.rs
+
+crates/sim/tests/calendar_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calendar_equivalence-dc51264ffc6dd032.d: crates/sim/tests/calendar_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalendar_equivalence-dc51264ffc6dd032.rmeta: crates/sim/tests/calendar_equivalence.rs Cargo.toml
+
+crates/sim/tests/calendar_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/commands-0819e51995ccb078.d: crates/cli/tests/commands.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcommands-0819e51995ccb078.rmeta: crates/cli/tests/commands.rs Cargo.toml
+
+crates/cli/tests/commands.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

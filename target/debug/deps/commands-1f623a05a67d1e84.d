@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/commands-1f623a05a67d1e84.d: crates/cli/tests/commands.rs
+
+/root/repo/target/debug/deps/libcommands-1f623a05a67d1e84.rmeta: crates/cli/tests/commands.rs
+
+crates/cli/tests/commands.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/commands-4330ff126ad89d98.d: crates/cli/tests/commands.rs
+
+/root/repo/target/debug/deps/commands-4330ff126ad89d98: crates/cli/tests/commands.rs
+
+crates/cli/tests/commands.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-19fc3ecbfde21eba.d: /root/stubdeps/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-19fc3ecbfde21eba.rmeta: /root/stubdeps/criterion/src/lib.rs
+
+/root/stubdeps/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-39609456cd4a9d58.d: /root/stubdeps/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-39609456cd4a9d58.rlib: /root/stubdeps/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-39609456cd4a9d58.rmeta: /root/stubdeps/criterion/src/lib.rs
+
+/root/stubdeps/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg_persist-204e562c800f3519.d: crates/core/tests/dbg_persist.rs
+
+/root/repo/target/debug/deps/dbg_persist-204e562c800f3519: crates/core/tests/dbg_persist.rs
+
+crates/core/tests/dbg_persist.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-6d3b4f47919294cf.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-6d3b4f47919294cf.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-7b354d05cb42f58a.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-7b354d05cb42f58a: tests/end_to_end.rs
+
+tests/end_to_end.rs:

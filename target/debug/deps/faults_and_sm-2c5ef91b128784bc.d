@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faults_and_sm-2c5ef91b128784bc.d: tests/faults_and_sm.rs
+
+/root/repo/target/debug/deps/libfaults_and_sm-2c5ef91b128784bc.rmeta: tests/faults_and_sm.rs
+
+tests/faults_and_sm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/faults_and_sm-5c5fb934e0f4f226.d: tests/faults_and_sm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfaults_and_sm-5c5fb934e0f4f226.rmeta: tests/faults_and_sm.rs Cargo.toml
+
+tests/faults_and_sm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

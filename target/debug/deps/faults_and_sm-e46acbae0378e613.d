@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faults_and_sm-e46acbae0378e613.d: tests/faults_and_sm.rs
+
+/root/repo/target/debug/deps/faults_and_sm-e46acbae0378e613: tests/faults_and_sm.rs
+
+tests/faults_and_sm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-3e9b4fb1495b8db1.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-3e9b4fb1495b8db1: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-aac0a185325fc549.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/libfigures-aac0a185325fc549.rmeta: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

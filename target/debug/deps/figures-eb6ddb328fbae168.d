@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-eb6ddb328fbae168.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/libfigures-eb6ddb328fbae168.rmeta: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures-fed16ac91ff6cdd1.d: crates/bench/src/bin/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-fed16ac91ff6cdd1.rmeta: crates/bench/src/bin/figures.rs Cargo.toml
+
+crates/bench/src/bin/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

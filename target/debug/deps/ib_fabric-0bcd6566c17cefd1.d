@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ib_fabric-0bcd6566c17cefd1.d: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/experiment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libib_fabric-0bcd6566c17cefd1.rmeta: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/experiment.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/builder.rs:
+crates/core/src/experiment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ib_fabric-197e18cb7ab7797c.d: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/experiment.rs
+
+/root/repo/target/debug/deps/libib_fabric-197e18cb7ab7797c.rmeta: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/experiment.rs
+
+crates/core/src/lib.rs:
+crates/core/src/builder.rs:
+crates/core/src/experiment.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ib_fabric-3ad8728e6757ea1b.d: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/experiment.rs
+
+/root/repo/target/debug/deps/ib_fabric-3ad8728e6757ea1b: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/experiment.rs
+
+crates/core/src/lib.rs:
+crates/core/src/builder.rs:
+crates/core/src/experiment.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ib_fabric-865c70274b50a4d3.d: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/experiment.rs
+
+/root/repo/target/debug/deps/libib_fabric-865c70274b50a4d3.rmeta: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/experiment.rs
+
+crates/core/src/lib.rs:
+crates/core/src/builder.rs:
+crates/core/src/experiment.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ib_fabric-a2132196c41d171a.d: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/experiment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libib_fabric-a2132196c41d171a.rmeta: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/experiment.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/builder.rs:
+crates/core/src/experiment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ib_fabric-ebd6528041f47c25.d: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/experiment.rs
+
+/root/repo/target/debug/deps/libib_fabric-ebd6528041f47c25.rlib: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/experiment.rs
+
+/root/repo/target/debug/deps/libib_fabric-ebd6528041f47c25.rmeta: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/experiment.rs
+
+crates/core/src/lib.rs:
+crates/core/src/builder.rs:
+crates/core/src/experiment.rs:

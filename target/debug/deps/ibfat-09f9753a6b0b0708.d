@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ibfat-09f9753a6b0b0708.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/libibfat-09f9753a6b0b0708.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

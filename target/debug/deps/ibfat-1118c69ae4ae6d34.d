@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ibfat-1118c69ae4ae6d34.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibfat-1118c69ae4ae6d34.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ibfat-47f2ad697e749dd5.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/libibfat-47f2ad697e749dd5.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ibfat-5221fda28af5e838.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/ibfat-5221fda28af5e838: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

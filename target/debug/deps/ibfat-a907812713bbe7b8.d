@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ibfat-a907812713bbe7b8.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibfat-a907812713bbe7b8.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ibfat-b521d29e8bf097f3.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/ibfat-b521d29e8bf097f3: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ibfat_cli-5fdd3ca24a8b16f8.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/ibfat_cli-5fdd3ca24a8b16f8: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ibfat_cli-9f9ec72f1785e7eb.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libibfat_cli-9f9ec72f1785e7eb.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ibfat_cli-dcbc6923462f8dad.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibfat_cli-dcbc6923462f8dad.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ibfat_cli-e8141e25ea9d16f2.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libibfat_cli-e8141e25ea9d16f2.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

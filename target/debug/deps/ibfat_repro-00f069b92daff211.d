@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ibfat_repro-00f069b92daff211.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibfat_repro-00f069b92daff211.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

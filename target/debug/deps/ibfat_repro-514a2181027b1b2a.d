@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ibfat_repro-514a2181027b1b2a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libibfat_repro-514a2181027b1b2a.rmeta: src/lib.rs
+
+src/lib.rs:

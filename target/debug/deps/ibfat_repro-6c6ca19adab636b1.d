@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ibfat_repro-6c6ca19adab636b1.d: src/lib.rs
+
+/root/repo/target/debug/deps/ibfat_repro-6c6ca19adab636b1: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ibfat_repro-797caa8d87c85af7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libibfat_repro-797caa8d87c85af7.rmeta: src/lib.rs
+
+src/lib.rs:

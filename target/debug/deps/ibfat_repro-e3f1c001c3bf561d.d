@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ibfat_repro-e3f1c001c3bf561d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libibfat_repro-e3f1c001c3bf561d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libibfat_repro-e3f1c001c3bf561d.rmeta: src/lib.rs
+
+src/lib.rs:

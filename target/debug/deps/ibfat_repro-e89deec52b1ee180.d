@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ibfat_repro-e89deec52b1ee180.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibfat_repro-e89deec52b1ee180.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

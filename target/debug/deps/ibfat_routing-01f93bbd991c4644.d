@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ibfat_routing-01f93bbd991c4644.d: crates/routing/src/lib.rs crates/routing/src/deadlock.rs crates/routing/src/error.rs crates/routing/src/fault.rs crates/routing/src/lft.rs crates/routing/src/lid.rs crates/routing/src/load.rs crates/routing/src/mlid.rs crates/routing/src/path.rs crates/routing/src/scheme.rs crates/routing/src/slid.rs crates/routing/src/updown.rs crates/routing/src/verify.rs
+
+/root/repo/target/debug/deps/libibfat_routing-01f93bbd991c4644.rlib: crates/routing/src/lib.rs crates/routing/src/deadlock.rs crates/routing/src/error.rs crates/routing/src/fault.rs crates/routing/src/lft.rs crates/routing/src/lid.rs crates/routing/src/load.rs crates/routing/src/mlid.rs crates/routing/src/path.rs crates/routing/src/scheme.rs crates/routing/src/slid.rs crates/routing/src/updown.rs crates/routing/src/verify.rs
+
+/root/repo/target/debug/deps/libibfat_routing-01f93bbd991c4644.rmeta: crates/routing/src/lib.rs crates/routing/src/deadlock.rs crates/routing/src/error.rs crates/routing/src/fault.rs crates/routing/src/lft.rs crates/routing/src/lid.rs crates/routing/src/load.rs crates/routing/src/mlid.rs crates/routing/src/path.rs crates/routing/src/scheme.rs crates/routing/src/slid.rs crates/routing/src/updown.rs crates/routing/src/verify.rs
+
+crates/routing/src/lib.rs:
+crates/routing/src/deadlock.rs:
+crates/routing/src/error.rs:
+crates/routing/src/fault.rs:
+crates/routing/src/lft.rs:
+crates/routing/src/lid.rs:
+crates/routing/src/load.rs:
+crates/routing/src/mlid.rs:
+crates/routing/src/path.rs:
+crates/routing/src/scheme.rs:
+crates/routing/src/slid.rs:
+crates/routing/src/updown.rs:
+crates/routing/src/verify.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/ibfat_routing-11e58db6bd1e2702.d: crates/routing/src/lib.rs crates/routing/src/deadlock.rs crates/routing/src/error.rs crates/routing/src/fault.rs crates/routing/src/lft.rs crates/routing/src/lid.rs crates/routing/src/load.rs crates/routing/src/mlid.rs crates/routing/src/path.rs crates/routing/src/scheme.rs crates/routing/src/slid.rs crates/routing/src/updown.rs crates/routing/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibfat_routing-11e58db6bd1e2702.rmeta: crates/routing/src/lib.rs crates/routing/src/deadlock.rs crates/routing/src/error.rs crates/routing/src/fault.rs crates/routing/src/lft.rs crates/routing/src/lid.rs crates/routing/src/load.rs crates/routing/src/mlid.rs crates/routing/src/path.rs crates/routing/src/scheme.rs crates/routing/src/slid.rs crates/routing/src/updown.rs crates/routing/src/verify.rs Cargo.toml
+
+crates/routing/src/lib.rs:
+crates/routing/src/deadlock.rs:
+crates/routing/src/error.rs:
+crates/routing/src/fault.rs:
+crates/routing/src/lft.rs:
+crates/routing/src/lid.rs:
+crates/routing/src/load.rs:
+crates/routing/src/mlid.rs:
+crates/routing/src/path.rs:
+crates/routing/src/scheme.rs:
+crates/routing/src/slid.rs:
+crates/routing/src/updown.rs:
+crates/routing/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ibfat_sim-948f2338d2bdebea.d: crates/sim/src/lib.rs crates/sim/src/bounds.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/packet.rs crates/sim/src/runner.rs crates/sim/src/sim.rs crates/sim/src/trace.rs crates/sim/src/traffic.rs crates/sim/src/vlarb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibfat_sim-948f2338d2bdebea.rmeta: crates/sim/src/lib.rs crates/sim/src/bounds.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/packet.rs crates/sim/src/runner.rs crates/sim/src/sim.rs crates/sim/src/trace.rs crates/sim/src/traffic.rs crates/sim/src/vlarb.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/bounds.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/packet.rs:
+crates/sim/src/runner.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/traffic.rs:
+crates/sim/src/vlarb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ibfat_sim-c0bc3073ea620b32.d: crates/sim/src/lib.rs crates/sim/src/bounds.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/packet.rs crates/sim/src/runner.rs crates/sim/src/sim.rs crates/sim/src/trace.rs crates/sim/src/traffic.rs crates/sim/src/vlarb.rs
+
+/root/repo/target/debug/deps/libibfat_sim-c0bc3073ea620b32.rlib: crates/sim/src/lib.rs crates/sim/src/bounds.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/packet.rs crates/sim/src/runner.rs crates/sim/src/sim.rs crates/sim/src/trace.rs crates/sim/src/traffic.rs crates/sim/src/vlarb.rs
+
+/root/repo/target/debug/deps/libibfat_sim-c0bc3073ea620b32.rmeta: crates/sim/src/lib.rs crates/sim/src/bounds.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/packet.rs crates/sim/src/runner.rs crates/sim/src/sim.rs crates/sim/src/trace.rs crates/sim/src/traffic.rs crates/sim/src/vlarb.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/bounds.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/packet.rs:
+crates/sim/src/runner.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/traffic.rs:
+crates/sim/src/vlarb.rs:

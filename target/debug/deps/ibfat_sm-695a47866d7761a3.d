@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ibfat_sm-695a47866d7761a3.d: crates/sm/src/lib.rs crates/sm/src/discovery.rs crates/sm/src/mad.rs crates/sm/src/manager.rs crates/sm/src/recognize.rs
+
+/root/repo/target/debug/deps/libibfat_sm-695a47866d7761a3.rmeta: crates/sm/src/lib.rs crates/sm/src/discovery.rs crates/sm/src/mad.rs crates/sm/src/manager.rs crates/sm/src/recognize.rs
+
+crates/sm/src/lib.rs:
+crates/sm/src/discovery.rs:
+crates/sm/src/mad.rs:
+crates/sm/src/manager.rs:
+crates/sm/src/recognize.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ibfat_sm-70f0118252443abf.d: crates/sm/src/lib.rs crates/sm/src/discovery.rs crates/sm/src/mad.rs crates/sm/src/manager.rs crates/sm/src/recognize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibfat_sm-70f0118252443abf.rmeta: crates/sm/src/lib.rs crates/sm/src/discovery.rs crates/sm/src/mad.rs crates/sm/src/manager.rs crates/sm/src/recognize.rs Cargo.toml
+
+crates/sm/src/lib.rs:
+crates/sm/src/discovery.rs:
+crates/sm/src/mad.rs:
+crates/sm/src/manager.rs:
+crates/sm/src/recognize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

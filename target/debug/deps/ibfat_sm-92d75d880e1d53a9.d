@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ibfat_sm-92d75d880e1d53a9.d: crates/sm/src/lib.rs crates/sm/src/discovery.rs crates/sm/src/mad.rs crates/sm/src/manager.rs crates/sm/src/recognize.rs
+
+/root/repo/target/debug/deps/libibfat_sm-92d75d880e1d53a9.rlib: crates/sm/src/lib.rs crates/sm/src/discovery.rs crates/sm/src/mad.rs crates/sm/src/manager.rs crates/sm/src/recognize.rs
+
+/root/repo/target/debug/deps/libibfat_sm-92d75d880e1d53a9.rmeta: crates/sm/src/lib.rs crates/sm/src/discovery.rs crates/sm/src/mad.rs crates/sm/src/manager.rs crates/sm/src/recognize.rs
+
+crates/sm/src/lib.rs:
+crates/sm/src/discovery.rs:
+crates/sm/src/mad.rs:
+crates/sm/src/manager.rs:
+crates/sm/src/recognize.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ibfat_sm-b5209cfaab2defdb.d: crates/sm/src/lib.rs crates/sm/src/discovery.rs crates/sm/src/mad.rs crates/sm/src/manager.rs crates/sm/src/recognize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibfat_sm-b5209cfaab2defdb.rmeta: crates/sm/src/lib.rs crates/sm/src/discovery.rs crates/sm/src/mad.rs crates/sm/src/manager.rs crates/sm/src/recognize.rs Cargo.toml
+
+crates/sm/src/lib.rs:
+crates/sm/src/discovery.rs:
+crates/sm/src/mad.rs:
+crates/sm/src/manager.rs:
+crates/sm/src/recognize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

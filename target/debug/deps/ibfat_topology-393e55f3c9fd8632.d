@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ibfat_topology-393e55f3c9fd8632.d: crates/topology/src/lib.rs crates/topology/src/analysis_impl.rs crates/topology/src/build.rs crates/topology/src/digits.rs crates/topology/src/error.rs crates/topology/src/graph.rs crates/topology/src/ids.rs crates/topology/src/label.rs crates/topology/src/params.rs crates/topology/src/prefix.rs
+
+/root/repo/target/debug/deps/ibfat_topology-393e55f3c9fd8632: crates/topology/src/lib.rs crates/topology/src/analysis_impl.rs crates/topology/src/build.rs crates/topology/src/digits.rs crates/topology/src/error.rs crates/topology/src/graph.rs crates/topology/src/ids.rs crates/topology/src/label.rs crates/topology/src/params.rs crates/topology/src/prefix.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/analysis_impl.rs:
+crates/topology/src/build.rs:
+crates/topology/src/digits.rs:
+crates/topology/src/error.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/ids.rs:
+crates/topology/src/label.rs:
+crates/topology/src/params.rs:
+crates/topology/src/prefix.rs:

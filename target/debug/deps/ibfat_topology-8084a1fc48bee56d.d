@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ibfat_topology-8084a1fc48bee56d.d: crates/topology/src/lib.rs crates/topology/src/analysis_impl.rs crates/topology/src/build.rs crates/topology/src/digits.rs crates/topology/src/error.rs crates/topology/src/graph.rs crates/topology/src/ids.rs crates/topology/src/label.rs crates/topology/src/params.rs crates/topology/src/prefix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibfat_topology-8084a1fc48bee56d.rmeta: crates/topology/src/lib.rs crates/topology/src/analysis_impl.rs crates/topology/src/build.rs crates/topology/src/digits.rs crates/topology/src/error.rs crates/topology/src/graph.rs crates/topology/src/ids.rs crates/topology/src/label.rs crates/topology/src/params.rs crates/topology/src/prefix.rs Cargo.toml
+
+crates/topology/src/lib.rs:
+crates/topology/src/analysis_impl.rs:
+crates/topology/src/build.rs:
+crates/topology/src/digits.rs:
+crates/topology/src/error.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/ids.rs:
+crates/topology/src/label.rs:
+crates/topology/src/params.rs:
+crates/topology/src/prefix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

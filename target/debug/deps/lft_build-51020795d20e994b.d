@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lft_build-51020795d20e994b.d: crates/bench/benches/lft_build.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblft_build-51020795d20e994b.rmeta: crates/bench/benches/lft_build.rs Cargo.toml
+
+crates/bench/benches/lft_build.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lft_build-c5466de52ee1b9ed.d: crates/bench/benches/lft_build.rs
+
+/root/repo/target/debug/deps/liblft_build-c5466de52ee1b9ed.rmeta: crates/bench/benches/lft_build.rs
+
+crates/bench/benches/lft_build.rs:

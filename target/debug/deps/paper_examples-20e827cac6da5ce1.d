@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_examples-20e827cac6da5ce1.d: tests/paper_examples.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_examples-20e827cac6da5ce1.rmeta: tests/paper_examples.rs Cargo.toml
+
+tests/paper_examples.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

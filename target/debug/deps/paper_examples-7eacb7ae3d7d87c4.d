@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-7eacb7ae3d7d87c4.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/libpaper_examples-7eacb7ae3d7d87c4.rmeta: tests/paper_examples.rs
+
+tests/paper_examples.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-fdda7d6cf3d033e3.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-fdda7d6cf3d033e3: tests/paper_examples.rs
+
+tests/paper_examples.rs:

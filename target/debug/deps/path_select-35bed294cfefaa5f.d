@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/path_select-35bed294cfefaa5f.d: crates/bench/benches/path_select.rs
+
+/root/repo/target/debug/deps/libpath_select-35bed294cfefaa5f.rmeta: crates/bench/benches/path_select.rs
+
+crates/bench/benches/path_select.rs:

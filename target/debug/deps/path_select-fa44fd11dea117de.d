@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/path_select-fa44fd11dea117de.d: crates/bench/benches/path_select.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpath_select-fa44fd11dea117de.rmeta: crates/bench/benches/path_select.rs Cargo.toml
+
+crates/bench/benches/path_select.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

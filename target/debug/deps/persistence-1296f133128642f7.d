@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/persistence-1296f133128642f7.d: crates/core/tests/persistence.rs
+
+/root/repo/target/debug/deps/libpersistence-1296f133128642f7.rmeta: crates/core/tests/persistence.rs
+
+crates/core/tests/persistence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/persistence-36532cfe06b859e7.d: crates/core/tests/persistence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpersistence-36532cfe06b859e7.rmeta: crates/core/tests/persistence.rs Cargo.toml
+
+crates/core/tests/persistence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/persistence-d46527d6f261c570.d: crates/core/tests/persistence.rs
+
+/root/repo/target/debug/deps/persistence-d46527d6f261c570: crates/core/tests/persistence.rs
+
+crates/core/tests/persistence.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-3f93b9ae79633161.d: /root/stubdeps/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-3f93b9ae79633161.rlib: /root/stubdeps/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-3f93b9ae79633161.rmeta: /root/stubdeps/proptest/src/lib.rs
+
+/root/stubdeps/proptest/src/lib.rs:

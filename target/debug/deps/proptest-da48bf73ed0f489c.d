@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-da48bf73ed0f489c.d: /root/stubdeps/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-da48bf73ed0f489c.rmeta: /root/stubdeps/proptest/src/lib.rs
+
+/root/stubdeps/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-0a2d7ade8635e992.d: crates/routing/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-0a2d7ade8635e992.rmeta: crates/routing/tests/proptests.rs Cargo.toml
+
+crates/routing/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

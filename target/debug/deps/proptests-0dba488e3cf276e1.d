@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-0dba488e3cf276e1.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-0dba488e3cf276e1.rmeta: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

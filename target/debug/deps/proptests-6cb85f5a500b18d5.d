@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-6cb85f5a500b18d5.d: crates/topology/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-6cb85f5a500b18d5.rmeta: crates/topology/tests/proptests.rs Cargo.toml
+
+crates/topology/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

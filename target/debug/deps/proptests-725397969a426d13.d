@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-725397969a426d13.d: crates/topology/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-725397969a426d13.rmeta: crates/topology/tests/proptests.rs
+
+crates/topology/tests/proptests.rs:

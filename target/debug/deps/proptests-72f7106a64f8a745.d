@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-72f7106a64f8a745.d: crates/sm/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-72f7106a64f8a745.rmeta: crates/sm/tests/proptests.rs Cargo.toml
+
+crates/sm/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

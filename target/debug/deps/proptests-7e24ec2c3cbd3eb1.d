@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7e24ec2c3cbd3eb1.d: crates/sm/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7e24ec2c3cbd3eb1: crates/sm/tests/proptests.rs
+
+crates/sm/tests/proptests.rs:

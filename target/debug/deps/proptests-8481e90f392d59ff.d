@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-8481e90f392d59ff.d: crates/routing/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-8481e90f392d59ff.rmeta: crates/routing/tests/proptests.rs
+
+crates/routing/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-acf7efc5c35ddc10.d: crates/sim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-acf7efc5c35ddc10.rmeta: crates/sim/tests/proptests.rs Cargo.toml
+
+crates/sim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b0a6ffc77fe50eb6.d: crates/topology/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b0a6ffc77fe50eb6: crates/topology/tests/proptests.rs
+
+crates/topology/tests/proptests.rs:

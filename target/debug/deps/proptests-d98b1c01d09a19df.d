@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-d98b1c01d09a19df.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-d98b1c01d09a19df: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

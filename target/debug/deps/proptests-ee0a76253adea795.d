@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ee0a76253adea795.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ee0a76253adea795: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

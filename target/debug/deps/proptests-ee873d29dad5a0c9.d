@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ee873d29dad5a0c9.d: crates/routing/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ee873d29dad5a0c9: crates/routing/tests/proptests.rs
+
+crates/routing/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f650a4b2a6ac2a67.d: crates/sm/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-f650a4b2a6ac2a67.rmeta: crates/sm/tests/proptests.rs
+
+crates/sm/tests/proptests.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-8b1bb0415ed08b7f.d: /root/stubdeps/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-8b1bb0415ed08b7f.rlib: /root/stubdeps/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-8b1bb0415ed08b7f.rmeta: /root/stubdeps/rand/src/lib.rs
+
+/root/stubdeps/rand/src/lib.rs:

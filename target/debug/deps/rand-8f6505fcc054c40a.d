@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-8f6505fcc054c40a.d: /root/stubdeps/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-8f6505fcc054c40a.rmeta: /root/stubdeps/rand/src/lib.rs
+
+/root/stubdeps/rand/src/lib.rs:

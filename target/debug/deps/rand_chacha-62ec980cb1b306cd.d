@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-62ec980cb1b306cd.d: /root/stubdeps/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-62ec980cb1b306cd.rmeta: /root/stubdeps/rand_chacha/src/lib.rs
+
+/root/stubdeps/rand_chacha/src/lib.rs:

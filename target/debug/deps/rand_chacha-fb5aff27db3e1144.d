@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-fb5aff27db3e1144.d: /root/stubdeps/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-fb5aff27db3e1144.rlib: /root/stubdeps/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-fb5aff27db3e1144.rmeta: /root/stubdeps/rand_chacha/src/lib.rs
+
+/root/stubdeps/rand_chacha/src/lib.rs:

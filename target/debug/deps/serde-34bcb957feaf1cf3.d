@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-34bcb957feaf1cf3.d: /root/stubdeps/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-34bcb957feaf1cf3.rlib: /root/stubdeps/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-34bcb957feaf1cf3.rmeta: /root/stubdeps/serde/src/lib.rs
+
+/root/stubdeps/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-61216a3b591a43cf.d: /root/stubdeps/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-61216a3b591a43cf.rmeta: /root/stubdeps/serde/src/lib.rs
+
+/root/stubdeps/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-29d4830c1f03ffeb.d: /root/stubdeps/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-29d4830c1f03ffeb.so: /root/stubdeps/serde_derive/src/lib.rs
+
+/root/stubdeps/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-455c98549cfc0d6b.d: /root/stubdeps/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-455c98549cfc0d6b.rlib: /root/stubdeps/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-455c98549cfc0d6b.rmeta: /root/stubdeps/serde_json/src/lib.rs
+
+/root/stubdeps/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-fcb038e9397378eb.d: /root/stubdeps/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-fcb038e9397378eb.rmeta: /root/stubdeps/serde_json/src/lib.rs
+
+/root/stubdeps/serde_json/src/lib.rs:

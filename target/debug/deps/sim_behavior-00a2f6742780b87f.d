@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_behavior-00a2f6742780b87f.d: crates/sim/tests/sim_behavior.rs
+
+/root/repo/target/debug/deps/libsim_behavior-00a2f6742780b87f.rmeta: crates/sim/tests/sim_behavior.rs
+
+crates/sim/tests/sim_behavior.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_behavior-1d22ac869eac18e1.d: crates/sim/tests/sim_behavior.rs
+
+/root/repo/target/debug/deps/sim_behavior-1d22ac869eac18e1: crates/sim/tests/sim_behavior.rs
+
+crates/sim/tests/sim_behavior.rs:

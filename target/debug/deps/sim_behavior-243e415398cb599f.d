@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_behavior-243e415398cb599f.d: crates/sim/tests/sim_behavior.rs
+
+/root/repo/target/debug/deps/sim_behavior-243e415398cb599f: crates/sim/tests/sim_behavior.rs
+
+crates/sim/tests/sim_behavior.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_behavior-f1dd0000ca393650.d: crates/sim/tests/sim_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_behavior-f1dd0000ca393650.rmeta: crates/sim/tests/sim_behavior.rs Cargo.toml
+
+crates/sim/tests/sim_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_engine-619860fe2c38b609.d: crates/bench/benches/sim_engine.rs
+
+/root/repo/target/debug/deps/libsim_engine-619860fe2c38b609.rmeta: crates/bench/benches/sim_engine.rs
+
+crates/bench/benches/sim_engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-26c4e4ad1733b7fe.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-26c4e4ad1733b7fe.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

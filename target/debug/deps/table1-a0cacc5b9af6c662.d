@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-a0cacc5b9af6c662.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-a0cacc5b9af6c662.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

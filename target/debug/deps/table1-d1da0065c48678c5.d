@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-d1da0065c48678c5.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-d1da0065c48678c5: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1-e2d3c21f3135f7ba.d: crates/bench/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-e2d3c21f3135f7ba.rmeta: crates/bench/src/bin/table1.rs Cargo.toml
+
+crates/bench/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/collective_phases-428889dd94f8fede.d: examples/collective_phases.rs
+
+/root/repo/target/debug/examples/libcollective_phases-428889dd94f8fede.rmeta: examples/collective_phases.rs
+
+examples/collective_phases.rs:

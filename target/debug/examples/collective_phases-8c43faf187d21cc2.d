@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/collective_phases-8c43faf187d21cc2.d: examples/collective_phases.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcollective_phases-8c43faf187d21cc2.rmeta: examples/collective_phases.rs Cargo.toml
+
+examples/collective_phases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

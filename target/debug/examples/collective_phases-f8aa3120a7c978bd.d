@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/collective_phases-f8aa3120a7c978bd.d: examples/collective_phases.rs
+
+/root/repo/target/debug/examples/collective_phases-f8aa3120a7c978bd: examples/collective_phases.rs
+
+examples/collective_phases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_tolerance-2381a62e95af8cb0.d: examples/fault_tolerance.rs
+
+/root/repo/target/debug/examples/libfault_tolerance-2381a62e95af8cb0.rmeta: examples/fault_tolerance.rs
+
+examples/fault_tolerance.rs:

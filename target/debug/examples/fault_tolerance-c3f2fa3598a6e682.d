@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_tolerance-c3f2fa3598a6e682.d: examples/fault_tolerance.rs
+
+/root/repo/target/debug/examples/fault_tolerance-c3f2fa3598a6e682: examples/fault_tolerance.rs
+
+examples/fault_tolerance.rs:

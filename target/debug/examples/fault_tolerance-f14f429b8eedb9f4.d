@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fault_tolerance-f14f429b8eedb9f4.d: examples/fault_tolerance.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfault_tolerance-f14f429b8eedb9f4.rmeta: examples/fault_tolerance.rs Cargo.toml
+
+examples/fault_tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hotspot_study-578a82f66fcb7996.d: examples/hotspot_study.rs
+
+/root/repo/target/debug/examples/hotspot_study-578a82f66fcb7996: examples/hotspot_study.rs
+
+examples/hotspot_study.rs:

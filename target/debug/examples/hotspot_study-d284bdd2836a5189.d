@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hotspot_study-d284bdd2836a5189.d: examples/hotspot_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhotspot_study-d284bdd2836a5189.rmeta: examples/hotspot_study.rs Cargo.toml
+
+examples/hotspot_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

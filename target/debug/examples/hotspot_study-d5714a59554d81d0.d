@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hotspot_study-d5714a59554d81d0.d: examples/hotspot_study.rs
+
+/root/repo/target/debug/examples/libhotspot_study-d5714a59554d81d0.rmeta: examples/hotspot_study.rs
+
+examples/hotspot_study.rs:

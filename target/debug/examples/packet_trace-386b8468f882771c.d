@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/packet_trace-386b8468f882771c.d: examples/packet_trace.rs
+
+/root/repo/target/debug/examples/libpacket_trace-386b8468f882771c.rmeta: examples/packet_trace.rs
+
+examples/packet_trace.rs:

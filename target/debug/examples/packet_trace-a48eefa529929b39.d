@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/packet_trace-a48eefa529929b39.d: examples/packet_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpacket_trace-a48eefa529929b39.rmeta: examples/packet_trace.rs Cargo.toml
+
+examples/packet_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/packet_trace-cad8123e49f4671b.d: examples/packet_trace.rs
+
+/root/repo/target/debug/examples/packet_trace-cad8123e49f4671b: examples/packet_trace.rs
+
+examples/packet_trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/path_diversity-2dfa64e643a05580.d: examples/path_diversity.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpath_diversity-2dfa64e643a05580.rmeta: examples/path_diversity.rs Cargo.toml
+
+examples/path_diversity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

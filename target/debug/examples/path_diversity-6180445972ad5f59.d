@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/path_diversity-6180445972ad5f59.d: examples/path_diversity.rs
+
+/root/repo/target/debug/examples/path_diversity-6180445972ad5f59: examples/path_diversity.rs
+
+examples/path_diversity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/path_diversity-88c012ea30e28b7a.d: examples/path_diversity.rs
+
+/root/repo/target/debug/examples/libpath_diversity-88c012ea30e28b7a.rmeta: examples/path_diversity.rs
+
+examples/path_diversity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-546fc97039a051f0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-546fc97039a051f0.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

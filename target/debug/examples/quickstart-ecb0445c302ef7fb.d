@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-ecb0445c302ef7fb.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-ecb0445c302ef7fb.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

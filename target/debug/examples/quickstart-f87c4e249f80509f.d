@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f87c4e249f80509f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f87c4e249f80509f: examples/quickstart.rs
+
+examples/quickstart.rs:

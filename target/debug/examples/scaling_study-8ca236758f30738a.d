@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling_study-8ca236758f30738a.d: examples/scaling_study.rs
+
+/root/repo/target/debug/examples/libscaling_study-8ca236758f30738a.rmeta: examples/scaling_study.rs
+
+examples/scaling_study.rs:

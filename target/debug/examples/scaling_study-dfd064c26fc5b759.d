@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling_study-dfd064c26fc5b759.d: examples/scaling_study.rs
+
+/root/repo/target/debug/examples/scaling_study-dfd064c26fc5b759: examples/scaling_study.rs
+
+examples/scaling_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scaling_study-eb18b25200fb5029.d: examples/scaling_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscaling_study-eb18b25200fb5029.rmeta: examples/scaling_study.rs Cargo.toml
+
+examples/scaling_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

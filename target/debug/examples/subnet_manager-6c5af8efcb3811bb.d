@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/subnet_manager-6c5af8efcb3811bb.d: examples/subnet_manager.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsubnet_manager-6c5af8efcb3811bb.rmeta: examples/subnet_manager.rs Cargo.toml
+
+examples/subnet_manager.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

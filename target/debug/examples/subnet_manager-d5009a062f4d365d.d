@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/subnet_manager-d5009a062f4d365d.d: examples/subnet_manager.rs
+
+/root/repo/target/debug/examples/libsubnet_manager-d5009a062f4d365d.rmeta: examples/subnet_manager.rs
+
+examples/subnet_manager.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/subnet_manager-ffe08ba6107f9e90.d: examples/subnet_manager.rs
+
+/root/repo/target/debug/examples/subnet_manager-ffe08ba6107f9e90: examples/subnet_manager.rs
+
+examples/subnet_manager.rs:

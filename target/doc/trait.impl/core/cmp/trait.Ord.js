@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["ibfat_routing",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"ibfat_routing/struct.Lid.html\" title=\"struct ibfat_routing::Lid\">Lid</a>",0]]],["ibfat_topology",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"ibfat_topology/struct.Level.html\" title=\"struct ibfat_topology::Level\">Level</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"ibfat_topology/struct.NodeId.html\" title=\"struct ibfat_topology::NodeId\">NodeId</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"ibfat_topology/struct.PortNum.html\" title=\"struct ibfat_topology::PortNum\">PortNum</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"ibfat_topology/struct.SwitchId.html\" title=\"struct ibfat_topology::SwitchId\">SwitchId</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[261,1039]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["ib_fabric",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/convert/trait.From.html\" title=\"trait core::convert::From\">From</a>&lt;<a class=\"enum\" href=\"ib_fabric/enum.RoutingError.html\" title=\"enum ib_fabric::RoutingError\">RoutingError</a>&gt; for <a class=\"enum\" href=\"ib_fabric/enum.FabricError.html\" title=\"enum ib_fabric::FabricError\">FabricError</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/convert/trait.From.html\" title=\"trait core::convert::From\">From</a>&lt;<a class=\"enum\" href=\"ib_fabric/enum.TopologyError.html\" title=\"enum ib_fabric::TopologyError\">TopologyError</a>&gt; for <a class=\"enum\" href=\"ib_fabric/enum.FabricError.html\" title=\"enum ib_fabric::FabricError\">FabricError</a>",0]]],["ibfat_sm",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/convert/trait.From.html\" title=\"trait core::convert::From\">From</a>&lt;<a class=\"enum\" href=\"ibfat_sm/enum.RecognitionError.html\" title=\"enum ibfat_sm::RecognitionError\">RecognitionError</a>&gt; for <a class=\"enum\" href=\"ibfat_sm/enum.SmError.html\" title=\"enum ibfat_sm::SmError\">SmError</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[790,397]}

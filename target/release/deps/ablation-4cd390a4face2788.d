@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-4cd390a4face2788.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-4cd390a4face2788: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

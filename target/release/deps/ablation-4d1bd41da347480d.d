@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-4d1bd41da347480d.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/release/deps/ablation-4d1bd41da347480d: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-f9a2cb0cbd3f8121.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-f9a2cb0cbd3f8121: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

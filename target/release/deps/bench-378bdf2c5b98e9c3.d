@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/bench-378bdf2c5b98e9c3.d: crates/bench/src/lib.rs crates/bench/src/trajectory.rs
+
+/root/repo/target/release/deps/bench-378bdf2c5b98e9c3: crates/bench/src/lib.rs crates/bench/src/trajectory.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/trajectory.rs:

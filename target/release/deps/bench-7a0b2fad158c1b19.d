@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench-7a0b2fad158c1b19.d: crates/bench/src/bin/bench.rs
+
+/root/repo/target/release/deps/bench-7a0b2fad158c1b19: crates/bench/src/bin/bench.rs
+
+crates/bench/src/bin/bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench-b1634de8e4e46a8e.d: crates/bench/src/bin/bench.rs
+
+/root/repo/target/release/deps/bench-b1634de8e4e46a8e: crates/bench/src/bin/bench.rs
+
+crates/bench/src/bin/bench.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/bench-c27854f412cf004a.d: crates/bench/src/lib.rs crates/bench/src/trajectory.rs
+
+/root/repo/target/release/deps/libbench-c27854f412cf004a.rlib: crates/bench/src/lib.rs crates/bench/src/trajectory.rs
+
+/root/repo/target/release/deps/libbench-c27854f412cf004a.rmeta: crates/bench/src/lib.rs crates/bench/src/trajectory.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/trajectory.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-3a586d316fb3f83b.d: /root/stubdeps/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-3a586d316fb3f83b.rlib: /root/stubdeps/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-3a586d316fb3f83b.rmeta: /root/stubdeps/criterion/src/lib.rs
+
+/root/stubdeps/criterion/src/lib.rs:

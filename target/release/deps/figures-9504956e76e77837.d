@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-9504956e76e77837.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-9504956e76e77837: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

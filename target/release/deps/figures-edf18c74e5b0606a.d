@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-edf18c74e5b0606a.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-edf18c74e5b0606a: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

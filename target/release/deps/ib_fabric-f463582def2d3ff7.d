@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ib_fabric-f463582def2d3ff7.d: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/experiment.rs
+
+/root/repo/target/release/deps/ib_fabric-f463582def2d3ff7: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/experiment.rs
+
+crates/core/src/lib.rs:
+crates/core/src/builder.rs:
+crates/core/src/experiment.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ib_fabric-f9f0e78348f72b7a.d: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/experiment.rs
+
+/root/repo/target/release/deps/libib_fabric-f9f0e78348f72b7a.rlib: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/experiment.rs
+
+/root/repo/target/release/deps/libib_fabric-f9f0e78348f72b7a.rmeta: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/experiment.rs
+
+crates/core/src/lib.rs:
+crates/core/src/builder.rs:
+crates/core/src/experiment.rs:

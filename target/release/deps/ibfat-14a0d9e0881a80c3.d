@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ibfat-14a0d9e0881a80c3.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/ibfat-14a0d9e0881a80c3: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ibfat_cli-30f4842e6da92995.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/ibfat_cli-30f4842e6da92995: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ibfat_repro-ce4c55cbce627f31.d: src/lib.rs
+
+/root/repo/target/release/deps/ibfat_repro-ce4c55cbce627f31: src/lib.rs
+
+src/lib.rs:

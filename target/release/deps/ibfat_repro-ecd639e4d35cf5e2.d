@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ibfat_repro-ecd639e4d35cf5e2.d: src/lib.rs
+
+/root/repo/target/release/deps/libibfat_repro-ecd639e4d35cf5e2.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libibfat_repro-ecd639e4d35cf5e2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/ibfat_routing-8c26691843dc8502.d: crates/routing/src/lib.rs crates/routing/src/deadlock.rs crates/routing/src/error.rs crates/routing/src/fault.rs crates/routing/src/lft.rs crates/routing/src/lid.rs crates/routing/src/load.rs crates/routing/src/mlid.rs crates/routing/src/path.rs crates/routing/src/scheme.rs crates/routing/src/slid.rs crates/routing/src/updown.rs crates/routing/src/verify.rs
+
+/root/repo/target/release/deps/libibfat_routing-8c26691843dc8502.rlib: crates/routing/src/lib.rs crates/routing/src/deadlock.rs crates/routing/src/error.rs crates/routing/src/fault.rs crates/routing/src/lft.rs crates/routing/src/lid.rs crates/routing/src/load.rs crates/routing/src/mlid.rs crates/routing/src/path.rs crates/routing/src/scheme.rs crates/routing/src/slid.rs crates/routing/src/updown.rs crates/routing/src/verify.rs
+
+/root/repo/target/release/deps/libibfat_routing-8c26691843dc8502.rmeta: crates/routing/src/lib.rs crates/routing/src/deadlock.rs crates/routing/src/error.rs crates/routing/src/fault.rs crates/routing/src/lft.rs crates/routing/src/lid.rs crates/routing/src/load.rs crates/routing/src/mlid.rs crates/routing/src/path.rs crates/routing/src/scheme.rs crates/routing/src/slid.rs crates/routing/src/updown.rs crates/routing/src/verify.rs
+
+crates/routing/src/lib.rs:
+crates/routing/src/deadlock.rs:
+crates/routing/src/error.rs:
+crates/routing/src/fault.rs:
+crates/routing/src/lft.rs:
+crates/routing/src/lid.rs:
+crates/routing/src/load.rs:
+crates/routing/src/mlid.rs:
+crates/routing/src/path.rs:
+crates/routing/src/scheme.rs:
+crates/routing/src/slid.rs:
+crates/routing/src/updown.rs:
+crates/routing/src/verify.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/ibfat_sim-294ba807a84e62c1.d: crates/sim/src/lib.rs crates/sim/src/bounds.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/packet.rs crates/sim/src/runner.rs crates/sim/src/sim.rs crates/sim/src/trace.rs crates/sim/src/traffic.rs crates/sim/src/vlarb.rs
+
+/root/repo/target/release/deps/libibfat_sim-294ba807a84e62c1.rlib: crates/sim/src/lib.rs crates/sim/src/bounds.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/packet.rs crates/sim/src/runner.rs crates/sim/src/sim.rs crates/sim/src/trace.rs crates/sim/src/traffic.rs crates/sim/src/vlarb.rs
+
+/root/repo/target/release/deps/libibfat_sim-294ba807a84e62c1.rmeta: crates/sim/src/lib.rs crates/sim/src/bounds.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/packet.rs crates/sim/src/runner.rs crates/sim/src/sim.rs crates/sim/src/trace.rs crates/sim/src/traffic.rs crates/sim/src/vlarb.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/bounds.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/packet.rs:
+crates/sim/src/runner.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/traffic.rs:
+crates/sim/src/vlarb.rs:

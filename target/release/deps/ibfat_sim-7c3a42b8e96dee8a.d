@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ibfat_sim-7c3a42b8e96dee8a.d: crates/sim/src/lib.rs crates/sim/src/bounds.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/packet.rs crates/sim/src/runner.rs crates/sim/src/sim.rs crates/sim/src/trace.rs crates/sim/src/traffic.rs crates/sim/src/vlarb.rs
+
+/root/repo/target/release/deps/ibfat_sim-7c3a42b8e96dee8a: crates/sim/src/lib.rs crates/sim/src/bounds.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/packet.rs crates/sim/src/runner.rs crates/sim/src/sim.rs crates/sim/src/trace.rs crates/sim/src/traffic.rs crates/sim/src/vlarb.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/bounds.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/packet.rs:
+crates/sim/src/runner.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/traffic.rs:
+crates/sim/src/vlarb.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ibfat_sm-9a1938385f7a650d.d: crates/sm/src/lib.rs crates/sm/src/discovery.rs crates/sm/src/mad.rs crates/sm/src/manager.rs crates/sm/src/recognize.rs
+
+/root/repo/target/release/deps/libibfat_sm-9a1938385f7a650d.rlib: crates/sm/src/lib.rs crates/sm/src/discovery.rs crates/sm/src/mad.rs crates/sm/src/manager.rs crates/sm/src/recognize.rs
+
+/root/repo/target/release/deps/libibfat_sm-9a1938385f7a650d.rmeta: crates/sm/src/lib.rs crates/sm/src/discovery.rs crates/sm/src/mad.rs crates/sm/src/manager.rs crates/sm/src/recognize.rs
+
+crates/sm/src/lib.rs:
+crates/sm/src/discovery.rs:
+crates/sm/src/mad.rs:
+crates/sm/src/manager.rs:
+crates/sm/src/recognize.rs:

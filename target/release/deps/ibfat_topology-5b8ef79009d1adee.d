@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ibfat_topology-5b8ef79009d1adee.d: crates/topology/src/lib.rs crates/topology/src/analysis_impl.rs crates/topology/src/build.rs crates/topology/src/digits.rs crates/topology/src/error.rs crates/topology/src/graph.rs crates/topology/src/ids.rs crates/topology/src/label.rs crates/topology/src/params.rs crates/topology/src/prefix.rs
+
+/root/repo/target/release/deps/libibfat_topology-5b8ef79009d1adee.rlib: crates/topology/src/lib.rs crates/topology/src/analysis_impl.rs crates/topology/src/build.rs crates/topology/src/digits.rs crates/topology/src/error.rs crates/topology/src/graph.rs crates/topology/src/ids.rs crates/topology/src/label.rs crates/topology/src/params.rs crates/topology/src/prefix.rs
+
+/root/repo/target/release/deps/libibfat_topology-5b8ef79009d1adee.rmeta: crates/topology/src/lib.rs crates/topology/src/analysis_impl.rs crates/topology/src/build.rs crates/topology/src/digits.rs crates/topology/src/error.rs crates/topology/src/graph.rs crates/topology/src/ids.rs crates/topology/src/label.rs crates/topology/src/params.rs crates/topology/src/prefix.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/analysis_impl.rs:
+crates/topology/src/build.rs:
+crates/topology/src/digits.rs:
+crates/topology/src/error.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/ids.rs:
+crates/topology/src/label.rs:
+crates/topology/src/params.rs:
+crates/topology/src/prefix.rs:

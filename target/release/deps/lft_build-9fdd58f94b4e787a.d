@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lft_build-9fdd58f94b4e787a.d: crates/bench/benches/lft_build.rs
+
+/root/repo/target/release/deps/lft_build-9fdd58f94b4e787a: crates/bench/benches/lft_build.rs
+
+crates/bench/benches/lft_build.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/path_select-3b9f5fe4415d0035.d: crates/bench/benches/path_select.rs
+
+/root/repo/target/release/deps/path_select-3b9f5fe4415d0035: crates/bench/benches/path_select.rs
+
+crates/bench/benches/path_select.rs:

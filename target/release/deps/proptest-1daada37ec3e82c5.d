@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-1daada37ec3e82c5.d: /root/stubdeps/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-1daada37ec3e82c5.rlib: /root/stubdeps/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-1daada37ec3e82c5.rmeta: /root/stubdeps/proptest/src/lib.rs
+
+/root/stubdeps/proptest/src/lib.rs:

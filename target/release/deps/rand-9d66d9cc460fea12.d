@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-9d66d9cc460fea12.d: /root/stubdeps/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-9d66d9cc460fea12.rlib: /root/stubdeps/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-9d66d9cc460fea12.rmeta: /root/stubdeps/rand/src/lib.rs
+
+/root/stubdeps/rand/src/lib.rs:

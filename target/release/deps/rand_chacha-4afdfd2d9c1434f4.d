@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-4afdfd2d9c1434f4.d: /root/stubdeps/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-4afdfd2d9c1434f4.rlib: /root/stubdeps/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-4afdfd2d9c1434f4.rmeta: /root/stubdeps/rand_chacha/src/lib.rs
+
+/root/stubdeps/rand_chacha/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-b78729b0d0241e85.d: /root/stubdeps/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-b78729b0d0241e85.rlib: /root/stubdeps/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-b78729b0d0241e85.rmeta: /root/stubdeps/serde/src/lib.rs
+
+/root/stubdeps/serde/src/lib.rs:

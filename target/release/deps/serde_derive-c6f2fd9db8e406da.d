@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-c6f2fd9db8e406da.d: /root/stubdeps/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-c6f2fd9db8e406da.so: /root/stubdeps/serde_derive/src/lib.rs
+
+/root/stubdeps/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-0f15dda4327a523f.d: /root/stubdeps/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-0f15dda4327a523f.rlib: /root/stubdeps/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-0f15dda4327a523f.rmeta: /root/stubdeps/serde_json/src/lib.rs
+
+/root/stubdeps/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_engine-7eca18c913ede215.d: crates/bench/benches/sim_engine.rs
+
+/root/repo/target/release/deps/sim_engine-7eca18c913ede215: crates/bench/benches/sim_engine.rs
+
+crates/bench/benches/sim_engine.rs:

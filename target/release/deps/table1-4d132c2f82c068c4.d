@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-4d132c2f82c068c4.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-4d132c2f82c068c4: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-97ba991b14f4030c.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-97ba991b14f4030c: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:
