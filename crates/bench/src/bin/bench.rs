@@ -15,9 +15,11 @@
 //! threshold (unless `--warn-only`). Wall times are host-dependent;
 //! compare trajectories only across runs on comparable hardware.
 
-use bench::trajectory::{compare, BenchReport, WorkloadResult};
+use bench::trajectory::{compare, BenchReport, PhaseSplit, WorkloadResult};
 use ibfat_routing::{Routing, RoutingKind};
-use ibfat_sim::{run_once, CalendarKind, RunSpec, SimConfig, TrafficPattern};
+use ibfat_sim::{
+    run_observed, run_once, CalendarKind, PhaseProfile, RunSpec, SimConfig, TrafficPattern,
+};
 use ibfat_topology::{Network, TreeParams};
 use std::time::Instant;
 
@@ -104,6 +106,7 @@ fn result(name: String, wall_ns: u64, events: u64, iters: u32) -> WorkloadResult
         events,
         events_per_sec,
         iters,
+        phases: Vec::new(),
     }
 }
 
@@ -142,6 +145,57 @@ fn run_workloads(opts: &Opts) -> Vec<WorkloadResult> {
                 opts.iters,
             ));
         }
+    }
+
+    // The headline configuration once more, under the self-profiling
+    // probe: where does the engine's wall time go, phase by phase? The
+    // run itself is identical (the probe cannot perturb the simulation),
+    // only slower by the two `Instant` reads around each dispatch — so
+    // this row is NOT comparable to its `sim_engine` twin, only to its
+    // own history.
+    println!("sim_profile (8x3/vl4, per-phase wall time):");
+    {
+        let net = Network::mport_ntree(TreeParams::new(8, 3).expect("valid config"));
+        let routing = Routing::build(&net, RoutingKind::Mlid);
+        let cfg = SimConfig::paper(4);
+        let mut best_wall = u64::MAX;
+        let mut best: Option<(u64, PhaseProfile)> = None;
+        for _ in 0..opts.iters {
+            let start = Instant::now();
+            let (report, prof) = run_observed(
+                &net,
+                &routing,
+                cfg.clone(),
+                TrafficPattern::Uniform,
+                RunSpec::new(0.5, sim_time_ns),
+                PhaseProfile::new(),
+            );
+            let wall = start.elapsed().as_nanos() as u64;
+            if wall < best_wall {
+                best_wall = wall;
+                best = Some((report.events_processed, prof));
+            }
+        }
+        let (events, prof) = best.expect("--iters is positive");
+        let mut row = result("sim_profile/8x3/vl4".into(), best_wall, events, opts.iters);
+        row.phases = prof
+            .rows()
+            .into_iter()
+            .map(|(phase, wall_ns, events)| PhaseSplit {
+                name: phase.name().to_string(),
+                wall_ns,
+                events,
+            })
+            .collect();
+        for p in &row.phases {
+            println!(
+                "    {:<26} {:>9.3} ms   {:>10} events",
+                p.name,
+                p.wall_ns as f64 / 1e6,
+                p.events
+            );
+        }
+        out.push(row);
     }
 
     println!("lft_build:");

@@ -13,6 +13,18 @@ use std::fmt::Write as _;
 /// the comparator refuses to diff across schema versions.
 pub const SCHEMA_VERSION: u32 = 1;
 
+/// Wall time and event count attributed to one simulator phase by the
+/// self-profiling probe (the `sim_profile` workload).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSplit {
+    /// Phase name, e.g. `arbitration`.
+    pub name: String,
+    /// Wall time spent dispatching this phase's events, ns.
+    pub wall_ns: u64,
+    /// Events dispatched in this phase.
+    pub events: u64,
+}
+
 /// One measured workload configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadResult {
@@ -27,6 +39,10 @@ pub struct WorkloadResult {
     pub events_per_sec: f64,
     /// Iterations the minimum was taken over.
     pub iters: u32,
+    /// Per-phase breakdown of the best iteration; empty for workloads
+    /// that do not self-profile. Omitted from the JSON when empty, and
+    /// absent in pre-profiling snapshots, so the schema version stands.
+    pub phases: Vec<PhaseSplit>,
 }
 
 /// A whole trajectory snapshot.
@@ -69,7 +85,23 @@ impl BenchReport {
             let _ = writeln!(out, "      \"wall_ns\": {},", w.wall_ns);
             let _ = writeln!(out, "      \"events\": {},", w.events);
             let _ = writeln!(out, "      \"events_per_sec\": {:.1},", w.events_per_sec);
-            let _ = writeln!(out, "      \"iters\": {}", w.iters);
+            if w.phases.is_empty() {
+                let _ = writeln!(out, "      \"iters\": {}", w.iters);
+            } else {
+                let _ = writeln!(out, "      \"iters\": {},", w.iters);
+                let _ = writeln!(out, "      \"phases\": [");
+                for (j, p) in w.phases.iter().enumerate() {
+                    let pc = if j + 1 < w.phases.len() { "," } else { "" };
+                    let _ = writeln!(
+                        out,
+                        "        {{ \"name\": \"{}\", \"wall_ns\": {}, \"events\": {} }}{pc}",
+                        escape(&p.name),
+                        p.wall_ns,
+                        p.events
+                    );
+                }
+                let _ = writeln!(out, "      ]");
+            }
             let _ = writeln!(out, "    }}{comma}");
         }
         let _ = writeln!(out, "  ]");
@@ -91,12 +123,30 @@ impl BenchReport {
             .enumerate()
         {
             let w = item.as_object(&format!("workloads[{i}]"))?;
+            // `phases` arrived after the first snapshots were committed;
+            // its absence simply means "no breakdown recorded".
+            let phases = match w.field("phases") {
+                Err(_) => Vec::new(),
+                Ok(v) => v
+                    .as_array("phases")?
+                    .iter()
+                    .map(|p| {
+                        let p = p.as_object("phases[]")?;
+                        Ok(PhaseSplit {
+                            name: p.field("name")?.as_string("name")?.to_string(),
+                            wall_ns: p.field("wall_ns")?.as_u64("wall_ns")?,
+                            events: p.field("events")?.as_u64("events")?,
+                        })
+                    })
+                    .collect::<Result<_, String>>()?,
+            };
             workloads.push(WorkloadResult {
                 name: w.field("name")?.as_string("name")?.to_string(),
                 wall_ns: w.field("wall_ns")?.as_u64("wall_ns")?,
                 events: w.field("events")?.as_u64("events")?,
                 events_per_sec: w.field("events_per_sec")?.as_f64("events_per_sec")?,
                 iters: w.field("iters")?.as_u64("iters")? as u32,
+                phases,
             });
         }
         Ok(BenchReport { schema, workloads })
@@ -408,6 +458,7 @@ mod tests {
                 events: 1_000_000,
                 events_per_sec: 8_100_000.5,
                 iters: 3,
+                phases: Vec::new(),
             },
             WorkloadResult {
                 name: "lft_build/32x2/mlid".into(),
@@ -415,6 +466,7 @@ mod tests {
                 events: 0,
                 events_per_sec: 0.0,
                 iters: 5,
+                phases: Vec::new(),
             },
         ])
     }
@@ -431,6 +483,33 @@ mod tests {
         assert_eq!(back.workloads[1].events, 0);
         // Emit is canonical: a second round trip is byte-identical.
         assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn phases_round_trip_and_tolerate_absence() {
+        let mut report = sample();
+        report.workloads[0].phases = vec![
+            PhaseSplit {
+                name: "generation".into(),
+                wall_ns: 10_000,
+                events: 500,
+            },
+            PhaseSplit {
+                name: "arbitration".into(),
+                wall_ns: 90_000,
+                events: 4_500,
+            },
+        ];
+        let text = report.to_json();
+        let back = BenchReport::parse(&text).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.to_json(), text);
+        // A pre-profiling snapshot (no "phases" key anywhere) still parses.
+        let old = sample().to_json();
+        assert!(!old.contains("phases"));
+        assert!(BenchReport::parse(&old).unwrap().workloads[0]
+            .phases
+            .is_empty());
     }
 
     #[test]

@@ -14,6 +14,8 @@ commands:
   discover <MxN>                 subnet-manager sweep + label recovery
   simulate <MxN>                 one simulation run
   sweep <MxN>                    load sweep, CSV on stdout
+  counters <MxN>                 one run + IB-style port counters and
+                                 per-level utilization (hot-spot view)
 
 options:
   --scheme mlid|slid|updown      routing scheme        (default mlid)
@@ -24,6 +26,8 @@ options:
   --time-us T                    simulated microseconds (default 200)
   --seed S                       RNG seed
   --fail-links i,j,k             remove cables by index before anything else
+  --sample-interval-ns N         counters time-series period (default time/50)
+  --top K                        ports listed in counters rankings (default 8)
   --json                         machine-readable output";
 
 /// A parsed invocation.
@@ -51,6 +55,10 @@ pub struct Cmd {
     pub seed: Option<u64>,
     /// Cables to fail before acting.
     pub fail_links: Vec<usize>,
+    /// Time-series period for `counters` (None = duration / 50).
+    pub sample_interval_ns: Option<u64>,
+    /// List length for the `counters` port rankings.
+    pub top: usize,
     /// Emit JSON instead of text.
     pub json: bool,
 }
@@ -64,6 +72,7 @@ pub enum Action {
     Discover,
     Simulate,
     Sweep,
+    Counters,
 }
 
 /// A node given either as a dense id (`5`) or a paper label (`P(010)`).
@@ -117,6 +126,8 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
         time_ns: 200_000,
         seed: None,
         fail_links: Vec::new(),
+        sample_interval_ns: None,
+        top: 8,
         json: false,
     };
 
@@ -164,6 +175,20 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
                     .map(|s| s.parse().map_err(|_| format!("bad link index '{s}'")))
                     .collect::<Result<_, _>>()?;
             }
+            "--sample-interval-ns" => {
+                let ns: u64 = next_value(&mut it, arg)?
+                    .parse()
+                    .map_err(|_| "bad --sample-interval-ns value".to_string())?;
+                if ns == 0 {
+                    return Err("--sample-interval-ns must be positive".into());
+                }
+                cmd.sample_interval_ns = Some(ns);
+            }
+            "--top" => {
+                cmd.top = next_value(&mut it, arg)?
+                    .parse()
+                    .map_err(|_| "bad --top value".to_string())?;
+            }
             "--json" => cmd.json = true,
             other if !other.starts_with("--") => positional.push(arg),
             other => return Err(format!("unknown flag '{other}'")),
@@ -176,6 +201,7 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
         "discover" => Action::Discover,
         "simulate" => Action::Simulate,
         "sweep" => Action::Sweep,
+        "counters" => Action::Counters,
         "route" => {
             let [src, dst] = positional.as_slice() else {
                 return Err("route needs <src> <dst> (ids or P(...) labels)".into());
@@ -270,6 +296,24 @@ mod tests {
         assert_eq!(cmd.action, Action::Sweep);
         assert_eq!(cmd.loads, vec![0.1, 0.5]);
         assert_eq!(cmd.fail_links, vec![3, 9]);
+    }
+
+    #[test]
+    fn parses_counters_options() {
+        let cmd = parse(&argv(
+            "counters 4x2 --scheme slid --pattern centric --sample-interval-ns 5000 --top 3",
+        ))
+        .unwrap();
+        assert_eq!(cmd.action, Action::Counters);
+        assert_eq!(cmd.scheme, RoutingKind::Slid);
+        assert_eq!(cmd.sample_interval_ns, Some(5000));
+        assert_eq!(cmd.top, 3);
+        // Defaults: auto interval, top 8.
+        let cmd = parse(&argv("counters 4x2")).unwrap();
+        assert_eq!(cmd.sample_interval_ns, None);
+        assert_eq!(cmd.top, 8);
+        assert!(parse(&argv("counters 4x2 --sample-interval-ns 0")).is_err());
+        assert!(parse(&argv("counters 4x2 --top many")).is_err());
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::args::{Action, Cmd};
 use ib_fabric::prelude::*;
 use ib_fabric::sm::SubnetManager;
 use ib_fabric::topology::analysis;
+use ib_fabric::SwitchId;
 
 /// Run a parsed command.
 pub fn run(cmd: Cmd) -> Result<(), String> {
@@ -19,6 +20,7 @@ pub fn run(cmd: Cmd) -> Result<(), String> {
         Action::Discover => discover(&cmd, &fabric),
         Action::Simulate => simulate(&cmd, &fabric),
         Action::Sweep => sweep(&cmd, &fabric),
+        Action::Counters => counters(&cmd, &fabric),
     }
 }
 
@@ -218,6 +220,204 @@ fn simulate(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
         report.events_processed,
         report.events_per_sec / 1e6
     );
+    Ok(())
+}
+
+/// Link-utilization and congestion roll-up for one tree level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelSummary {
+    /// Tree level (0 = roots).
+    pub level: u32,
+    /// Switch ports at this level that carried traffic.
+    pub active_ports: usize,
+    /// Mean busy fraction over the level's cabled ports.
+    pub mean_utilization: f64,
+    /// Peak busy fraction at this level…
+    pub max_utilization: f64,
+    /// …and the (switch, IB port) achieving it.
+    pub max_port: Option<(u32, u8)>,
+    /// Total xmit-wait over the level's ports (ns).
+    pub xmit_wait_ns: u64,
+    /// Total credit-stall time over the level's ports (ns).
+    pub credit_stall_ns: u64,
+}
+
+/// Everything the `counters` subcommand computes; exposed for tests.
+#[derive(Debug)]
+pub struct CountersReport {
+    pub report: SimReport,
+    pub counters: FabricCounters,
+    /// Per-level roll-ups, roots first.
+    pub levels: Vec<LevelSummary>,
+}
+
+/// Run the configured scenario with fabric counters attached and roll
+/// the per-port numbers up by tree level.
+pub fn collect_counters(cmd: &Cmd, fabric: &Fabric) -> Result<CountersReport, String> {
+    let mut experiment = fabric
+        .experiment()
+        .virtual_lanes(cmd.vls)
+        .traffic(pattern_of(cmd, fabric))
+        .offered_load(cmd.load)
+        .duration_ns(cmd.time_ns);
+    if let Some(seed) = cmd.seed {
+        experiment = experiment.seed(seed);
+    }
+    let interval = cmd.sample_interval_ns.unwrap_or((cmd.time_ns / 50).max(1));
+    let probe = FabricCounters::new(fabric.network(), cmd.vls).with_sampling(interval, cmd.top);
+    let (report, counters) = experiment.run_observed(probe);
+
+    let params = fabric.params();
+    let span = report.sim_time_ns as f64;
+    // The CLI runs the paper's timing: 1 ns per byte, so transmitted
+    // bytes over elapsed time is exactly the busy fraction.
+    let byte_ns = SimConfig::default().byte_time_ns as f64;
+    let mut levels: Vec<LevelSummary> = (0..params.n())
+        .map(|level| LevelSummary {
+            level,
+            active_ports: 0,
+            mean_utilization: 0.0,
+            max_utilization: 0.0,
+            max_port: None,
+            xmit_wait_ns: 0,
+            credit_stall_ns: 0,
+        })
+        .collect();
+    for sw in 0..counters.num_switches() as u32 {
+        let level = SwitchLabel::from_id(params, SwitchId(sw)).level().0 as usize;
+        let summary = &mut levels[level];
+        for port in 0..counters.ports_per_switch() as u8 {
+            let c = counters.port(sw, port);
+            let util = c.xmit_bytes as f64 * byte_ns / span;
+            if c.xmit_pkts > 0 {
+                summary.active_ports += 1;
+            }
+            summary.mean_utilization += util;
+            if util > summary.max_utilization {
+                summary.max_utilization = util;
+                summary.max_port = Some((sw, port + 1));
+            }
+            summary.xmit_wait_ns += c.xmit_wait_ns;
+            summary.credit_stall_ns += c.credit_stall_ns;
+        }
+    }
+    let ports_per_level = |l: &LevelSummary| {
+        let switches = params.switches_at_level(l.level);
+        (switches * params.m()) as f64
+    };
+    for l in &mut levels {
+        l.mean_utilization /= ports_per_level(l).max(1.0);
+    }
+    Ok(CountersReport {
+        report,
+        counters,
+        levels,
+    })
+}
+
+fn counters(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
+    let out = collect_counters(cmd, fabric)?;
+    if cmd.json {
+        println!("{}", out.counters.to_json());
+        return Ok(());
+    }
+    let params = fabric.params();
+    println!(
+        "counters for {} µs of {} under {} ({}, {} VLs, offered {:.2}):",
+        out.report.sim_time_ns / 1000,
+        params,
+        pattern_of(cmd, fabric).name(),
+        cmd.scheme.as_str().to_uppercase(),
+        cmd.vls,
+        cmd.load
+    );
+    println!(
+        "  accepted {:.4} bytes/ns/node, {} delivered, {} in flight at end",
+        out.report.accepted_bytes_per_ns_per_node,
+        out.report.delivered,
+        out.report.in_flight_at_end
+    );
+    println!("\nper-level link utilization (transmit side):");
+    for l in &out.levels {
+        let role = if l.level == 0 { "roots " } else { "level " };
+        let peak = l
+            .max_port
+            .map(|(sw, port)| {
+                format!(
+                    "peak {:5.1}% at {} p{port}",
+                    100.0 * l.max_utilization,
+                    SwitchLabel::from_id(params, SwitchId(sw)),
+                )
+            })
+            .unwrap_or_else(|| "idle".into());
+        println!(
+            "  {role}{}: mean {:5.1}% over {} active ports, {}; \
+             xmit-wait {:.1} µs, credit-stall {:.1} µs",
+            l.level,
+            100.0 * l.mean_utilization,
+            l.active_ports,
+            peak,
+            l.xmit_wait_ns as f64 / 1e3,
+            l.credit_stall_ns as f64 / 1e3
+        );
+    }
+    println!("\ntop {} ports by transmitted bytes:", cmd.top);
+    for h in out.counters.hottest_ports(cmd.top) {
+        let c = out.counters.port(h.sw, h.port - 1);
+        println!(
+            "  {:<12} p{}: {:7.1}% util, {} pkts, xmit-wait {:.1} µs",
+            SwitchLabel::from_id(params, SwitchId(h.sw)).to_string(),
+            h.port,
+            100.0 * h.xmit_bytes as f64 / out.report.sim_time_ns as f64,
+            c.xmit_pkts,
+            c.xmit_wait_ns as f64 / 1e3
+        );
+    }
+    println!("\ntop {} congested ports by xmit-wait:", cmd.top);
+    let congested = out.counters.most_congested_ports(cmd.top);
+    if congested.is_empty() {
+        println!("  none — no packet ever waited for an output buffer");
+    }
+    for h in &congested {
+        let c = out.counters.port(h.sw, h.port - 1);
+        println!(
+            "  {:<12} p{}: waited {:.1} µs, credit-stalled {:.1} µs, high-water in {} / out {}",
+            SwitchLabel::from_id(params, SwitchId(h.sw)).to_string(),
+            h.port,
+            h.xmit_bytes as f64 / 1e3,
+            c.credit_stall_ns as f64 / 1e3,
+            c.in_buf_high_water,
+            c.out_buf_high_water
+        );
+    }
+    let samples = out.counters.samples();
+    if !samples.is_empty() {
+        println!(
+            "\ntime-series: {} samples every {} ns (showing last 5)",
+            samples.len(),
+            out.counters.sample_interval_ns()
+        );
+        println!("  t_ns        delivered  in_flight  events  p50/p95/p99 ns");
+        for s in samples
+            .iter()
+            .rev()
+            .take(5)
+            .collect::<Vec<_>>()
+            .iter()
+            .rev()
+        {
+            println!(
+                "  {:<11} {:<10} {:<10} {:<7} {}/{}/{}",
+                s.t_ns,
+                s.delivered_pkts,
+                s.in_flight,
+                s.events,
+                s.latency_p50_ns,
+                s.latency_p95_ns,
+                s.latency_p99_ns
+            );
+        }
+    }
     Ok(())
 }
 

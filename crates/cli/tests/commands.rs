@@ -65,3 +65,75 @@ fn failed_links_flow_through() {
 fn invalid_fabric_is_an_error_not_a_panic() {
     assert!(run("info 6x2").is_err());
 }
+
+#[test]
+fn counters_runs_in_text_and_json() {
+    run("counters 4x2 --time-us 30").unwrap();
+    run("counters 4x2 --pattern centric --scheme slid --load 0.6 --time-us 30 --top 3").unwrap();
+    run("counters 4x2 --time-us 30 --sample-interval-ns 2000 --vls 2 --json").unwrap();
+}
+
+/// Collect counters for one `counters` command line.
+fn collect(line: &str) -> commands::CountersReport {
+    let argv: Vec<String> = line.split_whitespace().map(String::from).collect();
+    let cmd = args::parse(&argv).unwrap();
+    let fabric = ib_fabric::Fabric::builder(cmd.m, cmd.n)
+        .routing(cmd.scheme)
+        .build()
+        .unwrap();
+    commands::collect_counters(&cmd, &fabric).unwrap()
+}
+
+#[test]
+fn counters_expose_the_slid_root_hot_spot_that_mlid_avoids() {
+    // The paper's motivating scenario: under hot-spot traffic, SLID funnels
+    // every flow towards a destination through the single root its one DLID
+    // selects, while MLID spreads the same flows over all roots. The root
+    // level's peak port utilization must show exactly that.
+    let line = |scheme: &str| {
+        format!(
+            "counters 4x2 --pattern centric --load 0.8 --time-us 150 --seed 11 --scheme {scheme}"
+        )
+    };
+    let slid = collect(&line("slid"));
+    let mlid = collect(&line("mlid"));
+
+    let slid_roots = &slid.levels[0];
+    let mlid_roots = &mlid.levels[0];
+    assert_eq!(slid_roots.level, 0);
+
+    // Both runs push real traffic through the roots.
+    assert!(slid_roots.active_ports > 0 && mlid_roots.active_ports > 0);
+    assert!(slid.report.delivered > 0 && mlid.report.delivered > 0);
+
+    // SLID concentrates: its busiest root port is markedly hotter than
+    // MLID's (FT(4,2) has two roots, so spreading roughly halves the peak).
+    assert!(
+        slid_roots.max_utilization > 1.3 * mlid_roots.max_utilization,
+        "slid root peak {:.3} not clearly above mlid's {:.3}",
+        slid_roots.max_utilization,
+        mlid_roots.max_utilization
+    );
+
+    // The saturated port is a real, identifiable switch port that the MLID
+    // run leaves cooler: the same port under MLID carries fewer bytes.
+    let (sw, port) = slid_roots.max_port.expect("slid roots carried traffic");
+    let slid_bytes = slid.counters.port(sw, port - 1).xmit_bytes;
+    let mlid_bytes = mlid.counters.port(sw, port - 1).xmit_bytes;
+    assert!(
+        slid_bytes > mlid_bytes,
+        "port S{sw} p{port}: slid {slid_bytes} B <= mlid {mlid_bytes} B"
+    );
+
+    // MLID balances: its root level is closer to uniform, so its
+    // peak-to-mean ratio sits well below SLID's. (Total root xmit-wait is
+    // NOT a concentration signal — MLID keeps more root ports busy toward
+    // the saturated subtree, so its aggregate wait can be higher.)
+    let imbalance = |l: &commands::LevelSummary| l.max_utilization / l.mean_utilization;
+    assert!(
+        imbalance(slid_roots) > 1.5 * imbalance(mlid_roots),
+        "slid root imbalance {:.2} not clearly above mlid's {:.2}",
+        imbalance(slid_roots),
+        imbalance(mlid_roots)
+    );
+}

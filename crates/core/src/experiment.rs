@@ -1,5 +1,7 @@
 use crate::Fabric;
-use ibfat_sim::{run_once, sweep, InjectionProcess, RunSpec, SimConfig, SimReport, TrafficPattern};
+use ibfat_sim::{
+    run_once, sweep, InjectionProcess, Probe, RunSpec, SimConfig, SimReport, TrafficPattern,
+};
 
 /// Fluent configuration of a simulation over a [`Fabric`].
 ///
@@ -118,6 +120,22 @@ impl<'a> ExperimentBuilder<'a> {
             self.cfg,
             self.pattern,
             spec,
+        )
+    }
+
+    /// Run the configured operating point observed by `probe` — e.g. an
+    /// [`ibfat_sim::FabricCounters`] for per-port counters and sampled
+    /// time-series, an [`ibfat_sim::PhaseProfile`] for self-profiling, or
+    /// a tuple of both. Returns the report together with the probe.
+    pub fn run_observed<P: Probe>(self, probe: P) -> (SimReport, P) {
+        let spec = self.spec(self.offered_load);
+        ibfat_sim::run_observed(
+            self.fabric.network(),
+            self.fabric.routing(),
+            self.cfg,
+            self.pattern,
+            spec,
+            probe,
         )
     }
 

@@ -57,8 +57,9 @@ pub use ibfat_routing::{
     build_fault_tolerant, Lft, Lid, LidSpace, Route, Routing, RoutingError, RoutingKind,
 };
 pub use ibfat_sim::{
-    aggregate, Aggregate, InjectionProcess, LinkUse, PathSelection, RunSpec, SimConfig, SimReport,
-    TrafficPattern, VlArbitration, VlAssignment,
+    aggregate, Aggregate, FabricCounters, HotPort, InjectionProcess, LinkUse, NoopProbe,
+    PathSelection, Phase, PhaseProfile, Probe, RunSpec, SimConfig, SimReport, TrafficPattern,
+    VlArbitration, VlAssignment,
 };
 pub use ibfat_sm::SubnetManager;
 pub use ibfat_topology::{
@@ -68,8 +69,8 @@ pub use ibfat_topology::{
 /// Convenient glob import: `use ib_fabric::prelude::*;`.
 pub mod prelude {
     pub use crate::{
-        Fabric, FabricBuilder, FabricError, InjectionProcess, Lid, Network, NodeId, NodeLabel,
-        PathSelection, Routing, RoutingKind, SimConfig, SimReport, SubnetManager, SwitchLabel,
-        TrafficPattern, TreeParams, VlArbitration, VlAssignment,
+        Fabric, FabricBuilder, FabricCounters, FabricError, InjectionProcess, Lid, Network, NodeId,
+        NodeLabel, PathSelection, PhaseProfile, Probe, Routing, RoutingKind, SimConfig, SimReport,
+        SubnetManager, SwitchLabel, TrafficPattern, TreeParams, VlArbitration, VlAssignment,
     };
 }

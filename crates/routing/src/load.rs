@@ -30,6 +30,32 @@ impl ChannelLoads {
     pub fn max(&self) -> u32 {
         self.per_link.values().copied().max().unwrap_or(0)
     }
+
+    /// Flows crossing the directed link transmitted by `(device, port)`;
+    /// 0 for unused (or nonexistent) links.
+    pub fn load_of(&self, device: DeviceRef, port: PortNum) -> u32 {
+        self.per_link.get(&(device, port)).copied().unwrap_or(0)
+    }
+
+    /// The `k` most loaded directed links, heaviest first. Ties break
+    /// deterministically: switches before nodes, then by id, then port —
+    /// so equal analyses print identically across runs.
+    pub fn hottest(&self, k: usize) -> Vec<(DeviceRef, PortNum, u32)> {
+        fn rank(d: DeviceRef) -> (u8, u32) {
+            match d {
+                DeviceRef::Switch(s) => (0, s.0),
+                DeviceRef::Node(n) => (1, n.0),
+            }
+        }
+        let mut all: Vec<_> = self
+            .per_link
+            .iter()
+            .map(|(&(device, port), &load)| (device, port, load))
+            .collect();
+        all.sort_by_key(|&(device, port, load)| (std::cmp::Reverse(load), rank(device), port.0));
+        all.truncate(k);
+        all
+    }
 }
 
 /// Compute channel loads for the all-to-all traffic matrix under the
@@ -158,6 +184,29 @@ mod tests {
             }
         }
         assert_eq!(delivered, nodes);
+    }
+
+    #[test]
+    fn load_of_and_hottest_agree_with_the_raw_map() {
+        let net = Network::mport_ntree(TreeParams::new(4, 2).unwrap());
+        let routing = Routing::build(&net, RoutingKind::Slid);
+        let flows: Vec<_> = (1..net.num_nodes() as u32)
+            .map(|s| (NodeId(s), NodeId(0)))
+            .collect();
+        let l = loads_for_matrix(&net, &routing, &flows).unwrap();
+        // load_of mirrors the map and returns 0 off the map.
+        for (&(device, port), &load) in &l.per_link {
+            assert_eq!(l.load_of(device, port), load);
+        }
+        assert_eq!(l.load_of(DeviceRef::Node(NodeId(0)), PortNum(1)), 0);
+        // hottest(k) is sorted, truncated, consistent with max(), and
+        // deterministic (a second call yields the identical ranking).
+        let top = l.hottest(5);
+        assert_eq!(top.len(), 5.min(l.used_links));
+        assert_eq!(top[0].2, l.max());
+        assert!(top.windows(2).all(|w| w[0].2 >= w[1].2));
+        assert_eq!(top, l.hottest(5));
+        assert_eq!(l.hottest(usize::MAX).len(), l.used_links);
     }
 
     #[test]

@@ -48,9 +48,11 @@
 
 pub mod bounds;
 mod config;
+mod counters;
 mod engine;
 mod metrics;
 mod packet;
+mod probe;
 mod runner;
 mod sim;
 mod trace;
@@ -58,10 +60,16 @@ mod traffic;
 mod vlarb;
 
 pub use config::{InjectionProcess, PathSelection, SimConfig, VlAssignment};
+pub use counters::{
+    FabricCounters, HotPort, NodeCounters, PortVlCounters, Sample, COUNTERS_SCHEMA_VERSION,
+};
 pub use engine::{CalendarKind, EventQueue, HeapCalendar, Time, TimingWheel};
-pub use metrics::{LatencyStats, LinkUse, SimReport};
+pub use metrics::{LatencyStats, LinkUse, Percentiles, SimReport};
 pub use packet::{Packet, PacketId, PacketSlab};
-pub use runner::{aggregate, par_map_indexed, replicate, run_once, sweep, Aggregate, RunSpec};
+pub use probe::{NoopProbe, Phase, PhaseProfile, Probe, NUM_PHASES};
+pub use runner::{
+    aggregate, par_map_indexed, replicate, run_observed, run_once, sweep, Aggregate, RunSpec,
+};
 pub use sim::Simulator;
 pub use trace::{PacketTrace, TraceEvent};
 pub use traffic::TrafficPattern;

@@ -26,11 +26,13 @@ impl LatencyStats {
         }
     }
 
-    /// Record one latency sample (ns).
+    /// Record one latency sample (ns). The running sum saturates instead
+    /// of overflowing, so a pathological run degrades `mean()` gracefully
+    /// rather than panicking (or wrapping in release builds).
     #[inline]
     pub fn record(&mut self, ns: u64) {
         self.count += 1;
-        self.sum += ns;
+        self.sum = self.sum.saturating_add(ns);
         self.min = self.min.min(ns);
         self.max = self.max.max(ns);
         let b = (64 - ns.max(1).leading_zeros() as usize - 1).min(self.buckets.len() - 1);
@@ -82,10 +84,21 @@ impl LatencyStats {
         self.max
     }
 
+    /// The standard reporting percentiles in one call (log-histogram
+    /// approximations, like [`quantile`](LatencyStats::quantile)). Used by
+    /// the observability time-series snapshots.
+    pub fn percentiles(&self) -> Percentiles {
+        Percentiles {
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+
     /// Merge another set of samples into this one.
     pub fn merge(&mut self, other: &LatencyStats) {
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
@@ -98,6 +111,15 @@ impl Default for LatencyStats {
     fn default() -> Self {
         LatencyStats::new()
     }
+}
+
+/// The p50/p95/p99 trio from one latency distribution (ns). Zeroes when
+/// the distribution is empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Percentiles {
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
 }
 
 /// Utilization of one directed link (the sending side identifies it).
@@ -222,6 +244,76 @@ mod tests {
         let q99 = s.quantile(0.99);
         assert!(q50 <= q99);
         assert!((500 / 2..=1024).contains(&q50), "q50 = {q50}");
+    }
+
+    #[test]
+    fn empty_percentiles_are_zero() {
+        let s = LatencyStats::new();
+        let p = s.percentiles();
+        assert_eq!((p.p50, p.p95, p.p99), (0, 0, 0));
+    }
+
+    #[test]
+    fn single_sample_lands_in_its_bucket() {
+        let mut s = LatencyStats::new();
+        s.record(300); // bucket [256, 512)
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.min(), 300);
+        assert_eq!(s.max(), 300);
+        // Every quantile of a one-sample distribution reports the same
+        // bucket's upper bound.
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 512, "q = {q}");
+        }
+        let p = s.percentiles();
+        assert_eq!((p.p50, p.p95, p.p99), (512, 512, 512));
+    }
+
+    #[test]
+    fn power_of_two_boundaries_split_buckets() {
+        // 2^k is the *first* value of bucket k: [2^k, 2^(k+1)). A sample
+        // at 2^k-1 must land one bucket below a sample at 2^k.
+        let mut below = LatencyStats::new();
+        below.record(255);
+        assert_eq!(below.quantile(1.0), 256);
+        let mut at = LatencyStats::new();
+        at.record(256);
+        assert_eq!(at.quantile(1.0), 512);
+        // Zero is clamped into the first bucket rather than shifting out.
+        let mut zero = LatencyStats::new();
+        zero.record(0);
+        assert_eq!(zero.quantile(1.0), 2);
+        assert_eq!(zero.min(), 0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let mut s = LatencyStats::new();
+        // A spread crossing many buckets, deterministically generated.
+        let mut v: u64 = 3;
+        for _ in 0..500 {
+            s.record(v % 100_000);
+            v = v.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        }
+        let qs: Vec<u64> = (0..=20).map(|i| s.quantile(i as f64 / 20.0)).collect();
+        for w in qs.windows(2) {
+            assert!(w[0] <= w[1], "quantile not monotone: {qs:?}");
+        }
+        let p = s.percentiles();
+        assert!(p.p50 <= p.p95 && p.p95 <= p.p99);
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_overflowing() {
+        let mut s = LatencyStats::new();
+        s.record(u64::MAX);
+        s.record(u64::MAX);
+        assert_eq!(s.count(), 2);
+        assert!((s.mean() - u64::MAX as f64 / 2.0).abs() / s.mean() < 1e-9);
+        let mut other = LatencyStats::new();
+        other.record(u64::MAX);
+        s.merge(&other); // must not panic in debug builds
+        assert_eq!(s.count(), 3);
     }
 
     #[test]

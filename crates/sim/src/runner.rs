@@ -1,5 +1,6 @@
 //! One-shot runs and multi-point load sweeps.
 
+use crate::probe::Probe;
 use crate::{SimConfig, SimReport, Simulator, TrafficPattern};
 use ibfat_routing::Routing;
 use ibfat_topology::Network;
@@ -44,6 +45,30 @@ pub fn run_once(
         spec.warmup_ns,
     )
     .run()
+}
+
+/// Run one operating point observed by `probe`; returns the report and
+/// the probe with everything it collected (see [`Probe`],
+/// [`crate::FabricCounters`], [`crate::PhaseProfile`]).
+pub fn run_observed<P: Probe>(
+    net: &Network,
+    routing: &Routing,
+    cfg: SimConfig,
+    pattern: TrafficPattern,
+    spec: RunSpec,
+    probe: P,
+) -> (SimReport, P) {
+    Simulator::with_probe(
+        net,
+        routing,
+        cfg,
+        pattern,
+        spec.offered_load,
+        spec.sim_time_ns,
+        spec.warmup_ns,
+        probe,
+    )
+    .run_observed()
 }
 
 /// Apply `f` to every item of `items` across a scoped OS-thread pool,

@@ -28,6 +28,7 @@
 use crate::engine::{EventQueue, Time};
 use crate::metrics::{LatencyStats, SimReport};
 use crate::packet::{Packet, PacketId, PacketSlab};
+use crate::probe::{NoopProbe, Phase, Probe};
 use crate::trace::{PacketTrace, TraceEvent};
 use crate::vlarb::VlArbiter;
 use crate::{InjectionProcess, PathSelection, SimConfig, TrafficPattern, VlAssignment};
@@ -161,7 +162,12 @@ enum Ev {
 /// Borrows the routing for its whole lifetime — building a simulator
 /// copies nothing heavier than the forwarding tables it flattens, so
 /// sweeps and replications share one `Routing` across threads.
-pub struct Simulator<'a> {
+///
+/// Generic over a [`Probe`] observability sink (default: the free
+/// [`NoopProbe`]). Every probe hook site is guarded by the probe's
+/// associated consts, so the unprobed simulator monomorphizes to exactly
+/// the pre-observability hot path.
+pub struct Simulator<'a, P: Probe = NoopProbe> {
     cfg: SimConfig,
     pattern: TrafficPattern,
     offered_load: f64,
@@ -214,11 +220,14 @@ pub struct Simulator<'a> {
     network_latency: LatencyStats,
     events_processed: u64,
     traces: Vec<PacketTrace>,
+
+    probe: P,
 }
 
 impl<'a> Simulator<'a> {
-    /// Build a simulator. `offered_load` is normalized to the injection
-    /// link bandwidth (`1.0` = one packet every `packet_time_ns`).
+    /// Build an unprobed simulator. `offered_load` is normalized to the
+    /// injection link bandwidth (`1.0` = one packet every
+    /// `packet_time_ns`).
     ///
     /// # Panics
     /// Panics on invalid configuration or a subnet with fewer than two
@@ -232,6 +241,33 @@ impl<'a> Simulator<'a> {
         sim_time_ns: Time,
         warmup_ns: Time,
     ) -> Simulator<'a> {
+        Simulator::with_probe(
+            net,
+            routing,
+            cfg,
+            pattern,
+            offered_load,
+            sim_time_ns,
+            warmup_ns,
+            NoopProbe,
+        )
+    }
+}
+
+impl<'a, P: Probe> Simulator<'a, P> {
+    /// Build a simulator observed by `probe` (see [`Probe`]); retrieve
+    /// the probe with [`run_observed`](Simulator::run_observed).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_probe(
+        net: &Network,
+        routing: &'a Routing,
+        cfg: SimConfig,
+        pattern: TrafficPattern,
+        offered_load: f64,
+        sim_time_ns: Time,
+        warmup_ns: Time,
+        probe: P,
+    ) -> Simulator<'a, P> {
         cfg.validate().expect("invalid simulator configuration");
         assert!(net.num_nodes() >= 2, "need at least two nodes");
         assert!(warmup_ns < sim_time_ns, "warm-up must end before the run");
@@ -387,11 +423,18 @@ impl<'a> Simulator<'a> {
             // an accidental `u32::MAX` does not reserve gigabytes.
             traces: Vec::with_capacity(cfg.trace_first_packets.min(65_536) as usize),
             cfg,
+            probe,
         }
     }
 
     /// Run to completion and produce the report.
-    pub fn run(mut self) -> SimReport {
+    pub fn run(self) -> SimReport {
+        self.run_observed().0
+    }
+
+    /// Run to completion; return the report and the probe with whatever
+    /// it observed.
+    pub fn run_observed(mut self) -> (SimReport, P) {
         let wall_start = std::time::Instant::now();
         // Prime every node with a randomly phased first injection so the
         // deterministic process does not fire in lockstep across nodes.
@@ -411,7 +454,20 @@ impl<'a> Simulator<'a> {
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
             self.events_processed += 1;
-            self.dispatch(ev);
+            if P::COUNTERS {
+                self.probe.tick(t, self.slab.live());
+            }
+            if P::TIMING {
+                let phase = phase_of(&ev);
+                let t0 = std::time::Instant::now();
+                self.dispatch(ev);
+                self.probe.phase_time(phase, t0.elapsed().as_nanos() as u64);
+            } else {
+                self.dispatch(ev);
+            }
+        }
+        if P::COUNTERS || P::TIMING {
+            self.probe.finish(self.now);
         }
         let wall = wall_start.elapsed().as_secs_f64();
         self.report(wall)
@@ -436,6 +492,9 @@ impl<'a> Simulator<'a> {
                 let p = &mut self.switches[sw as usize][port as usize];
                 p.credits[vl as usize] += 1;
                 debug_assert!(p.credits[vl as usize] <= self.cap);
+                if P::COUNTERS {
+                    self.probe.credit_stall_end(self.now, sw, port, vl);
+                }
                 self.sw_try_output(sw, port);
             }
             Ev::CreditToNode { node, vl } => {
@@ -571,6 +630,10 @@ impl<'a> Simulator<'a> {
         let (sw, port) = (n.peer_sw, n.peer_port);
         self.slab.get_mut(head).t_inject = self.now;
         self.record(head, TraceEvent::InjectionStart);
+        if P::COUNTERS {
+            self.probe
+                .node_xmit(self.now, node, vl as u8, self.cfg.packet_bytes);
+        }
         self.queue.schedule(
             self.now + self.fly,
             Ev::SwHeaderArrive {
@@ -608,6 +671,15 @@ impl<'a> Simulator<'a> {
                 self.network_latency.record(self.now - p.t_inject);
             }
         }
+        if P::COUNTERS {
+            self.probe.node_rcv(
+                self.now,
+                node,
+                vl,
+                self.cfg.packet_bytes,
+                self.now - p.t_gen,
+            );
+        }
         // Immediate consumption: the endport buffer frees now; the credit
         // flies back to the leaf switch.
         let n = &self.nodes[node as usize];
@@ -635,7 +707,12 @@ impl<'a> Simulator<'a> {
             pkt,
             state: InState::Routing,
         });
-        if q.len() == 1 {
+        let depth = q.len();
+        if P::COUNTERS {
+            self.probe
+                .sw_rcv(self.now, sw, port, vl, self.cfg.packet_bytes, depth as u8);
+        }
+        if depth == 1 {
             self.queue
                 .schedule(self.now + self.route_ns, Ev::SwRouteDone { sw, port, vl });
         }
@@ -656,6 +733,9 @@ impl<'a> Simulator<'a> {
             // remaining serialization time from now (the header has been
             // in the buffer for exactly `route_ns`).
             self.dropped += 1;
+            if P::COUNTERS {
+                self.probe.sw_drop(self.now, sw);
+            }
             self.record(head.pkt, TraceEvent::Dropped { sw });
             self.slab.remove(head.pkt);
             let head_mut = self.switches[sw as usize][port as usize].in_q[vl as usize]
@@ -725,12 +805,20 @@ impl<'a> Simulator<'a> {
             let head = ports[in_port as usize].in_q[vl as usize]
                 .front_mut()
                 .expect("granting an empty input");
+            let was_waiting = matches!(head.state, InState::Waiting(_));
             head.state = InState::Departing;
             let pkt = head.pkt;
             ports[out_port as usize].out_q[vl as usize].push_back(OutEntry {
                 pkt,
                 transmitting: false,
             });
+            if P::COUNTERS {
+                let depth = ports[out_port as usize].out_q[vl as usize].len() as u8;
+                if was_waiting {
+                    self.probe.xmit_wait_end(self.now, sw, in_port, vl);
+                }
+                self.probe.out_buffer_depth(sw, out_port, vl, depth);
+            }
             self.record(pkt, TraceEvent::Granted { sw, out_port });
             self.queue.schedule(
                 self.now + self.pkt_ns,
@@ -747,6 +835,10 @@ impl<'a> Simulator<'a> {
                 .expect("blocking an empty input");
             head.state = InState::Waiting(out_port);
             ports[out_port as usize].waiters[vl as usize].push_back(in_port);
+            if P::COUNTERS {
+                self.probe
+                    .xmit_wait_start(self.now, sw, in_port, vl, out_port);
+            }
         }
     }
 
@@ -850,6 +942,26 @@ impl<'a> Simulator<'a> {
                 PeerRef::Dead => panic!("routing forwarded a packet into a failed port"),
             }
             self.record(tx_record, TraceEvent::TransmitStart { sw, out_port: port });
+            if P::COUNTERS {
+                self.probe
+                    .sw_xmit(self.now, sw, port, vl as u8, self.cfg.packet_bytes);
+            }
+        }
+        if P::COUNTERS {
+            // Credit-stall detection at this arbitration instant: a VL
+            // whose head is ready but holds no credits is stalled on
+            // link-level flow control (ended by `CreditToSwitch`).
+            let p = &self.switches[sw as usize][port as usize];
+            let stalled: u16 = (0..num_vls)
+                .filter(|&vl| {
+                    p.credits[vl] == 0 && p.out_q[vl].front().is_some_and(|h| !h.transmitting)
+                })
+                .fold(0, |m, vl| m | (1 << vl));
+            for vl in 0..num_vls {
+                if stalled & (1 << vl) != 0 {
+                    self.probe.credit_stall_start(self.now, sw, port, vl as u8);
+                }
+            }
         }
     }
 
@@ -874,7 +986,7 @@ impl<'a> Simulator<'a> {
 
     // ----- reporting ----------------------------------------------------
 
-    fn report(self, wall_secs: f64) -> SimReport {
+    fn report(self, wall_secs: f64) -> (SimReport, P) {
         let window = (self.sim_time_ns - self.warmup_ns) as f64;
         let nodes = self.nodes.len() as f64;
         let accepted = self.delivered_bytes_in_window as f64 / window / nodes;
@@ -918,7 +1030,7 @@ impl<'a> Simulator<'a> {
             out
         });
 
-        SimReport {
+        let report = SimReport {
             offered_load: self.offered_load,
             sim_time_ns: self.sim_time_ns,
             warmup_ns: self.warmup_ns,
@@ -944,6 +1056,22 @@ impl<'a> Simulator<'a> {
             link_utilization,
             traces: (self.cfg.trace_first_packets > 0).then_some(self.traces),
             out_of_order: self.out_of_order,
+        };
+        (report, self.probe)
+    }
+}
+
+/// Classify an event by the pipeline stage it advances (self-profiling).
+fn phase_of(ev: &Ev) -> Phase {
+    match ev {
+        Ev::Inject { .. } | Ev::TryNodeSend { .. } | Ev::CreditToNode { .. } => Phase::Generation,
+        Ev::SwHeaderArrive { .. }
+        | Ev::SwRouteDone { .. }
+        | Ev::SwInputDeparted { .. }
+        | Ev::SwDiscardDone { .. } => Phase::Routing,
+        Ev::SwTryOutput { .. } | Ev::SwOutputDeparted { .. } | Ev::CreditToSwitch { .. } => {
+            Phase::Arbitration
         }
+        Ev::Deliver { .. } => Phase::Delivery,
     }
 }
