@@ -15,10 +15,11 @@
 //! threshold (unless `--warn-only`). Wall times are host-dependent;
 //! compare trajectories only across runs on comparable hardware.
 
-use bench::trajectory::{compare, BenchReport, PhaseSplit, WorkloadResult};
+use bench::trajectory::{compare, par_speedups, BenchReport, PhaseSplit, WorkloadResult};
 use ibfat_routing::{Routing, RoutingKind};
 use ibfat_sim::{
-    run_observed, run_once, CalendarKind, PhaseProfile, RunSpec, SimConfig, TrafficPattern,
+    run_observed, run_once, run_once_par, CalendarKind, PhaseProfile, RunSpec, SimConfig,
+    TrafficPattern,
 };
 use ibfat_topology::{Network, TreeParams};
 use std::time::Instant;
@@ -147,6 +148,38 @@ fn run_workloads(opts: &Opts) -> Vec<WorkloadResult> {
         }
     }
 
+    // The headline configuration on the sharded engine, at 1/2/4 worker
+    // threads. Reports (and so `events`) are bit-identical across the
+    // thread counts and to the sequential engine; only wall time moves,
+    // and only with the host's core count — on a single-core runner the
+    // t2/t4 rows pay barrier overhead for no parallelism. Compare these
+    // rows to their own history on comparable hardware, not across hosts.
+    println!("sim_engine_par (8x3/vl4, sharded engine):");
+    {
+        let net = Network::mport_ntree(TreeParams::new(8, 3).expect("valid config"));
+        let routing = Routing::build(&net, RoutingKind::Mlid);
+        let cfg = SimConfig::paper(4);
+        for threads in [1usize, 2, 4] {
+            let (wall, events) = best_of(opts.iters, || {
+                run_once_par(
+                    &net,
+                    &routing,
+                    cfg.clone(),
+                    TrafficPattern::Uniform,
+                    RunSpec::new(0.5, sim_time_ns),
+                    threads,
+                )
+                .events_processed
+            });
+            out.push(result(
+                format!("sim_engine_par/8x3/vl4/t{threads}"),
+                wall,
+                events,
+                opts.iters,
+            ));
+        }
+    }
+
     // The headline configuration once more, under the self-profiling
     // probe: where does the engine's wall time go, phase by phase? The
     // run itself is identical (the probe cannot perturb the simulation),
@@ -256,6 +289,14 @@ fn main() {
     let opts = parse_opts();
     let report = BenchReport::new(run_workloads(&opts));
 
+    let speedups = par_speedups(&report);
+    if !speedups.is_empty() {
+        println!("\nsharded-engine speedup over its t1 row (this host):");
+        for (name, threads, speedup) in &speedups {
+            println!("  {name:<28} {threads} thread(s)  {speedup:>5.2}x");
+        }
+    }
+
     // Compare against the baseline BEFORE overwriting --out.
     let baseline_path = opts.baseline.as_deref().unwrap_or(&opts.out);
     let mut regressed = false;
@@ -270,8 +311,15 @@ fn main() {
             );
             for d in &deltas {
                 let verdict = if d.is_regression(opts.threshold) {
-                    regressed = true;
-                    "REGRESSION"
+                    // Sharded-engine rows are informational: their wall
+                    // time tracks the host's core count, so a different
+                    // (or busier) machine is not a code regression.
+                    if d.name.starts_with("sim_engine_par") {
+                        "slower (warn-only: host-dependent)"
+                    } else {
+                        regressed = true;
+                        "REGRESSION"
+                    }
                 } else if d.ratio < 1.0 {
                     "faster"
                 } else {

@@ -214,6 +214,31 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport) -> Result<Vec<Delt
         .collect())
 }
 
+/// Speedup of every `sim_engine_par/…/tN` workload over its own `t1`
+/// twin on the same snapshot: `(name, threads, t1_wall / tN_wall)`.
+///
+/// Purely derived from wall times already in the report — nothing extra
+/// is persisted, so the JSON layout (and [`SCHEMA_VERSION`]) stand.
+/// Rows without a `t1` twin, with an unparsable thread suffix, or with a
+/// zero wall time are skipped. The `t1` row itself is included (speedup
+/// 1.0 by construction) so tables print a complete column.
+pub fn par_speedups(report: &BenchReport) -> Vec<(String, u32, f64)> {
+    report
+        .workloads
+        .iter()
+        .filter_map(|w| {
+            let (stem, t) = w.name.rsplit_once("/t")?;
+            if !stem.starts_with("sim_engine_par") {
+                return None;
+            }
+            let threads: u32 = t.parse().ok()?;
+            let base = report.get(&format!("{stem}/t1"))?;
+            (base.wall_ns > 0 && w.wall_ns > 0)
+                .then(|| (w.name.clone(), threads, base.wall_ns as f64 / w.wall_ns as f64))
+        })
+        .collect()
+}
+
 // ----- a minimal JSON subset parser ------------------------------------
 
 #[derive(Debug, Clone, PartialEq)]
@@ -540,6 +565,31 @@ mod tests {
             .find(|d| d.name.contains("lft_build"))
             .unwrap();
         assert!(!ok.is_regression(0.25));
+    }
+
+    #[test]
+    fn par_speedups_derive_from_the_t1_twin() {
+        let row = |name: &str, wall_ns: u64| WorkloadResult {
+            name: name.into(),
+            wall_ns,
+            events: 1_000,
+            events_per_sec: 1.0,
+            iters: 3,
+            phases: Vec::new(),
+        };
+        let report = BenchReport::new(vec![
+            row("sim_engine/8x3/vl4", 100), // not a par row: ignored
+            row("sim_engine_par/8x3/vl4/t1", 90),
+            row("sim_engine_par/8x3/vl4/t2", 45),
+            row("sim_engine_par/8x3/vl4/t4", 60),
+            row("sim_engine_par/4x2/vl1/t2", 10), // no t1 twin: skipped
+        ]);
+        let speedups = par_speedups(&report);
+        assert_eq!(speedups.len(), 3);
+        assert_eq!(speedups[0], ("sim_engine_par/8x3/vl4/t1".into(), 1, 1.0));
+        assert_eq!(speedups[1], ("sim_engine_par/8x3/vl4/t2".into(), 2, 2.0));
+        assert_eq!(speedups[2].1, 4);
+        assert!((speedups[2].2 - 1.5).abs() < 1e-9);
     }
 
     #[test]

@@ -12,7 +12,7 @@ commands:
   route <MxN> <src> <dst>        trace the selected route
   verify <MxN>                   delivery / minimality / deadlock checks
   discover <MxN>                 subnet-manager sweep + label recovery
-  simulate <MxN>                 one simulation run
+  simulate <MxN>                 one simulation run (alias: run)
   sweep <MxN>                    load sweep, CSV on stdout
   counters <MxN>                 one run + IB-style port counters and
                                  per-level utilization (hot-spot view)
@@ -25,6 +25,8 @@ options:
   --vls V                        virtual lanes         (default 1)
   --time-us T                    simulated microseconds (default 200)
   --seed S                       RNG seed
+  --threads N                    simulation worker threads (default 1;
+                                 any N yields bit-identical results)
   --fail-links i,j,k             remove cables by index before anything else
   --sample-interval-ns N         counters time-series period (default time/50)
   --top K                        ports listed in counters rankings (default 8)
@@ -53,6 +55,8 @@ pub struct Cmd {
     pub time_ns: u64,
     /// RNG seed.
     pub seed: Option<u64>,
+    /// Simulation worker threads (1 = sequential engine).
+    pub threads: usize,
     /// Cables to fail before acting.
     pub fail_links: Vec<usize>,
     /// Time-series period for `counters` (None = duration / 50).
@@ -125,6 +129,7 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
         vls: 1,
         time_ns: 200_000,
         seed: None,
+        threads: 1,
         fail_links: Vec::new(),
         sample_interval_ns: None,
         top: 8,
@@ -169,6 +174,15 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
                         .map_err(|_| "bad --seed value".to_string())?,
                 );
             }
+            "--threads" => {
+                let threads: usize = next_value(&mut it, arg)?
+                    .parse()
+                    .map_err(|_| "bad --threads value".to_string())?;
+                if threads == 0 {
+                    return Err("--threads must be positive".into());
+                }
+                cmd.threads = threads;
+            }
             "--fail-links" => {
                 cmd.fail_links = next_value(&mut it, arg)?
                     .split(',')
@@ -199,7 +213,7 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
         "info" => Action::Info,
         "verify" => Action::Verify,
         "discover" => Action::Discover,
-        "simulate" => Action::Simulate,
+        "simulate" | "run" => Action::Simulate,
         "sweep" => Action::Sweep,
         "counters" => Action::Counters,
         "route" => {
@@ -314,6 +328,18 @@ mod tests {
         assert_eq!(cmd.top, 8);
         assert!(parse(&argv("counters 4x2 --sample-interval-ns 0")).is_err());
         assert!(parse(&argv("counters 4x2 --top many")).is_err());
+    }
+
+    #[test]
+    fn parses_threads_and_run_alias() {
+        let cmd = parse(&argv("run 4x2 --threads 4")).unwrap();
+        assert_eq!(cmd.action, Action::Simulate);
+        assert_eq!(cmd.threads, 4);
+        // Default is the sequential engine.
+        let cmd = parse(&argv("sweep 4x2")).unwrap();
+        assert_eq!(cmd.threads, 1);
+        assert!(parse(&argv("run 4x2 --threads 0")).is_err());
+        assert!(parse(&argv("run 4x2 --threads lots")).is_err());
     }
 
     #[test]

@@ -175,7 +175,8 @@ fn simulate(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
         .virtual_lanes(cmd.vls)
         .traffic(pattern_of(cmd, fabric))
         .offered_load(cmd.load)
-        .duration_ns(cmd.time_ns);
+        .duration_ns(cmd.time_ns)
+        .threads(cmd.threads);
     if let Some(seed) = cmd.seed {
         experiment = experiment.seed(seed);
     }
@@ -427,6 +428,7 @@ fn sweep(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
         .virtual_lanes(cmd.vls)
         .traffic(pattern_of(cmd, fabric))
         .duration_ns(cmd.time_ns)
+        .threads(cmd.threads)
         .run_sweep(&cmd.loads);
     println!("offered,accepted,avg_latency_ns,p99_latency_ns,delivered,dropped");
     for r in &reports {

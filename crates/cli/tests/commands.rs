@@ -56,6 +56,33 @@ fn simulate_and_sweep_run() {
 }
 
 #[test]
+fn run_alias_and_threads_flag_work_end_to_end() {
+    run("run 4x2 --load 0.2 --time-us 30 --seed 1 --threads 4").unwrap();
+    run("sweep 4x2 --loads 0.2,0.5 --time-us 30 --threads 2").unwrap();
+}
+
+/// `--threads N` must not change a single reported number: the exact
+/// experiment the CLI wires up, run through both engines.
+#[test]
+fn threads_flag_leaves_reports_bit_identical() {
+    let fabric = ib_fabric::Fabric::builder(4, 2).build().unwrap();
+    let report_at = |threads: usize| {
+        let mut r = fabric
+            .experiment()
+            .offered_load(0.3)
+            .duration_ns(40_000)
+            .seed(7)
+            .threads(threads)
+            .run();
+        r.events_per_sec = 0.0; // wall-clock throughput is host noise
+        r
+    };
+    let seq = report_at(1);
+    assert!(seq.delivered > 0);
+    assert_eq!(report_at(4), seq);
+}
+
+#[test]
 fn failed_links_flow_through() {
     run("simulate 4x2 --fail-links 8 --time-us 30").unwrap();
     assert!(run("simulate 4x2 --fail-links 9999 --time-us 30").is_err());

@@ -1,6 +1,7 @@
 use crate::Fabric;
 use ibfat_sim::{
-    run_once, sweep, InjectionProcess, Probe, RunSpec, SimConfig, SimReport, TrafficPattern,
+    run_once, run_once_par, sweep, InjectionProcess, Probe, RunSpec, SimConfig, SimReport,
+    TrafficPattern,
 };
 
 /// Fluent configuration of a simulation over a [`Fabric`].
@@ -16,6 +17,7 @@ pub struct ExperimentBuilder<'a> {
     offered_load: f64,
     sim_time_ns: u64,
     warmup_ns: Option<u64>,
+    threads: usize,
 }
 
 impl<'a> ExperimentBuilder<'a> {
@@ -27,7 +29,16 @@ impl<'a> ExperimentBuilder<'a> {
             offered_load: 0.3,
             sim_time_ns: 500_000,
             warmup_ns: None,
+            threads: 1,
         }
+    }
+
+    /// Simulation worker threads (default 1 = the sequential engine).
+    /// Any value yields bit-identical reports: the parallel engine's
+    /// determinism contract (see [`ibfat_sim::ParSimulator`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Number of virtual lanes (paper: 1, 2 or 4).
@@ -114,6 +125,16 @@ impl<'a> ExperimentBuilder<'a> {
     /// Run the configured operating point.
     pub fn run(self) -> SimReport {
         let spec = self.spec(self.offered_load);
+        if self.threads > 1 {
+            return run_once_par(
+                self.fabric.network(),
+                self.fabric.routing(),
+                self.cfg,
+                self.pattern,
+                spec,
+                self.threads,
+            );
+        }
         run_once(
             self.fabric.network(),
             self.fabric.routing(),
@@ -139,9 +160,27 @@ impl<'a> ExperimentBuilder<'a> {
         )
     }
 
-    /// Run a load sweep (one independent simulation per point, in
-    /// parallel), returning reports in the order of `loads`.
+    /// Run a load sweep, returning reports in the order of `loads`. With
+    /// one thread the points themselves run in parallel (independent
+    /// simulations); with more, each point runs on the parallel engine
+    /// in turn, so memory stays bounded by one fabric. Reports are
+    /// identical either way.
     pub fn run_sweep(self, loads: &[f64]) -> Vec<SimReport> {
+        if self.threads > 1 {
+            return loads
+                .iter()
+                .map(|&load| {
+                    run_once_par(
+                        self.fabric.network(),
+                        self.fabric.routing(),
+                        self.cfg.clone(),
+                        self.pattern.clone(),
+                        RunSpec::new(load, self.sim_time_ns),
+                        self.threads,
+                    )
+                })
+                .collect();
+        }
         sweep(
             self.fabric.network(),
             self.fabric.routing(),

@@ -147,6 +147,18 @@ impl SimConfig {
         1.0 / self.byte_time_ns as f64
     }
 
+    /// Static lookahead for conservatively synchronized parallel
+    /// execution, in ns: the minimum latency of any cross-device
+    /// interaction. Every event one device schedules on another is at
+    /// least one wire flight in the future (header arrivals and credit
+    /// returns both cross exactly one link), so a parallel partition may
+    /// safely advance `lookahead_ns()` past its slowest neighbor. Zero
+    /// (a zero-fly configuration) disables parallel execution.
+    #[inline]
+    pub fn lookahead_ns(&self) -> u64 {
+        self.fly_time_ns
+    }
+
     /// Mean packet inter-arrival time (ns) for a normalized offered load
     /// in `(0, 1]`, where 1.0 saturates the injection link.
     ///

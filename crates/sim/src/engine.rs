@@ -76,7 +76,20 @@ pub struct TimingWheel<E> {
     overflow: BTreeMap<Time, VecDeque<E>>,
     /// Events currently in `overflow`.
     far: usize,
+    /// Recycled overflow buckets: deques drained by `advance`/`refill`
+    /// keep their heap buffer here instead of dropping it, so steady-state
+    /// overflow churn (low-load injection events) allocates nothing.
+    spare: Vec<VecDeque<E>>,
+    /// Overflow buckets created without a recycled deque (diagnostics for
+    /// the alloc-count test).
+    #[cfg(test)]
+    fresh_buckets: u64,
 }
+
+/// Recycled-bucket pool cap: beyond this many spare deques the buffers are
+/// genuinely surplus (more than the peak number of simultaneous overflow
+/// timestamps) and get dropped instead of hoarded.
+const SPARE_BUCKETS: usize = 32;
 
 impl<E> TimingWheel<E> {
     /// An empty wheel with the cursor at t = 0.
@@ -87,6 +100,9 @@ impl<E> TimingWheel<E> {
             near: 0,
             overflow: BTreeMap::new(),
             far: 0,
+            spare: Vec::new(),
+            #[cfg(test)]
+            fresh_buckets: 0,
         }
     }
 
@@ -105,8 +121,28 @@ impl<E> TimingWheel<E> {
             self.slots[(at & WHEEL_MASK) as usize].push_back(event);
             self.near += 1;
         } else {
-            self.overflow.entry(at).or_default().push_back(event);
+            match self.overflow.entry(at) {
+                std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().push_back(event),
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    #[cfg(test)]
+                    if self.spare.is_empty() {
+                        self.fresh_buckets += 1;
+                    }
+                    let mut q = self.spare.pop().unwrap_or_default();
+                    q.push_back(event);
+                    v.insert(q);
+                }
+            }
             self.far += 1;
+        }
+    }
+
+    /// Retire a drained overflow bucket into the recycling pool.
+    #[inline]
+    fn recycle(&mut self, q: VecDeque<E>) {
+        debug_assert!(q.is_empty(), "recycling a non-empty bucket");
+        if self.spare.len() < SPARE_BUCKETS {
+            self.spare.push(q);
         }
     }
 
@@ -177,6 +213,7 @@ impl<E> TimingWheel<E> {
                     let slot = &mut self.slots[(new_edge & WHEEL_MASK) as usize];
                     debug_assert!(slot.is_empty(), "migrating into an occupied bucket");
                     slot.append(&mut q);
+                    self.recycle(q);
                 }
             }
         }
@@ -195,7 +232,16 @@ impl<E> TimingWheel<E> {
             self.far -= q.len();
             self.near += q.len();
             self.slots[(t & WHEEL_MASK) as usize].append(&mut q);
+            self.recycle(q);
         }
+    }
+
+    /// Overflow buckets created from scratch (not served by the recycling
+    /// pool). Pinned by the alloc-count test: after warm-up, steady-state
+    /// overflow churn must be allocation-free.
+    #[cfg(test)]
+    pub(crate) fn fresh_overflow_buckets(&self) -> u64 {
+        self.fresh_buckets
     }
 }
 
@@ -471,6 +517,46 @@ mod tests {
             assert_eq!(q.pop(), Some((7, 2)), "{kind:?}");
             assert_eq!(q.pop(), Some((7, 3)));
         }
+    }
+
+    #[test]
+    fn overflow_buckets_are_recycled_not_reallocated() {
+        // Steady-state far-future churn: each cycle schedules an event
+        // beyond the horizon, then pops it (walking the cursor forward).
+        // After the first cycle the drained bucket's deque sits in the
+        // recycling pool, so no further fresh buckets are ever created.
+        let mut w = TimingWheel::new();
+        let mut t = 0u64;
+        let mut fresh_after_warmup = 0;
+        for cycle in 0..200 {
+            w.schedule(t + 2 * WHEEL_SLOTS as u64, cycle);
+            let (popped_t, popped) = w.pop().expect("event pending");
+            assert_eq!(popped, cycle);
+            assert_eq!(popped_t, t + 2 * WHEEL_SLOTS as u64);
+            t = popped_t;
+            if cycle == 0 {
+                fresh_after_warmup = w.fresh_overflow_buckets();
+            }
+        }
+        assert!(fresh_after_warmup >= 1, "first cycle allocates the bucket");
+        assert_eq!(
+            w.fresh_overflow_buckets(),
+            fresh_after_warmup,
+            "steady-state overflow churn must reuse recycled buckets"
+        );
+    }
+
+    #[test]
+    fn recycled_pool_is_bounded() {
+        // Burst of distinct overflow timestamps, then a full drain: the
+        // pool keeps at most SPARE_BUCKETS deques.
+        let mut w = TimingWheel::new();
+        for i in 0..(SPARE_BUCKETS as u64 + 50) {
+            w.schedule(2 * WHEEL_SLOTS as u64 + i * WHEEL_SLOTS as u64, i);
+        }
+        while w.pop().is_some() {}
+        assert!(w.spare.len() <= SPARE_BUCKETS);
+        assert!(w.is_empty());
     }
 
     #[test]

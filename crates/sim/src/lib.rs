@@ -52,6 +52,7 @@ mod counters;
 mod engine;
 mod metrics;
 mod packet;
+mod par;
 mod probe;
 mod runner;
 mod sim;
@@ -66,9 +67,11 @@ pub use counters::{
 pub use engine::{CalendarKind, EventQueue, HeapCalendar, Time, TimingWheel};
 pub use metrics::{LatencyStats, LinkUse, Percentiles, SimReport};
 pub use packet::{Packet, PacketId, PacketSlab};
-pub use probe::{NoopProbe, Phase, PhaseProfile, Probe, NUM_PHASES};
+pub use par::ParSimulator;
+pub use probe::{NoopProbe, ParProbe, Phase, PhaseProfile, Probe, NUM_PHASES};
 pub use runner::{
-    aggregate, par_map_indexed, replicate, run_observed, run_once, sweep, Aggregate, RunSpec,
+    aggregate, par_map_indexed, replicate, run_observed, run_once, run_once_par, sweep, Aggregate,
+    RunSpec,
 };
 pub use sim::Simulator;
 pub use trace::{PacketTrace, TraceEvent};

@@ -12,6 +12,10 @@ pub type PacketId = u32;
 /// The state of one packet carried through the subnet. Every packet has the
 /// configured fixed size; its Local Route Header is represented by the
 /// `(slid-implied src, dlid)` pair, exactly the fields forwarding uses.
+///
+/// Kept lean on purpose: the flight-recorder slot of a traced packet lives
+/// in a side table on the simulator, not here, so the struct every hop
+/// copies through buffers stays at 32 bytes (see the size test below).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Packet {
     /// Source node (the SLID side).
@@ -26,11 +30,14 @@ pub struct Packet {
     pub t_gen: u64,
     /// First-byte-on-wire timestamp (left the source endport).
     pub t_inject: u64,
-    /// Flight-recorder slot, or `u32::MAX` when untraced.
-    pub trace: u32,
     /// Sequence number within the (src, dst) flow, assigned at generation.
     pub flow_seq: u32,
 }
+
+// A `static_assert` on the hot-struct size: two timestamps (16) + src/dst
+// (8) + flow_seq (4) + dlid (2) + vl (1) pack into 32 bytes under align 8.
+// Growing the struct is a deliberate decision, not an accident.
+const _: () = assert!(std::mem::size_of::<Packet>() == 32);
 
 /// Slab of live packets.
 #[derive(Debug, Default)]
@@ -38,6 +45,8 @@ pub struct PacketSlab {
     slots: Vec<Packet>,
     free: Vec<PacketId>,
     live: usize,
+    /// Peak simultaneous live packets over the slab's lifetime.
+    high_water: usize,
 }
 
 impl PacketSlab {
@@ -49,7 +58,12 @@ impl PacketSlab {
     /// Insert a packet, returning its id.
     pub fn insert(&mut self, p: Packet) -> PacketId {
         self.live += 1;
+        self.high_water = self.high_water.max(self.live);
         if let Some(id) = self.free.pop() {
+            debug_assert!(
+                (id as usize) < self.slots.len(),
+                "free list held an id beyond the slab"
+            );
             self.slots[id as usize] = p;
             id
         } else {
@@ -72,7 +86,11 @@ impl PacketSlab {
 
     /// Release a delivered packet's slot for reuse.
     pub fn remove(&mut self, id: PacketId) -> Packet {
-        debug_assert!(self.live > 0);
+        debug_assert!(self.live > 0, "remove from an empty slab");
+        debug_assert!(
+            !self.free.contains(&id),
+            "double free of packet id {id}"
+        );
         self.live -= 1;
         self.free.push(id);
         self.slots[id as usize]
@@ -84,7 +102,28 @@ impl PacketSlab {
         self.live
     }
 
-    /// High-water mark of slab capacity.
+    /// Alias for [`live`](PacketSlab::live), matching container idiom.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no packets are live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Peak simultaneous live packets over the slab's lifetime — the
+    /// working-set the free list kept memory bounded to.
+    #[inline]
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// High-water mark of slab capacity (slots ever allocated; equals
+    /// [`high_water`](PacketSlab::high_water) when every freed slot is
+    /// reused before the slab grows).
     #[inline]
     pub fn capacity(&self) -> usize {
         self.slots.len()
@@ -103,7 +142,6 @@ mod tests {
             vl: 0,
             t_gen: 0,
             t_inject: 0,
-            trace: u32::MAX,
             flow_seq: 0,
         }
     }
@@ -114,6 +152,8 @@ mod tests {
         let a = slab.insert(pkt(10));
         let b = slab.insert(pkt(20));
         assert_eq!(slab.live(), 2);
+        assert_eq!(slab.len(), 2);
+        assert!(!slab.is_empty());
         assert_eq!(slab.get(a).src, 10);
         assert_eq!(slab.get(b).src, 20);
         let removed = slab.remove(a);
@@ -132,10 +172,43 @@ mod tests {
     }
 
     #[test]
+    fn high_water_tracks_peak_not_current() {
+        let mut slab = PacketSlab::new();
+        let ids: Vec<_> = (0..5).map(|i| slab.insert(pkt(i))).collect();
+        assert_eq!(slab.high_water(), 5);
+        for id in &ids {
+            slab.remove(*id);
+        }
+        assert!(slab.is_empty());
+        assert_eq!(slab.high_water(), 5, "peak survives drain");
+        slab.insert(pkt(9));
+        assert_eq!(slab.high_water(), 5);
+        // Capacity never exceeded the peak: reuse bounded the allocation.
+        assert_eq!(slab.capacity(), 5);
+    }
+
+    #[test]
     fn mutation_in_place() {
         let mut slab = PacketSlab::new();
         let a = slab.insert(pkt(1));
         slab.get_mut(a).t_inject = 99;
         assert_eq!(slab.get(a).t_inject, 99);
+    }
+
+    #[test]
+    fn packet_stays_hot_struct_sized() {
+        // Mirrors the compile-time assert; fails loudly in reports too.
+        assert_eq!(std::mem::size_of::<Packet>(), 32);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double free")]
+    fn double_free_is_caught_in_debug() {
+        let mut slab = PacketSlab::new();
+        let a = slab.insert(pkt(1));
+        let _b = slab.insert(pkt(2));
+        slab.remove(a);
+        slab.remove(a);
     }
 }

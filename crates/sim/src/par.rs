@@ -1,0 +1,957 @@
+//! Conservatively synchronized parallel execution of the subnet
+//! simulator, bit-identical to the sequential engine.
+//!
+//! ## Design (bounded-lag time windows)
+//!
+//! The fabric is sharded by device: switches are block-partitioned by ID
+//! and every end node joins its leaf switch's shard, so the only events
+//! that ever cross a shard boundary are the two single-link switch-to-
+//! switch interactions — `SwHeaderArrive` (a packet header crossing a
+//! wire) and `CreditToSwitch` (a credit flying back). Both are scheduled
+//! exactly one wire flight (`fly_time_ns`) in the future, which makes the
+//! wire flight a *static lookahead* `W = SimConfig::lookahead_ns()`:
+//! an event sent while a shard executes window `k` (times `[kW, (k+1)W)`)
+//! can only fire inside window `k+1`. Each worker therefore dispatches
+//! every local event with `t < (k+1)W`, stages its cross-shard sends into
+//! per-`(src, dst)` mailboxes, and meets the others at one barrier per
+//! window; the next window starts by draining the inbound mailboxes into
+//! the local calendar. Mailboxes are double-buffered by window parity, so
+//! a single barrier per window suffices.
+//!
+//! ## Determinism (the lineage key)
+//!
+//! The sequential engine fires same-timestamp events in *scheduling
+//! order* (calendar FIFO). To reproduce that order without a global
+//! calendar, every scheduled event carries an [`EvKey`] — a node in a
+//! shared lineage tree — and each shard dispatches its per-timestamp
+//! cohort in key order. A key holds:
+//!
+//! 1. `sched` — the simulation time of the scheduling call. FIFO pops
+//!    earlier-scheduled events first; so does the key.
+//! 2. `parent` — the key of the event whose dispatch made the call
+//!    (`None` for the pre-loop priming injections, which sequential FIFO
+//!    pops before anything a dispatch scheduled at the same instant).
+//!    Among events scheduled at the same instant by different dispatches,
+//!    the sequential order is the dispatch order of those parents — which
+//!    (inductively) is the parents' key order — so comparison recurses
+//!    into the lineage.
+//! 3. `tb` — `(device class, device id, per-device schedule counter)` of
+//!    the scheduling call. Two calls from the same dispatch compare by
+//!    counter: exactly their program order.
+//!
+//! The comparison is *exact*, and cheap: two distinct events with a
+//! common parent always differ in `tb` (same device, distinct counter
+//! values), so the lineage walk stops at the first level where the two
+//! ancestries either merge (one shared `Arc`) or diverge in `sched` —
+//! no unbounded tie falls through. Lineage nodes are reference-counted
+//! and shared; the retained set is dominated by each node's injection
+//! chain (one node per generated packet), a few dozen bytes per packet.
+//!
+//! Zero-delay events (scheduled at the instant being dispatched) never
+//! enter the calendar at all: sequential FIFO guarantees they pop after
+//! everything already pending at that instant, in schedule order, so the
+//! driver appends them to the tail of the running cohort unsorted —
+//! exact by construction.
+//!
+//! ## Injection pre-pass
+//!
+//! The only RNG consumers in the engine are the injection-side draws
+//! (traffic pattern, DLID/VL selection, Poisson inter-arrivals), and the
+//! relative order of `Inject` dispatches is independent of fabric events.
+//! A sequential pre-pass replays exactly the injection subsequence —
+//! priming every node in node order, then popping a `(time, insertion
+//! seq)` heap and calling the same `draw_injection` the sequential
+//! engine uses — producing per-node scripts of pre-drawn injections.
+//! Shards consume their nodes' scripts instead of touching the RNG, so
+//! the random stream order is the sequential one by construction; flight-
+//! recorder slots and flow sequence numbers are assigned globally in the
+//! pre-pass for the same reason.
+//!
+//! ## Merging
+//!
+//! Shard reports merge exactly: window counters, latency histograms and
+//! per-device busy times are disjoint sums; `in_flight_at_end` uses the
+//! slab identity `generated − delivered − dropped` (a packet mid-flight
+//! across a shard boundary at the end of the run lives in a mailbox, not
+//! a slab); traces concatenate per slot and sort by time (two same-time
+//! events of one packet can never sit in different shards, because a
+//! crossing costs a full wire flight). Probes fork one child per shard
+//! and absorb commutatively at the end ([`ParProbe`]).
+
+use crate::engine::{EventQueue, Time};
+use crate::metrics::{LatencyStats, SimReport};
+use crate::packet::Packet;
+use crate::probe::{NoopProbe, ParProbe, Probe};
+use crate::sim::{Ev, InjectRec, Sched, Simulator};
+use crate::trace::PacketTrace;
+use crate::{SimConfig, TrafficPattern};
+use ibfat_routing::Routing;
+use ibfat_topology::{DeviceRef, Network, NodeId, PortNum};
+use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+/// Deterministic tiebreak key for same-timestamp events: one node of the
+/// shared lineage tree (see the module docs). Compared with [`cmp_key`].
+#[derive(Debug)]
+struct EvKey {
+    /// Simulation time of the scheduling call.
+    sched: Time,
+    /// `class << 63 | device id << 32 | per-device schedule counter`.
+    tb: u64,
+    /// The event whose dispatch made the scheduling call; `None` for the
+    /// pre-loop priming injections.
+    parent: Option<Arc<EvKey>>,
+}
+
+impl EvKey {
+    /// Key of a pre-loop priming event (the initial `Inject` per node):
+    /// rootless, so it sorts before any dispatched event's children at
+    /// the same instant, and node order matches the sequential priming
+    /// loop's insertion order.
+    fn initial(node: u32) -> Arc<EvKey> {
+        Arc::new(EvKey {
+            sched: 0,
+            tb: u64::from(node) << 32,
+            parent: None,
+        })
+    }
+}
+
+/// Total order over lineage keys, equal to the sequential engine's FIFO
+/// order for same-timestamp events: `sched` first, then the parents'
+/// order (recursively), then the per-dispatch call counter.
+///
+/// The walk is iterative and terminates at the first level where the two
+/// ancestries merge (shared `Arc` or both roots) or diverge in `sched`:
+/// two distinct events sharing a parent always differ in `tb` (same
+/// device, distinct counter values), so once the parents are *the same
+/// event* this level's `tb` decides. Distinct events never compare equal.
+fn cmp_key(a: &Arc<EvKey>, b: &Arc<EvKey>) -> std::cmp::Ordering {
+    use std::cmp::Ordering::*;
+    let (mut a, mut b) = (a, b);
+    loop {
+        match a.sched.cmp(&b.sched) {
+            Equal => {}
+            o => return o,
+        }
+        match (&a.parent, &b.parent) {
+            (None, None) => return a.tb.cmp(&b.tb),
+            (None, Some(_)) => return Less,
+            (Some(_), None) => return Greater,
+            (Some(pa), Some(pb)) => {
+                if Arc::ptr_eq(pa, pb) {
+                    return a.tb.cmp(&b.tb);
+                }
+                a = pa;
+                b = pb;
+            }
+        }
+    }
+}
+
+/// One keyed calendar entry.
+#[derive(Debug, Clone)]
+struct ParEntry {
+    key: Arc<EvKey>,
+    ev: Ev,
+}
+
+/// A cross-shard event in flight between windows.
+struct Msg {
+    at: Time,
+    key: Arc<EvKey>,
+    kind: MsgKind,
+}
+
+enum MsgKind {
+    /// A packet header crossing the shard boundary: the packet leaves the
+    /// source shard's slab and is re-inserted at the destination.
+    Arrive {
+        sw: u32,
+        port: u8,
+        vl: u8,
+        packet: Packet,
+        /// Flight-recorder slot (`u32::MAX` = untraced).
+        trace_slot: u32,
+    },
+    /// A credit returning across the shard boundary.
+    Credit { sw: u32, port: u8, vl: u8 },
+}
+
+/// A cross-shard schedule call awaiting conversion to a [`Msg`]. The
+/// packet id is resolved against the slab immediately after the dispatch
+/// that produced it, before any other dispatch can recycle the slot.
+struct PendingCross {
+    dst: u32,
+    at: Time,
+    key: Arc<EvKey>,
+    ev: Ev,
+}
+
+/// Device-to-shard assignment: switches block-partitioned by ID, nodes
+/// co-located with their leaf switch (so node-side events never cross).
+struct ShardMap {
+    sw: Vec<u32>,
+    node: Vec<u32>,
+}
+
+impl ShardMap {
+    fn build(net: &Network, shards: usize) -> ShardMap {
+        let n_sw = net.num_switches();
+        let sw: Vec<u32> = (0..n_sw).map(|s| (s * shards / n_sw) as u32).collect();
+        let node = (0..net.num_nodes())
+            .map(|n| {
+                match net.peer_of(DeviceRef::Node(NodeId(n as u32)), PortNum(1)) {
+                    Some(p) => match p.device {
+                        DeviceRef::Switch(s) => sw[s.0 as usize],
+                        DeviceRef::Node(_) => unreachable!("endports attach to switches"),
+                    },
+                    // Isolated nodes never source or sink events.
+                    None => 0,
+                }
+            })
+            .collect();
+        ShardMap { sw, node }
+    }
+}
+
+/// `(tb prefix, per-device counter index)` of the device whose handler
+/// is dispatching — the target device of the event being dispatched.
+fn scheduling_dev(ev: &Ev, num_nodes: u32) -> (u64, u32) {
+    match *ev {
+        Ev::Inject { node }
+        | Ev::TryNodeSend { node }
+        | Ev::CreditToNode { node, .. }
+        | Ev::Deliver { node, .. } => (u64::from(node) << 32, node),
+        Ev::SwHeaderArrive { sw, .. }
+        | Ev::SwRouteDone { sw, .. }
+        | Ev::SwInputDeparted { sw, .. }
+        | Ev::SwTryOutput { sw, .. }
+        | Ev::SwOutputDeparted { sw, .. }
+        | Ev::CreditToSwitch { sw, .. }
+        | Ev::SwDiscardDone { sw, .. } => ((1 << 63) | (u64::from(sw) << 32), num_nodes + sw),
+    }
+}
+
+/// The parallel engine's scheduler seam: handlers schedule through this
+/// (via [`Sched`]) exactly as they do through the sequential calendar;
+/// the queue keys each event, routes local ones into the shard's wheel
+/// (or the running cohort, for zero-delay events) and stages cross-shard
+/// ones for the window-end mailbox flush.
+pub struct ShardQueue {
+    me: u32,
+    map: Arc<ShardMap>,
+    num_nodes: u32,
+    lookahead: u64,
+    cal: EventQueue<ParEntry>,
+    /// Per-device schedule-call counters (nodes, then switches).
+    seq: Vec<u32>,
+    // --- context of the dispatch in progress, set by the driver ---
+    cur_time: Time,
+    parent_key: Arc<EvKey>,
+    cur_tb_base: u64,
+    cur_seq_idx: u32,
+    /// Zero-delay events: appended to the running cohort in schedule
+    /// order (exact sequential FIFO), never key-sorted.
+    same_time: Vec<ParEntry>,
+    /// Cross-shard sends of the dispatch in progress.
+    pending: Vec<PendingCross>,
+}
+
+impl ShardQueue {
+    fn new(me: u32, map: Arc<ShardMap>, cfg: &SimConfig) -> ShardQueue {
+        let num_nodes = map.node.len() as u32;
+        let num_sw = map.sw.len() as u32;
+        ShardQueue {
+            me,
+            map,
+            num_nodes,
+            lookahead: cfg.lookahead_ns(),
+            cal: EventQueue::with_kind(cfg.calendar),
+            seq: vec![0; (num_nodes + num_sw) as usize],
+            cur_time: 0,
+            parent_key: EvKey::initial(0),
+            cur_tb_base: 0,
+            cur_seq_idx: 0,
+            same_time: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    fn begin_dispatch(&mut self, t: Time, key: Arc<EvKey>, ev: &Ev) {
+        self.cur_time = t;
+        self.parent_key = key;
+        let (tb_base, seq_idx) = scheduling_dev(ev, self.num_nodes);
+        self.cur_tb_base = tb_base;
+        self.cur_seq_idx = seq_idx;
+    }
+
+    fn dst_shard(&self, ev: &Ev) -> u32 {
+        match *ev {
+            Ev::Inject { node }
+            | Ev::TryNodeSend { node }
+            | Ev::CreditToNode { node, .. }
+            | Ev::Deliver { node, .. } => self.map.node[node as usize],
+            Ev::SwHeaderArrive { sw, .. }
+            | Ev::SwRouteDone { sw, .. }
+            | Ev::SwInputDeparted { sw, .. }
+            | Ev::SwTryOutput { sw, .. }
+            | Ev::SwOutputDeparted { sw, .. }
+            | Ev::CreditToSwitch { sw, .. }
+            | Ev::SwDiscardDone { sw, .. } => self.map.sw[sw as usize],
+        }
+    }
+}
+
+impl Sched for ShardQueue {
+    fn schedule(&mut self, at: Time, ev: Ev) {
+        let seq = self.seq[self.cur_seq_idx as usize];
+        self.seq[self.cur_seq_idx as usize] = seq.wrapping_add(1);
+        let key = Arc::new(EvKey {
+            sched: self.cur_time,
+            tb: self.cur_tb_base | u64::from(seq),
+            parent: Some(self.parent_key.clone()),
+        });
+        let dst = self.dst_shard(&ev);
+        if dst == self.me {
+            if at == self.cur_time {
+                self.same_time.push(ParEntry { key, ev });
+            } else {
+                debug_assert!(at > self.cur_time, "scheduled into the past");
+                self.cal.schedule(at, ParEntry { key, ev });
+            }
+        } else {
+            debug_assert!(
+                matches!(ev, Ev::SwHeaderArrive { .. } | Ev::CreditToSwitch { .. }),
+                "only single-link switch-to-switch events may cross shards"
+            );
+            debug_assert!(
+                at >= self.cur_time + self.lookahead,
+                "cross-shard event violates the lookahead"
+            );
+            self.pending.push(PendingCross { dst, at, key, ev });
+        }
+    }
+}
+
+/// Sequential replay of exactly the injection subsequence: produces the
+/// per-node scripts of pre-drawn injections (identical RNG order to the
+/// sequential run) plus the globally assigned flight-recorder headers.
+fn injection_prepass(
+    net: &Network,
+    routing: &Routing,
+    cfg: &SimConfig,
+    pattern: &TrafficPattern,
+    offered_load: f64,
+    sim_time_ns: Time,
+    warmup_ns: Time,
+) -> (Vec<VecDeque<InjectRec>>, Vec<PacketTrace>) {
+    let mut gen = Simulator::new(
+        net,
+        routing,
+        cfg.clone(),
+        pattern.clone(),
+        offered_load,
+        sim_time_ns,
+        warmup_ns,
+    );
+    let n = gen.nodes.len();
+    let mut scripts: Vec<VecDeque<InjectRec>> = (0..n).map(|_| VecDeque::new()).collect();
+    // `(time, insertion seq, node)`: pops in exactly the order the
+    // sequential calendar fires the Inject subsequence (FIFO preserves
+    // the relative order of any subsequence of insertions).
+    let mut heap: BinaryHeap<Reverse<(Time, u64, u32)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for node in 0..n as u32 {
+        if !gen.nodes[node as usize].active {
+            continue;
+        }
+        let phase = gen.rng.gen_range(0.0..gen.interarrival_ns);
+        gen.nodes[node as usize].next_gen = phase;
+        heap.push(Reverse((phase as Time, seq, node)));
+        seq += 1;
+    }
+    while let Some(Reverse((t, _, node))) = heap.pop() {
+        if t >= sim_time_ns {
+            break; // time-ordered pops: nothing later fires either
+        }
+        gen.now = t;
+        let (payload, next_at) = gen.draw_injection(node);
+        scripts[node as usize].push_back(InjectRec { at: t, payload });
+        if let Some(at) = next_at {
+            heap.push(Reverse((at, seq, node)));
+            seq += 1;
+        }
+    }
+    (scripts, gen.traces)
+}
+
+/// One worker: drain inbound mailboxes, dispatch the window, flush
+/// outbound mailboxes, barrier; repeat until the horizon.
+fn run_shard<P: Probe>(
+    sim: &mut Simulator<'_, P, ShardQueue>,
+    me: usize,
+    shards: usize,
+    mailboxes: &[Vec<[Mutex<Vec<Msg>>; 2]>],
+    barrier: &Barrier,
+    last_now: &AtomicU64,
+) {
+    let w = sim.cfg.lookahead_ns();
+    let sim_time = sim.sim_time_ns;
+    let windows = sim_time.div_ceil(w);
+    let mut cohort: Vec<ParEntry> = Vec::new();
+    let mut outbox: Vec<Vec<Msg>> = (0..shards).map(|_| Vec::new()).collect();
+    for k in 0..windows {
+        let parity = (k & 1) as usize;
+        let bound = (k + 1).saturating_mul(w).min(sim_time);
+        // Drain inbound mailboxes in source-shard order; every message
+        // sent during window k-1 fires inside this window.
+        for (src, from_src) in mailboxes.iter().enumerate() {
+            if src == me {
+                continue;
+            }
+            let msgs =
+                std::mem::take(&mut *from_src[me][parity].lock().expect("mailbox poisoned"));
+            for msg in msgs {
+                debug_assert!(k * w <= msg.at && msg.at < (k + 1).saturating_mul(w));
+                let ev = match msg.kind {
+                    MsgKind::Arrive {
+                        sw,
+                        port,
+                        vl,
+                        packet,
+                        trace_slot,
+                    } => {
+                        let pkt = sim.slab.insert(packet);
+                        sim.set_trace_slot(pkt, trace_slot);
+                        Ev::SwHeaderArrive { sw, port, vl, pkt }
+                    }
+                    MsgKind::Credit { sw, port, vl } => Ev::CreditToSwitch { sw, port, vl },
+                };
+                sim.queue.cal.schedule(msg.at, ParEntry { key: msg.key, ev });
+            }
+        }
+        // Dispatch everything strictly before the window bound, one
+        // timestamp cohort at a time, in key order.
+        while let Some(t) = sim.queue.cal.peek_time() {
+            if t >= bound {
+                break;
+            }
+            cohort.clear();
+            while sim.queue.cal.peek_time() == Some(t) {
+                let (_, e) = sim.queue.cal.pop().expect("peeked nonempty");
+                cohort.push(e);
+            }
+            cohort.sort_unstable_by(|a, b| cmp_key(&a.key, &b.key));
+            let mut i = 0;
+            while i < cohort.len() {
+                let entry = cohort[i].clone();
+                debug_assert!(t >= sim.now, "time went backwards");
+                sim.now = t;
+                sim.events_processed += 1;
+                sim.queue.begin_dispatch(t, entry.key, &entry.ev);
+                if P::COUNTERS {
+                    sim.probe.tick(t, sim.slab.live());
+                }
+                if P::TIMING {
+                    let phase = crate::sim::phase_of(&entry.ev);
+                    let t0 = std::time::Instant::now();
+                    sim.dispatch(entry.ev);
+                    sim.probe.phase_time(phase, t0.elapsed().as_nanos() as u64);
+                } else {
+                    sim.dispatch(entry.ev);
+                }
+                // Zero-delay events join the cohort tail in schedule
+                // order — the exact sequential FIFO position.
+                cohort.append(&mut sim.queue.same_time);
+                // Convert cross-shard sends while their packet ids are
+                // still fresh (no later dispatch may recycle the slot).
+                let tracing = sim.cfg.trace_first_packets > 0;
+                for pc in sim.queue.pending.drain(..) {
+                    let kind = match pc.ev {
+                        Ev::SwHeaderArrive { sw, port, vl, pkt } => {
+                            let trace_slot = if tracing {
+                                sim.trace_slots.get(pkt as usize).copied().unwrap_or(u32::MAX)
+                            } else {
+                                u32::MAX
+                            };
+                            MsgKind::Arrive {
+                                sw,
+                                port,
+                                vl,
+                                packet: sim.slab.remove(pkt),
+                                trace_slot,
+                            }
+                        }
+                        Ev::CreditToSwitch { sw, port, vl } => MsgKind::Credit { sw, port, vl },
+                        _ => unreachable!("non-link event staged as cross-shard"),
+                    };
+                    outbox[pc.dst as usize].push(Msg {
+                        at: pc.at,
+                        key: pc.key,
+                        kind,
+                    });
+                }
+                i += 1;
+            }
+        }
+        // Flush the window's cross-shard sends into the opposite-parity
+        // mailboxes, then meet the other shards.
+        for (dst, staged) in outbox.iter_mut().enumerate() {
+            if staged.is_empty() {
+                continue;
+            }
+            mailboxes[me][dst][parity ^ 1]
+                .lock()
+                .expect("mailbox poisoned")
+                .append(staged);
+        }
+        barrier.wait();
+    }
+    // Agree on the global last dispatch time, then close out the probe
+    // exactly as the sequential engine's `finish` does.
+    last_now.fetch_max(sim.now, Ordering::SeqCst);
+    barrier.wait();
+    if P::COUNTERS || P::TIMING {
+        let end = last_now.load(Ordering::SeqCst);
+        sim.probe.finish(end);
+    }
+}
+
+/// The parallel discrete-event engine: same inputs, same report, N
+/// worker threads (see the module docs). `threads <= 1`, a zero
+/// lookahead, or a single-switch fabric fall back to the sequential
+/// [`Simulator`] — byte-identical by definition.
+///
+/// ```
+/// use ibfat_topology::{Network, TreeParams};
+/// use ibfat_routing::{Routing, RoutingKind};
+/// use ibfat_sim::{ParSimulator, SimConfig, Simulator, TrafficPattern};
+///
+/// let net = Network::mport_ntree(TreeParams::new(4, 2).unwrap());
+/// let routing = Routing::build(&net, RoutingKind::Mlid);
+/// let cfg = SimConfig::paper(2);
+/// let par = ParSimulator::new(
+///     &net, &routing, cfg.clone(), TrafficPattern::Uniform, 0.3, 50_000, 0, 2,
+/// );
+/// let seq = Simulator::new(
+///     &net, &routing, cfg, TrafficPattern::Uniform, 0.3, 50_000, 0,
+/// );
+/// let mut par_report = par.run();
+/// let mut seq_report = seq.run();
+/// // Wall-clock throughput is the only nondeterministic field.
+/// par_report.events_per_sec = 0.0;
+/// seq_report.events_per_sec = 0.0;
+/// assert_eq!(par_report, seq_report);
+/// ```
+pub struct ParSimulator<'a, P: ParProbe = NoopProbe> {
+    net: &'a Network,
+    routing: &'a Routing,
+    cfg: SimConfig,
+    pattern: TrafficPattern,
+    offered_load: f64,
+    sim_time_ns: Time,
+    warmup_ns: Time,
+    threads: usize,
+    probe: P,
+}
+
+impl<'a> ParSimulator<'a> {
+    /// An unprobed parallel simulator over `threads` workers.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        net: &'a Network,
+        routing: &'a Routing,
+        cfg: SimConfig,
+        pattern: TrafficPattern,
+        offered_load: f64,
+        sim_time_ns: Time,
+        warmup_ns: Time,
+        threads: usize,
+    ) -> ParSimulator<'a> {
+        ParSimulator::with_probe(
+            net,
+            routing,
+            cfg,
+            pattern,
+            offered_load,
+            sim_time_ns,
+            warmup_ns,
+            threads,
+            NoopProbe,
+        )
+    }
+}
+
+impl<'a, P: ParProbe> ParSimulator<'a, P> {
+    /// A parallel simulator observed by `probe`; the probe forks one
+    /// child per shard and absorbs them at the end (see [`ParProbe`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_probe(
+        net: &'a Network,
+        routing: &'a Routing,
+        cfg: SimConfig,
+        pattern: TrafficPattern,
+        offered_load: f64,
+        sim_time_ns: Time,
+        warmup_ns: Time,
+        threads: usize,
+        probe: P,
+    ) -> ParSimulator<'a, P> {
+        ParSimulator {
+            net,
+            routing,
+            cfg,
+            pattern,
+            offered_load,
+            sim_time_ns,
+            warmup_ns,
+            threads,
+            probe,
+        }
+    }
+
+    /// Worker count after feasibility clamps (1 = sequential fallback).
+    pub fn effective_threads(&self) -> usize {
+        if self.cfg.lookahead_ns() == 0 || self.net.num_switches() < 2 {
+            return 1;
+        }
+        self.threads.clamp(1, self.net.num_switches())
+    }
+
+    /// Run to completion and produce the report.
+    pub fn run(self) -> SimReport {
+        self.run_observed().0
+    }
+
+    /// Run to completion; return the report and the merged probe.
+    pub fn run_observed(self) -> (SimReport, P) {
+        let shards = self.effective_threads();
+        if shards <= 1 {
+            return Simulator::with_probe(
+                self.net,
+                self.routing,
+                self.cfg,
+                self.pattern,
+                self.offered_load,
+                self.sim_time_ns,
+                self.warmup_ns,
+                self.probe,
+            )
+            .run_observed();
+        }
+        let wall_start = std::time::Instant::now();
+        let (mut scripts, gen_traces) = injection_prepass(
+            self.net,
+            self.routing,
+            &self.cfg,
+            &self.pattern,
+            self.offered_load,
+            self.sim_time_ns,
+            self.warmup_ns,
+        );
+        let map = Arc::new(ShardMap::build(self.net, shards));
+        let num_nodes = self.net.num_nodes();
+
+        let mut sims: Vec<Simulator<'a, P, ShardQueue>> = Vec::with_capacity(shards);
+        for me in 0..shards as u32 {
+            let queue = ShardQueue::new(me, map.clone(), &self.cfg);
+            let mut sim = Simulator::with_queue(
+                self.net,
+                self.routing,
+                self.cfg.clone(),
+                self.pattern.clone(),
+                self.offered_load,
+                self.sim_time_ns,
+                self.warmup_ns,
+                queue,
+                self.probe.fork(),
+            );
+            sim.traces = gen_traces.clone();
+            let mut script: Vec<VecDeque<InjectRec>> =
+                (0..num_nodes).map(|_| VecDeque::new()).collect();
+            for node in 0..num_nodes {
+                if map.node[node] == me {
+                    script[node] = std::mem::take(&mut scripts[node]);
+                }
+            }
+            for (node, s) in script.iter().enumerate() {
+                if let Some(first) = s.front() {
+                    sim.queue.cal.schedule(
+                        first.at,
+                        ParEntry {
+                            key: EvKey::initial(node as u32),
+                            ev: Ev::Inject { node: node as u32 },
+                        },
+                    );
+                }
+            }
+            sim.scripted_inj = Some(script);
+            sims.push(sim);
+        }
+
+        let mailboxes: Vec<Vec<[Mutex<Vec<Msg>>; 2]>> = (0..shards)
+            .map(|_| {
+                (0..shards)
+                    .map(|_| [Mutex::new(Vec::new()), Mutex::new(Vec::new())])
+                    .collect()
+            })
+            .collect();
+        let barrier = Barrier::new(shards);
+        let last_now = AtomicU64::new(0);
+
+        let mut done: Vec<Simulator<'a, P, ShardQueue>> = Vec::with_capacity(shards);
+        std::thread::scope(|scope| {
+            let (mailboxes, barrier, last_now) = (&mailboxes, &barrier, &last_now);
+            let handles: Vec<_> = sims
+                .into_iter()
+                .enumerate()
+                .map(|(me, mut sim)| {
+                    scope.spawn(move || {
+                        run_shard(&mut sim, me, shards, mailboxes, barrier, last_now);
+                        sim
+                    })
+                })
+                .collect();
+            for h in handles {
+                done.push(h.join().expect("parallel shard worker panicked"));
+            }
+        });
+        let wall = wall_start.elapsed().as_secs_f64();
+        self.merge(done, gen_traces, wall)
+    }
+
+    /// Fold the finished shards into one report + probe, reproducing the
+    /// sequential `report()` computation field by field.
+    fn merge(
+        self,
+        shards: Vec<Simulator<'a, P, ShardQueue>>,
+        gen_traces: Vec<PacketTrace>,
+        wall_secs: f64,
+    ) -> (SimReport, P) {
+        let cfg = &self.cfg;
+        let sim_time = self.sim_time_ns;
+        let num_nodes = self.net.num_nodes();
+        let num_sw = self.net.num_switches();
+        let m = self.net.params().m() as usize;
+
+        let mut generated = 0u64;
+        let mut dropped = 0u64;
+        let mut total_generated = 0u64;
+        let mut total_delivered = 0u64;
+        let mut delivered = 0u64;
+        let mut delivered_bytes = 0u64;
+        let mut events_processed = 0u64;
+        let mut out_of_order = 0u64;
+        let mut latency = LatencyStats::new();
+        let mut network_latency = LatencyStats::new();
+        let mut sw_busy = vec![0u64; num_sw * m];
+        let mut node_busy = vec![0u64; num_nodes];
+        for s in &shards {
+            generated += s.generated_in_window;
+            dropped += s.dropped;
+            total_generated += s.total_generated;
+            total_delivered += s.total_delivered;
+            delivered += s.delivered_in_window;
+            delivered_bytes += s.delivered_bytes_in_window;
+            events_processed += s.events_processed;
+            out_of_order += s.out_of_order;
+            latency.merge(&s.latency);
+            network_latency.merge(&s.network_latency);
+            // Only the owning shard ever drives a device, so these sums
+            // are disjoint and exact.
+            for (sw, ports) in s.switches.iter().enumerate() {
+                for (port, p) in ports.iter().enumerate() {
+                    sw_busy[sw * m + port] += p.busy_ns;
+                }
+            }
+            for (n, node) in s.nodes.iter().enumerate() {
+                node_busy[n] += node.busy_ns;
+            }
+        }
+
+        let span = sim_time as f64;
+        let mut total_busy = 0u64;
+        let mut max_busy = 0u64;
+        for &b in sw_busy.iter().chain(node_busy.iter()) {
+            total_busy += b;
+            max_busy = max_busy.max(b);
+        }
+        let links = (sw_busy.len() + node_busy.len()) as u64;
+
+        let link_utilization = cfg.collect_link_stats.then(|| {
+            let mut out = Vec::new();
+            for sw in 0..num_sw {
+                for port in 0..m {
+                    out.push(crate::metrics::LinkUse {
+                        from: format!("S{sw}"),
+                        port: port as u8 + 1,
+                        utilization: sw_busy[sw * m + port] as f64 / span,
+                    });
+                }
+            }
+            for (n, &b) in node_busy.iter().enumerate() {
+                out.push(crate::metrics::LinkUse {
+                    from: format!("N{n}"),
+                    port: 1,
+                    utilization: b as f64 / span,
+                });
+            }
+            out
+        });
+
+        let traces = (cfg.trace_first_packets > 0).then(|| {
+            let mut out = gen_traces;
+            for (slot, tr) in out.iter_mut().enumerate() {
+                for s in &shards {
+                    tr.events.extend_from_slice(&s.traces[slot].events);
+                }
+                // Stable by-time sort: same-time events of one packet are
+                // always same-shard (a crossing costs a wire flight), so
+                // per-shard append order — the dispatch order — survives.
+                tr.events.sort_by_key(|e| e.0);
+            }
+            out
+        });
+
+        let window = (sim_time - self.warmup_ns) as f64;
+        let report = SimReport {
+            offered_load: self.offered_load,
+            sim_time_ns: sim_time,
+            warmup_ns: self.warmup_ns,
+            generated,
+            dropped,
+            total_generated,
+            total_delivered,
+            delivered,
+            delivered_bytes,
+            // The slab identity: every generated packet stays live until
+            // delivered or dropped. Summing shard slabs would miss
+            // packets parked in mailboxes at the horizon.
+            in_flight_at_end: total_generated - total_delivered - dropped,
+            accepted_bytes_per_ns_per_node: delivered_bytes as f64
+                / window
+                / num_nodes as f64,
+            offered_bytes_per_ns_per_node: cfg.packet_bytes as f64
+                / cfg.interarrival_ns(self.offered_load),
+            latency,
+            network_latency,
+            events_processed,
+            events_per_sec: if wall_secs > 0.0 {
+                events_processed as f64 / wall_secs
+            } else {
+                0.0
+            },
+            mean_link_utilization: total_busy as f64 / (links as f64 * span),
+            max_link_utilization: max_busy as f64 / span,
+            link_utilization,
+            traces,
+            out_of_order,
+        };
+
+        let mut probe = self.probe;
+        for s in shards {
+            probe.absorb(s.probe);
+        }
+        (report, probe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_keys_sort_before_any_dispatched_child() {
+        use std::cmp::Ordering;
+        let init = EvKey::initial(7);
+        // A child scheduled at t=0 by the very first dispatch has a
+        // parent, so priming events win the tie at t=0.
+        let child = Arc::new(EvKey {
+            sched: 0,
+            tb: 0,
+            parent: Some(EvKey::initial(0)),
+        });
+        assert_eq!(cmp_key(&init, &child), Ordering::Less);
+        // And node order breaks ties among priming events.
+        assert_eq!(
+            cmp_key(&EvKey::initial(3), &EvKey::initial(7)),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn lineage_walk_orders_by_the_parents_dispatch_order() {
+        use std::cmp::Ordering;
+        // Two children scheduled at the same instant by different
+        // parents: the parent scheduled earlier dispatched first
+        // sequentially, so its child sorts first — regardless of the
+        // children's own tb.
+        // One shared root, as in a real run: every key is created once.
+        let root = EvKey::initial(0);
+        let parent = |sched: Time, tb: u64| {
+            Arc::new(EvKey {
+                sched,
+                tb,
+                parent: Some(root.clone()),
+            })
+        };
+        let child = |p: &Arc<EvKey>, tb: u64| {
+            Arc::new(EvKey {
+                sched: 500,
+                tb,
+                parent: Some(p.clone()),
+            })
+        };
+        let (early, late) = (parent(100, 9), parent(400, 1));
+        assert_eq!(
+            cmp_key(&child(&early, 7), &child(&late, 2)),
+            Ordering::Less
+        );
+        // Same parent *instant* but different call counters: the parent
+        // scheduled by the earlier call dispatched first.
+        let (first, second) = (parent(400, 1), parent(400, 2));
+        assert_eq!(
+            cmp_key(&child(&first, 9), &child(&second, 0)),
+            Ordering::Less
+        );
+        // Same parent: the children's own program order decides.
+        assert_eq!(
+            cmp_key(&child(&first, 0), &child(&first, 1)),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn shard_map_is_total_and_balanced() {
+        use ibfat_topology::TreeParams;
+        let net = Network::mport_ntree(TreeParams::new(4, 3).unwrap());
+        let shards = 4;
+        let map = ShardMap::build(&net, shards);
+        assert_eq!(map.sw.len(), net.num_switches());
+        assert_eq!(map.node.len(), net.num_nodes());
+        for &s in map.sw.iter().chain(map.node.iter()) {
+            assert!((s as usize) < shards);
+        }
+        // Every shard owns at least one switch (blocks are contiguous
+        // and nonempty whenever shards <= switches).
+        for want in 0..shards as u32 {
+            assert!(map.sw.contains(&want), "shard {want} owns no switch");
+        }
+        // Nodes are co-located with their leaf switch.
+        for n in 0..net.num_nodes() {
+            let peer = net
+                .peer_of(DeviceRef::Node(NodeId(n as u32)), PortNum(1))
+                .expect("intact fabric");
+            match peer.device {
+                DeviceRef::Switch(sw) => {
+                    assert_eq!(map.node[n], map.sw[sw.0 as usize]);
+                }
+                DeviceRef::Node(_) => unreachable!(),
+            }
+        }
+    }
+}

@@ -47,6 +47,31 @@ pub fn run_once(
     .run()
 }
 
+/// Run one operating point on the parallel engine with `threads` worker
+/// threads. Bit-identical to [`run_once`] for the same inputs (the
+/// parallel engine's determinism contract; see [`crate::ParSimulator`]);
+/// `threads <= 1` runs the sequential engine directly.
+pub fn run_once_par(
+    net: &Network,
+    routing: &Routing,
+    cfg: SimConfig,
+    pattern: TrafficPattern,
+    spec: RunSpec,
+    threads: usize,
+) -> SimReport {
+    crate::ParSimulator::new(
+        net,
+        routing,
+        cfg,
+        pattern,
+        spec.offered_load,
+        spec.sim_time_ns,
+        spec.warmup_ns,
+        threads,
+    )
+    .run()
+}
+
 /// Run one operating point observed by `probe`; returns the report and
 /// the probe with everything it collected (see [`Probe`],
 /// [`crate::FabricCounters`], [`crate::PhaseProfile`]).

@@ -38,9 +38,25 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use std::collections::VecDeque;
 
+/// The scheduler seam: handlers emit future events through this trait,
+/// so the same dispatch code drives both the sequential engine (events go
+/// straight into the [`EventQueue`]) and the parallel engine (events are
+/// keyed for deterministic ordering and routed to the owning shard's
+/// calendar or a cross-shard mailbox — see `par.rs`).
+pub trait Sched {
+    fn schedule(&mut self, at: Time, ev: Ev);
+}
+
+impl Sched for EventQueue<Ev> {
+    #[inline]
+    fn schedule(&mut self, at: Time, ev: Ev) {
+        EventQueue::schedule(self, at, ev);
+    }
+}
+
 /// What a switch port's output side is cabled to.
 #[derive(Debug, Clone, Copy)]
-enum PeerRef {
+pub(crate) enum PeerRef {
     SwitchPort {
         sw: u32,
         port: u8,
@@ -78,7 +94,7 @@ struct OutEntry {
 
 /// One switch port: input and output state per VL.
 #[derive(Debug)]
-struct SwPort {
+pub(crate) struct SwPort {
     peer: PeerRef,
     /// Link output direction is serialized until this time.
     busy_until: Time,
@@ -95,13 +111,13 @@ struct SwPort {
     /// Input buffers, per VL.
     in_q: Vec<VecDeque<InEntry>>,
     /// Accumulated transmission time on the outgoing direction (ns).
-    busy_ns: u64,
+    pub(crate) busy_ns: u64,
 }
 
 /// One end node.
 #[derive(Debug)]
-struct NodeSt {
-    peer_sw: u32,
+pub(crate) struct NodeSt {
+    pub(crate) peer_sw: u32,
     peer_port: u8,
     /// Unbounded FIFO source queues, one per VL. Real HCAs arbitrate VLs
     /// at the egress port, so a lane stalled on credits never blocks the
@@ -114,18 +130,18 @@ struct NodeSt {
     /// Credits for the leaf switch's input buffers, per VL.
     credits: Vec<u8>,
     /// Next generation instant (f64 to carry fractional inter-arrivals).
-    next_gen: f64,
+    pub(crate) next_gen: f64,
     /// Whether this node generates traffic at all (permutation patterns
     /// may silence self-mapped nodes).
-    active: bool,
+    pub(crate) active: bool,
     /// Round-robin offset cursor for `PathSelection::RoundRobinPerSource`.
     rr_offset: u32,
-    busy_ns: u64,
+    pub(crate) busy_ns: u64,
 }
 
 /// Simulator events.
 #[derive(Debug, Clone, Copy)]
-enum Ev {
+pub enum Ev {
     /// Generate the next packet at a node.
     Inject { node: u32 },
     /// Attempt to start transmitting the node's queue head.
@@ -167,61 +183,95 @@ enum Ev {
 /// [`NoopProbe`]). Every probe hook site is guarded by the probe's
 /// associated consts, so the unprobed simulator monomorphizes to exactly
 /// the pre-observability hot path.
-pub struct Simulator<'a, P: Probe = NoopProbe> {
-    cfg: SimConfig,
-    pattern: TrafficPattern,
-    offered_load: f64,
-    interarrival_ns: f64,
-    sim_time_ns: Time,
-    warmup_ns: Time,
+pub struct Simulator<'a, P: Probe = NoopProbe, Q = EventQueue<Ev>> {
+    pub(crate) cfg: SimConfig,
+    pub(crate) pattern: TrafficPattern,
+    pub(crate) offered_load: f64,
+    pub(crate) interarrival_ns: f64,
+    pub(crate) sim_time_ns: Time,
+    pub(crate) warmup_ns: Time,
 
-    pkt_ns: u64,
-    fly: u64,
-    route_ns: u64,
-    num_vls: usize,
-    cap: u8,
+    pub(crate) pkt_ns: u64,
+    pub(crate) fly: u64,
+    pub(crate) route_ns: u64,
+    pub(crate) num_vls: usize,
+    pub(crate) cap: u8,
     /// Shared VL arbitration entry table.
-    arb_table: Vec<(u8, u8)>,
+    pub(crate) arb_table: Vec<(u8, u8)>,
 
-    routing: &'a Routing,
+    pub(crate) routing: &'a Routing,
     /// All forwarding tables in one contiguous buffer:
     /// `lft[sw * lft_stride + lid]` is the 0-based output port
     /// (`u8::MAX` = no entry). One allocation, stride-indexed, so the
     /// per-hop lookup stays in cache across switches.
-    lft: Vec<u8>,
+    pub(crate) lft: Vec<u8>,
     /// Row length of `lft` (= max LID index + 1).
-    lft_stride: usize,
+    pub(crate) lft_stride: usize,
     /// Per-switch 0-based first up-port (= m/2), or `u8::MAX` for roots
     /// (which have no up-ports). Used by adaptive upward routing.
-    up_ports_from: Vec<u8>,
+    pub(crate) up_ports_from: Vec<u8>,
 
-    switches: Vec<Vec<SwPort>>,
-    nodes: Vec<NodeSt>,
+    pub(crate) switches: Vec<Vec<SwPort>>,
+    pub(crate) nodes: Vec<NodeSt>,
 
-    queue: EventQueue<Ev>,
-    slab: PacketSlab,
-    rng: ChaCha12Rng,
-    now: Time,
+    pub(crate) queue: Q,
+    pub(crate) slab: PacketSlab,
+    pub(crate) rng: ChaCha12Rng,
+    pub(crate) now: Time,
 
     // measurement
     /// Next sequence number per (src, dst, vl) flow. InfiniBand only
     /// orders traffic within a lane, so the flow key includes the VL.
-    flow_next_seq: Vec<u32>,
+    pub(crate) flow_next_seq: Vec<u32>,
     /// Highest delivered sequence per (src, dst, vl) flow (u32::MAX = none).
-    flow_delivered: Vec<u32>,
-    out_of_order: u64,
-    dropped: u64,
-    total_generated: u64,
-    total_delivered: u64,
-    generated_in_window: u64,
-    delivered_in_window: u64,
-    delivered_bytes_in_window: u64,
-    latency: LatencyStats,
-    network_latency: LatencyStats,
-    events_processed: u64,
-    traces: Vec<PacketTrace>,
+    pub(crate) flow_delivered: Vec<u32>,
+    pub(crate) out_of_order: u64,
+    pub(crate) dropped: u64,
+    pub(crate) total_generated: u64,
+    pub(crate) total_delivered: u64,
+    pub(crate) generated_in_window: u64,
+    pub(crate) delivered_in_window: u64,
+    pub(crate) delivered_bytes_in_window: u64,
+    pub(crate) latency: LatencyStats,
+    pub(crate) network_latency: LatencyStats,
+    pub(crate) events_processed: u64,
+    pub(crate) traces: Vec<PacketTrace>,
+    /// Flight-recorder slot per live packet id (`u32::MAX` = untraced) —
+    /// the side table that keeps the slot out of the 32-byte hot
+    /// [`Packet`]. Maintained only when tracing is enabled.
+    pub(crate) trace_slots: Vec<u32>,
+    /// Pre-drawn injections per node, consumed instead of the RNG. The
+    /// parallel engine runs its sequential injection pre-pass, then hands
+    /// each shard the records for its own nodes, so parallel dispatch
+    /// never touches the (globally ordered) random stream.
+    pub(crate) scripted_inj: Option<Vec<VecDeque<InjectRec>>>,
 
-    probe: P,
+    pub(crate) probe: P,
+}
+
+/// One pre-drawn injection event (see
+/// [`draw_injection`](Simulator::draw_injection)).
+#[derive(Debug, Clone)]
+pub(crate) struct InjectRec {
+    /// Fire time, already clamped the way the sequential engine schedules
+    /// it (`next_gen.max(now)` at draw time).
+    pub(crate) at: Time,
+    /// `None` when the pattern was silent for this draw (the node stops
+    /// generating).
+    pub(crate) payload: Option<InjectPayload>,
+}
+
+/// The RNG-dependent half of one injection: everything
+/// [`apply_injection`](Simulator::apply_injection) needs to materialize
+/// the packet without consuming random numbers or shared-counter state.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct InjectPayload {
+    pub(crate) dst: u32,
+    pub(crate) dlid: ibfat_routing::Lid,
+    pub(crate) vl: u8,
+    pub(crate) flow_seq: u32,
+    /// Flight-recorder slot (`u32::MAX` = untraced).
+    pub(crate) trace_slot: u32,
 }
 
 impl<'a> Simulator<'a> {
@@ -268,6 +318,37 @@ impl<'a, P: Probe> Simulator<'a, P> {
         warmup_ns: Time,
         probe: P,
     ) -> Simulator<'a, P> {
+        let queue = EventQueue::with_kind(cfg.calendar);
+        Simulator::with_queue(
+            net,
+            routing,
+            cfg,
+            pattern,
+            offered_load,
+            sim_time_ns,
+            warmup_ns,
+            queue,
+            probe,
+        )
+    }
+}
+
+impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
+    /// Build a simulator over an arbitrary scheduler seam — the shared
+    /// constructor behind [`with_probe`](Simulator::with_probe) (sequential
+    /// calendar) and the parallel engine's per-shard instances.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn with_queue(
+        net: &Network,
+        routing: &'a Routing,
+        cfg: SimConfig,
+        pattern: TrafficPattern,
+        offered_load: f64,
+        sim_time_ns: Time,
+        warmup_ns: Time,
+        queue: Q,
+        probe: P,
+    ) -> Simulator<'a, P, Q> {
         cfg.validate().expect("invalid simulator configuration");
         assert!(net.num_nodes() >= 2, "need at least two nodes");
         assert!(warmup_ns < sim_time_ns, "warm-up must end before the run");
@@ -403,7 +484,7 @@ impl<'a, P: Probe> Simulator<'a, P> {
             up_ports_from,
             switches,
             nodes,
-            queue: EventQueue::with_kind(cfg.calendar),
+            queue,
             slab: PacketSlab::new(),
             rng: ChaCha12Rng::seed_from_u64(cfg.seed),
             now: 0,
@@ -422,11 +503,15 @@ impl<'a, P: Probe> Simulator<'a, P> {
             // Pre-size the flight recorder; clamp huge trace requests so
             // an accidental `u32::MAX` does not reserve gigabytes.
             traces: Vec::with_capacity(cfg.trace_first_packets.min(65_536) as usize),
+            trace_slots: Vec::new(),
+            scripted_inj: None,
             cfg,
             probe,
         }
     }
+}
 
+impl<'a, P: Probe> Simulator<'a, P> {
     /// Run to completion and produce the report.
     pub fn run(self) -> SimReport {
         self.run_observed().0
@@ -472,8 +557,10 @@ impl<'a, P: Probe> Simulator<'a, P> {
         let wall = wall_start.elapsed().as_secs_f64();
         self.report(wall)
     }
+}
 
-    fn dispatch(&mut self, ev: Ev) {
+impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
+    pub(crate) fn dispatch(&mut self, ev: Ev) {
         match ev {
             Ev::Inject { node } => self.inject(node),
             Ev::TryNodeSend { node } => {
@@ -511,22 +598,63 @@ impl<'a, P: Probe> Simulator<'a, P> {
     /// Append a flight-recorder event for a traced packet.
     #[inline]
     fn record(&mut self, pkt: PacketId, ev: TraceEvent) {
-        let slot = self.slab.get(pkt).trace;
+        if self.cfg.trace_first_packets == 0 {
+            return;
+        }
+        let slot = self.trace_slots[pkt as usize];
         if slot != u32::MAX {
             self.traces[slot as usize].events.push((self.now, ev));
         }
     }
 
+    /// Bind a packet id to a flight-recorder slot (`u32::MAX` = untraced).
+    /// Must be called at every slab insert while tracing, because slab ids
+    /// are reused and the side table would otherwise go stale.
+    #[inline]
+    pub(crate) fn set_trace_slot(&mut self, pkt: PacketId, slot: u32) {
+        if self.cfg.trace_first_packets == 0 {
+            return;
+        }
+        let i = pkt as usize;
+        if i >= self.trace_slots.len() {
+            self.trace_slots.resize(i + 1, u32::MAX);
+        }
+        self.trace_slots[i] = slot;
+    }
+
     // ----- end-node behaviour ------------------------------------------
 
     fn inject(&mut self, node: u32) {
+        let (payload, next_at) = if self.scripted_inj.is_some() {
+            self.next_scripted_injection(node)
+        } else {
+            self.draw_injection(node)
+        };
+        if let Some(p) = payload {
+            self.apply_injection(node, p);
+        }
+        if let Some(at) = next_at {
+            self.queue.schedule(at, Ev::Inject { node });
+        }
+    }
+
+    /// The RNG half of an injection: sample the pattern, pick the DLID
+    /// and VL, assign the flight-recorder slot and flow sequence number,
+    /// and draw the next generation instant. Consumes random numbers in
+    /// exactly the order the pre-split `inject` did (the injection-side
+    /// draws are the simulator's only RNG consumers, which is what lets
+    /// the parallel engine replay them in a sequential pre-pass).
+    ///
+    /// Returns the payload (`None` = the pattern silenced the node) and
+    /// the next `Inject` fire time (`None` = no further generation).
+    pub(crate) fn draw_injection(&mut self, node: u32) -> (Option<InjectPayload>, Option<Time>) {
         let num_nodes = self.nodes.len() as u32;
         let src = NodeId(node);
         let dst = self.pattern.sample(src, num_nodes, &mut self.rng);
         let Some(dst) = dst else {
             // Silent under this pattern: stop generating.
             self.nodes[node as usize].active = false;
-            return;
+            return (None, None);
         };
         let dlid = match self.cfg.path_selection {
             PathSelection::Paper => self.routing.select_dlid(src, dst),
@@ -548,7 +676,7 @@ impl<'a, P: Probe> Simulator<'a, P> {
             VlAssignment::DestinationHash => (dst.0 as usize % self.num_vls) as u8,
             VlAssignment::SourceHash => (node as usize % self.num_vls) as u8,
         };
-        let trace = if (self.traces.len() as u32) < self.cfg.trace_first_packets {
+        let trace_slot = if (self.traces.len() as u32) < self.cfg.trace_first_packets {
             self.traces.push(PacketTrace {
                 src: node,
                 dst: dst.0,
@@ -563,25 +691,10 @@ impl<'a, P: Probe> Simulator<'a, P> {
         let flow = (node as usize * self.nodes.len() + dst.index()) * self.num_vls + vl as usize;
         let flow_seq = self.flow_next_seq[flow];
         self.flow_next_seq[flow] += 1;
-        let pkt = self.slab.insert(Packet {
-            src: node,
-            dst: dst.0,
-            dlid,
-            vl,
-            t_gen: self.now,
-            t_inject: 0,
-            trace,
-            flow_seq,
-        });
-        self.record(pkt, TraceEvent::Generated);
-        self.total_generated += 1;
-        if self.now >= self.warmup_ns {
-            self.generated_in_window += 1;
-        }
-        self.nodes[node as usize].inj_q[vl as usize].push_back(pkt);
-        self.try_node_send(node);
 
-        // Schedule the next generation.
+        // Draw the next generation instant. (No RNG consumer sits between
+        // this draw and the pre-split code's position for it, so the
+        // stream order is unchanged.)
         let next = match self.cfg.injection {
             InjectionProcess::Deterministic => {
                 self.nodes[node as usize].next_gen + self.interarrival_ns
@@ -593,9 +706,53 @@ impl<'a, P: Probe> Simulator<'a, P> {
         };
         self.nodes[node as usize].next_gen = next;
         let at = next as Time;
-        if at < self.sim_time_ns {
-            self.queue.schedule(at.max(self.now), Ev::Inject { node });
+        let next_at = (at < self.sim_time_ns).then(|| at.max(self.now));
+        (
+            Some(InjectPayload {
+                dst: dst.0,
+                dlid,
+                vl,
+                flow_seq,
+                trace_slot,
+            }),
+            next_at,
+        )
+    }
+
+    /// Consume the next pre-drawn injection for `node` (parallel shards).
+    fn next_scripted_injection(&mut self, node: u32) -> (Option<InjectPayload>, Option<Time>) {
+        let script = self.scripted_inj.as_mut().expect("scripted mode checked");
+        let rec = script[node as usize]
+            .pop_front()
+            .expect("scripted injection underrun");
+        debug_assert_eq!(rec.at, self.now, "scripted injection fired off-schedule");
+        if rec.payload.is_none() {
+            self.nodes[node as usize].active = false;
         }
+        let next_at = script[node as usize].front().map(|r| r.at);
+        (rec.payload, next_at)
+    }
+
+    /// The deterministic half of an injection: materialize the packet and
+    /// start the source queue, given a pre-drawn payload.
+    pub(crate) fn apply_injection(&mut self, node: u32, p: InjectPayload) {
+        let pkt = self.slab.insert(Packet {
+            src: node,
+            dst: p.dst,
+            dlid: p.dlid,
+            vl: p.vl,
+            t_gen: self.now,
+            t_inject: 0,
+            flow_seq: p.flow_seq,
+        });
+        self.set_trace_slot(pkt, p.trace_slot);
+        self.record(pkt, TraceEvent::Generated);
+        self.total_generated += 1;
+        if self.now >= self.warmup_ns {
+            self.generated_in_window += 1;
+        }
+        self.nodes[node as usize].inj_q[p.vl as usize].push_back(pkt);
+        self.try_node_send(node);
     }
 
     fn try_node_send(&mut self, node: u32) {
@@ -1062,7 +1219,7 @@ impl<'a, P: Probe> Simulator<'a, P> {
 }
 
 /// Classify an event by the pipeline stage it advances (self-profiling).
-fn phase_of(ev: &Ev) -> Phase {
+pub(crate) fn phase_of(ev: &Ev) -> Phase {
     match ev {
         Ev::Inject { .. } | Ev::TryNodeSend { .. } | Ev::CreditToNode { .. } => Phase::Generation,
         Ev::SwHeaderArrive { .. }

@@ -1,0 +1,200 @@
+//! The parallel engine's determinism contract.
+//!
+//! `ParSimulator` promises reports *bit-identical* to the sequential
+//! `Simulator` for the same inputs and seed, at any thread count. These
+//! tests are the license to flip `--threads` on without revalidating a
+//! single experiment: full `SimReport` equality (counters, latency
+//! histograms, link utilization, flight-recorder traces, out-of-order
+//! accounting) with only the wall-clock throughput field zeroed.
+
+use ibfat_routing::{Routing, RoutingKind};
+use ibfat_sim::{
+    run_once, run_once_par, CalendarKind, FabricCounters, ParSimulator, RunSpec, SimConfig,
+    SimReport, Simulator, TrafficPattern,
+};
+use ibfat_topology::{Network, NodeId, TreeParams};
+use proptest::prelude::*;
+
+fn normalized(mut r: SimReport) -> SimReport {
+    // The only host-dependent field; everything else must match exactly.
+    r.events_per_sec = 0.0;
+    r
+}
+
+fn par_report(
+    net: &Network,
+    routing: &Routing,
+    cfg: &SimConfig,
+    pattern: &TrafficPattern,
+    spec: RunSpec,
+    threads: usize,
+) -> SimReport {
+    normalized(run_once_par(
+        net,
+        routing,
+        cfg.clone(),
+        pattern.clone(),
+        spec,
+        threads,
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any legal configuration, any thread count: same report.
+    #[test]
+    fn par_reports_equal_sequential(
+        (m, n) in prop_oneof![Just((4u32, 2u32)), Just((4, 3)), Just((8, 2)), Just((8, 3))],
+        vls in prop_oneof![Just(1u8), Just(4)],
+        seed in any::<u64>(),
+        load in prop_oneof![Just(0.15f64), Just(0.45), Just(0.9)],
+        calendar in prop_oneof![
+            Just(CalendarKind::TimingWheel),
+            Just(CalendarKind::BinaryHeap),
+        ],
+    ) {
+        // Keep the simulated horizon small: proptest runs many cases,
+        // and FT(8,3) has 512 nodes.
+        let sim_time = if m == 8 && n == 3 { 8_000 } else { 30_000 };
+        let params = TreeParams::new(m, n).expect("valid params");
+        let net = Network::mport_ntree(params);
+        let routing = Routing::build(&net, RoutingKind::Mlid);
+        let cfg = SimConfig {
+            num_vls: vls,
+            seed,
+            calendar,
+            ..SimConfig::default()
+        };
+        let pattern = TrafficPattern::Uniform;
+        let spec = RunSpec::new(load, sim_time);
+        let seq = normalized(run_once(
+            &net, &routing, cfg.clone(), pattern.clone(), spec,
+        ));
+        for threads in [1usize, 2, 4] {
+            let par = par_report(&net, &routing, &cfg, &pattern, spec, threads);
+            prop_assert_eq!(&par, &seq, "divergence at {} threads", threads);
+        }
+    }
+}
+
+/// A deeper fixed point: traces and per-link stats on, hot-spot traffic,
+/// an awkward thread count that leaves unequal shards.
+#[test]
+fn ft43_hotspot_with_traces_and_link_stats_is_bit_identical() {
+    let net = Network::mport_ntree(TreeParams::new(4, 3).expect("valid params"));
+    let routing = Routing::build(&net, RoutingKind::Mlid);
+    let cfg = SimConfig {
+        num_vls: 2,
+        seed: 0xDEC0DE,
+        trace_first_packets: 32,
+        collect_link_stats: true,
+        ..SimConfig::default()
+    };
+    let pattern = TrafficPattern::Centric {
+        hotspot: NodeId(3),
+        fraction: 0.2,
+    };
+    let spec = RunSpec::new(0.5, 60_000);
+    let seq = normalized(run_once(
+        &net,
+        &routing,
+        cfg.clone(),
+        pattern.clone(),
+        spec,
+    ));
+    assert!(seq.delivered > 0, "the run must carry traffic");
+    assert!(seq.traces.is_some() && seq.link_utilization.is_some());
+    for threads in [2usize, 3, 5, 8] {
+        let par = par_report(&net, &routing, &cfg, &pattern, spec, threads);
+        assert_eq!(par, seq, "divergence at {threads} threads");
+    }
+}
+
+/// The `FabricCounters` probe merges exactly: every per-device register
+/// is owned by one shard, so the absorbed totals equal a sequential
+/// probed run's.
+#[test]
+fn fabric_counter_registers_merge_exactly() {
+    let net = Network::mport_ntree(TreeParams::new(4, 2).expect("valid params"));
+    let routing = Routing::build(&net, RoutingKind::Mlid);
+    let cfg = SimConfig {
+        num_vls: 2,
+        seed: 0xC0FFEE,
+        ..SimConfig::default()
+    };
+    let pattern = TrafficPattern::Uniform;
+    let (load, sim_time) = (0.6, 50_000);
+
+    let (seq_report, seq_counters) = Simulator::with_probe(
+        &net,
+        &routing,
+        cfg.clone(),
+        pattern.clone(),
+        load,
+        sim_time,
+        0,
+        FabricCounters::new(&net, cfg.num_vls),
+    )
+    .run_observed();
+
+    let (par_report, par_counters) = ParSimulator::with_probe(
+        &net,
+        &routing,
+        cfg.clone(),
+        pattern.clone(),
+        load,
+        sim_time,
+        0,
+        4,
+        FabricCounters::new(&net, cfg.num_vls),
+    )
+    .run_observed();
+
+    assert_eq!(normalized(par_report), normalized(seq_report));
+    let seq_sw = seq_counters.switch_totals();
+    let par_sw = par_counters.switch_totals();
+    assert_eq!(seq_sw, par_sw, "switch register totals diverged");
+    assert_eq!(
+        seq_counters.hottest_ports(4),
+        par_counters.hottest_ports(4),
+        "hot-port ranking diverged"
+    );
+}
+
+/// Feasibility clamps: zero lookahead and absurd thread counts both
+/// produce the sequential answer rather than an incorrect parallel one.
+#[test]
+fn degenerate_configurations_fall_back_to_sequential()
+{
+    let net = Network::mport_ntree(TreeParams::new(4, 2).expect("valid params"));
+    let routing = Routing::build(&net, RoutingKind::Mlid);
+    let spec = RunSpec::new(0.3, 20_000);
+
+    // Zero wire flight ⇒ zero lookahead ⇒ sequential fallback.
+    let cfg = SimConfig {
+        fly_time_ns: 0,
+        ..SimConfig::default()
+    };
+    let seq = normalized(run_once(
+        &net,
+        &routing,
+        cfg.clone(),
+        TrafficPattern::Uniform,
+        spec,
+    ));
+    let par = par_report(&net, &routing, &cfg, &TrafficPattern::Uniform, spec, 8);
+    assert_eq!(par, seq);
+
+    // More threads than switches: clamped, still identical.
+    let cfg = SimConfig::default();
+    let seq = normalized(run_once(
+        &net,
+        &routing,
+        cfg.clone(),
+        TrafficPattern::Uniform,
+        spec,
+    ));
+    let par = par_report(&net, &routing, &cfg, &TrafficPattern::Uniform, spec, 64);
+    assert_eq!(par, seq);
+}
