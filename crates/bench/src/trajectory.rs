@@ -109,6 +109,20 @@ impl BenchReport {
         out
     }
 
+    /// Read a snapshot from disk. A missing or empty file yields
+    /// `Ok(None)` — a fresh clone has no trajectory yet and that must not
+    /// abort the run that would seed one. A present-but-unparsable file
+    /// is still an error: silently discarding a corrupt baseline would
+    /// hide regressions.
+    pub fn load(path: &str) -> Result<Option<BenchReport>, String> {
+        match std::fs::read_to_string(path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(format!("cannot read {path}: {e}")),
+            Ok(text) if text.trim().is_empty() => Ok(None),
+            Ok(text) => Self::parse(&text).map(Some),
+        }
+    }
+
     /// Parse a report previously written by [`to_json`](Self::to_json)
     /// (tolerant of whitespace and key order, not a general JSON parser).
     pub fn parse(text: &str) -> Result<BenchReport, String> {
@@ -233,8 +247,13 @@ pub fn par_speedups(report: &BenchReport) -> Vec<(String, u32, f64)> {
             }
             let threads: u32 = t.parse().ok()?;
             let base = report.get(&format!("{stem}/t1"))?;
-            (base.wall_ns > 0 && w.wall_ns > 0)
-                .then(|| (w.name.clone(), threads, base.wall_ns as f64 / w.wall_ns as f64))
+            (base.wall_ns > 0 && w.wall_ns > 0).then(|| {
+                (
+                    w.name.clone(),
+                    threads,
+                    base.wall_ns as f64 / w.wall_ns as f64,
+                )
+            })
         })
         .collect()
 }
@@ -535,6 +554,31 @@ mod tests {
         assert!(BenchReport::parse(&old).unwrap().workloads[0]
             .phases
             .is_empty());
+    }
+
+    #[test]
+    fn load_tolerates_missing_and_empty_baselines() {
+        let dir = std::env::temp_dir().join("ibfat-trajectory-load-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = |name: &str| dir.join(name).to_string_lossy().into_owned();
+
+        let missing = path("definitely-absent.json");
+        let _ = std::fs::remove_file(&missing);
+        assert_eq!(BenchReport::load(&missing).unwrap(), None);
+
+        let empty = path("empty.json");
+        std::fs::write(&empty, "  \n").unwrap();
+        assert_eq!(BenchReport::load(&empty).unwrap(), None);
+
+        let good = path("good.json");
+        std::fs::write(&good, sample().to_json()).unwrap();
+        assert_eq!(BenchReport::load(&good).unwrap(), Some(sample()));
+
+        // Corruption is still loud: a broken baseline must not be
+        // mistaken for "no baseline".
+        let bad = path("bad.json");
+        std::fs::write(&bad, "{ not json").unwrap();
+        assert!(BenchReport::load(&bad).is_err());
     }
 
     #[test]

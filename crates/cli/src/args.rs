@@ -16,6 +16,9 @@ commands:
   sweep <MxN>                    load sweep, CSV on stdout
   counters <MxN>                 one run + IB-style port counters and
                                  per-level utilization (hot-spot view)
+  loads <MxN>                    static channel-load analysis (no
+                                 simulation): all-to-all flow counts per
+                                 link, rolled up by tree level
 
 options:
   --scheme mlid|slid|updown      routing scheme        (default mlid)
@@ -29,7 +32,13 @@ options:
                                  any N yields bit-identical results)
   --fail-links i,j,k             remove cables by index before anything else
   --sample-interval-ns N         counters time-series period (default time/50)
-  --top K                        ports listed in counters rankings (default 8)
+  --top K                        ports listed in counters/loads rankings
+                                 (default 8)
+  --hotspot D                    loads: all-to-one matrix towards node D
+                                 (id or P(...) label) instead of all-to-all
+  --oracle                       loads: stream the closed-form routing
+                                 oracle instead of walking the tables
+                                 (mlid/slid only, pristine fabric only)
   --json                         machine-readable output";
 
 /// A parsed invocation.
@@ -61,8 +70,12 @@ pub struct Cmd {
     pub fail_links: Vec<usize>,
     /// Time-series period for `counters` (None = duration / 50).
     pub sample_interval_ns: Option<u64>,
-    /// List length for the `counters` port rankings.
+    /// List length for the `counters` / `loads` port rankings.
     pub top: usize,
+    /// `loads`: all-to-one matrix towards this node (None = all-to-all).
+    pub hotspot: Option<NodeRef>,
+    /// `loads`: stream the closed-form oracle instead of the tables.
+    pub oracle: bool,
     /// Emit JSON instead of text.
     pub json: bool,
 }
@@ -77,6 +90,7 @@ pub enum Action {
     Simulate,
     Sweep,
     Counters,
+    Loads,
 }
 
 /// A node given either as a dense id (`5`) or a paper label (`P(010)`).
@@ -133,6 +147,8 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
         fail_links: Vec::new(),
         sample_interval_ns: None,
         top: 8,
+        hotspot: None,
+        oracle: false,
         json: false,
     };
 
@@ -203,6 +219,8 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
                     .parse()
                     .map_err(|_| "bad --top value".to_string())?;
             }
+            "--hotspot" => cmd.hotspot = Some(NodeRef::parse(next_value(&mut it, arg)?)?),
+            "--oracle" => cmd.oracle = true,
             "--json" => cmd.json = true,
             other if !other.starts_with("--") => positional.push(arg),
             other => return Err(format!("unknown flag '{other}'")),
@@ -216,6 +234,7 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
         "simulate" | "run" => Action::Simulate,
         "sweep" => Action::Sweep,
         "counters" => Action::Counters,
+        "loads" => Action::Loads,
         "route" => {
             let [src, dst] = positional.as_slice() else {
                 return Err("route needs <src> <dst> (ids or P(...) labels)".into());
@@ -328,6 +347,24 @@ mod tests {
         assert_eq!(cmd.top, 8);
         assert!(parse(&argv("counters 4x2 --sample-interval-ns 0")).is_err());
         assert!(parse(&argv("counters 4x2 --top many")).is_err());
+    }
+
+    #[test]
+    fn parses_loads_options() {
+        let cmd = parse(&argv("loads 4x3 --scheme slid --hotspot 0 --top 4")).unwrap();
+        assert_eq!(cmd.action, Action::Loads);
+        assert_eq!(cmd.scheme, RoutingKind::Slid);
+        assert_eq!(cmd.hotspot, Some(NodeRef::Id(NodeId(0))));
+        assert_eq!(cmd.top, 4);
+        assert!(!cmd.oracle);
+        // Defaults: all-to-all, table-walked.
+        let cmd = parse(&argv("loads 8x3 --oracle")).unwrap();
+        assert_eq!(cmd.hotspot, None);
+        assert!(cmd.oracle);
+        // Labels resolve later, like `route` arguments.
+        let cmd = parse(&argv("loads 4x3 --hotspot P(000)")).unwrap();
+        assert_eq!(cmd.hotspot, Some(NodeRef::Label("P(000)".into())));
+        assert!(parse(&argv("loads 4x3 --hotspot")).is_err());
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub fn run(cmd: Cmd) -> Result<(), String> {
         Action::Simulate => simulate(&cmd, &fabric),
         Action::Sweep => sweep(&cmd, &fabric),
         Action::Counters => counters(&cmd, &fabric),
+        Action::Loads => loads(&cmd, &fabric),
     }
 }
 
@@ -418,6 +419,241 @@ fn counters(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
                 s.latency_p99_ns
             );
         }
+    }
+    Ok(())
+}
+
+/// Static flow counts for one tree level of switches (transmit side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelLoads {
+    /// Tree level (0 = roots).
+    pub level: u32,
+    /// Upward inter-switch links at this level carrying at least one flow.
+    pub up_links: usize,
+    /// Downward links at this level carrying at least one flow.
+    pub down_links: usize,
+    /// Heaviest upward link (0 at the roots, which have no up-ports).
+    pub max_up: u32,
+    /// Heaviest downward link.
+    pub max_down: u32,
+    /// Total flows over this level's upward links.
+    pub up_flows: u64,
+    /// Total flows over this level's downward links.
+    pub down_flows: u64,
+}
+
+impl LevelLoads {
+    /// Mean flows per *active* upward link.
+    pub fn mean_up(&self) -> f64 {
+        self.up_flows as f64 / (self.up_links.max(1)) as f64
+    }
+
+    /// Mean flows per *active* downward link.
+    pub fn mean_down(&self) -> f64 {
+        self.down_flows as f64 / (self.down_links.max(1)) as f64
+    }
+}
+
+/// Everything the `loads` subcommand computes; exposed for tests.
+#[derive(Debug, Clone)]
+pub struct LoadsReport {
+    /// The dense per-link analysis itself.
+    pub loads: ChannelLoads,
+    /// Per-level roll-ups, roots first.
+    pub levels: Vec<LevelLoads>,
+    /// Flows in the analyzed matrix.
+    pub flows: u64,
+    /// Heaviest node injection link.
+    pub max_injection: u32,
+}
+
+/// Run the dense channel-load analysis for the configured matrix and roll
+/// the per-link flow counts up by tree level. No simulation happens here:
+/// this is the static control-plane view (the paper's Table 2/3 numbers).
+pub fn collect_loads(cmd: &Cmd, fabric: &Fabric) -> Result<LoadsReport, String> {
+    use ib_fabric::topology::DeviceRef;
+    let params = fabric.params();
+    if cmd.oracle && cmd.hotspot.is_some() {
+        return Err("--oracle streams the all-to-all matrix; drop --hotspot".into());
+    }
+    if cmd.oracle && !cmd.fail_links.is_empty() {
+        return Err("--oracle assumes a pristine fabric; drop --fail-links".into());
+    }
+    let nodes = fabric.num_nodes();
+    let (loads, flows) = match &cmd.hotspot {
+        Some(dst) => {
+            let dst = dst.resolve(params)?;
+            if dst.0 >= nodes {
+                return Err(format!("hotspot node ids must be < {nodes}"));
+            }
+            let matrix: Vec<_> = (0..nodes)
+                .filter(|&s| s != dst.0)
+                .map(|s| (NodeId(s), dst))
+                .collect();
+            let loads = fabric
+                .channel_loads_for(&matrix)
+                .map_err(|e| e.to_string())?;
+            (loads, matrix.len() as u64)
+        }
+        None => {
+            let loads = if cmd.oracle {
+                ib_fabric::all_to_all_loads_oracle(params, cmd.scheme).ok_or_else(|| {
+                    format!(
+                        "--oracle has no closed form for {} routing",
+                        cmd.scheme.as_str()
+                    )
+                })?
+            } else {
+                fabric.channel_loads().map_err(|e| e.to_string())?
+            };
+            (loads, u64::from(nodes) * u64::from(nodes - 1))
+        }
+    };
+
+    let half = params.half();
+    let mut levels: Vec<LevelLoads> = (0..params.n())
+        .map(|level| LevelLoads {
+            level,
+            up_links: 0,
+            down_links: 0,
+            max_up: 0,
+            max_down: 0,
+            up_flows: 0,
+            down_flows: 0,
+        })
+        .collect();
+    let mut max_injection = 0;
+    for (device, port, load) in loads.iter() {
+        match device {
+            DeviceRef::Switch(sw) => {
+                let level = params.switch_level_of(sw.0);
+                let l = &mut levels[level as usize];
+                if level > 0 && u32::from(port.0) > half {
+                    l.up_links += 1;
+                    l.max_up = l.max_up.max(load);
+                    l.up_flows += u64::from(load);
+                } else {
+                    l.down_links += 1;
+                    l.max_down = l.max_down.max(load);
+                    l.down_flows += u64::from(load);
+                }
+            }
+            DeviceRef::Node(_) => max_injection = max_injection.max(load),
+        }
+    }
+    Ok(LoadsReport {
+        loads,
+        levels,
+        flows,
+        max_injection,
+    })
+}
+
+fn loads(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
+    use ib_fabric::topology::DeviceRef;
+    let out = collect_loads(cmd, fabric)?;
+    let params = fabric.params();
+    let matrix = match &cmd.hotspot {
+        Some(dst) => format!("all-to-one towards N{}", dst.resolve(params)?.0),
+        None => "all-to-all".into(),
+    };
+    if cmd.json {
+        // Hand-rolled JSON: the offline serde_json stub cannot serialize.
+        let levels: Vec<String> = out
+            .levels
+            .iter()
+            .map(|l| {
+                format!(
+                    "{{\"level\":{},\"up_links\":{},\"down_links\":{},\
+                     \"max_up\":{},\"max_down\":{},\"mean_up\":{:.3},\"mean_down\":{:.3}}}",
+                    l.level,
+                    l.up_links,
+                    l.down_links,
+                    l.max_up,
+                    l.max_down,
+                    l.mean_up(),
+                    l.mean_down()
+                )
+            })
+            .collect();
+        println!(
+            "{{\"m\":{},\"n\":{},\"scheme\":\"{}\",\"matrix\":\"{}\",\"flows\":{},\
+             \"used_links\":{},\"max\":{},\"max_up\":{},\"max_down\":{},\
+             \"max_injection\":{},\"levels\":[{}]}}",
+            params.m(),
+            params.n(),
+            cmd.scheme.as_str(),
+            matrix,
+            out.flows,
+            out.loads.used_links,
+            out.loads.max(),
+            out.loads.max_up,
+            out.loads.max_down,
+            out.max_injection,
+            levels.join(",")
+        );
+        return Ok(());
+    }
+    println!(
+        "static channel loads for {} under {} ({matrix}, {} flows):",
+        params,
+        cmd.scheme.as_str().to_uppercase(),
+        out.flows
+    );
+    println!(
+        "  links carrying traffic : {} of {}",
+        out.loads.used_links,
+        fabric.network().links().len() * 2
+    );
+    println!(
+        "  heaviest channel       : {} flows (injection links top out at {})",
+        out.loads.max(),
+        out.max_injection
+    );
+    println!(
+        "  max upward / downward  : {} / {} flows",
+        out.loads.max_up, out.loads.max_down
+    );
+    println!("\nper-level roll-up (switch transmit side, roots first):");
+    for l in &out.levels {
+        let role = if l.level == 0 { "roots " } else { "level " };
+        let up = if l.level == 0 {
+            "no up-ports".into()
+        } else {
+            format!(
+                "up max {:>4} / mean {:7.2} over {:>3} links",
+                l.max_up,
+                l.mean_up(),
+                l.up_links
+            )
+        };
+        println!(
+            "  {role}{}: {up}; down max {:>4} / mean {:7.2} over {:>3} links",
+            l.level,
+            l.max_down,
+            l.mean_down(),
+            l.down_links
+        );
+    }
+    println!("\ntop {} hottest channels:", cmd.top);
+    for (device, port, load) in out.loads.hottest(cmd.top) {
+        let what = match device {
+            DeviceRef::Switch(sw) => {
+                let level = params.switch_level_of(sw.0);
+                let dir = if level > 0 && u32::from(port.0) > params.half() {
+                    "up"
+                } else {
+                    "down"
+                };
+                format!(
+                    "{:<12} p{} ({dir})",
+                    SwitchLabel::from_id(params, sw).to_string(),
+                    port.0
+                )
+            }
+            DeviceRef::Node(node) => format!("N{:<11} p{} (injection)", node.0, port.0),
+        };
+        println!("  {what}: {load} flows");
     }
     Ok(())
 }

@@ -100,6 +100,71 @@ fn counters_runs_in_text_and_json() {
     run("counters 4x2 --time-us 30 --sample-interval-ns 2000 --vls 2 --json").unwrap();
 }
 
+#[test]
+fn loads_runs_in_text_and_json() {
+    run("loads 4x2").unwrap();
+    run("loads 4x3 --scheme slid --top 3").unwrap();
+    run("loads 4x2 --oracle --json").unwrap();
+    run("loads 4x3 --hotspot P(000)").unwrap();
+    // A tolerable inter-switch failure still analyzes; severing node 0's
+    // edge cable (link 8) makes the all-to-all matrix unroutable, which is
+    // a clean error, not a panic.
+    run("loads 4x2 --fail-links 3").unwrap();
+    assert!(run("loads 4x2 --fail-links 8").is_err());
+    assert!(run("loads 4x2 --oracle --hotspot 0").is_err());
+    assert!(run("loads 4x2 --oracle --fail-links 8").is_err());
+    assert!(run("loads 4x2 --oracle --scheme updown").is_err());
+    assert!(run("loads 4x2 --hotspot 99").is_err());
+}
+
+/// Collect the dense load analysis for one `loads` command line.
+fn analyze(line: &str) -> commands::LoadsReport {
+    let argv: Vec<String> = line.split_whitespace().map(String::from).collect();
+    let cmd = args::parse(&argv).unwrap();
+    let fabric = ib_fabric::Fabric::builder(cmd.m, cmd.n)
+        .routing(cmd.scheme)
+        .build()
+        .unwrap();
+    commands::collect_loads(&cmd, &fabric).unwrap()
+}
+
+#[test]
+fn loads_pin_the_papers_table_story_on_ft_4_3() {
+    // The paper's Table comparison: MLID's source-partitioned up-links keep
+    // the hot-spot column at one flow per upward channel, while SLID
+    // funnels the whole column through the destination's single DLID path.
+    let mlid = analyze("loads 4x3 --hotspot 0 --scheme mlid");
+    let slid = analyze("loads 4x3 --hotspot 0 --scheme slid");
+    assert_eq!(mlid.loads.max_up, 1);
+    assert!(
+        mlid.loads.max_up < slid.loads.max_up,
+        "MLID max-up {} must beat SLID's {}",
+        mlid.loads.max_up,
+        slid.loads.max_up
+    );
+    assert_eq!(mlid.flows, 15);
+
+    // All-to-all is the symmetric matrix both schemes balance perfectly
+    // (every leaf up-link carries N-2 = 14 flows), so MLID is never worse.
+    let mlid = analyze("loads 4x3");
+    let slid = analyze("loads 4x3 --scheme slid");
+    assert_eq!(mlid.flows, 16 * 15);
+    assert_eq!(mlid.max_injection, 15);
+    assert!(mlid.loads.max_up <= slid.loads.max_up);
+    assert_eq!(mlid.loads.max_up, 14);
+
+    // Roll-up structure: roots have no up-ports; FT(4,3) has 3 levels.
+    assert_eq!(mlid.levels.len(), 3);
+    assert_eq!(mlid.levels[0].level, 0);
+    assert_eq!(mlid.levels[0].up_links, 0);
+    assert_eq!(mlid.levels[0].max_up, 0);
+    assert!(mlid.levels[1].up_links > 0 && mlid.levels[2].up_links > 0);
+
+    // The closed-form oracle streams to the identical analysis.
+    let oracle = analyze("loads 4x3 --oracle");
+    assert_eq!(oracle.loads, mlid.loads);
+}
+
 /// Collect counters for one `counters` command line.
 fn collect(line: &str) -> commands::CountersReport {
     let argv: Vec<String> = line.split_whitespace().map(String::from).collect();

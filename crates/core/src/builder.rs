@@ -137,6 +137,26 @@ impl Fabric {
         Ok(())
     }
 
+    /// Static channel loads under all-to-all traffic: every ordered node
+    /// pair sends one flow along this fabric's selected path. Streams the
+    /// (never materialized) pair matrix through parallel source shards
+    /// into a dense per-link vector — memory stays O(links).
+    pub fn channel_loads(&self) -> Result<ibfat_routing::ChannelLoads, FabricError> {
+        Ok(ibfat_routing::all_to_all_loads(&self.net, &self.routing)?)
+    }
+
+    /// Static channel loads for an explicit flow matrix.
+    pub fn channel_loads_for(
+        &self,
+        flows: &[(NodeId, NodeId)],
+    ) -> Result<ibfat_routing::ChannelLoads, FabricError> {
+        Ok(ibfat_routing::loads_for_matrix(
+            &self.net,
+            &self.routing,
+            flows,
+        )?)
+    }
+
     /// Start configuring a simulation of this fabric.
     pub fn experiment(&self) -> crate::ExperimentBuilder<'_> {
         crate::ExperimentBuilder::new(self)
@@ -197,6 +217,28 @@ mod tests {
         let route = fabric.route(NodeId(3), NodeId(17)).unwrap();
         assert_eq!(route.src, NodeId(3));
         assert_eq!(route.dst, NodeId(17));
+    }
+
+    #[test]
+    fn channel_loads_reflect_the_scheme_contrast() {
+        // The hot-spot matrix separates the schemes through the high-level
+        // API exactly as it does through the routing crate directly.
+        let flows: Vec<_> = (1..16).map(|s| (NodeId(s), NodeId(0))).collect();
+        let mlid = Fabric::builder(4, 3).build().unwrap();
+        let slid = Fabric::builder(4, 3)
+            .routing(RoutingKind::Slid)
+            .build()
+            .unwrap();
+        let lm = mlid.channel_loads_for(&flows).unwrap();
+        let ls = slid.channel_loads_for(&flows).unwrap();
+        assert_eq!(lm.max_up, 1);
+        assert!(ls.max_up > lm.max_up);
+        // All-to-all through the convenience method agrees with the
+        // routing-crate entry point.
+        assert_eq!(
+            mlid.channel_loads().unwrap(),
+            ibfat_routing::all_to_all_loads(mlid.network(), mlid.routing()).unwrap()
+        );
     }
 
     #[test]

@@ -54,7 +54,8 @@ pub use ibfat_topology as topology;
 
 // …and the everyday names at the top level.
 pub use ibfat_routing::{
-    build_fault_tolerant, Lft, Lid, LidSpace, Route, Routing, RoutingError, RoutingKind,
+    all_to_all_loads, all_to_all_loads_oracle, build_fault_tolerant, loads_for_matrix,
+    ChannelLoads, Lft, Lid, LidSpace, Route, RouteOracle, Routing, RoutingError, RoutingKind,
 };
 pub use ibfat_sim::{
     aggregate, Aggregate, FabricCounters, HotPort, InjectionProcess, LinkUse, NoopProbe,
@@ -69,8 +70,9 @@ pub use ibfat_topology::{
 /// Convenient glob import: `use ib_fabric::prelude::*;`.
 pub mod prelude {
     pub use crate::{
-        Fabric, FabricBuilder, FabricCounters, FabricError, InjectionProcess, Lid, Network, NodeId,
-        NodeLabel, PathSelection, PhaseProfile, Probe, Routing, RoutingKind, SimConfig, SimReport,
-        SubnetManager, SwitchLabel, TrafficPattern, TreeParams, VlArbitration, VlAssignment,
+        ChannelLoads, Fabric, FabricBuilder, FabricCounters, FabricError, InjectionProcess, Lid,
+        Network, NodeId, NodeLabel, PathSelection, PhaseProfile, Probe, RouteOracle, Routing,
+        RoutingKind, SimConfig, SimReport, SubnetManager, SwitchLabel, TrafficPattern, TreeParams,
+        VlArbitration, VlAssignment,
     };
 }

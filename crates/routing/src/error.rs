@@ -12,6 +12,8 @@ pub enum RoutingError {
     NoLftEntry { switch: u32, lid: Lid },
     /// An LFT entry points at an uncabled port.
     DanglingPort { switch: u32, port: u8 },
+    /// The source node's endport has no cable — it cannot inject.
+    DisconnectedSource(NodeId),
     /// The route exceeded the hop budget — a forwarding loop.
     LoopDetected { src: NodeId, lid: Lid },
     /// The route terminated at the wrong endport.
@@ -34,6 +36,9 @@ impl fmt::Display for RoutingError {
             }
             RoutingError::DanglingPort { switch, port } => {
                 write!(f, "switch S{switch} LFT points at uncabled port {port}")
+            }
+            RoutingError::DisconnectedSource(node) => {
+                write!(f, "{node}'s endport is uncabled; it cannot inject")
             }
             RoutingError::LoopDetected { src, lid } => {
                 write!(f, "forwarding loop from {src} toward {lid}")

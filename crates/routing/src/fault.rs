@@ -206,7 +206,7 @@ fn down_port_live(
 /// schemes designate (Equation 2 without the port offset).
 fn eq2_digit(params: ibfat_topology::TreeParams, lid: Lid, level: u32) -> u32 {
     let half = params.half();
-    (u32::from(lid.0 - 1) / half.pow(params.n() - 1 - level)) % half
+    ((lid.0 - 1) / half.pow(params.n() - 1 - level)) % half
 }
 
 #[cfg(test)]

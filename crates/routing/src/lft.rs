@@ -53,6 +53,36 @@ impl Lft {
         self.ports.is_empty()
     }
 
+    /// Fill the `len` consecutive entries starting at `start` with one port.
+    ///
+    /// Dense LFT builders use this for Eq. 1 down-port runs, where whole
+    /// contiguous LID blocks share an output port.
+    ///
+    /// # Panics
+    /// Panics if the run leaves the table or `port` is 0.
+    #[inline]
+    pub fn fill(&mut self, start: Lid, len: usize, port: PortNum) {
+        assert!(port.0 >= 1, "LFT cannot route out of the management port");
+        self.ports[start.index()..start.index() + len].fill(port.0);
+    }
+
+    /// Copy a precomputed port pattern into the entries starting at `start`.
+    ///
+    /// Dense LFT builders use this for Eq. 2 up-port windows: the pattern
+    /// is a pure function of the offset within a node's LID window, so one
+    /// pattern serves every climbing destination of a switch.
+    ///
+    /// # Panics
+    /// Panics if the block leaves the table or the pattern contains port 0.
+    #[inline]
+    pub fn copy_block(&mut self, start: Lid, pattern: &[u8]) {
+        debug_assert!(
+            pattern.iter().all(|&p| p >= 1),
+            "LFT cannot route out of the management port"
+        );
+        self.ports[start.index()..start.index() + pattern.len()].copy_from_slice(pattern);
+    }
+
     /// Count of populated entries.
     pub fn populated(&self) -> usize {
         self.ports.iter().filter(|&&p| p != 0).count()
@@ -64,7 +94,7 @@ impl Lft {
             .iter()
             .enumerate()
             .filter(|&(_, &p)| p != 0)
-            .map(|(i, &p)| (Lid(i as u16), PortNum(p)))
+            .map(|(i, &p)| (Lid(i as u32), PortNum(p)))
     }
 }
 
@@ -101,5 +131,21 @@ mod tests {
     fn port_zero_rejected() {
         let mut lft = Lft::new(Lid(4));
         lft.set(Lid(1), PortNum(0));
+    }
+
+    #[test]
+    fn block_fills_match_per_entry_sets() {
+        let mut dense = Lft::new(Lid(12));
+        let mut slow = Lft::new(Lid(12));
+        dense.fill(Lid(1), 4, PortNum(2));
+        for lid in 1..=4 {
+            slow.set(Lid(lid), PortNum(2));
+        }
+        dense.copy_block(Lid(5), &[3, 4, 3, 4]);
+        for (i, &p) in [3u8, 4, 3, 4].iter().enumerate() {
+            slow.set(Lid(5 + i as u32), PortNum(p));
+        }
+        assert_eq!(dense, slow);
+        assert_eq!(dense.populated(), 8);
     }
 }

@@ -50,6 +50,7 @@ mod lft;
 mod lid;
 mod load;
 mod mlid;
+mod oracle;
 mod path;
 mod scheme;
 mod slid;
@@ -61,8 +62,9 @@ pub use error::RoutingError;
 pub use fault::build_fault_tolerant;
 pub use lft::Lft;
 pub use lid::{Lid, LidSpace};
-pub use load::{all_to_all_loads, loads_for_matrix, ChannelLoads};
+pub use load::{all_to_all_loads, all_to_all_loads_oracle, loads_for_matrix, ChannelLoads};
 pub use mlid::MlidScheme;
+pub use oracle::RouteOracle;
 pub use path::{Hop, Route};
 pub use scheme::{Routing, RoutingKind, RoutingScheme};
 pub use slid::SlidScheme;

@@ -3,16 +3,21 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A Local Identifier — the InfiniBand subnet-local address of an endport.
-/// Unicast LIDs are `0x0001..=0xBFFF`; LID 0 is reserved (and used here as
-/// "none" in packed tables).
+/// IBA unicast LIDs are `0x0001..=0xBFFF`; LID 0 is reserved (and used here
+/// as "none" in packed tables). Scale-out configurations (FT(16, 3) and up)
+/// exceed the 16-bit range, so LIDs carry a 32-bit payload and the modeled
+/// *extended* unicast space tops out at `2^21` — see [`Lid::MAX_EXTENDED`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct Lid(pub u16);
+pub struct Lid(pub u32);
 
 impl Lid {
     /// First valid unicast LID.
     pub const MIN_UNICAST: Lid = Lid(1);
     /// Last valid unicast LID per the IBA spec.
     pub const MAX_UNICAST: Lid = Lid(0xBFFF);
+    /// Last LID admitted under the modeled extended-LID regime, sized for
+    /// FT(32, 3)'s `2^21`-LID MLID assignment.
+    pub const MAX_EXTENDED: Lid = Lid(1 << 21);
 
     /// The LID as a usize index.
     #[inline]
@@ -20,7 +25,7 @@ impl Lid {
         self.0 as usize
     }
 
-    /// Whether this is a valid unicast LID.
+    /// Whether this is a valid IBA 16-bit unicast LID.
     #[inline]
     pub fn is_unicast(self) -> bool {
         self >= Self::MIN_UNICAST && self <= Self::MAX_UNICAST
@@ -50,14 +55,16 @@ impl LidSpace {
     /// Assign `2^lmc` LIDs to each of `num_nodes` nodes.
     ///
     /// # Panics
-    /// Panics if the assignment would exceed the unicast LID range or the
-    /// IBA maximum of `lmc <= 7`.
+    /// Panics if the assignment would exceed the extended LID space
+    /// (`2^21` LIDs) or an `lmc` above 16 bits. The IBA cap of `lmc <= 7`
+    /// is deliberately not enforced: the extended-LID regime models
+    /// fabrics (e.g. FT(32, 3), `lmc = 8`) past that limit.
     pub fn new(num_nodes: u32, lmc: u32) -> Self {
-        assert!(lmc <= 7, "IBA limits LMC to 3 bits (lmc <= 7), got {lmc}");
+        assert!(lmc <= 16, "LMC beyond 16 bits is unsupported, got {lmc}");
         let total = u64::from(num_nodes) << lmc;
         assert!(
-            total <= u64::from(Lid::MAX_UNICAST.0),
-            "{num_nodes} nodes x 2^{lmc} LIDs exceeds the unicast LID space"
+            total <= u64::from(Lid::MAX_EXTENDED.0),
+            "{num_nodes} nodes x 2^{lmc} LIDs exceeds the extended LID space"
         );
         LidSpace { lmc, num_nodes }
     }
@@ -84,13 +91,13 @@ impl LidSpace {
     #[inline]
     pub fn base_lid(&self, node: NodeId) -> Lid {
         debug_assert!(node.0 < self.num_nodes);
-        Lid(((node.0 << self.lmc) + 1) as u16)
+        Lid((node.0 << self.lmc) + 1)
     }
 
     /// All LIDs owned by a node, ascending.
     pub fn lids(&self, node: NodeId) -> impl Iterator<Item = Lid> {
         let base = self.base_lid(node).0;
-        (base..base + self.lids_per_node() as u16).map(Lid)
+        (base..base + self.lids_per_node()).map(Lid)
     }
 
     /// A specific LID of a node: `base + offset`.
@@ -103,13 +110,13 @@ impl LidSpace {
             offset < self.lids_per_node(),
             "offset {offset} out of range"
         );
-        Lid(self.base_lid(node).0 + offset as u16)
+        Lid(self.base_lid(node).0 + offset)
     }
 
     /// The highest assigned LID (tables are sized `max_lid + 1`).
     #[inline]
     pub fn max_lid(&self) -> Lid {
-        Lid((self.num_nodes << self.lmc) as u16)
+        Lid(self.num_nodes << self.lmc)
     }
 
     /// Resolve a LID to its owning node and the offset within the node's
@@ -119,7 +126,7 @@ impl LidSpace {
         if lid.0 == 0 || lid > self.max_lid() {
             return None;
         }
-        let linear = u32::from(lid.0) - 1;
+        let linear = lid.0 - 1;
         Some((
             NodeId(linear >> self.lmc),
             linear & (self.lids_per_node() - 1),
@@ -137,7 +144,7 @@ mod tests {
         // (PID(P(010)) = 2).
         let space = LidSpace::new(16, 2);
         assert_eq!(space.base_lid(NodeId(2)), Lid(9));
-        let lids: Vec<u16> = space.lids(NodeId(2)).map(|l| l.0).collect();
+        let lids: Vec<u32> = space.lids(NodeId(2)).map(|l| l.0).collect();
         assert_eq!(lids, vec![9, 10, 11, 12]);
     }
 
@@ -176,14 +183,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unicast LID space")]
+    fn extended_regime_admits_large_fabrics() {
+        // FT(32, 3): 8192 nodes, lmc 8 — past the IBA 16-bit range but
+        // exactly the extended budget.
+        let space = LidSpace::new(8192, 8);
+        assert_eq!(space.max_lid(), Lid::MAX_EXTENDED);
+        assert_eq!(space.base_lid(NodeId(8191)), Lid(8191 * 256 + 1));
+        assert_eq!(space.resolve(Lid::MAX_EXTENDED), Some((NodeId(8191), 255)));
+    }
+
+    #[test]
+    #[should_panic(expected = "extended LID space")]
     fn overflow_panics() {
+        // 50_000 x 2^7 = 6.4M LIDs: beyond even the extended budget.
         LidSpace::new(50_000, 7);
     }
 
     #[test]
-    #[should_panic(expected = "LMC to 3 bits")]
+    #[should_panic(expected = "LMC beyond 16 bits")]
     fn lmc_cap_panics() {
-        LidSpace::new(4, 8);
+        LidSpace::new(4, 17);
     }
 }

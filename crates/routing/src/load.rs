@@ -6,17 +6,25 @@
 //! worst-case link load under all-to-all traffic bounds its saturation
 //! throughput from above: a link crossed by `L` of the `N-1` flows each
 //! node sends can deliver at most `1/L`th of a link per flow.
+//!
+//! Loads live in a dense flat `Vec<u32>` indexed by the
+//! [`PortSlots`] `(device, port)` stride — no per-hop hash probes, and
+//! memory stays O(links) no matter how many flows stream through. The
+//! all-to-all analysis shards sources across the thread pool and merges
+//! the per-shard vectors by element-wise addition; the N² pair set is
+//! never materialized.
 
-use crate::{Routing, RoutingError};
-use ibfat_topology::{DeviceRef, Network, NodeId, PortNum, SwitchLabel};
-use std::collections::HashMap;
+use crate::{RouteOracle, Routing, RoutingError, RoutingKind};
+use ibfat_topology::{par_map_indexed, DeviceRef, Network, NodeId, PortNum, PortSlots, TreeParams};
 
 /// Load statistics over the directed links of a subnet.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChannelLoads {
-    /// Flows crossing each directed link, keyed by the transmitting
-    /// `(device, port)`.
-    pub per_link: HashMap<(DeviceRef, PortNum), u32>,
+    params: TreeParams,
+    slots: PortSlots,
+    /// Flows crossing each directed link, indexed by the transmitting
+    /// `(device, port)` slot.
+    loads: Vec<u32>,
     /// Maximum over the *upward* inter-switch links.
     pub max_up: u32,
     /// Maximum over the *downward* inter-switch links.
@@ -26,50 +34,145 @@ pub struct ChannelLoads {
 }
 
 impl ChannelLoads {
+    /// Wrap a fully accumulated load vector, deriving the roll-up stats.
+    fn finalize(params: TreeParams, slots: PortSlots, loads: Vec<u32>) -> ChannelLoads {
+        debug_assert_eq!(loads.len(), slots.len());
+        let half = params.half();
+        let mut max_up = 0;
+        let mut max_down = 0;
+        let mut used_links = 0;
+        for (slot, &load) in loads.iter().enumerate() {
+            if load == 0 {
+                continue;
+            }
+            used_links += 1;
+            if let (DeviceRef::Switch(sw), port) = slots.decode(slot) {
+                let is_up = params.switch_level_of(sw.0) > 0 && u32::from(port.0) > half;
+                if is_up {
+                    max_up = max_up.max(load);
+                } else {
+                    max_down = max_down.max(load);
+                }
+            }
+        }
+        ChannelLoads {
+            params,
+            slots,
+            loads,
+            max_up,
+            max_down,
+            used_links,
+        }
+    }
+
+    /// The analyzed fabric's parameters.
+    #[inline]
+    pub fn params(&self) -> TreeParams {
+        self.params
+    }
+
     /// The highest load over every link (including edge links).
     pub fn max(&self) -> u32 {
-        self.per_link.values().copied().max().unwrap_or(0)
+        self.loads.iter().copied().max().unwrap_or(0)
     }
 
     /// Flows crossing the directed link transmitted by `(device, port)`;
     /// 0 for unused (or nonexistent) links.
     pub fn load_of(&self, device: DeviceRef, port: PortNum) -> u32 {
-        self.per_link.get(&(device, port)).copied().unwrap_or(0)
+        match device {
+            DeviceRef::Switch(sw)
+                if sw.0 < self.params.num_switches() && u32::from(port.0) <= self.params.m() =>
+            {
+                self.loads[self.slots.switch_slot(sw, port)]
+            }
+            DeviceRef::Node(node) if node.0 < self.params.num_nodes() && port == PortNum(1) => {
+                self.loads[self.slots.node_slot(node)]
+            }
+            _ => 0,
+        }
+    }
+
+    /// Iterate the used links as `(device, port, load)`, in slot order
+    /// (switches by id then port, then nodes).
+    pub fn iter(&self) -> impl Iterator<Item = (DeviceRef, PortNum, u32)> + '_ {
+        self.loads
+            .iter()
+            .enumerate()
+            .filter(|&(_, &load)| load != 0)
+            .map(|(slot, &load)| {
+                let (device, port) = self.slots.decode(slot);
+                (device, port, load)
+            })
     }
 
     /// The `k` most loaded directed links, heaviest first. Ties break
     /// deterministically: switches before nodes, then by id, then port —
-    /// so equal analyses print identically across runs.
+    /// so equal analyses print identically across runs. (That order is
+    /// exactly the slot order, so a stable sort by load suffices.)
     pub fn hottest(&self, k: usize) -> Vec<(DeviceRef, PortNum, u32)> {
-        fn rank(d: DeviceRef) -> (u8, u32) {
-            match d {
-                DeviceRef::Switch(s) => (0, s.0),
-                DeviceRef::Node(n) => (1, n.0),
-            }
-        }
-        let mut all: Vec<_> = self
-            .per_link
-            .iter()
-            .map(|(&(device, port), &load)| (device, port, load))
-            .collect();
-        all.sort_by_key(|&(device, port, load)| (std::cmp::Reverse(load), rank(device), port.0));
+        let mut all: Vec<_> = self.iter().collect();
+        all.sort_by_key(|&(_, _, load)| std::cmp::Reverse(load));
         all.truncate(k);
         all
     }
 }
 
+/// Accumulate one flow's directed links into a load vector.
+#[inline]
+fn add_route(
+    loads: &mut [u32],
+    slots: &PortSlots,
+    net: &Network,
+    routing: &Routing,
+    src: NodeId,
+    dst: NodeId,
+) -> Result<(), RoutingError> {
+    let dlid = routing.select_dlid(src, dst);
+    let route = routing.trace(net, src, dlid)?;
+    for (device, port) in route.directed_links() {
+        let slot = slots
+            .slot(device, port)
+            .expect("routes transmit only on slotted ports");
+        loads[slot] += 1;
+    }
+    Ok(())
+}
+
 /// Compute channel loads for the all-to-all traffic matrix under the
 /// routing's own path selection (every ordered pair sends one flow).
+///
+/// Sources are streamed in parallel shards — each shard walks its own
+/// rows of the (never materialized) pair matrix into a private load
+/// vector, and the shards merge by addition. Memory is O(links · threads).
 pub fn all_to_all_loads(net: &Network, routing: &Routing) -> Result<ChannelLoads, RoutingError> {
-    let mut matrix = Vec::new();
-    for src in 0..net.num_nodes() as u32 {
-        for dst in 0..net.num_nodes() as u32 {
-            if src != dst {
-                matrix.push((NodeId(src), NodeId(dst)));
+    let params = net.params();
+    let slots = PortSlots::of(params);
+    let nodes = params.num_nodes();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    // A few shards per thread so an unlucky chunk can't straggle.
+    let chunk = (nodes as usize).div_ceil(4 * threads).max(1);
+    let sources: Vec<u32> = (0..nodes).collect();
+    let shards: Vec<&[u32]> = sources.chunks(chunk).collect();
+    let partials = par_map_indexed(&shards, |_, shard| -> Result<Vec<u32>, RoutingError> {
+        let mut loads = vec![0u32; slots.len()];
+        for &src in *shard {
+            for dst in 0..nodes {
+                if dst != src {
+                    add_route(&mut loads, &slots, net, routing, NodeId(src), NodeId(dst))?;
+                }
             }
         }
+        Ok(loads)
+    });
+    let mut loads = vec![0u32; slots.len()];
+    for partial in partials {
+        for (total, shard) in loads.iter_mut().zip(partial?) {
+            *total += shard;
+        }
     }
-    loads_for_matrix(net, routing, &matrix)
+    Ok(ChannelLoads::finalize(params, slots, loads))
 }
 
 /// Compute channel loads for an explicit flow matrix.
@@ -79,40 +182,66 @@ pub fn loads_for_matrix(
     flows: &[(NodeId, NodeId)],
 ) -> Result<ChannelLoads, RoutingError> {
     let params = net.params();
-    let mut per_link: HashMap<(DeviceRef, PortNum), u32> = HashMap::new();
+    let slots = PortSlots::of(params);
+    let mut loads = vec![0u32; slots.len()];
     for &(src, dst) in flows {
-        let dlid = routing.select_dlid(src, dst);
-        let route = routing.trace(net, src, dlid)?;
-        for (device, port) in route.directed_links() {
-            *per_link.entry((device, port)).or_insert(0) += 1;
-        }
+        add_route(&mut loads, &slots, net, routing, src, dst)?;
     }
-    let mut max_up = 0;
-    let mut max_down = 0;
-    for (&(device, port), &load) in &per_link {
-        if let DeviceRef::Switch(sw) = device {
-            let label = SwitchLabel::from_id(params, sw);
-            let is_up = label.level().0 > 0 && u32::from(port.0) > params.half();
-            if is_up {
-                max_up = max_up.max(load);
-            } else {
-                max_down = max_down.max(load);
+    Ok(ChannelLoads::finalize(params, slots, loads))
+}
+
+/// All-to-all channel loads from the closed-form [`RouteOracle`] alone —
+/// no network graph, no tables, no trace allocations. `None` for kinds
+/// without a closed form (up*/down*).
+///
+/// This is what makes FT(32, 3) (67M flows, 2 GB of would-be tables)
+/// analyzable: each parallel shard walks its sources' flows through pure
+/// arithmetic into a private load vector.
+pub fn all_to_all_loads_oracle(params: TreeParams, kind: RoutingKind) -> Option<ChannelLoads> {
+    let oracle = RouteOracle::for_kind(params, kind)?;
+    let slots = PortSlots::of(params);
+    let nodes = params.num_nodes();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let chunk = (nodes as usize).div_ceil(4 * threads).max(1);
+    let sources: Vec<u32> = (0..nodes).collect();
+    let shards: Vec<&[u32]> = sources.chunks(chunk).collect();
+    let partials = par_map_indexed(&shards, |_, shard| {
+        let mut loads = vec![0u32; slots.len()];
+        for &src in *shard {
+            for dst in 0..nodes {
+                if dst == src {
+                    continue;
+                }
+                let dlid = oracle.select_dlid(NodeId(src), NodeId(dst));
+                oracle
+                    .walk(NodeId(src), dlid, |device, port| {
+                        let slot = slots
+                            .slot(device, port)
+                            .expect("walks transmit only on slotted ports");
+                        loads[slot] += 1;
+                    })
+                    .expect("oracle walk cannot fail on a pristine fabric");
             }
         }
+        loads
+    });
+    let mut loads = vec![0u32; slots.len()];
+    for partial in partials {
+        for (total, shard) in loads.iter_mut().zip(partial) {
+            *total += shard;
+        }
     }
-    Ok(ChannelLoads {
-        used_links: per_link.len(),
-        per_link,
-        max_up,
-        max_down,
-    })
+    Some(ChannelLoads::finalize(params, slots, loads))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::RoutingKind;
-    use ibfat_topology::TreeParams;
+    use ibfat_topology::{SwitchLabel, TreeParams};
+    use std::collections::HashMap;
 
     fn loads(m: u32, n: u32, kind: RoutingKind) -> ChannelLoads {
         let net = Network::mport_ntree(TreeParams::new(m, n).unwrap());
@@ -168,12 +297,12 @@ mod tests {
         let l = all_to_all_loads(&net, &routing).unwrap();
         let nodes = net.num_nodes() as u32;
         for node in 0..nodes {
-            let injection = l.per_link[&(DeviceRef::Node(NodeId(node)), PortNum(1))];
+            let injection = l.load_of(DeviceRef::Node(NodeId(node)), PortNum(1));
             assert_eq!(injection, nodes - 1);
         }
         // Delivery links: the leaf switch port toward each node.
         let mut delivered = 0u32;
-        for (&(device, port), &load) in &l.per_link {
+        for (device, port, load) in l.iter() {
             if let DeviceRef::Switch(sw) = device {
                 if let Some(peer) = net.peer_of(device, port) {
                     if matches!(peer.device, DeviceRef::Node(_)) {
@@ -187,18 +316,19 @@ mod tests {
     }
 
     #[test]
-    fn load_of_and_hottest_agree_with_the_raw_map() {
+    fn load_of_and_hottest_agree_with_the_link_iterator() {
         let net = Network::mport_ntree(TreeParams::new(4, 2).unwrap());
         let routing = Routing::build(&net, RoutingKind::Slid);
         let flows: Vec<_> = (1..net.num_nodes() as u32)
             .map(|s| (NodeId(s), NodeId(0)))
             .collect();
         let l = loads_for_matrix(&net, &routing, &flows).unwrap();
-        // load_of mirrors the map and returns 0 off the map.
-        for (&(device, port), &load) in &l.per_link {
+        // load_of mirrors the iterator and returns 0 off it.
+        for (device, port, load) in l.iter() {
             assert_eq!(l.load_of(device, port), load);
         }
         assert_eq!(l.load_of(DeviceRef::Node(NodeId(0)), PortNum(1)), 0);
+        assert_eq!(l.iter().count(), l.used_links);
         // hottest(k) is sorted, truncated, consistent with max(), and
         // deterministic (a second call yields the identical ranking).
         let top = l.hottest(5);
@@ -222,5 +352,74 @@ mod tests {
         let slid = Routing::build(&net, RoutingKind::Slid);
         let ls = loads_for_matrix(&net, &slid, &flows).unwrap();
         assert!(ls.max_up >= 2);
+    }
+
+    #[test]
+    fn dense_loads_match_a_hashmap_reference() {
+        // The dense flat-vector analysis must agree, link for link and
+        // stat for stat, with the straightforward HashMap accumulation it
+        // replaced (reconstructed here as an in-test reference).
+        for (m, n) in [(4, 2), (4, 3), (8, 3)] {
+            for kind in [RoutingKind::Mlid, RoutingKind::Slid] {
+                let params = TreeParams::new(m, n).unwrap();
+                let net = Network::mport_ntree(params);
+                let routing = Routing::build(&net, kind);
+                let dense = all_to_all_loads(&net, &routing).unwrap();
+
+                let mut per_link: HashMap<(DeviceRef, PortNum), u32> = HashMap::new();
+                for src in 0..params.num_nodes() {
+                    for dst in 0..params.num_nodes() {
+                        if src == dst {
+                            continue;
+                        }
+                        let dlid = routing.select_dlid(NodeId(src), NodeId(dst));
+                        let route = routing.trace(&net, NodeId(src), dlid).unwrap();
+                        for link in route.directed_links() {
+                            *per_link.entry(link).or_insert(0) += 1;
+                        }
+                    }
+                }
+                let (mut max_up, mut max_down) = (0, 0);
+                for (&(device, port), &load) in &per_link {
+                    if let DeviceRef::Switch(sw) = device {
+                        let level = SwitchLabel::from_id(params, sw).level();
+                        if level.0 > 0 && u32::from(port.0) > params.half() {
+                            max_up = max_up.max(load);
+                        } else {
+                            max_down = max_down.max(load);
+                        }
+                    }
+                }
+                let tag = format!("FT({m},{n}) {kind:?}");
+                assert_eq!(dense.used_links, per_link.len(), "{tag}");
+                assert_eq!(dense.max_up, max_up, "{tag}");
+                assert_eq!(dense.max_down, max_down, "{tag}");
+                assert_eq!(
+                    dense.max(),
+                    per_link.values().copied().max().unwrap_or(0),
+                    "{tag}"
+                );
+                for (device, port, load) in dense.iter() {
+                    assert_eq!(per_link.get(&(device, port)), Some(&load), "{tag}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_loads_match_table_walked_loads() {
+        for (m, n) in [(4, 3), (8, 2)] {
+            for kind in [RoutingKind::Mlid, RoutingKind::Slid] {
+                let params = TreeParams::new(m, n).unwrap();
+                let net = Network::mport_ntree(params);
+                let routing = Routing::build(&net, kind);
+                let table = all_to_all_loads(&net, &routing).unwrap();
+                let oracle = all_to_all_loads_oracle(params, kind).unwrap();
+                assert_eq!(oracle, table, "FT({m},{n}) {kind:?}");
+            }
+        }
+        assert!(
+            all_to_all_loads_oracle(TreeParams::new(4, 2).unwrap(), RoutingKind::UpDown).is_none()
+        );
     }
 }

@@ -24,8 +24,47 @@
 
 use crate::{Lft, Lid, LidSpace, RoutingScheme};
 use ibfat_topology::{
-    gcp_len, rank_in, Gcpg, Network, NodeId, NodeLabel, PortNum, SwitchLabel, TreeParams,
+    gcp_len, par_map_indexed, rank_in, Gcpg, Network, NodeId, NodeLabel, PortNum, SwitchId,
+    SwitchLabel, TreeParams,
 };
+
+/// Decompose a dense switch id into `(level, index within level)`.
+#[inline]
+pub(crate) fn level_and_index(params: TreeParams, sw: SwitchId) -> (u32, u32) {
+    let level = params.switch_level_of(sw.0);
+    (level, sw.0 - params.level_offset(level))
+}
+
+/// Fill the Equation (1) descending entries of a switch's LFT by contiguous
+/// runs.
+///
+/// The subtree below switch `idx` at `level` is the contiguous node-id
+/// range `[prefix * (m/2)^(n-level), ..)` where `prefix` is the first
+/// `level` digits of the switch label (for roots, every node is below).
+/// Within it, down-port `d + 1` owns exactly the nodes whose label digit
+/// `level` equals `d` — one contiguous block of `(m/2)^(n-1-level)` nodes,
+/// hence one contiguous LID run per port.
+pub(crate) fn fill_down_runs(lft: &mut Lft, params: TreeParams, space: &LidSpace, sw: SwitchId) {
+    let half = params.half();
+    let n = params.n();
+    let lpn = space.lids_per_node();
+    let (level, idx) = level_and_index(params, sw);
+    let stride_nodes = half.pow(n - 1 - level);
+    let radix = if level == 0 { params.m() } else { half };
+    let below_start = if level == 0 {
+        0
+    } else {
+        (idx / stride_nodes) * half.pow(n - level)
+    };
+    for d in 0..radix {
+        let first = NodeId(below_start + d * stride_nodes);
+        lft.fill(
+            space.base_lid(first),
+            (stride_nodes * lpn) as usize,
+            PortNum((d + 1) as u8),
+        );
+    }
+}
 
 /// The MLID scheme (stateless; all state lives in the produced artifacts).
 #[derive(Debug, Clone, Copy, Default)]
@@ -63,22 +102,49 @@ impl MlidScheme {
     pub fn eq2_up_port(params: TreeParams, lid: Lid, level: u32) -> PortNum {
         let half = params.half();
         let digit_index = params.n() - 1 - level;
-        let digit = (u32::from(lid.0 - 1) / half.pow(digit_index)) % half;
+        let digit = ((lid.0 - 1) / half.pow(digit_index)) % half;
         PortNum((digit + half + 1) as u8)
     }
-}
 
-impl RoutingScheme for MlidScheme {
-    fn name(&self) -> &'static str {
-        "MLID"
+    /// Build one switch's full LFT by dense block operations instead of
+    /// per-entry formula evaluation.
+    ///
+    /// Equation (2)'s digit of `lid - 1` at level `l >= 1` is a pure
+    /// function of the offset within the owning node's LID window: with
+    /// `lid - 1 = PID * (m/2)^(n-1) + off`, the node term contributes
+    /// `PID * (m/2)^l ≡ 0 (mod m/2)` to the extracted digit. One
+    /// precomputed pattern of `2^LMC` port bytes therefore serves *every*
+    /// node's window, and the descending case overwrites the (contiguous)
+    /// subtree range afterwards via Equation (1) runs. O(max_lid) byte
+    /// copies, no per-LID `pow`/`div`.
+    pub fn build_switch_lft(params: TreeParams, space: &LidSpace, sw: SwitchId) -> Lft {
+        debug_assert_eq!(
+            space.lmc(),
+            params.lmc(),
+            "MLID builder needs the MLID LID space"
+        );
+        let half = params.half();
+        let (level, _) = level_and_index(params, sw);
+        let mut lft = Lft::new(space.max_lid());
+        if level >= 1 {
+            let stride = half.pow(params.n() - 1 - level);
+            let pattern: Vec<u8> = (0..space.lids_per_node())
+                .map(|off| ((off / stride) % half + half + 1) as u8)
+                .collect();
+            for node in 0..params.num_nodes() {
+                lft.copy_block(space.base_lid(NodeId(node)), &pattern);
+            }
+        }
+        fill_down_runs(&mut lft, params, space, sw);
+        lft
     }
 
-    fn lid_space(&self, net: &Network) -> LidSpace {
-        let params = net.params();
-        LidSpace::new(params.num_nodes(), params.lmc())
-    }
-
-    fn build_lfts(&self, net: &Network, space: &LidSpace) -> Vec<Lft> {
+    /// The original per-entry builder: every (switch, node, LID) triple
+    /// evaluated through Equations (1)/(2) one at a time, serially.
+    ///
+    /// Kept as the independently-derived reference the dense parallel
+    /// [`RoutingScheme::build_lfts`] is tested (and benchmarked) against.
+    pub fn build_lfts_reference(net: &Network, space: &LidSpace) -> Vec<Lft> {
         let params = net.params();
         let max_lid = space.max_lid();
         let mut lfts = Vec::with_capacity(net.num_switches());
@@ -100,6 +166,25 @@ impl RoutingScheme for MlidScheme {
             lfts.push(lft);
         }
         lfts
+    }
+}
+
+impl RoutingScheme for MlidScheme {
+    fn name(&self) -> &'static str {
+        "MLID"
+    }
+
+    fn lid_space(&self, net: &Network) -> LidSpace {
+        let params = net.params();
+        LidSpace::new(params.num_nodes(), params.lmc())
+    }
+
+    fn build_lfts(&self, net: &Network, space: &LidSpace) -> Vec<Lft> {
+        let params = net.params();
+        let switches: Vec<u32> = (0..params.num_switches()).collect();
+        par_map_indexed(&switches, |_, &sw| {
+            Self::build_switch_lft(params, space, SwitchId(sw))
+        })
     }
 
     fn select_dlid(&self, net: &Network, space: &LidSpace, src: NodeId, dst: NodeId) -> Lid {
@@ -140,7 +225,7 @@ mod tests {
         let base = space.base_lid(dst).0;
         for (i, src) in [0u32, 1, 2, 3].into_iter().enumerate() {
             let dlid = MlidScheme::select(params, &space, NodeId(src), dst);
-            assert_eq!(dlid, Lid(base + i as u16), "src P(0..) #{i}");
+            assert_eq!(dlid, Lid(base + i as u32), "src P(0..) #{i}");
         }
     }
 
@@ -190,6 +275,20 @@ mod tests {
                     "lid {lid} level {level}: port {p} out of up range"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn dense_parallel_build_matches_the_reference() {
+        // The block-fill builder must reproduce the per-entry Equation
+        // (1)/(2) walk exactly, table for table, over a parameter grid.
+        for (m, n) in [(2, 2), (2, 3), (4, 2), (4, 3), (8, 2), (8, 3)] {
+            let params = TreeParams::new(m, n).unwrap();
+            let net = Network::mport_ntree(params);
+            let space = MlidScheme.lid_space(&net);
+            let dense = MlidScheme.build_lfts(&net, &space);
+            let reference = MlidScheme::build_lfts_reference(&net, &space);
+            assert_eq!(dense, reference, "FT({m},{n})");
         }
     }
 

@@ -77,10 +77,11 @@ pub fn trace(
     let mut hops = Vec::new();
     let budget = 2 * net.params().n() as usize + 2;
 
-    // Injection: the endport's single link.
+    // Injection: the endport's single link (severed on a degraded fabric
+    // whose edge cable was failed).
     let mut at = net
         .peer_of(DeviceRef::Node(src), PortNum(1))
-        .expect("endport is always cabled");
+        .ok_or(RoutingError::DisconnectedSource(src))?;
     loop {
         match at.device {
             DeviceRef::Node(node) => {

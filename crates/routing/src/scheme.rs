@@ -122,6 +122,11 @@ impl Routing {
     /// The forwarding table of one switch.
     #[inline]
     pub fn lft(&self, switch: ibfat_topology::SwitchId) -> &Lft {
+        debug_assert!(
+            switch.index() < self.lfts.len(),
+            "switch {switch} out of range: this routing programs {} switches",
+            self.lfts.len()
+        );
         &self.lfts[switch.index()]
     }
 

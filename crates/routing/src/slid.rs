@@ -10,23 +10,45 @@
 //! precisely the hot-spot weakness (the paper's Figure 9(a)) that MLID
 //! removes.
 
+use crate::mlid::{fill_down_runs, level_and_index};
 use crate::{Lft, Lid, LidSpace, MlidScheme, RoutingScheme};
-use ibfat_topology::{Network, NodeId, NodeLabel, SwitchLabel};
+use ibfat_topology::{
+    par_map_indexed, Network, NodeId, NodeLabel, PortNum, SwitchId, SwitchLabel, TreeParams,
+};
 
 /// The SLID scheme (stateless).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SlidScheme;
 
-impl RoutingScheme for SlidScheme {
-    fn name(&self) -> &'static str {
-        "SLID"
+impl SlidScheme {
+    /// Build one switch's full LFT by dense block operations.
+    ///
+    /// With LMC = 0, `lid - 1` is the destination PID, so the climbing
+    /// rule (Equation (2)'s d-mod-k placement on the destination) assigns
+    /// whole contiguous blocks of `(m/2)^(n-1-level)` consecutive LIDs to
+    /// the same up-port, cycling through the up-ports. The table is filled
+    /// with those runs, then the (contiguous) subtree range is overwritten
+    /// by Equation (1) descending runs.
+    pub fn build_switch_lft(params: TreeParams, space: &LidSpace, sw: SwitchId) -> Lft {
+        debug_assert_eq!(space.lmc(), 0, "SLID builder needs the LMC = 0 LID space");
+        let half = params.half();
+        let (level, _) = level_and_index(params, sw);
+        let mut lft = Lft::new(space.max_lid());
+        if level >= 1 {
+            let stride = half.pow(params.n() - 1 - level);
+            for b in 0..params.num_nodes() / stride {
+                let port = PortNum(((b % half) + half + 1) as u8);
+                lft.fill(Lid(b * stride + 1), stride as usize, port);
+            }
+        }
+        fill_down_runs(&mut lft, params, space, sw);
+        lft
     }
 
-    fn lid_space(&self, net: &Network) -> LidSpace {
-        LidSpace::new(net.params().num_nodes(), 0)
-    }
-
-    fn build_lfts(&self, net: &Network, space: &LidSpace) -> Vec<Lft> {
+    /// The original per-entry builder, kept as the independently-derived
+    /// reference the dense parallel [`RoutingScheme::build_lfts`] is tested
+    /// (and benchmarked) against.
+    pub fn build_lfts_reference(net: &Network, space: &LidSpace) -> Vec<Lft> {
         let params = net.params();
         let max_lid = space.max_lid();
         let mut lfts = Vec::with_capacity(net.num_switches());
@@ -49,6 +71,24 @@ impl RoutingScheme for SlidScheme {
             lfts.push(lft);
         }
         lfts
+    }
+}
+
+impl RoutingScheme for SlidScheme {
+    fn name(&self) -> &'static str {
+        "SLID"
+    }
+
+    fn lid_space(&self, net: &Network) -> LidSpace {
+        LidSpace::new(net.params().num_nodes(), 0)
+    }
+
+    fn build_lfts(&self, net: &Network, space: &LidSpace) -> Vec<Lft> {
+        let params = net.params();
+        let switches: Vec<u32> = (0..params.num_switches()).collect();
+        par_map_indexed(&switches, |_, &sw| {
+            Self::build_switch_lft(params, space, SwitchId(sw))
+        })
     }
 
     fn select_dlid(&self, _net: &Network, space: &LidSpace, _src: NodeId, dst: NodeId) -> Lid {
@@ -113,6 +153,18 @@ mod tests {
         // There is exactly one entry for dst at this switch — no way to
         // differentiate sources.
         assert_eq!(port_for_everyone, PortNum(port_for_everyone.0));
+    }
+
+    #[test]
+    fn dense_parallel_build_matches_the_reference() {
+        for (m, n) in [(2, 2), (2, 3), (4, 2), (4, 3), (8, 2), (8, 3)] {
+            let params = TreeParams::new(m, n).unwrap();
+            let net = Network::mport_ntree(params);
+            let space = SlidScheme.lid_space(&net);
+            let dense = SlidScheme.build_lfts(&net, &space);
+            let reference = SlidScheme::build_lfts_reference(&net, &space);
+            assert_eq!(dense, reference, "FT({m},{n})");
+        }
     }
 
     #[test]

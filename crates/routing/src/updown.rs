@@ -159,7 +159,7 @@ impl RoutingScheme for UpDownScheme {
                 debug_assert!(!candidates.is_empty(), "no legal next hop");
                 candidates.sort_unstable_by_key(|p| p.0);
                 // Rotate ties by destination so different LIDs spread.
-                let pick = candidates[(u32::from(lid.0 - 1) as usize) % candidates.len()];
+                let pick = candidates[((lid.0 - 1) as usize) % candidates.len()];
                 lfts[s].set(lid, pick);
             }
         }

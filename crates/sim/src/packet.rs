@@ -20,9 +20,10 @@ pub type PacketId = u32;
 pub struct Packet {
     /// Source node (the SLID side).
     pub src: u32,
-    /// Destination node (owner of the DLID).
-    pub dst: u32,
-    /// The destination LID written by path selection.
+    /// The destination LID written by path selection. The destination
+    /// *node* is implied — it is the DLID's window owner under the LID
+    /// space (`(dlid - 1) >> lmc`), exactly as on a real wire, so it is
+    /// not stored.
     pub dlid: Lid,
     /// Virtual lane carried end to end (SL-to-VL identity mapping).
     pub vl: u8,
@@ -34,9 +35,10 @@ pub struct Packet {
     pub flow_seq: u32,
 }
 
-// A `static_assert` on the hot-struct size: two timestamps (16) + src/dst
-// (8) + flow_seq (4) + dlid (2) + vl (1) pack into 32 bytes under align 8.
-// Growing the struct is a deliberate decision, not an accident.
+// A `static_assert` on the hot-struct size: two timestamps (16) + src (4)
+// + extended-width dlid (4) + flow_seq (4) + vl (1) pack into 32 bytes
+// under align 8. Growing the struct is a deliberate decision, not an
+// accident.
 const _: () = assert!(std::mem::size_of::<Packet>() == 32);
 
 /// Slab of live packets.
@@ -87,10 +89,7 @@ impl PacketSlab {
     /// Release a delivered packet's slot for reuse.
     pub fn remove(&mut self, id: PacketId) -> Packet {
         debug_assert!(self.live > 0, "remove from an empty slab");
-        debug_assert!(
-            !self.free.contains(&id),
-            "double free of packet id {id}"
-        );
+        debug_assert!(!self.free.contains(&id), "double free of packet id {id}");
         self.live -= 1;
         self.free.push(id);
         self.slots[id as usize]
@@ -137,7 +136,6 @@ mod tests {
     fn pkt(src: u32) -> Packet {
         Packet {
             src,
-            dst: 1,
             dlid: Lid(2),
             vl: 0,
             t_gen: 0,

@@ -413,8 +413,7 @@ fn run_shard<P: Probe>(
             if src == me {
                 continue;
             }
-            let msgs =
-                std::mem::take(&mut *from_src[me][parity].lock().expect("mailbox poisoned"));
+            let msgs = std::mem::take(&mut *from_src[me][parity].lock().expect("mailbox poisoned"));
             for msg in msgs {
                 debug_assert!(k * w <= msg.at && msg.at < (k + 1).saturating_mul(w));
                 let ev = match msg.kind {
@@ -431,7 +430,9 @@ fn run_shard<P: Probe>(
                     }
                     MsgKind::Credit { sw, port, vl } => Ev::CreditToSwitch { sw, port, vl },
                 };
-                sim.queue.cal.schedule(msg.at, ParEntry { key: msg.key, ev });
+                sim.queue
+                    .cal
+                    .schedule(msg.at, ParEntry { key: msg.key, ev });
             }
         }
         // Dispatch everything strictly before the window bound, one
@@ -474,7 +475,10 @@ fn run_shard<P: Probe>(
                     let kind = match pc.ev {
                         Ev::SwHeaderArrive { sw, port, vl, pkt } => {
                             let trace_slot = if tracing {
-                                sim.trace_slots.get(pkt as usize).copied().unwrap_or(u32::MAX)
+                                sim.trace_slots
+                                    .get(pkt as usize)
+                                    .copied()
+                                    .unwrap_or(u32::MAX)
                             } else {
                                 u32::MAX
                             };
@@ -832,9 +836,7 @@ impl<'a, P: ParProbe> ParSimulator<'a, P> {
             // delivered or dropped. Summing shard slabs would miss
             // packets parked in mailboxes at the horizon.
             in_flight_at_end: total_generated - total_delivered - dropped,
-            accepted_bytes_per_ns_per_node: delivered_bytes as f64
-                / window
-                / num_nodes as f64,
+            accepted_bytes_per_ns_per_node: delivered_bytes as f64 / window / num_nodes as f64,
             offered_bytes_per_ns_per_node: cfg.packet_bytes as f64
                 / cfg.interarrival_ns(self.offered_load),
             latency,
@@ -907,10 +909,7 @@ mod tests {
             })
         };
         let (early, late) = (parent(100, 9), parent(400, 1));
-        assert_eq!(
-            cmp_key(&child(&early, 7), &child(&late, 2)),
-            Ordering::Less
-        );
+        assert_eq!(cmp_key(&child(&early, 7), &child(&late, 2)), Ordering::Less);
         // Same parent *instant* but different call counters: the parent
         // scheduled by the earlier call dispatched first.
         let (first, second) = (parent(400, 1), parent(400, 2));

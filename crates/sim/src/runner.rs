@@ -96,46 +96,11 @@ pub fn run_observed<P: Probe>(
     .run_observed()
 }
 
-/// Apply `f` to every item of `items` across a scoped OS-thread pool,
-/// returning the outputs in input order.
-///
-/// Threads self-schedule off a shared atomic cursor (work stealing by
-/// index), so uneven per-item cost — a saturated simulation next to an
-/// idle one — still balances. `f` may borrow shared state (network,
-/// routing); nothing is cloned per item by the pool itself.
-pub fn par_map_indexed<T, U, F>(items: &[T], f: F) -> Vec<U>
-where
-    T: Sync,
-    U: Send,
-    F: Fn(usize, &T) -> U + Sync,
-{
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    let slots: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
-    let results = std::sync::Mutex::new(slots);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        let (results, next, f) = (&results, &next, &f);
-        for _ in 0..threads {
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let out = f(i, &items[i]);
-                results.lock().expect("no panics hold the lock")[i] = Some(out);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("no panics hold the lock")
-        .into_iter()
-        .map(|r| r.expect("every index was processed"))
-        .collect()
-}
+// The shared scoped thread pool now lives in the topology crate, where the
+// routing control plane (parallel LFT builds, sharded load analysis) can
+// reach it too; re-exported here so existing sim-facing callers keep
+// working unchanged.
+pub use ibfat_topology::par_map_indexed;
 
 /// Sweep a list of offered loads, one independent simulation per point,
 /// fanned out over OS threads (each point is single-threaded and
@@ -159,17 +124,6 @@ mod tests {
     use super::*;
     use ibfat_routing::RoutingKind;
     use ibfat_topology::TreeParams;
-
-    #[test]
-    fn par_map_preserves_input_order() {
-        let items: Vec<u64> = (0..100).collect();
-        let out = par_map_indexed(&items, |i, &x| {
-            assert_eq!(i as u64, x);
-            x * x
-        });
-        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<u64>>());
-        assert!(par_map_indexed(&[] as &[u64], |_, &x| x).is_empty());
-    }
 
     #[test]
     fn sweep_returns_points_in_order() {

@@ -266,7 +266,6 @@ pub(crate) struct InjectRec {
 /// the packet without consuming random numbers or shared-counter state.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct InjectPayload {
-    pub(crate) dst: u32,
     pub(crate) dlid: ibfat_routing::Lid,
     pub(crate) vl: u8,
     pub(crate) flow_seq: u32,
@@ -709,7 +708,6 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
         let next_at = (at < self.sim_time_ns).then(|| at.max(self.now));
         (
             Some(InjectPayload {
-                dst: dst.0,
                 dlid,
                 vl,
                 flow_seq,
@@ -738,7 +736,6 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
     pub(crate) fn apply_injection(&mut self, node: u32, p: InjectPayload) {
         let pkt = self.slab.insert(Packet {
             src: node,
-            dst: p.dst,
             dlid: p.dlid,
             vl: p.vl,
             t_gen: self.now,
@@ -808,7 +805,11 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
     fn deliver(&mut self, node: u32, vl: u8, pkt: PacketId) {
         self.record(pkt, TraceEvent::Delivered);
         let p = self.slab.remove(pkt);
-        debug_assert_eq!(p.dst, node);
+        debug_assert_eq!(
+            self.routing.lid_space().resolve(p.dlid).map(|(n, _)| n.0),
+            Some(node),
+            "packet delivered to a node that does not own its DLID"
+        );
         {
             let flow =
                 (p.src as usize * self.nodes.len() + node as usize) * self.num_vls + vl as usize;

@@ -59,7 +59,7 @@ pub struct PacketTrace {
     /// Destination node id.
     pub dst: u32,
     /// DLID carried.
-    pub dlid: u16,
+    pub dlid: u32,
     /// Virtual lane.
     pub vl: u8,
     /// `(time_ns, event)` pairs in order.

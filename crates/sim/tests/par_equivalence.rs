@@ -96,13 +96,7 @@ fn ft43_hotspot_with_traces_and_link_stats_is_bit_identical() {
         fraction: 0.2,
     };
     let spec = RunSpec::new(0.5, 60_000);
-    let seq = normalized(run_once(
-        &net,
-        &routing,
-        cfg.clone(),
-        pattern.clone(),
-        spec,
-    ));
+    let seq = normalized(run_once(&net, &routing, cfg.clone(), pattern.clone(), spec));
     assert!(seq.delivered > 0, "the run must carry traffic");
     assert!(seq.traces.is_some() && seq.link_utilization.is_some());
     for threads in [2usize, 3, 5, 8] {
@@ -165,8 +159,7 @@ fn fabric_counter_registers_merge_exactly() {
 /// Feasibility clamps: zero lookahead and absurd thread counts both
 /// produce the sequential answer rather than an incorrect parallel one.
 #[test]
-fn degenerate_configurations_fall_back_to_sequential()
-{
+fn degenerate_configurations_fall_back_to_sequential() {
     let net = Network::mport_ntree(TreeParams::new(4, 2).expect("valid params"));
     let routing = Routing::build(&net, RoutingKind::Mlid);
     let spec = RunSpec::new(0.3, 20_000);

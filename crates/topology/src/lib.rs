@@ -45,16 +45,20 @@ mod error;
 mod graph;
 mod ids;
 mod label;
+mod par;
 mod params;
 mod prefix;
+mod stride;
 
 pub use digits::Digits;
 pub use error::TopologyError;
 pub use graph::{Device, DeviceKind, DeviceRef, Link, Network, Peer, Port};
 pub use ids::{Level, NodeId, PortNum, SwitchId};
 pub use label::{NodeLabel, SwitchLabel};
+pub use par::par_map_indexed;
 pub use params::TreeParams;
 pub use prefix::{gcp_len, lca_switches, pid, rank_in, Gcpg};
+pub use stride::PortSlots;
 
 /// Structural analysis utilities (path counts, hop distances, bisection).
 pub mod analysis {

@@ -7,10 +7,14 @@ use std::fmt;
 /// * `m` — ports per switch; must be a power of two, `m >= 2`.
 /// * `n` — number of switch levels; `n >= 1`.
 ///
-/// The LID space of InfiniBand is 16 bits and the MLID scheme consumes
-/// `num_nodes * 2^LMC` LIDs with `LMC = (n-1) * log2(m/2)`, so construction
-/// rejects combinations that would not fit (`num_nodes * (m/2)^(n-1) > 0xBFFF`,
-/// the top of the unicast LID range).
+/// The MLID scheme consumes `num_nodes * 2^LMC` LIDs with
+/// `LMC = (n-1) * log2(m/2)`. Configurations up to `FT(8, 3)` fit inside
+/// the 16-bit IBA unicast range (`0x0001..=0xBFFF`); larger fabrics such
+/// as `FT(16, 3)` (2^16 LIDs) and `FT(32, 3)` (2^21 LIDs) are admitted
+/// under a modeled *extended-LID* regime — the addressing arithmetic is
+/// unchanged, only the identifier width grows. Construction rejects
+/// combinations beyond the 2^21 extended-LID budget
+/// (`num_nodes * (m/2)^(n-1) > 1 << 21`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct TreeParams {
     m: u32,
@@ -46,14 +50,15 @@ impl TreeParams {
                 detail: "more than 2^20 processing nodes",
             });
         }
-        // MLID consumes nodes * half^(n-1) LIDs starting at LID 1; InfiniBand
-        // unicast LIDs span 0x0001..=0xBFFF.
+        // MLID consumes nodes * half^(n-1) LIDs starting at LID 1. The
+        // extended-LID regime admits up to 2^21 of them (FT(32, 3));
+        // anything beyond that is out of the modeled design space.
         let lids = nodes * half.pow(n - 1);
-        if lids > 0xBFFF {
+        if lids > 1 << 21 {
             return Err(TopologyError::TooLarge {
                 m,
                 n,
-                detail: "MLID LID space exceeds the 0xBFFF unicast LID range",
+                detail: "MLID LID space exceeds the 2^21 extended-LID budget",
             });
         }
         Ok(TreeParams { m, n })
@@ -111,6 +116,19 @@ impl TreeParams {
             0
         } else {
             self.half().pow(self.n - 1) * (1 + 2 * (level - 1))
+        }
+    }
+
+    /// Level of a switch id under the level-major id layout — the inverse
+    /// of [`TreeParams::level_offset`], in O(1) arithmetic.
+    #[inline]
+    pub fn switch_level_of(&self, id: u32) -> u32 {
+        debug_assert!(id < self.num_switches());
+        let per = self.half().pow(self.n - 1);
+        if id < per {
+            0
+        } else {
+            (id - per) / (2 * per) + 1
         }
     }
 
@@ -246,6 +264,18 @@ mod tests {
     }
 
     #[test]
+    fn switch_level_of_inverts_level_offset() {
+        for (m, n) in [(2, 2), (4, 3), (8, 3), (16, 2), (8, 4)] {
+            let p = TreeParams::new(m, n).unwrap();
+            for l in 0..p.n() {
+                for i in 0..p.switches_at_level(l) {
+                    assert_eq!(p.switch_level_of(p.level_offset(l) + i), l, "FT({m},{n})");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn rejects_bad_parameters() {
         assert!(matches!(
             TreeParams::new(3, 2),
@@ -272,14 +302,35 @@ mod tests {
 
     #[test]
     fn lid_space_bound_enforced() {
-        // FT(16, 4): 2*8^4 = 8192 nodes, 8^3 = 512 LIDs each -> 4M LIDs,
-        // far beyond 0xBFFF.
+        // FT(16, 4): 2*8^4 = 8192 nodes, 8^3 = 512 LIDs each -> 2^22 LIDs,
+        // beyond the 2^21 extended-LID budget.
         assert!(matches!(
             TreeParams::new(16, 4),
             Err(TopologyError::TooLarge { .. })
         ));
-        // FT(8, 4): 2*4^4 = 512 nodes * 64 LIDs = 32768 LIDs <= 0xBFFF. OK.
+        // FT(8, 4): 2*4^4 = 512 nodes * 64 LIDs = 32768 LIDs. OK.
         assert!(TreeParams::new(8, 4).is_ok());
+    }
+
+    #[test]
+    fn extended_lid_regime_admits_the_scale_out_configs() {
+        // FT(16, 3): 1024 nodes x 64 LIDs = 2^16 — beyond the 16-bit
+        // unicast range, inside the extended regime.
+        let p = TreeParams::new(16, 3).unwrap();
+        assert_eq!(p.num_nodes(), 1024);
+        assert_eq!(
+            u64::from(p.num_nodes()) * u64::from(p.lids_per_node()),
+            1 << 16
+        );
+        // FT(32, 3): 8192 nodes x 256 LIDs = 2^21 — the budget boundary.
+        let p = TreeParams::new(32, 3).unwrap();
+        assert_eq!(p.num_nodes(), 8192);
+        assert_eq!(p.num_switches(), 1280);
+        assert_eq!(p.lmc(), 8);
+        assert_eq!(
+            u64::from(p.num_nodes()) * u64::from(p.lids_per_node()),
+            1 << 21
+        );
     }
 
     #[test]

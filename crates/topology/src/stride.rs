@@ -1,0 +1,158 @@
+//! Dense `(device, port)` → flat-slot indexing.
+//!
+//! Whole-fabric per-port analyses (channel loads, counters) want a flat
+//! `Vec` instead of a hash map: one slot per transmitting `(device, port)`
+//! pair, addressable by O(1) arithmetic. [`PortSlots`] fixes the layout:
+//!
+//! * switch ports first, switch-major: slot `sw * (m + 1) + port` covers
+//!   IB ports `0..=m` of every switch (port 0 — the management port —
+//!   never transmits data, so its slot simply stays zero; paying one
+//!   unused slot per switch keeps the stride a single multiply);
+//! * then one slot per processing node for its injection link (endports
+//!   have exactly one data port, IB port 1).
+//!
+//! The layout is a pure function of [`TreeParams`], so independently
+//! computed load vectors (e.g. per-source shards) can be merged by
+//! element-wise addition.
+
+use crate::{DeviceRef, NodeId, PortNum, SwitchId, TreeParams};
+
+/// The flat slot layout for the directed links of an `FT(m, n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortSlots {
+    num_switches: u32,
+    ports_per_switch: u32,
+    num_nodes: u32,
+}
+
+impl PortSlots {
+    /// The layout for a parameterized fat tree.
+    pub fn of(params: TreeParams) -> Self {
+        PortSlots {
+            num_switches: params.num_switches(),
+            ports_per_switch: params.m() + 1, // IB ports 0..=m
+            num_nodes: params.num_nodes(),
+        }
+    }
+
+    /// Total number of slots (every switch port incl. port 0, plus one
+    /// injection slot per node).
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.num_switches * self.ports_per_switch + self.num_nodes) as usize
+    }
+
+    /// Whether the fabric has no ports at all (never true for a valid
+    /// `FT(m, n)`; present for container-idiom completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Slot of a switch's transmit port.
+    #[inline]
+    pub fn switch_slot(&self, sw: SwitchId, port: PortNum) -> usize {
+        debug_assert!(sw.0 < self.num_switches, "switch {sw} out of range");
+        debug_assert!(
+            u32::from(port.0) < self.ports_per_switch,
+            "port {port} out of range"
+        );
+        (sw.0 * self.ports_per_switch + u32::from(port.0)) as usize
+    }
+
+    /// Slot of a node's injection link (its single endport, IB port 1).
+    #[inline]
+    pub fn node_slot(&self, node: NodeId) -> usize {
+        debug_assert!(node.0 < self.num_nodes, "node {node} out of range");
+        (self.num_switches * self.ports_per_switch + node.0) as usize
+    }
+
+    /// Slot of any transmitting `(device, port)`, or `None` for a port
+    /// that has no slot (a node port other than 1).
+    #[inline]
+    pub fn slot(&self, device: DeviceRef, port: PortNum) -> Option<usize> {
+        match device {
+            DeviceRef::Switch(sw) => Some(self.switch_slot(sw, port)),
+            DeviceRef::Node(node) if port == PortNum(1) => Some(self.node_slot(node)),
+            DeviceRef::Node(_) => None,
+        }
+    }
+
+    /// Invert a slot back to its `(device, port)` pair.
+    #[inline]
+    pub fn decode(&self, slot: usize) -> (DeviceRef, PortNum) {
+        let switch_slots = (self.num_switches * self.ports_per_switch) as usize;
+        if slot < switch_slots {
+            let sw = slot as u32 / self.ports_per_switch;
+            let port = slot as u32 % self.ports_per_switch;
+            (DeviceRef::Switch(SwitchId(sw)), PortNum(port as u8))
+        } else {
+            let node = (slot - switch_slots) as u32;
+            debug_assert!(node < self.num_nodes, "slot {slot} out of range");
+            (DeviceRef::Node(NodeId(node)), PortNum(1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_dense_and_invertible() {
+        let slots = PortSlots::of(TreeParams::new(4, 3).unwrap());
+        // 20 switches x 5 ports + 16 nodes.
+        assert_eq!(slots.len(), 20 * 5 + 16);
+        assert!(!slots.is_empty());
+        let mut seen = vec![false; slots.len()];
+        for sw in 0..20u32 {
+            for port in 0..=4u8 {
+                let s = slots.switch_slot(SwitchId(sw), PortNum(port));
+                assert!(!seen[s], "slot {s} reused");
+                seen[s] = true;
+                assert_eq!(
+                    slots.decode(s),
+                    (DeviceRef::Switch(SwitchId(sw)), PortNum(port))
+                );
+            }
+        }
+        for node in 0..16u32 {
+            let s = slots.node_slot(NodeId(node));
+            assert!(!seen[s], "slot {s} reused");
+            seen[s] = true;
+            assert_eq!(slots.decode(s), (DeviceRef::Node(NodeId(node)), PortNum(1)));
+        }
+        assert!(seen.iter().all(|&s| s), "gap in the slot space");
+    }
+
+    #[test]
+    fn slot_matches_the_typed_accessors() {
+        let slots = PortSlots::of(TreeParams::new(4, 2).unwrap());
+        assert_eq!(
+            slots.slot(DeviceRef::Switch(SwitchId(3)), PortNum(2)),
+            Some(slots.switch_slot(SwitchId(3), PortNum(2)))
+        );
+        assert_eq!(
+            slots.slot(DeviceRef::Node(NodeId(5)), PortNum(1)),
+            Some(slots.node_slot(NodeId(5)))
+        );
+        assert_eq!(slots.slot(DeviceRef::Node(NodeId(5)), PortNum(2)), None);
+    }
+
+    #[test]
+    fn decode_order_is_switch_major_then_nodes() {
+        // The slot order is exactly the deterministic ranking channel-load
+        // reports sort ties by: switches (by id, then port), then nodes.
+        let slots = PortSlots::of(TreeParams::new(2, 2).unwrap());
+        let decoded: Vec<_> = (0..slots.len()).map(|s| slots.decode(s)).collect();
+        let mut sorted = decoded.clone();
+        sorted.sort_by_key(|&(device, port)| {
+            let rank = match device {
+                DeviceRef::Switch(s) => (0u8, s.0),
+                DeviceRef::Node(n) => (1, n.0),
+            };
+            (rank, port.0)
+        });
+        assert_eq!(decoded, sorted);
+    }
+}

@@ -23,7 +23,7 @@ fn main() {
     // The destination: P(100) = node 4, BaseLID 17 per the paper.
     let dst = NodeId(4);
     let dst_label = NodeLabel::from_id(params, dst);
-    let lids: Vec<u16> = space.lids(dst).map(|l| l.0).collect();
+    let lids: Vec<u32> = space.lids(dst).map(|l| l.0).collect();
     println!("destination {dst_label} (PID {}): LIDset {lids:?}", dst.0);
 
     let route_names = ["Q", "R", "S", "T"];

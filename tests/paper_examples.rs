@@ -67,7 +67,7 @@ fn section4_addressing() {
     let p010 = NodeLabel::new(ft43(), &[0, 1, 0]).unwrap();
     let id = p010.id(ft43());
     assert_eq!(space.base_lid(id), Lid(9));
-    let lids: Vec<u16> = space.lids(id).map(|l| l.0).collect();
+    let lids: Vec<u32> = space.lids(id).map(|l| l.0).collect();
     assert_eq!(lids, vec![9, 10, 11, 12]);
 }
 
@@ -80,7 +80,7 @@ fn section4_path_selection() {
     let dst = NodeId(4);
     for (i, src) in (0..4).enumerate() {
         let dlid = fabric.routing().select_dlid(NodeId(src), dst);
-        assert_eq!(dlid, Lid(17 + i as u16));
+        assert_eq!(dlid, Lid(17 + i as u32));
     }
 }
 
