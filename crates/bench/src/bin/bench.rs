@@ -397,6 +397,36 @@ fn run_workloads(opts: &Opts) -> Vec<WorkloadResult> {
         }
     }
 
+    // Message-level workloads driven to completion on the headline
+    // fabric. The work unit is events processed, which is deterministic
+    // (the run ends when the collective finishes, not at a horizon);
+    // wall time is host-dependent like every other row, and these are
+    // warn-only in the comparator. `--quick` shrinks the payload.
+    println!("workload (message engine, 8x3):");
+    {
+        let net = Network::mport_ntree(TreeParams::new(8, 3).expect("valid config"));
+        let routing = Routing::build(&net, RoutingKind::Mlid);
+        let cfg = SimConfig::paper(1);
+        let bytes: u64 = if opts.quick { 512 } else { 4096 };
+        let nodes = net.num_nodes() as u32;
+        let rows: [(&str, ibfat_sim::Workload); 2] = [
+            (
+                "workload_allreduce/8x3",
+                ibfat_sim::generators::allreduce_ring(nodes, bytes),
+            ),
+            (
+                "workload_alltoall/8x3",
+                ibfat_sim::generators::all_to_all(nodes, bytes),
+            ),
+        ];
+        for (name, wl) in rows {
+            let (wall, events) = best_of(opts.iters, || {
+                ibfat_sim::run_workload(&net, &routing, cfg.clone(), &wl).events
+            });
+            out.push(result(name.to_string(), wall, events, opts.iters));
+        }
+    }
+
     println!("path_select:");
     let lookups: u64 = if opts.quick { 200_000 } else { 1_000_000 };
     for &(m, n) in &[(8u32, 3u32), (32, 2)] {
@@ -481,6 +511,7 @@ fn main() {
                     if d.name.starts_with("sim_engine_par")
                         || d.name.starts_with("lft_build")
                         || d.name.starts_with("loads_all_to_all")
+                        || d.name.starts_with("workload_")
                     {
                         "slower (warn-only: host-dependent)"
                     } else {

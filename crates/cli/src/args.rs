@@ -19,6 +19,9 @@ commands:
   loads <MxN>                    static channel-load analysis (no
                                  simulation): all-to-all flow counts per
                                  link, rolled up by tree level
+  workload <MxN>                 drive a message-level workload (collective,
+                                 closed-loop, or trace replay) to completion
+                                 and report per-message latency + skew
 
 options:
   --scheme mlid|slid|updown      routing scheme        (default mlid)
@@ -39,6 +42,17 @@ options:
   --oracle                       loads: stream the closed-form routing
                                  oracle instead of walking the tables
                                  (mlid/slid only, pristine fabric only)
+  --kind K                       workload kind: allreduce-ring|allreduce-rd|
+                                 alltoall|bcast|closed-loop|replay
+                                 (default allreduce-ring)
+  --bytes B                      workload payload per node/message in bytes
+                                 (default 4096)
+  --in-flight K                  closed-loop: messages in flight per node
+                                 (default 4)
+  --messages M                   closed-loop: total messages per node
+                                 (default 32)
+  --trace FILE                   replay: JSONL trace, one
+                                 {src, dst, bytes, depends_on} per line
   --json                         machine-readable output";
 
 /// A parsed invocation.
@@ -76,6 +90,17 @@ pub struct Cmd {
     pub hotspot: Option<NodeRef>,
     /// `loads`: stream the closed-form oracle instead of the tables.
     pub oracle: bool,
+    /// `workload`: which workload to drive.
+    pub wl_kind: WlKind,
+    /// `workload`: payload bytes per node (collectives) or per message
+    /// (closed-loop).
+    pub bytes: u64,
+    /// `workload` closed-loop: messages kept in flight per node.
+    pub in_flight: u32,
+    /// `workload` closed-loop: total messages per node.
+    pub messages: u32,
+    /// `workload` replay: path to a JSONL trace.
+    pub trace: Option<String>,
     /// Emit JSON instead of text.
     pub json: bool,
 }
@@ -91,6 +116,50 @@ pub enum Action {
     Sweep,
     Counters,
     Loads,
+    Workload,
+}
+
+/// Workload families for the `workload` subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WlKind {
+    /// Ring allreduce: reduce-scatter + allgather, 2(n-1) steps.
+    AllreduceRing,
+    /// Recursive-doubling allreduce (power-of-two fabrics).
+    AllreduceRd,
+    /// Pairwise-exchange all-to-all, n-1 rounds.
+    AllToAll,
+    /// Binomial-tree broadcast from node 0.
+    Bcast,
+    /// Closed-loop uniform traffic: k messages in flight per node.
+    ClosedLoop,
+    /// Replay a JSONL trace (`--trace FILE`).
+    Replay,
+}
+
+impl WlKind {
+    fn parse(s: &str) -> Result<Self, String> {
+        Ok(match s {
+            "allreduce-ring" => WlKind::AllreduceRing,
+            "allreduce-rd" => WlKind::AllreduceRd,
+            "alltoall" => WlKind::AllToAll,
+            "bcast" => WlKind::Bcast,
+            "closed-loop" => WlKind::ClosedLoop,
+            "replay" => WlKind::Replay,
+            other => return Err(format!("unknown workload kind '{other}'")),
+        })
+    }
+
+    /// Short name for reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WlKind::AllreduceRing => "allreduce-ring",
+            WlKind::AllreduceRd => "allreduce-rd",
+            WlKind::AllToAll => "alltoall",
+            WlKind::Bcast => "bcast",
+            WlKind::ClosedLoop => "closed-loop",
+            WlKind::Replay => "replay",
+        }
+    }
 }
 
 /// A node given either as a dense id (`5`) or a paper label (`P(010)`).
@@ -149,6 +218,11 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
         top: 8,
         hotspot: None,
         oracle: false,
+        wl_kind: WlKind::AllreduceRing,
+        bytes: 4096,
+        in_flight: 4,
+        messages: 32,
+        trace: None,
         json: false,
     };
 
@@ -221,6 +295,35 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
             }
             "--hotspot" => cmd.hotspot = Some(NodeRef::parse(next_value(&mut it, arg)?)?),
             "--oracle" => cmd.oracle = true,
+            "--kind" => cmd.wl_kind = WlKind::parse(next_value(&mut it, arg)?)?,
+            "--bytes" => {
+                let bytes: u64 = next_value(&mut it, arg)?
+                    .parse()
+                    .map_err(|_| "bad --bytes value".to_string())?;
+                if bytes == 0 {
+                    return Err("--bytes must be positive".into());
+                }
+                cmd.bytes = bytes;
+            }
+            "--in-flight" => {
+                let k: u32 = next_value(&mut it, arg)?
+                    .parse()
+                    .map_err(|_| "bad --in-flight value".to_string())?;
+                if k == 0 {
+                    return Err("--in-flight must be positive".into());
+                }
+                cmd.in_flight = k;
+            }
+            "--messages" => {
+                let m: u32 = next_value(&mut it, arg)?
+                    .parse()
+                    .map_err(|_| "bad --messages value".to_string())?;
+                if m == 0 {
+                    return Err("--messages must be positive".into());
+                }
+                cmd.messages = m;
+            }
+            "--trace" => cmd.trace = Some(next_value(&mut it, arg)?.clone()),
             "--json" => cmd.json = true,
             other if !other.starts_with("--") => positional.push(arg),
             other => return Err(format!("unknown flag '{other}'")),
@@ -235,6 +338,12 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
         "sweep" => Action::Sweep,
         "counters" => Action::Counters,
         "loads" => Action::Loads,
+        "workload" => {
+            if cmd.wl_kind == WlKind::Replay && cmd.trace.is_none() {
+                return Err("--kind replay needs --trace FILE".into());
+            }
+            Action::Workload
+        }
         "route" => {
             let [src, dst] = positional.as_slice() else {
                 return Err("route needs <src> <dst> (ids or P(...) labels)".into());
@@ -377,6 +486,38 @@ mod tests {
         assert_eq!(cmd.threads, 1);
         assert!(parse(&argv("run 4x2 --threads 0")).is_err());
         assert!(parse(&argv("run 4x2 --threads lots")).is_err());
+    }
+
+    #[test]
+    fn parses_workload_options() {
+        let cmd = parse(&argv(
+            "workload 8x3 --kind alltoall --bytes 2048 --scheme slid --threads 4",
+        ))
+        .unwrap();
+        assert_eq!(cmd.action, Action::Workload);
+        assert_eq!(cmd.wl_kind, WlKind::AllToAll);
+        assert_eq!(cmd.bytes, 2048);
+        assert_eq!(cmd.scheme, RoutingKind::Slid);
+        assert_eq!(cmd.threads, 4);
+        // Defaults.
+        let cmd = parse(&argv("workload 4x2")).unwrap();
+        assert_eq!(cmd.wl_kind, WlKind::AllreduceRing);
+        assert_eq!((cmd.bytes, cmd.in_flight, cmd.messages), (4096, 4, 32));
+        // Closed-loop knobs.
+        let cmd = parse(&argv(
+            "workload 4x2 --kind closed-loop --in-flight 2 --messages 8",
+        ))
+        .unwrap();
+        assert_eq!(cmd.wl_kind, WlKind::ClosedLoop);
+        assert_eq!((cmd.in_flight, cmd.messages), (2, 8));
+        // Replay requires a trace file; zero knobs are rejected.
+        assert!(parse(&argv("workload 4x2 --kind replay")).is_err());
+        let cmd = parse(&argv("workload 4x2 --kind replay --trace t.jsonl")).unwrap();
+        assert_eq!(cmd.trace.as_deref(), Some("t.jsonl"));
+        assert!(parse(&argv("workload 4x2 --kind nope")).is_err());
+        assert!(parse(&argv("workload 4x2 --bytes 0")).is_err());
+        assert!(parse(&argv("workload 4x2 --in-flight 0")).is_err());
+        assert!(parse(&argv("workload 4x2 --messages 0")).is_err());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Command implementations for the `ibfat` CLI.
 
-use crate::args::{Action, Cmd};
+use crate::args::{Action, Cmd, WlKind};
 use ib_fabric::prelude::*;
 use ib_fabric::sm::SubnetManager;
 use ib_fabric::topology::analysis;
@@ -22,6 +22,7 @@ pub fn run(cmd: Cmd) -> Result<(), String> {
         Action::Sweep => sweep(&cmd, &fabric),
         Action::Counters => counters(&cmd, &fabric),
         Action::Loads => loads(&cmd, &fabric),
+        Action::Workload => workload(&cmd, &fabric),
     }
 }
 
@@ -655,6 +656,135 @@ fn loads(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
         };
         println!("  {what}: {load} flows");
     }
+    Ok(())
+}
+
+/// Build the workload the flags describe (exposed for tests).
+pub fn build_workload(cmd: &Cmd, fabric: &Fabric) -> Result<Workload, String> {
+    use ib_fabric::generators;
+    let nodes = fabric.num_nodes();
+    let wl = match cmd.wl_kind {
+        WlKind::AllreduceRing => generators::allreduce_ring(nodes, cmd.bytes),
+        WlKind::AllreduceRd => {
+            if !nodes.is_power_of_two() {
+                return Err(format!(
+                    "allreduce-rd needs a power-of-two node count; this fabric has {nodes} \
+                     (use --kind allreduce-ring)"
+                ));
+            }
+            generators::allreduce_recursive_doubling(nodes, cmd.bytes)
+        }
+        WlKind::AllToAll => generators::all_to_all(nodes, cmd.bytes),
+        WlKind::Bcast => generators::bcast_binomial(nodes, NodeId(0), cmd.bytes),
+        WlKind::ClosedLoop => generators::closed_loop(
+            nodes,
+            ib_fabric::ClosedLoopKind::Uniform,
+            cmd.bytes,
+            cmd.in_flight,
+            cmd.messages,
+            cmd.seed.unwrap_or(1),
+        ),
+        WlKind::Replay => {
+            let path = cmd.trace.as_ref().expect("parser enforces --trace");
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read trace '{path}': {e}"))?;
+            ib_fabric::sim::workload_trace::parse_jsonl(&text, nodes)?
+        }
+    };
+    Ok(wl)
+}
+
+/// Drive the workload to completion (exposed for tests).
+pub fn collect_workload(cmd: &Cmd, fabric: &Fabric) -> Result<WorkloadReport, String> {
+    let wl = build_workload(cmd, fabric)?;
+    let mut experiment = fabric
+        .experiment()
+        .virtual_lanes(cmd.vls)
+        .threads(cmd.threads);
+    if let Some(seed) = cmd.seed {
+        experiment = experiment.seed(seed);
+    }
+    Ok(experiment.run_workload(&wl))
+}
+
+fn workload(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
+    let r = collect_workload(cmd, fabric)?;
+    let params = fabric.params();
+    if cmd.json {
+        // Hand-rolled JSON: the offline serde_json stub cannot serialize.
+        let groups: Vec<String> = r
+            .groups
+            .iter()
+            .map(|g| {
+                format!(
+                    "{{\"name\":\"{}\",\"messages\":{},\"bytes\":{},\
+                     \"start_ns\":{},\"completion_ns\":{}}}",
+                    g.name, g.messages, g.bytes, g.start_ns, g.completion_ns
+                )
+            })
+            .collect();
+        println!(
+            "{{\"m\":{},\"n\":{},\"scheme\":\"{}\",\"kind\":\"{}\",\"nodes\":{},\
+             \"messages\":{},\"packets\":{},\"total_bytes\":{},\"makespan_ns\":{},\
+             \"latency\":{{\"min_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\
+             \"max_ns\":{},\"mean_ns\":{}}},\"node_skew_ns\":{},\"events\":{},\
+             \"groups\":[{}]}}",
+            params.m(),
+            params.n(),
+            cmd.scheme.as_str(),
+            cmd.wl_kind.as_str(),
+            r.num_nodes,
+            r.messages,
+            r.packets,
+            r.total_bytes,
+            r.makespan_ns,
+            r.latency.min_ns,
+            r.latency.p50_ns,
+            r.latency.p95_ns,
+            r.latency.p99_ns,
+            r.latency.max_ns,
+            r.latency.mean_ns,
+            r.node_skew_ns,
+            r.events,
+            groups.join(",")
+        );
+        return Ok(());
+    }
+    println!(
+        "workload {} on {} under {} ({} VLs, {} B payload):",
+        cmd.wl_kind.as_str(),
+        params,
+        cmd.scheme.as_str().to_uppercase(),
+        cmd.vls,
+        cmd.bytes
+    );
+    println!(
+        "  messages   : {} over {} nodes ({} packets, {} bytes)",
+        r.messages, r.num_nodes, r.packets, r.total_bytes
+    );
+    println!(
+        "  makespan   : {} ns (first arm to last delivery), node skew {} ns",
+        r.makespan_ns, r.node_skew_ns
+    );
+    println!(
+        "  msg latency: p50 {} ns, p95 {} ns, p99 {} ns (min {}, max {}, mean {})",
+        r.latency.p50_ns,
+        r.latency.p95_ns,
+        r.latency.p99_ns,
+        r.latency.min_ns,
+        r.latency.max_ns,
+        r.latency.mean_ns
+    );
+    for g in &r.groups {
+        println!(
+            "  collective : {} — {} messages, {} bytes, completed in {} ns",
+            g.name,
+            g.messages,
+            g.bytes,
+            g.completion_ns - g.start_ns
+        );
+    }
+    println!("  engine     : {} events", r.events);
     Ok(())
 }
 

@@ -165,6 +165,60 @@ fn loads_pin_the_papers_table_story_on_ft_4_3() {
     assert_eq!(oracle.loads, mlid.loads);
 }
 
+#[test]
+fn workload_runs_in_text_and_json() {
+    run("workload 4x2 --kind allreduce-ring --bytes 1024").unwrap();
+    run("workload 4x2 --kind alltoall --bytes 512 --scheme slid --json").unwrap();
+    run("workload 4x2 --kind bcast --vls 2").unwrap();
+    run("workload 4x2 --kind closed-loop --in-flight 2 --messages 4 --seed 5").unwrap();
+    // FT(4,2) has 8 nodes, a power of two, so recursive doubling runs…
+    run("workload 4x2 --kind allreduce-rd --bytes 256").unwrap();
+    // …and a missing trace file is a clean error, not a panic.
+    assert!(run("workload 4x2 --kind replay --trace /nonexistent.jsonl").is_err());
+}
+
+/// Drive one `workload` command line and return its report.
+fn drive(line: &str) -> ib_fabric::WorkloadReport {
+    let argv: Vec<String> = line.split_whitespace().map(String::from).collect();
+    let cmd = args::parse(&argv).unwrap();
+    let fabric = ib_fabric::Fabric::builder(cmd.m, cmd.n)
+        .routing(cmd.scheme)
+        .build()
+        .unwrap();
+    commands::collect_workload(&cmd, &fabric).unwrap()
+}
+
+#[test]
+fn workload_trace_round_trips_through_record_and_replay() {
+    // Record a generated collective to JSONL, replay it through the CLI
+    // path, and require the exact same simulation outcome.
+    let fabric = ib_fabric::Fabric::builder(4, 2).build().unwrap();
+    let wl = ib_fabric::generators::all_to_all(fabric.num_nodes(), 512);
+    let jsonl = ib_fabric::workload_trace::to_jsonl(&wl);
+    let path = std::env::temp_dir().join("ibfat_cli_roundtrip.jsonl");
+    std::fs::write(&path, &jsonl).unwrap();
+
+    let direct = drive("workload 4x2 --kind alltoall --bytes 512");
+    let replayed = drive(&format!(
+        "workload 4x2 --kind replay --trace {}",
+        path.display()
+    ));
+    std::fs::remove_file(&path).ok();
+    // Groups carry the generator's name vs "replay"; everything measured
+    // must agree.
+    assert_eq!(replayed.makespan_ns, direct.makespan_ns);
+    assert_eq!(replayed.latency, direct.latency);
+    assert_eq!(replayed.timings, direct.timings);
+}
+
+#[test]
+fn workload_threads_flag_leaves_reports_bit_identical() {
+    let seq = drive("workload 4x2 --kind alltoall --bytes 1024 --vls 2");
+    assert!(seq.makespan_ns > 0 && seq.messages > 0);
+    let par = drive("workload 4x2 --kind alltoall --bytes 1024 --vls 2 --threads 4");
+    assert_eq!(par, seq);
+}
+
 /// Collect counters for one `counters` command line.
 fn collect(line: &str) -> commands::CountersReport {
     let argv: Vec<String> = line.split_whitespace().map(String::from).collect();

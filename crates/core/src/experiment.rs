@@ -1,7 +1,7 @@
 use crate::Fabric;
 use ibfat_sim::{
     run_once, run_once_par, sweep, InjectionProcess, Probe, RunSpec, SimConfig, SimReport,
-    TrafficPattern,
+    TrafficPattern, Workload, WorkloadReport,
 };
 
 /// Fluent configuration of a simulation over a [`Fabric`].
@@ -191,6 +191,25 @@ impl<'a> ExperimentBuilder<'a> {
         )
     }
 
+    /// Drive a message-level workload (a collective, closed-loop, or
+    /// replayed trace — see [`ibfat_sim::generators`] and
+    /// [`ibfat_sim::workload_trace`]) to completion instead of sampling
+    /// a traffic pattern for a fixed duration. Pattern, load, duration
+    /// and warm-up settings are ignored; `threads` is honored (reports
+    /// are bit-identical at any thread count).
+    pub fn run_workload(self, wl: &Workload) -> WorkloadReport {
+        if self.threads > 1 {
+            return ibfat_sim::run_workload_par(
+                self.fabric.network(),
+                self.fabric.routing(),
+                self.cfg,
+                wl,
+                self.threads,
+            );
+        }
+        ibfat_sim::run_workload(self.fabric.network(), self.fabric.routing(), self.cfg, wl)
+    }
+
     /// Run the configured operating point under several seeds and return
     /// each replica's report (use [`ibfat_sim::aggregate`] to summarize).
     pub fn run_replicated(self, seeds: &[u64]) -> Vec<SimReport> {
@@ -258,6 +277,17 @@ mod tests {
         assert!((report.offered_load - 0.5).abs() < 1e-12);
         // 128-byte packets at load 0.5 -> offered 0.5 bytes/ns/node.
         assert!((report.offered_bytes_per_ns_per_node - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workload_through_experiment_api() {
+        let fabric = Fabric::builder(4, 2).build().unwrap();
+        let wl = ibfat_sim::generators::allreduce_ring(fabric.num_nodes() as u32, 2048);
+        let seq = fabric.experiment().run_workload(&wl);
+        assert_eq!(seq.messages as usize, wl.messages.len());
+        assert!(seq.makespan_ns > 0);
+        let par = fabric.experiment().threads(3).run_workload(&wl);
+        assert_eq!(par, seq, "thread count must not change the report");
     }
 
     #[test]

@@ -58,9 +58,9 @@ pub use ibfat_routing::{
     ChannelLoads, Lft, Lid, LidSpace, Route, RouteOracle, Routing, RoutingError, RoutingKind,
 };
 pub use ibfat_sim::{
-    aggregate, Aggregate, FabricCounters, HotPort, InjectionProcess, LinkUse, NoopProbe,
-    PathSelection, Phase, PhaseProfile, Probe, RunSpec, SimConfig, SimReport, TrafficPattern,
-    VlArbitration, VlAssignment,
+    aggregate, generators, workload_trace, Aggregate, ClosedLoopKind, FabricCounters, HotPort,
+    InjectionProcess, LinkUse, NoopProbe, PathSelection, Phase, PhaseProfile, Probe, RunSpec,
+    SimConfig, SimReport, TrafficPattern, VlArbitration, VlAssignment, Workload, WorkloadReport,
 };
 pub use ibfat_sm::SubnetManager;
 pub use ibfat_topology::{
@@ -73,6 +73,6 @@ pub mod prelude {
         ChannelLoads, Fabric, FabricBuilder, FabricCounters, FabricError, InjectionProcess, Lid,
         Network, NodeId, NodeLabel, PathSelection, PhaseProfile, Probe, RouteOracle, Routing,
         RoutingKind, SimConfig, SimReport, SubnetManager, SwitchLabel, TrafficPattern, TreeParams,
-        VlArbitration, VlAssignment,
+        VlArbitration, VlAssignment, Workload, WorkloadReport,
     };
 }

@@ -50,6 +50,7 @@ pub mod bounds;
 mod config;
 mod counters;
 mod engine;
+mod error;
 mod metrics;
 mod packet;
 mod par;
@@ -59,12 +60,14 @@ mod sim;
 mod trace;
 mod traffic;
 mod vlarb;
+mod workload;
 
 pub use config::{InjectionProcess, PathSelection, SimConfig, VlAssignment};
 pub use counters::{
     FabricCounters, HotPort, NodeCounters, PortVlCounters, Sample, COUNTERS_SCHEMA_VERSION,
 };
 pub use engine::{CalendarKind, EventQueue, HeapCalendar, Time, TimingWheel};
+pub use error::SimError;
 pub use metrics::{LatencyStats, LinkUse, Percentiles, SimReport};
 pub use packet::{Packet, PacketId, PacketSlab};
 pub use par::ParSimulator;
@@ -77,3 +80,11 @@ pub use sim::Simulator;
 pub use trace::{PacketTrace, TraceEvent};
 pub use traffic::TrafficPattern;
 pub use vlarb::{VlArbiter, VlArbitration};
+// The message-level workload layer: the data model re-exported from
+// `ibfat-workload`, plus the engine entry points on `Simulator` /
+// `ParSimulator` and the runner shorthands in `runner`.
+pub use ibfat_workload::{
+    generators, trace as workload_trace, ClosedLoopKind, GroupReport, Message, MessageTiming,
+    MsgId, MsgLatency, Workload, WorkloadReport,
+};
+pub use runner::{run_workload, run_workload_par};

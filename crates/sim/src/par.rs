@@ -90,7 +90,7 @@ use ibfat_topology::{DeviceRef, Network, NodeId, PortNum};
 use rand::Rng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 
 /// Deterministic tiebreak key for same-timestamp events: one node of the
@@ -112,9 +112,17 @@ impl EvKey {
     /// the same instant, and node order matches the sequential priming
     /// loop's insertion order.
     fn initial(node: u32) -> Arc<EvKey> {
+        EvKey::initial_seq(node, 0)
+    }
+
+    /// Key of the `seq`-th priming event of a node. Workload mode primes
+    /// one `WlArm` per DAG root, and a node can own several roots; the
+    /// sequential engine primes them node-major in ascending id order,
+    /// which `(node, seq)` in the tiebreak word reproduces exactly.
+    fn initial_seq(node: u32, seq: u32) -> Arc<EvKey> {
         Arc::new(EvKey {
             sched: 0,
-            tb: u64::from(node) << 32,
+            tb: (u64::from(node) << 32) | u64::from(seq),
             parent: None,
         })
     }
@@ -176,9 +184,17 @@ enum MsgKind {
         packet: Packet,
         /// Flight-recorder slot (`u32::MAX` = untraced).
         trace_slot: u32,
+        /// Workload message id (`u32::MAX` = pattern mode) — the side
+        /// table entry travels with the packet across the slab transfer.
+        wl_msg: u32,
     },
     /// A credit returning across the shard boundary.
     Credit { sw: u32, port: u8, vl: u8 },
+    /// Workload mode: a completion notification releasing a dependent
+    /// message on another shard's node. Scheduled exactly one wire
+    /// flight after the completing delivery, so it respects the same
+    /// lookahead as the link events.
+    Arm { node: u32, msg: u32 },
 }
 
 /// A cross-shard schedule call awaiting conversion to a [`Msg`]. The
@@ -225,7 +241,8 @@ fn scheduling_dev(ev: &Ev, num_nodes: u32) -> (u64, u32) {
         Ev::Inject { node }
         | Ev::TryNodeSend { node }
         | Ev::CreditToNode { node, .. }
-        | Ev::Deliver { node, .. } => (u64::from(node) << 32, node),
+        | Ev::Deliver { node, .. }
+        | Ev::WlArm { node, .. } => (u64::from(node) << 32, node),
         Ev::SwHeaderArrive { sw, .. }
         | Ev::SwRouteDone { sw, .. }
         | Ev::SwInputDeparted { sw, .. }
@@ -294,7 +311,8 @@ impl ShardQueue {
             Ev::Inject { node }
             | Ev::TryNodeSend { node }
             | Ev::CreditToNode { node, .. }
-            | Ev::Deliver { node, .. } => self.map.node[node as usize],
+            | Ev::Deliver { node, .. }
+            | Ev::WlArm { node, .. } => self.map.node[node as usize],
             Ev::SwHeaderArrive { sw, .. }
             | Ev::SwRouteDone { sw, .. }
             | Ev::SwInputDeparted { sw, .. }
@@ -325,8 +343,11 @@ impl Sched for ShardQueue {
             }
         } else {
             debug_assert!(
-                matches!(ev, Ev::SwHeaderArrive { .. } | Ev::CreditToSwitch { .. }),
-                "only single-link switch-to-switch events may cross shards"
+                matches!(
+                    ev,
+                    Ev::SwHeaderArrive { .. } | Ev::CreditToSwitch { .. } | Ev::WlArm { .. }
+                ),
+                "only single-link and completion-notification events may cross shards"
             );
             debug_assert!(
                 at >= self.cur_time + self.lookahead,
@@ -389,6 +410,153 @@ fn injection_prepass(
     (scripts, gen.traces)
 }
 
+/// Drain this shard's inbound mailboxes for window `k` (parity side):
+/// every message sent during window `k-1` fires inside this window.
+fn drain_inbound<P: Probe>(
+    sim: &mut Simulator<'_, P, ShardQueue>,
+    me: usize,
+    k: u64,
+    w: u64,
+    parity: usize,
+    mailboxes: &[Vec<[Mutex<Vec<Msg>>; 2]>],
+) {
+    for (src, from_src) in mailboxes.iter().enumerate() {
+        if src == me {
+            continue;
+        }
+        let msgs = std::mem::take(&mut *from_src[me][parity].lock().expect("mailbox poisoned"));
+        for msg in msgs {
+            debug_assert!(k * w <= msg.at && msg.at < (k + 1).saturating_mul(w));
+            let ev = match msg.kind {
+                MsgKind::Arrive {
+                    sw,
+                    port,
+                    vl,
+                    packet,
+                    trace_slot,
+                    wl_msg,
+                } => {
+                    let pkt = sim.slab.insert(packet);
+                    sim.set_trace_slot(pkt, trace_slot);
+                    if wl_msg != u32::MAX {
+                        sim.wl_set_msg(pkt, wl_msg);
+                    }
+                    Ev::SwHeaderArrive { sw, port, vl, pkt }
+                }
+                MsgKind::Credit { sw, port, vl } => Ev::CreditToSwitch { sw, port, vl },
+                MsgKind::Arm { node, msg } => Ev::WlArm { node, msg },
+            };
+            sim.queue
+                .cal
+                .schedule(msg.at, ParEntry { key: msg.key, ev });
+        }
+    }
+}
+
+/// Dispatch everything strictly before `bound`, one timestamp cohort at
+/// a time, in key order; cross-shard sends are staged into `outbox`.
+fn dispatch_window<P: Probe>(
+    sim: &mut Simulator<'_, P, ShardQueue>,
+    bound: Time,
+    cohort: &mut Vec<ParEntry>,
+    outbox: &mut [Vec<Msg>],
+) {
+    while let Some(t) = sim.queue.cal.peek_time() {
+        if t >= bound {
+            break;
+        }
+        cohort.clear();
+        while sim.queue.cal.peek_time() == Some(t) {
+            let (_, e) = sim.queue.cal.pop().expect("peeked nonempty");
+            cohort.push(e);
+        }
+        cohort.sort_unstable_by(|a, b| cmp_key(&a.key, &b.key));
+        let mut i = 0;
+        while i < cohort.len() {
+            let entry = cohort[i].clone();
+            debug_assert!(t >= sim.now, "time went backwards");
+            sim.now = t;
+            sim.events_processed += 1;
+            sim.queue.begin_dispatch(t, entry.key, &entry.ev);
+            if P::COUNTERS {
+                sim.probe.tick(t, sim.slab.live());
+            }
+            if P::TIMING {
+                let phase = crate::sim::phase_of(&entry.ev);
+                let t0 = std::time::Instant::now();
+                sim.dispatch(entry.ev);
+                sim.probe.phase_time(phase, t0.elapsed().as_nanos() as u64);
+            } else {
+                sim.dispatch(entry.ev);
+            }
+            // Zero-delay events join the cohort tail in schedule
+            // order — the exact sequential FIFO position.
+            cohort.append(&mut sim.queue.same_time);
+            // Convert cross-shard sends while their packet ids are
+            // still fresh (no later dispatch may recycle the slot).
+            let tracing = sim.cfg.trace_first_packets > 0;
+            for pc in sim.queue.pending.drain(..) {
+                let kind = match pc.ev {
+                    Ev::SwHeaderArrive { sw, port, vl, pkt } => {
+                        let trace_slot = if tracing {
+                            sim.trace_slots
+                                .get(pkt as usize)
+                                .copied()
+                                .unwrap_or(u32::MAX)
+                        } else {
+                            u32::MAX
+                        };
+                        let wl_msg = match sim.wl.as_deref() {
+                            Some(w) => w.wl_msg[pkt as usize],
+                            None => u32::MAX,
+                        };
+                        MsgKind::Arrive {
+                            sw,
+                            port,
+                            vl,
+                            packet: sim.slab.remove(pkt),
+                            trace_slot,
+                            wl_msg,
+                        }
+                    }
+                    Ev::CreditToSwitch { sw, port, vl } => MsgKind::Credit { sw, port, vl },
+                    Ev::WlArm { node, msg } => MsgKind::Arm { node, msg },
+                    _ => unreachable!("non-crossing event staged as cross-shard"),
+                };
+                outbox[pc.dst as usize].push(Msg {
+                    at: pc.at,
+                    key: pc.key,
+                    kind,
+                });
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Flush the window's cross-shard sends into the opposite-parity
+/// mailboxes; returns whether anything was sent (the shard's "the
+/// system is still alive" vote in workload mode).
+fn flush_outbox(
+    me: usize,
+    parity: usize,
+    outbox: &mut [Vec<Msg>],
+    mailboxes: &[Vec<[Mutex<Vec<Msg>>; 2]>],
+) -> bool {
+    let mut sent = false;
+    for (dst, staged) in outbox.iter_mut().enumerate() {
+        if staged.is_empty() {
+            continue;
+        }
+        sent = true;
+        mailboxes[me][dst][parity ^ 1]
+            .lock()
+            .expect("mailbox poisoned")
+            .append(staged);
+    }
+    sent
+}
+
 /// One worker: drain inbound mailboxes, dispatch the window, flush
 /// outbound mailboxes, barrier; repeat until the horizon.
 fn run_shard<P: Probe>(
@@ -407,116 +575,58 @@ fn run_shard<P: Probe>(
     for k in 0..windows {
         let parity = (k & 1) as usize;
         let bound = (k + 1).saturating_mul(w).min(sim_time);
-        // Drain inbound mailboxes in source-shard order; every message
-        // sent during window k-1 fires inside this window.
-        for (src, from_src) in mailboxes.iter().enumerate() {
-            if src == me {
-                continue;
-            }
-            let msgs = std::mem::take(&mut *from_src[me][parity].lock().expect("mailbox poisoned"));
-            for msg in msgs {
-                debug_assert!(k * w <= msg.at && msg.at < (k + 1).saturating_mul(w));
-                let ev = match msg.kind {
-                    MsgKind::Arrive {
-                        sw,
-                        port,
-                        vl,
-                        packet,
-                        trace_slot,
-                    } => {
-                        let pkt = sim.slab.insert(packet);
-                        sim.set_trace_slot(pkt, trace_slot);
-                        Ev::SwHeaderArrive { sw, port, vl, pkt }
-                    }
-                    MsgKind::Credit { sw, port, vl } => Ev::CreditToSwitch { sw, port, vl },
-                };
-                sim.queue
-                    .cal
-                    .schedule(msg.at, ParEntry { key: msg.key, ev });
-            }
-        }
-        // Dispatch everything strictly before the window bound, one
-        // timestamp cohort at a time, in key order.
-        while let Some(t) = sim.queue.cal.peek_time() {
-            if t >= bound {
-                break;
-            }
-            cohort.clear();
-            while sim.queue.cal.peek_time() == Some(t) {
-                let (_, e) = sim.queue.cal.pop().expect("peeked nonempty");
-                cohort.push(e);
-            }
-            cohort.sort_unstable_by(|a, b| cmp_key(&a.key, &b.key));
-            let mut i = 0;
-            while i < cohort.len() {
-                let entry = cohort[i].clone();
-                debug_assert!(t >= sim.now, "time went backwards");
-                sim.now = t;
-                sim.events_processed += 1;
-                sim.queue.begin_dispatch(t, entry.key, &entry.ev);
-                if P::COUNTERS {
-                    sim.probe.tick(t, sim.slab.live());
-                }
-                if P::TIMING {
-                    let phase = crate::sim::phase_of(&entry.ev);
-                    let t0 = std::time::Instant::now();
-                    sim.dispatch(entry.ev);
-                    sim.probe.phase_time(phase, t0.elapsed().as_nanos() as u64);
-                } else {
-                    sim.dispatch(entry.ev);
-                }
-                // Zero-delay events join the cohort tail in schedule
-                // order — the exact sequential FIFO position.
-                cohort.append(&mut sim.queue.same_time);
-                // Convert cross-shard sends while their packet ids are
-                // still fresh (no later dispatch may recycle the slot).
-                let tracing = sim.cfg.trace_first_packets > 0;
-                for pc in sim.queue.pending.drain(..) {
-                    let kind = match pc.ev {
-                        Ev::SwHeaderArrive { sw, port, vl, pkt } => {
-                            let trace_slot = if tracing {
-                                sim.trace_slots
-                                    .get(pkt as usize)
-                                    .copied()
-                                    .unwrap_or(u32::MAX)
-                            } else {
-                                u32::MAX
-                            };
-                            MsgKind::Arrive {
-                                sw,
-                                port,
-                                vl,
-                                packet: sim.slab.remove(pkt),
-                                trace_slot,
-                            }
-                        }
-                        Ev::CreditToSwitch { sw, port, vl } => MsgKind::Credit { sw, port, vl },
-                        _ => unreachable!("non-link event staged as cross-shard"),
-                    };
-                    outbox[pc.dst as usize].push(Msg {
-                        at: pc.at,
-                        key: pc.key,
-                        kind,
-                    });
-                }
-                i += 1;
-            }
-        }
-        // Flush the window's cross-shard sends into the opposite-parity
-        // mailboxes, then meet the other shards.
-        for (dst, staged) in outbox.iter_mut().enumerate() {
-            if staged.is_empty() {
-                continue;
-            }
-            mailboxes[me][dst][parity ^ 1]
-                .lock()
-                .expect("mailbox poisoned")
-                .append(staged);
-        }
+        drain_inbound(sim, me, k, w, parity, mailboxes);
+        dispatch_window(sim, bound, &mut cohort, &mut outbox);
+        flush_outbox(me, parity, &mut outbox, mailboxes);
         barrier.wait();
     }
-    // Agree on the global last dispatch time, then close out the probe
-    // exactly as the sequential engine's `finish` does.
+    finish_shard(sim, barrier, last_now);
+}
+
+/// One workload worker: the same window machinery, but run until global
+/// quiescence instead of a horizon. Each window every shard votes
+/// whether it can still make progress (nonempty calendar) or has put
+/// progress in flight (flushed mailbox messages); the votes live in
+/// parity-indexed slots written before the window barrier and read
+/// after it, so every shard sees the same unanimous-idle verdict and
+/// breaks in the same window.
+fn run_shard_workload<P: Probe>(
+    sim: &mut Simulator<'_, P, ShardQueue>,
+    me: usize,
+    shards: usize,
+    mailboxes: &[Vec<[Mutex<Vec<Msg>>; 2]>],
+    barrier: &Barrier,
+    last_now: &AtomicU64,
+    alive: &[[AtomicBool; 2]],
+) {
+    let w = sim.cfg.lookahead_ns();
+    let mut cohort: Vec<ParEntry> = Vec::new();
+    let mut outbox: Vec<Vec<Msg>> = (0..shards).map(|_| Vec::new()).collect();
+    let mut k = 0u64;
+    loop {
+        let parity = (k & 1) as usize;
+        let bound = (k + 1).saturating_mul(w);
+        drain_inbound(sim, me, k, w, parity, mailboxes);
+        dispatch_window(sim, bound, &mut cohort, &mut outbox);
+        let sent = flush_outbox(me, parity, &mut outbox, mailboxes);
+        let more = sent || sim.queue.cal.peek_time().is_some();
+        alive[me][parity ^ 1].store(more, Ordering::SeqCst);
+        barrier.wait();
+        if !alive.iter().any(|a| a[parity ^ 1].load(Ordering::SeqCst)) {
+            break;
+        }
+        k += 1;
+    }
+    finish_shard(sim, barrier, last_now);
+}
+
+/// Agree on the global last dispatch time, then close out the probe
+/// exactly as the sequential engine's `finish` does.
+fn finish_shard<P: Probe>(
+    sim: &mut Simulator<'_, P, ShardQueue>,
+    barrier: &Barrier,
+    last_now: &AtomicU64,
+) {
     last_now.fetch_max(sim.now, Ordering::SeqCst);
     barrier.wait();
     if P::COUNTERS || P::TIMING {
@@ -584,6 +694,29 @@ impl<'a> ParSimulator<'a> {
             offered_load,
             sim_time_ns,
             warmup_ns,
+            threads,
+            NoopProbe,
+        )
+    }
+
+    /// An unprobed parallel workload driver: same sharding and window
+    /// discipline as [`ParSimulator::new`], but runs a message DAG to
+    /// completion instead of a wall-clock horizon (see
+    /// [`run_workload`](ParSimulator::run_workload)).
+    pub fn for_workload(
+        net: &'a Network,
+        routing: &'a Routing,
+        cfg: SimConfig,
+        threads: usize,
+    ) -> ParSimulator<'a> {
+        ParSimulator::with_probe(
+            net,
+            routing,
+            cfg,
+            TrafficPattern::Uniform, // unused: workload mode never samples
+            1.0,
+            crate::workload::WL_HORIZON,
+            0,
             threads,
             NoopProbe,
         )
@@ -854,6 +987,157 @@ impl<'a, P: ParProbe> ParSimulator<'a, P> {
             out_of_order,
         };
 
+        let mut probe = self.probe;
+        for s in shards {
+            probe.absorb(s.probe);
+        }
+        (report, probe)
+    }
+
+    /// Drive `wl` to completion across the shards and report. Bit-equal
+    /// to [`Simulator::run_workload`] at any thread count.
+    pub fn run_workload(self, wl: &crate::Workload) -> crate::WorkloadReport {
+        self.run_workload_observed(wl).0
+    }
+
+    /// Drive `wl` to completion; return the report and the merged probe.
+    ///
+    /// Workload mode needs no injection pre-pass: all randomness was
+    /// drawn at build time ([`wl_check`](crate::workload) rejects the
+    /// rest), so the shards only exchange link events and fly-delayed
+    /// [`Ev::WlArm`] completion notifications. The run ends when every
+    /// shard votes idle in the same window (see [`run_shard_workload`]).
+    pub fn run_workload_observed(self, wl: &crate::Workload) -> (crate::WorkloadReport, P) {
+        let shards = self.effective_threads();
+        if shards <= 1 {
+            return Simulator::for_workload_observed(
+                self.net,
+                self.routing,
+                self.cfg,
+                wl,
+                self.probe,
+            )
+            .run_workload_observed();
+        }
+        let wall_start = std::time::Instant::now();
+        let map = Arc::new(ShardMap::build(self.net, shards));
+        let num_nodes = self.net.num_nodes();
+
+        let mut sims: Vec<Simulator<'a, P, ShardQueue>> = Vec::with_capacity(shards);
+        for me in 0..shards as u32 {
+            let queue = ShardQueue::new(me, map.clone(), &self.cfg);
+            let mut sim = Simulator::with_queue(
+                self.net,
+                self.routing,
+                self.cfg.clone(),
+                TrafficPattern::Uniform,
+                1.0,
+                crate::workload::WL_HORIZON,
+                0,
+                queue,
+                self.probe.fork(),
+            );
+            sim.wl_install(wl);
+            // Prime the DAG roots of owned nodes. The initial keys sort
+            // node-major then per-node root order — the exact sequence
+            // the sequential engine's FIFO priming produces.
+            for node in 0..num_nodes as u32 {
+                if map.node[node as usize] != me {
+                    continue;
+                }
+                let roots = std::mem::take(
+                    &mut sim.wl.as_mut().expect("installed").roots_by_node[node as usize],
+                );
+                for (j, &msg) in roots.iter().enumerate() {
+                    sim.queue.cal.schedule(
+                        0,
+                        ParEntry {
+                            key: EvKey::initial_seq(node, j as u32),
+                            ev: Ev::WlArm { node, msg },
+                        },
+                    );
+                }
+                sim.wl.as_mut().expect("installed").roots_by_node[node as usize] = roots;
+            }
+            sims.push(sim);
+        }
+
+        let mailboxes: Vec<Vec<[Mutex<Vec<Msg>>; 2]>> = (0..shards)
+            .map(|_| {
+                (0..shards)
+                    .map(|_| [Mutex::new(Vec::new()), Mutex::new(Vec::new())])
+                    .collect()
+            })
+            .collect();
+        let barrier = Barrier::new(shards);
+        let last_now = AtomicU64::new(0);
+        let alive: Vec<[AtomicBool; 2]> = (0..shards)
+            .map(|_| [AtomicBool::new(false), AtomicBool::new(false)])
+            .collect();
+
+        let mut done: Vec<Simulator<'a, P, ShardQueue>> = Vec::with_capacity(shards);
+        std::thread::scope(|scope| {
+            let (mailboxes, barrier, last_now, alive) = (&mailboxes, &barrier, &last_now, &alive);
+            let handles: Vec<_> = sims
+                .into_iter()
+                .enumerate()
+                .map(|(me, mut sim)| {
+                    scope.spawn(move || {
+                        run_shard_workload(
+                            &mut sim, me, shards, mailboxes, barrier, last_now, alive,
+                        );
+                        sim
+                    })
+                })
+                .collect();
+            for h in handles {
+                done.push(h.join().expect("parallel shard worker panicked"));
+            }
+        });
+        let _ = wall_start.elapsed();
+        self.merge_workload(done, &map)
+    }
+
+    /// Stitch the per-shard timing tables into one report. Ownership
+    /// decides which shard holds the authoritative stamp for each field:
+    /// arm/inject happen on the shard owning the message's *source*
+    /// node, delivery on the shard owning its *destination*.
+    fn merge_workload(
+        self,
+        shards: Vec<Simulator<'a, P, ShardQueue>>,
+        map: &ShardMap,
+    ) -> (crate::WorkloadReport, P) {
+        let model = &shards[0].wl.as_ref().expect("installed").wl;
+        let mut timings = Vec::with_capacity(model.messages.len());
+        for (m, msg) in model.messages.iter().enumerate() {
+            let src_sh = map.node[msg.src.index()] as usize;
+            let dst_sh = map.node[msg.dst.index()] as usize;
+            let s = shards[src_sh].wl.as_ref().expect("installed").timings[m];
+            let d = shards[dst_sh].wl.as_ref().expect("installed").timings[m];
+            timings.push(crate::MessageTiming {
+                armed_ns: s.armed_ns,
+                injected_ns: s.injected_ns,
+                completed_ns: d.completed_ns,
+            });
+        }
+        let mut completed = 0u64;
+        let mut events = 0u64;
+        let mut dropped = 0u64;
+        for s in &shards {
+            completed += s.wl.as_ref().expect("installed").completed;
+            events += s.events_processed;
+            dropped += s.dropped;
+        }
+        assert_eq!(
+            completed,
+            model.messages.len() as u64,
+            "workload stalled: {} of {} messages completed ({} packets dropped in the fabric)",
+            completed,
+            model.messages.len(),
+            dropped
+        );
+        let report =
+            crate::WorkloadReport::build(model, timings, u64::from(self.cfg.packet_bytes), events);
         let mut probe = self.probe;
         for s in shards {
             probe.absorb(s.probe);

@@ -72,6 +72,31 @@ pub fn run_once_par(
     .run()
 }
 
+/// Drive a message-level workload (see [`crate::Workload`]) to
+/// completion on the sequential engine and report per-message latency,
+/// per-group completion times, and node skew.
+pub fn run_workload(
+    net: &Network,
+    routing: &Routing,
+    cfg: SimConfig,
+    wl: &crate::Workload,
+) -> crate::WorkloadReport {
+    Simulator::for_workload(net, routing, cfg, wl).run_workload()
+}
+
+/// Drive a workload to completion on the parallel engine with `threads`
+/// worker threads. Bit-identical to [`run_workload`] for the same
+/// inputs; `threads <= 1` runs the sequential engine directly.
+pub fn run_workload_par(
+    net: &Network,
+    routing: &Routing,
+    cfg: SimConfig,
+    wl: &crate::Workload,
+    threads: usize,
+) -> crate::WorkloadReport {
+    crate::ParSimulator::for_workload(net, routing, cfg, threads).run_workload(wl)
+}
+
 /// Run one operating point observed by `probe`; returns the report and
 /// the probe with everything it collected (see [`Probe`],
 /// [`crate::FabricCounters`], [`crate::PhaseProfile`]).

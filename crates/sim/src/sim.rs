@@ -122,7 +122,7 @@ pub(crate) struct NodeSt {
     /// Unbounded FIFO source queues, one per VL. Real HCAs arbitrate VLs
     /// at the egress port, so a lane stalled on credits never blocks the
     /// others (per-VL queues avoid cross-VL head-of-line blocking).
-    inj_q: Vec<VecDeque<PacketId>>,
+    pub(crate) inj_q: Vec<VecDeque<PacketId>>,
     /// Egress VL arbitration state for the injection link.
     arb: VlArbiter,
     busy_until: Time,
@@ -135,7 +135,7 @@ pub(crate) struct NodeSt {
     /// may silence self-mapped nodes).
     pub(crate) active: bool,
     /// Round-robin offset cursor for `PathSelection::RoundRobinPerSource`.
-    rr_offset: u32,
+    pub(crate) rr_offset: u32,
     pub(crate) busy_ns: u64,
 }
 
@@ -170,6 +170,12 @@ pub enum Ev {
     /// A discarded (unroutable) packet finished draining into its input
     /// buffer; free the buffer.
     SwDiscardDone { sw: u32, port: u8, vl: u8 },
+    /// Workload mode: one dependency of message `msg` completed (or the
+    /// priming pseudo-dependency of a root). Fires at the message's
+    /// source node one wire flight after the completing delivery, in
+    /// both engines — which keeps the notification a legal cross-shard
+    /// event under the parallel engine's lookahead.
+    WlArm { node: u32, msg: u32 },
 }
 
 /// The discrete-event simulator for one (network, routing, traffic, load)
@@ -245,6 +251,9 @@ pub struct Simulator<'a, P: Probe = NoopProbe, Q = EventQueue<Ev>> {
     /// each shard the records for its own nodes, so parallel dispatch
     /// never touches the (globally ordered) random stream.
     pub(crate) scripted_inj: Option<Vec<VecDeque<InjectRec>>>,
+    /// Workload-mode state (message DAG, dependency counters, timings);
+    /// `None` in pattern mode — the hot-path hooks cost one branch.
+    pub(crate) wl: Option<Box<crate::workload::WlState>>,
 
     pub(crate) probe: P,
 }
@@ -349,6 +358,9 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
         probe: P,
     ) -> Simulator<'a, P, Q> {
         cfg.validate().expect("invalid simulator configuration");
+        if let Err(e) = pattern.validate(net.num_nodes() as u32) {
+            panic!("{e}");
+        }
         assert!(net.num_nodes() >= 2, "need at least two nodes");
         assert!(warmup_ns < sim_time_ns, "warm-up must end before the run");
         let num_vls = cfg.num_vls as usize;
@@ -504,6 +516,7 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
             traces: Vec::with_capacity(cfg.trace_first_packets.min(65_536) as usize),
             trace_slots: Vec::new(),
             scripted_inj: None,
+            wl: None,
             cfg,
             probe,
         }
@@ -591,6 +604,7 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
             }
             Ev::Deliver { node, vl, pkt } => self.deliver(node, vl, pkt),
             Ev::SwDiscardDone { sw, port, vl } => self.sw_discard_done(sw, port, vl),
+            Ev::WlArm { node, msg } => self.wl_arm(node, msg),
         }
     }
 
@@ -752,7 +766,7 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
         self.try_node_send(node);
     }
 
-    fn try_node_send(&mut self, node: u32) {
+    pub(crate) fn try_node_send(&mut self, node: u32) {
         let num_vls = self.num_vls;
         let n = &mut self.nodes[node as usize];
         let sendable = |n: &NodeSt, vl: usize| !n.inj_q[vl].is_empty() && n.credits[vl] > 0;
@@ -784,6 +798,9 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
         let (sw, port) = (n.peer_sw, n.peer_port);
         self.slab.get_mut(head).t_inject = self.now;
         self.record(head, TraceEvent::InjectionStart);
+        if self.wl.is_some() {
+            self.wl_note_injected(head);
+        }
         if P::COUNTERS {
             self.probe
                 .node_xmit(self.now, node, vl as u8, self.cfg.packet_bytes);
@@ -849,6 +866,9 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
                 vl,
             },
         );
+        if self.wl.is_some() {
+            self.wl_note_delivered(pkt);
+        }
     }
 
     // ----- switch behaviour --------------------------------------------
@@ -1222,7 +1242,9 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
 /// Classify an event by the pipeline stage it advances (self-profiling).
 pub(crate) fn phase_of(ev: &Ev) -> Phase {
     match ev {
-        Ev::Inject { .. } | Ev::TryNodeSend { .. } | Ev::CreditToNode { .. } => Phase::Generation,
+        Ev::Inject { .. } | Ev::TryNodeSend { .. } | Ev::CreditToNode { .. } | Ev::WlArm { .. } => {
+            Phase::Generation
+        }
         Ev::SwHeaderArrive { .. }
         | Ev::SwRouteDone { .. }
         | Ev::SwInputDeparted { .. }

@@ -5,6 +5,7 @@
 //! a uniform random destination). Permutation patterns are provided as
 //! extensions for stress studies.
 
+use crate::SimError;
 use ibfat_topology::NodeId;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -57,6 +58,49 @@ impl TrafficPattern {
                 .map(|i| NodeId(i.reverse_bits() >> (32 - bits)))
                 .collect(),
         )
+    }
+
+    /// Check the pattern against the fabric it will drive — the
+    /// config-time guard that keeps [`sample`](TrafficPattern::sample)
+    /// panic-free. A permutation must name exactly one destination per
+    /// node and every destination must exist; a centric hot spot must
+    /// exist and its fraction must be a probability.
+    pub fn validate(&self, num_nodes: u32) -> Result<(), SimError> {
+        match self {
+            TrafficPattern::Uniform => Ok(()),
+            TrafficPattern::Centric { hotspot, fraction } => {
+                if hotspot.0 >= num_nodes {
+                    return Err(SimError::InvalidPattern(format!(
+                        "centric hotspot {} out of range ({num_nodes} nodes)",
+                        hotspot.0
+                    )));
+                }
+                if !(0.0..=1.0).contains(fraction) {
+                    return Err(SimError::InvalidPattern(format!(
+                        "centric fraction {fraction} is not a probability"
+                    )));
+                }
+                Ok(())
+            }
+            TrafficPattern::Permutation(perm) => {
+                if perm.len() != num_nodes as usize {
+                    return Err(SimError::InvalidPattern(format!(
+                        "permutation has {} entries for {num_nodes} nodes",
+                        perm.len()
+                    )));
+                }
+                for (src, dst) in perm.iter().enumerate() {
+                    if dst.0 >= num_nodes {
+                        return Err(SimError::InvalidPattern(format!(
+                            "permutation maps node {src} to nonexistent node {} \
+                             ({num_nodes} nodes)",
+                            dst.0
+                        )));
+                    }
+                }
+                Ok(())
+            }
+        }
     }
 
     /// Draw the destination for a packet from `src`.
@@ -168,6 +212,34 @@ mod tests {
         } else {
             panic!("expected permutation");
         }
+    }
+
+    #[test]
+    fn validate_catches_malformed_patterns_at_config_time() {
+        assert!(TrafficPattern::Uniform.validate(8).is_ok());
+        assert!(TrafficPattern::paper_centric().validate(8).is_ok());
+        assert!(TrafficPattern::bit_complement(8).validate(8).is_ok());
+
+        let short = TrafficPattern::Permutation(vec![NodeId(1), NodeId(0)]);
+        let err = short.validate(8).unwrap_err();
+        assert!(matches!(err, SimError::InvalidPattern(_)));
+        assert!(err.to_string().contains("2 entries for 8 nodes"), "{err}");
+
+        let out_of_range =
+            TrafficPattern::Permutation(vec![NodeId(1), NodeId(0), NodeId(9), NodeId(2)]);
+        let err = out_of_range.validate(4).unwrap_err();
+        assert!(err.to_string().contains("nonexistent node 9"), "{err}");
+
+        let bad_hotspot = TrafficPattern::Centric {
+            hotspot: NodeId(40),
+            fraction: 0.5,
+        };
+        assert!(bad_hotspot.validate(8).is_err());
+        let bad_fraction = TrafficPattern::Centric {
+            hotspot: NodeId(0),
+            fraction: 1.5,
+        };
+        assert!(bad_fraction.validate(8).is_err());
     }
 
     #[test]

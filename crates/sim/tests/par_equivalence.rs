@@ -9,8 +9,9 @@
 
 use ibfat_routing::{Routing, RoutingKind};
 use ibfat_sim::{
-    run_once, run_once_par, CalendarKind, FabricCounters, ParSimulator, RunSpec, SimConfig,
-    SimReport, Simulator, TrafficPattern,
+    generators, run_once, run_once_par, run_workload, run_workload_par, CalendarKind,
+    ClosedLoopKind, FabricCounters, ParSimulator, RunSpec, SimConfig, SimReport, Simulator,
+    TrafficPattern, Workload,
 };
 use ibfat_topology::{Network, NodeId, TreeParams};
 use proptest::prelude::*;
@@ -73,6 +74,52 @@ proptest! {
         ));
         for threads in [1usize, 2, 4] {
             let par = par_report(&net, &routing, &cfg, &pattern, spec, threads);
+            prop_assert_eq!(&par, &seq, "divergence at {} threads", threads);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The same contract for the message-level workload layer: the
+    /// `WorkloadReport` — which embeds every per-message timestamp —
+    /// must be bit-identical across thread counts, calendars, and
+    /// routing schemes. Completion-driven injection is the hard case:
+    /// unlike pattern mode, every injection time depends on the fabric.
+    #[test]
+    fn workload_reports_equal_sequential(
+        (m, n) in prop_oneof![Just((4u32, 2u32)), Just((8, 2))],
+        kind in 0usize..4,
+        scheme in prop_oneof![Just(RoutingKind::Mlid), Just(RoutingKind::Slid)],
+        seed in any::<u64>(),
+        calendar in prop_oneof![
+            Just(CalendarKind::TimingWheel),
+            Just(CalendarKind::BinaryHeap),
+        ],
+    ) {
+        let params = TreeParams::new(m, n).expect("valid params");
+        let net = Network::mport_ntree(params);
+        let nodes = net.num_nodes() as u32;
+        let routing = Routing::build(&net, scheme);
+        let cfg = SimConfig {
+            num_vls: 2,
+            seed,
+            calendar,
+            ..SimConfig::default()
+        };
+        let wl: Workload = match kind {
+            0 => generators::allreduce_ring(nodes, 4096),
+            1 => generators::all_to_all(nodes, 1024),
+            2 => generators::bcast_binomial(nodes, NodeId(0), 2048),
+            _ => generators::closed_loop(
+                nodes, ClosedLoopKind::Uniform, 512, 2, 6, seed,
+            ),
+        };
+        let seq = run_workload(&net, &routing, cfg.clone(), &wl);
+        prop_assert_eq!(seq.messages as usize, wl.messages.len());
+        for threads in [2usize, 4] {
+            let par = run_workload_par(&net, &routing, cfg.clone(), &wl, threads);
             prop_assert_eq!(&par, &seq, "divergence at {} threads", threads);
         }
     }

@@ -1,0 +1,326 @@
+//! Workload generators: collective dependency DAGs and closed-loop
+//! message streams.
+//!
+//! Every generator returns a validated-by-construction [`Workload`]
+//! whose message ids are topologically ordered (dependencies always
+//! point at earlier ids), matching the invariant
+//! [`Workload::validate`] enforces.
+
+use crate::{Message, MsgId, Workload};
+use ibfat_topology::NodeId;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// Destination distribution for [`closed_loop`] traffic: the
+/// message-level analogue of the paper's open-loop patterns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClosedLoopKind {
+    /// Uniformly random destinations (excluding self).
+    Uniform,
+    /// With probability `fraction` the destination is `hotspot`;
+    /// otherwise uniform over the rest.
+    Centric { hotspot: NodeId, fraction: f64 },
+}
+
+/// Ring allreduce over `n` nodes: the payload is split into `n` chunks
+/// and circulated for `2(n-1)` steps (reduce-scatter then allgather).
+/// At step `s`, node `i` sends its chunk to `(i+1) % n` once it has
+/// both finished its own step `s-1` send and received the step `s-1`
+/// chunk from `(i-1) % n` — the two dependency edges below.
+pub fn allreduce_ring(num_nodes: u32, bytes: u64) -> Workload {
+    assert!(num_nodes >= 2, "ring allreduce needs at least 2 nodes");
+    let n = num_nodes;
+    let chunk = bytes.div_ceil(u64::from(n)).max(1);
+    let mut w = Workload::new(n);
+    let group = w.add_group(format!("allreduce-ring/{bytes}B"));
+    let steps = 2 * (n - 1);
+    for s in 0..steps {
+        for i in 0..n {
+            let deps = if s == 0 {
+                vec![]
+            } else {
+                let prev = (s - 1) * n;
+                vec![prev + i, prev + (i + n - 1) % n]
+            };
+            w.push(Message {
+                src: NodeId(i),
+                dst: NodeId((i + 1) % n),
+                bytes: chunk,
+                deps,
+                group,
+            });
+        }
+    }
+    w
+}
+
+/// Recursive-doubling allreduce: `log2(n)` rounds, each node exchanging
+/// the full payload with partner `i XOR 2^r`. Requires a power-of-two
+/// node count. Round `r` is gated on the node's own round `r-1` send
+/// and on the message it received from its round `r-1` partner.
+pub fn allreduce_recursive_doubling(num_nodes: u32, bytes: u64) -> Workload {
+    assert!(
+        num_nodes >= 2 && num_nodes.is_power_of_two(),
+        "recursive doubling needs a power-of-two node count, got {num_nodes}"
+    );
+    let n = num_nodes;
+    let rounds = n.trailing_zeros();
+    let mut w = Workload::new(n);
+    let group = w.add_group(format!("allreduce-rd/{bytes}B"));
+    for r in 0..rounds {
+        for i in 0..n {
+            let deps = if r == 0 {
+                vec![]
+            } else {
+                let prev = (r - 1) * n;
+                vec![prev + i, prev + (i ^ (1 << (r - 1)))]
+            };
+            w.push(Message {
+                src: NodeId(i),
+                dst: NodeId(i ^ (1 << r)),
+                bytes: bytes.max(1),
+                deps,
+                group,
+            });
+        }
+    }
+    w
+}
+
+/// Pairwise-exchange all-to-all: `n-1` rounds, node `i` sending `bytes`
+/// to `(i+r) % n` in round `r`. Round `r` waits on the node's own round
+/// `r-1` send and on the round `r-1` message it received (from
+/// `(i - (r-1)) % n`), so rounds are genuine exchange phases rather
+/// than an open fire hose.
+pub fn all_to_all(num_nodes: u32, bytes: u64) -> Workload {
+    assert!(num_nodes >= 2, "all-to-all needs at least 2 nodes");
+    let n = num_nodes;
+    let mut w = Workload::new(n);
+    let group = w.add_group(format!("alltoall/{bytes}B"));
+    for r in 1..n {
+        for i in 0..n {
+            let deps = if r == 1 {
+                vec![]
+            } else {
+                let prev = (r - 2) * n;
+                vec![prev + i, prev + (i + n - (r - 1)) % n]
+            };
+            w.push(Message {
+                src: NodeId(i),
+                dst: NodeId((i + r) % n),
+                bytes: bytes.max(1),
+                deps,
+                group,
+            });
+        }
+    }
+    w
+}
+
+/// Binomial-tree broadcast from `root`: in round `r`, every rank below
+/// `2^r` that already holds the payload forwards it to rank `2^r`
+/// higher (ranks are node ids rotated so the root is rank 0). Each send
+/// depends only on the message by which its sender received the
+/// payload.
+pub fn bcast_binomial(num_nodes: u32, root: NodeId, bytes: u64) -> Workload {
+    assert!(num_nodes >= 2, "broadcast needs at least 2 nodes");
+    assert!(root.0 < num_nodes, "root {} out of range", root.0);
+    let n = num_nodes;
+    let mut w = Workload::new(n);
+    let group = w.add_group(format!("bcast/{bytes}B"));
+    let node_of = |rank: u32| NodeId((rank + root.0) % n);
+    // recv_msg[rank] = the message that delivered the payload to `rank`.
+    let mut recv_msg: Vec<Option<MsgId>> = vec![None; n as usize];
+    let mut r = 0u32;
+    while (1u32 << r) < n {
+        let span = 1u32 << r;
+        for k in 0..span {
+            let peer = k + span;
+            if peer >= n {
+                break;
+            }
+            let deps = recv_msg[k as usize].into_iter().collect();
+            let id = w.push(Message {
+                src: node_of(k),
+                dst: node_of(peer),
+                bytes: bytes.max(1),
+                deps,
+                group,
+            });
+            recv_msg[peer as usize] = Some(id);
+        }
+        r += 1;
+    }
+    w
+}
+
+/// Closed-loop traffic: each node issues `msgs_per_node` messages and
+/// keeps at most `in_flight` of them outstanding — message `j` of a
+/// node depends on message `j - in_flight` of the same node completing.
+/// Destinations are pre-drawn here from a per-node ChaCha12 stream
+/// seeded by `(seed, node)`, so the workload is a fixed DAG and the
+/// simulation itself needs no runtime randomness.
+pub fn closed_loop(
+    num_nodes: u32,
+    kind: ClosedLoopKind,
+    bytes: u64,
+    in_flight: u32,
+    msgs_per_node: u32,
+    seed: u64,
+) -> Workload {
+    assert!(num_nodes >= 2, "closed loop needs at least 2 nodes");
+    assert!(in_flight >= 1, "need at least one message in flight");
+    assert!(msgs_per_node >= 1, "need at least one message per node");
+    let n = num_nodes;
+    let mut w = Workload::new(n);
+    let group = w.add_group(match kind {
+        ClosedLoopKind::Uniform => format!("closed-uniform/{bytes}B"),
+        ClosedLoopKind::Centric { fraction, .. } => {
+            format!("closed-centric{:.0}/{bytes}B", fraction * 100.0)
+        }
+    });
+    for i in 0..n {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed ^ (u64::from(i) << 32) ^ 0x77_6C6F_6164);
+        for j in 0..msgs_per_node {
+            let dst = draw_dst(&mut rng, n, NodeId(i), kind);
+            let deps = if j >= in_flight {
+                vec![i * msgs_per_node + (j - in_flight)]
+            } else {
+                vec![]
+            };
+            w.push(Message {
+                src: NodeId(i),
+                dst,
+                bytes: bytes.max(1),
+                deps,
+                group,
+            });
+        }
+    }
+    w
+}
+
+fn draw_dst(rng: &mut ChaCha12Rng, n: u32, src: NodeId, kind: ClosedLoopKind) -> NodeId {
+    if let ClosedLoopKind::Centric { hotspot, fraction } = kind {
+        if hotspot != src && rng.gen_bool(fraction) {
+            return hotspot;
+        }
+    }
+    loop {
+        let d = NodeId(rng.gen_range(0..n));
+        let hot_excluded = matches!(kind, ClosedLoopKind::Centric { hotspot, .. } if d == hotspot);
+        if d != src && !hot_excluded {
+            return d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_allreduce_shape() {
+        let n = 5u32;
+        let w = allreduce_ring(n, 1000);
+        w.validate().expect("valid");
+        assert_eq!(w.messages.len(), (2 * (n - 1) * n) as usize);
+        assert_eq!(w.roots().count(), n as usize);
+        // chunk = ceil(1000/5)
+        assert!(w.messages.iter().all(|m| m.bytes == 200));
+        // step-1 deps: own previous + left neighbor's previous.
+        let m = &w.messages[(n + 2) as usize]; // step 1, node 2
+        assert_eq!(m.deps, vec![2, 1]);
+    }
+
+    #[test]
+    fn recursive_doubling_requires_power_of_two_and_pairs_up() {
+        let w = allreduce_recursive_doubling(8, 4096);
+        w.validate().expect("valid");
+        assert_eq!(w.messages.len(), 3 * 8);
+        for (id, m) in w.messages.iter().enumerate() {
+            let r = id as u32 / 8;
+            assert_eq!(m.dst.0, m.src.0 ^ (1 << r), "partner is XOR mask");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn recursive_doubling_rejects_non_power_of_two() {
+        allreduce_recursive_doubling(6, 4096);
+    }
+
+    #[test]
+    fn all_to_all_covers_every_pair_exactly_once() {
+        let n = 6u32;
+        let w = all_to_all(n, 512);
+        w.validate().expect("valid");
+        assert_eq!(w.messages.len(), (n * (n - 1)) as usize);
+        let mut seen = std::collections::HashSet::new();
+        for m in &w.messages {
+            assert!(seen.insert((m.src, m.dst)), "pair sent twice");
+        }
+    }
+
+    #[test]
+    fn binomial_bcast_reaches_every_node_once() {
+        for n in [2u32, 5, 8, 13] {
+            let root = NodeId(n / 3);
+            let w = bcast_binomial(n, root, 2048);
+            w.validate().expect("valid");
+            assert_eq!(w.messages.len(), (n - 1) as usize, "n-1 sends for n={n}");
+            let mut reached = vec![false; n as usize];
+            reached[root.index()] = true;
+            for m in &w.messages {
+                assert!(reached[m.src.index()], "sender must hold payload");
+                assert!(!reached[m.dst.index()], "double delivery");
+                reached[m.dst.index()] = true;
+            }
+            assert!(reached.iter().all(|&r| r));
+        }
+    }
+
+    #[test]
+    fn closed_loop_is_deterministic_and_windowed() {
+        let kind = ClosedLoopKind::Uniform;
+        let a = closed_loop(8, kind, 1024, 2, 6, 42);
+        let b = closed_loop(8, kind, 1024, 2, 6, 42);
+        assert_eq!(a, b, "same seed, same workload");
+        let c = closed_loop(8, kind, 1024, 2, 6, 43);
+        assert_ne!(a, c, "different seed, different destinations");
+        a.validate().expect("valid");
+        // Window: message j depends on j-2 of the same node.
+        for (id, m) in a.messages.iter().enumerate() {
+            let j = id as u32 % 6;
+            if j >= 2 {
+                assert_eq!(m.deps, vec![id as u32 - 2]);
+            } else {
+                assert!(m.deps.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn closed_loop_centric_hits_the_hotspot() {
+        let hotspot = NodeId(3);
+        let w = closed_loop(
+            16,
+            ClosedLoopKind::Centric {
+                hotspot,
+                fraction: 0.5,
+            },
+            256,
+            1,
+            32,
+            7,
+        );
+        w.validate().expect("valid");
+        let hot = w.messages.iter().filter(|m| m.dst == hotspot).count();
+        let total = w.messages.len();
+        // 15 senders * 32 msgs at 50% ⇒ expect ~240 of 512; accept a wide band.
+        assert!(
+            hot * 3 > total && hot * 3 < total * 2,
+            "hotspot fraction off: {hot}/{total}"
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! JSONL trace replay: capture a workload as one JSON object per line
+//! and rebuild it later.
+//!
+//! The record format is deliberately tiny — one message per line:
+//!
+//! ```text
+//! {"src": 0, "dst": 5, "bytes": 4096, "depends_on": [0, 3]}
+//! ```
+//!
+//! `depends_on` holds message ids, where a message's id is its
+//! zero-based line number; dependencies must point at earlier lines
+//! (the same topological-order invariant as [`Workload::validate`]).
+//! The parser and writer are hand-rolled: the format is small enough
+//! that a JSON dependency would be pure weight, and it keeps the crate
+//! usable where `serde_json` is stubbed out.
+
+use crate::{Message, Workload};
+use ibfat_topology::NodeId;
+
+/// Serialize a workload to JSONL, one message per line. The group
+/// structure is intentionally not captured — a replayed trace is one
+/// flat "replay" group, which is what completion-time measurement of a
+/// recorded run wants.
+pub fn to_jsonl(w: &Workload) -> String {
+    let mut out = String::new();
+    for m in &w.messages {
+        out.push_str(&format!(
+            "{{\"src\": {}, \"dst\": {}, \"bytes\": {}, \"depends_on\": [",
+            m.src.0, m.dst.0, m.bytes
+        ));
+        for (k, d) in m.deps.iter().enumerate() {
+            if k > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&d.to_string());
+        }
+        out.push_str("]}\n");
+    }
+    out
+}
+
+/// Parse a JSONL trace into a workload over `num_nodes` nodes. Blank
+/// lines are skipped. Returns the first malformed line as an error;
+/// the result still needs [`Workload::validate`] for the semantic
+/// checks (endpoint range, dependency ordering).
+pub fn parse_jsonl(text: &str, num_nodes: u32) -> Result<Workload, String> {
+    let mut w = Workload::new(num_nodes);
+    let group = w.add_group("replay");
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let rec = parse_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        w.push(Message {
+            src: NodeId(rec.src),
+            dst: NodeId(rec.dst),
+            bytes: rec.bytes,
+            deps: rec.depends_on,
+            group,
+        });
+    }
+    Ok(w)
+}
+
+struct Record {
+    src: u32,
+    dst: u32,
+    bytes: u64,
+    depends_on: Vec<u32>,
+}
+
+/// A minimal single-line JSON object reader for the fixed record shape.
+fn parse_line(line: &str) -> Result<Record, String> {
+    let mut p = Parser {
+        b: line.as_bytes(),
+        i: 0,
+    };
+    p.expect(b'{')?;
+    let (mut src, mut dst, mut bytes) = (None, None, None);
+    let mut depends_on = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.eat(b'}') {
+            break;
+        }
+        let key = p.string()?;
+        p.expect(b':')?;
+        match key.as_str() {
+            "src" => src = Some(p.number()? as u32),
+            "dst" => dst = Some(p.number()? as u32),
+            "bytes" => bytes = Some(p.number()?),
+            "depends_on" => {
+                p.expect(b'[')?;
+                loop {
+                    p.skip_ws();
+                    if p.eat(b']') {
+                        break;
+                    }
+                    depends_on.push(p.number()? as u32);
+                    p.skip_ws();
+                    if !p.eat(b',') {
+                        p.expect(b']')?;
+                        break;
+                    }
+                }
+            }
+            other => return Err(format!("unknown key {other:?}")),
+        }
+        p.skip_ws();
+        if !p.eat(b',') {
+            p.expect(b'}')?;
+            break;
+        }
+    }
+    Ok(Record {
+        src: src.ok_or("missing \"src\"")?,
+        dst: dst.ok_or("missing \"dst\"")?,
+        bytes: bytes.ok_or("missing \"bytes\"")?,
+        depends_on,
+    })
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        self.skip_ws();
+        if self.i < self.b.len() && self.b[self.i] == c {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, self.i))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i] != b'"' {
+            self.i += 1;
+        }
+        if self.i == self.b.len() {
+            return Err("unterminated string".into());
+        }
+        let s = std::str::from_utf8(&self.b[start..self.i])
+            .map_err(|_| "non-utf8 string")?
+            .to_string();
+        self.i += 1;
+        Ok(s)
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i].is_ascii_digit() {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .unwrap()
+            .parse()
+            .map_err(|e| format!("bad number: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn round_trips_a_generated_workload() {
+        let w = generators::all_to_all(5, 777);
+        let text = to_jsonl(&w);
+        let back = parse_jsonl(&text, 5).expect("parses");
+        back.validate().expect("valid");
+        // Group naming differs (replay flattens); the DAG must not.
+        assert_eq!(back.messages.len(), w.messages.len());
+        for (a, b) in w.messages.iter().zip(&back.messages) {
+            assert_eq!(
+                (a.src, a.dst, a.bytes, &a.deps),
+                (b.src, b.dst, b.bytes, &b.deps)
+            );
+        }
+    }
+
+    #[test]
+    fn parses_sparse_whitespace_and_blank_lines() {
+        let text = "\n  {\"src\":1,\"dst\":0,\"bytes\":64,\"depends_on\":[]}\n\n\
+                    { \"src\" : 0 , \"dst\" : 1 , \"bytes\" : 128 , \"depends_on\" : [ 0 ] }\n";
+        let w = parse_jsonl(text, 2).expect("parses");
+        w.validate().expect("valid");
+        assert_eq!(w.messages.len(), 2);
+        assert_eq!(w.messages[1].deps, vec![0]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_position() {
+        let err = parse_jsonl("{\"src\":1,\"dst\":}", 2).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let err = parse_jsonl("{\"sorc\":1}", 2).unwrap_err();
+        assert!(err.contains("unknown key"), "{err}");
+        let err = parse_jsonl("{\"src\":1,\"dst\":0,\"depends_on\":[]}", 2).unwrap_err();
+        assert!(err.contains("missing \"bytes\""), "{err}");
+    }
+}

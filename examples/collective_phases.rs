@@ -1,27 +1,83 @@
-//! An HPC-flavoured workload: the exchange phases of a butterfly
-//! collective (allreduce / FFT-style), where phase `i` pairs every node
-//! with its partner at distance `2^i`, followed by adversarial
-//! permutations. The outcome is a structural result: on permutation
-//! traffic the two schemes are *duals* and perform identically — the
-//! multiple-LID advantage is specific to many-to-one traffic, which is
-//! why the paper's evaluation centres on hot-spots.
+//! An HPC-flavoured workload on the message engine: a butterfly
+//! collective (allreduce / FFT-style) expressed as a real dependency
+//! DAG — phase `i` pairs every node with its partner at distance `2^i`,
+//! and a node may only enter phase `i` once its own phase `i-1` send
+//! *and* the message from its phase `i-1` partner have completed. The
+//! phases are therefore genuine barriers enforced by message
+//! completion, not open-loop traffic at a fixed offered load, and the
+//! engine reports each phase's measured completion time.
+//!
+//! The outcome is the same structural result the open-loop version
+//! showed: on permutation-shaped communication the two schemes are
+//! *duals* and finish in identical time — the multiple-LID advantage is
+//! specific to many-to-one traffic, which is why the paper's evaluation
+//! centres on hot-spots.
 //!
 //! ```text
 //! cargo run --release --example collective_phases
 //! ```
 
 use ib_fabric::prelude::*;
+use ib_fabric::sim::{Message, Workload};
 
-fn shift_permutation(num_nodes: u32, distance: u32) -> TrafficPattern {
-    TrafficPattern::Permutation(
-        (0..num_nodes)
-            .map(|x| NodeId((x + distance) % num_nodes))
-            .collect(),
-    )
+/// The butterfly as a message DAG, one group per exchange phase so the
+/// report carries per-phase completion times.
+fn butterfly(num_nodes: u32, bytes: u64) -> Workload {
+    assert!(num_nodes.is_power_of_two());
+    let rounds = num_nodes.trailing_zeros();
+    let mut w = Workload::new(num_nodes);
+    for r in 0..rounds {
+        let group = w.add_group(format!("phase{r}"));
+        for i in 0..num_nodes {
+            let deps = if r == 0 {
+                vec![]
+            } else {
+                // Barrier in: my previous send and my partner's message.
+                let prev = (r - 1) * num_nodes;
+                vec![prev + i, prev + (i ^ (1 << (r - 1)))]
+            };
+            w.push(Message {
+                src: NodeId(i),
+                dst: NodeId(i ^ (1 << r)),
+                bytes,
+                deps,
+                group,
+            });
+        }
+    }
+    w
+}
+
+/// One message per node along a fixed permutation (self-maps silent),
+/// no dependencies: the message-level analogue of permutation traffic.
+fn permutation_workload(perm: &[NodeId], bytes: u64) -> Workload {
+    let mut w = Workload::new(perm.len() as u32);
+    let group = w.add_group("permutation".to_string());
+    for (src, &dst) in perm.iter().enumerate() {
+        if dst.0 == src as u32 {
+            continue;
+        }
+        w.push(Message {
+            src: NodeId(src as u32),
+            dst,
+            bytes,
+            deps: vec![],
+            group,
+        });
+    }
+    w
+}
+
+fn perm_of(pattern: &TrafficPattern) -> Vec<NodeId> {
+    match pattern {
+        TrafficPattern::Permutation(p) => p.clone(),
+        _ => unreachable!("adversaries are permutations"),
+    }
 }
 
 fn main() {
     let (m, n) = (8, 3);
+    let bytes = 4096u64;
     let slid = Fabric::builder(m, n)
         .routing(RoutingKind::Slid)
         .build()
@@ -31,47 +87,55 @@ fn main() {
         .build()
         .expect("valid");
     let nodes = slid.num_nodes();
-    let phases = 32u32.ilog2() + 2; // distances 1..2^log; cap for display
 
     println!(
-        "butterfly exchange phases on an {m}-port {n}-tree ({nodes} nodes), offered load 1.0, 1 VL\n"
+        "butterfly collective on an {m}-port {n}-tree ({nodes} nodes), \
+         {bytes} B per message, 1 VL\n"
     );
+    let wl = butterfly(nodes, bytes);
+    let run = |fabric: &Fabric| fabric.experiment().run_workload(&wl);
+    let (s, ml) = (run(&slid), run(&mlid));
     println!(
         "{:<10} {:>10} {:>14} {:>14} {:>10}",
-        "phase", "distance", "SLID(B/ns/nd)", "MLID(B/ns/nd)", "MLID/SLID"
+        "phase", "distance", "SLID(ns)", "MLID(ns)", "MLID/SLID"
     );
-    for i in 0..phases.min(nodes.ilog2()) {
-        let distance = 1u32 << i;
-        let pattern = shift_permutation(nodes, distance);
-        let acc = |fabric: &Fabric| {
-            fabric
-                .experiment()
-                .traffic(pattern.clone())
-                .offered_load(1.0)
-                .duration_ns(200_000)
-                .run()
-                .accepted_bytes_per_ns_per_node
-        };
-        let (s, ml) = (acc(&slid), acc(&mlid));
+    for (i, (gs, gm)) in s.groups.iter().zip(&ml.groups).enumerate() {
+        // A phase's span runs from its first arm (the moment the last
+        // barrier dependency released somewhere) to its last delivery;
+        // adjacent phases overlap a little, as in a real machine.
+        let (ds, dm) = (
+            gs.completion_ns - gs.start_ns,
+            gm.completion_ns - gm.start_ns,
+        );
         println!(
-            "{:<10} {:>10} {:>14.4} {:>14.4} {:>10.2}",
-            format!("{}", i),
-            distance,
-            s,
-            ml,
-            ml / s
+            "{:<10} {:>10} {:>14} {:>14} {:>10.2}",
+            i,
+            1u32 << i,
+            ds,
+            dm,
+            dm as f64 / ds as f64
         );
     }
     println!(
-        "\nshift permutations are conflict-free under both schemes — every\n\
-         phase runs at the credit-loop ceiling (256/396 ≈ 0.646 B/ns)."
+        "{:<10} {:>10} {:>14} {:>14} {:>10.2}",
+        "total",
+        "",
+        s.makespan_ns,
+        ml.makespan_ns,
+        ml.makespan_ns as f64 / s.makespan_ns as f64
+    );
+    println!(
+        "\nevery phase is a shift-style pairing, conflict-free under both\n\
+         schemes, so the columns agree phase by phase; node skew stays at\n\
+         {} ns (SLID) / {} ns (MLID).",
+        s.node_skew_ns, ml.node_skew_ns
     );
 
     // Now the adversarial permutations, where deterministic schemes differ.
-    println!("\nadversarial permutations:\n");
+    println!("\nadversarial permutations (one {bytes} B message per node):\n");
     println!(
         "{:<22} {:>14} {:>14} {:>10}",
-        "pattern", "SLID(B/ns/nd)", "MLID(B/ns/nd)", "MLID/SLID"
+        "pattern", "SLID(ns)", "MLID(ns)", "MLID/SLID"
     );
     let patterns: Vec<(&str, TrafficPattern)> = vec![
         ("bit-complement", TrafficPattern::bit_complement(nodes)),
@@ -79,28 +143,30 @@ fn main() {
         ("slid-adversary", slid_adversary(slid.params())),
     ];
     for (name, pattern) in patterns {
-        let acc = |fabric: &Fabric| {
-            fabric
-                .experiment()
-                .traffic(pattern.clone())
-                .offered_load(1.0)
-                .duration_ns(200_000)
-                .run()
-                .accepted_bytes_per_ns_per_node
-        };
-        let (s, ml) = (acc(&slid), acc(&mlid));
-        println!("{:<22} {:>14.4} {:>14.4} {:>10.2}", name, s, ml, ml / s);
+        let wl = permutation_workload(&perm_of(&pattern), bytes);
+        let (s, ml) = (
+            slid.experiment().run_workload(&wl),
+            mlid.experiment().run_workload(&wl),
+        );
+        println!(
+            "{:<22} {:>14} {:>14} {:>10.2}",
+            name,
+            s.makespan_ns,
+            ml.makespan_ns,
+            ml.makespan_ns as f64 / s.makespan_ns as f64
+        );
     }
     println!(
-        "\na structural result, visible in the identical columns: on *permutation*\n\
-         traffic MLID and SLID are duals. MLID climbs by source digits and\n\
-         descends into (dest-prefix, source-suffix) switches; SLID climbs by\n\
-         destination digits and descends purely by destination — each scheme's\n\
-         ascent conflicts are the other's descent conflicts mirrored, so every\n\
-         permutation costs them the same. The hand-built adversary halves SLID\n\
-         through leaf up-port collisions and halves MLID through the mirrored\n\
-         down-link collisions. MLID's real advantage is many-to-one traffic\n\
-         (see hotspot_study), which is exactly what the paper evaluates."
+        "\na structural result, visible in the near-identical columns: on\n\
+         *permutation* communication MLID and SLID are duals. MLID climbs by\n\
+         source digits and descends into (dest-prefix, source-suffix)\n\
+         switches; SLID climbs by destination digits and descends purely by\n\
+         destination — each scheme's ascent conflicts are the other's descent\n\
+         conflicts mirrored, so every permutation costs them the same. The\n\
+         hand-built adversary slows SLID through leaf up-port collisions and\n\
+         MLID through the mirrored down-link collisions. MLID's real\n\
+         advantage is many-to-one traffic (see hotspot_study), which is\n\
+         exactly what the paper evaluates."
     );
 }
 
