@@ -9,6 +9,10 @@
 //!   --iters <n>         iterations per workload (best-of) [3]
 //!   --warn-only         report regressions but exit 0
 //!   --quick             shorter simulations (CI smoke; same names)
+//!   --filter <substr>   run only workloads whose name contains substr
+//!                       (the snapshot then holds just those rows — use a
+//!                       scratch --out so the committed trajectory keeps
+//!                       its full row set)
 //! ```
 //!
 //! The exit code is non-zero when any workload regressed beyond the
@@ -42,6 +46,17 @@ struct Opts {
     iters: u32,
     warn_only: bool,
     quick: bool,
+    filter: Option<String>,
+}
+
+impl Opts {
+    /// Whether a workload name passes `--filter` (no filter = run all).
+    fn wanted(&self, name: &str) -> bool {
+        match &self.filter {
+            None => true,
+            Some(f) => name.contains(f.as_str()),
+        }
+    }
 }
 
 fn parse_opts() -> Opts {
@@ -52,6 +67,7 @@ fn parse_opts() -> Opts {
         iters: 3,
         warn_only: false,
         quick: false,
+        filter: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -74,6 +90,7 @@ fn parse_opts() -> Opts {
             }
             "--warn-only" => opts.warn_only = true,
             "--quick" => opts.quick = true,
+            "--filter" => opts.filter = Some(value("--filter")),
             other => panic!("unknown option: {other}"),
         }
     }
@@ -111,6 +128,7 @@ fn result(name: String, wall_ns: u64, events: u64, iters: u32) -> WorkloadResult
         events,
         events_per_sec,
         iters,
+        threads_available: 0,
         phases: Vec::new(),
     }
 }
@@ -121,14 +139,22 @@ fn run_workloads(opts: &Opts) -> Vec<WorkloadResult> {
 
     println!("sim_engine ({} ns simulated, load 0.5):", sim_time_ns);
     for &(m, n, vls) in &SIM_CONFIGS {
-        let net = Network::mport_ntree(TreeParams::new(m, n).expect("valid configs"));
-        let routing = Routing::build(&net, RoutingKind::Mlid);
         // Both calendars on every configuration: the `_heap` twin rows
         // keep the wheel-vs-heap gap visible in the committed trajectory.
-        for (prefix, calendar) in [
+        let rows = [
             ("sim_engine", CalendarKind::TimingWheel),
             ("sim_engine_heap", CalendarKind::BinaryHeap),
-        ] {
+        ]
+        .map(|(prefix, calendar)| (format!("{prefix}/{m}x{n}/vl{vls}"), calendar));
+        if !rows.iter().any(|(name, _)| opts.wanted(name)) {
+            continue;
+        }
+        let net = Network::mport_ntree(TreeParams::new(m, n).expect("valid configs"));
+        let routing = Routing::build(&net, RoutingKind::Mlid);
+        for (name, calendar) in rows {
+            if !opts.wanted(&name) {
+                continue;
+            }
             let cfg = SimConfig {
                 calendar,
                 ..SimConfig::paper(vls)
@@ -143,12 +169,7 @@ fn run_workloads(opts: &Opts) -> Vec<WorkloadResult> {
                 )
                 .events_processed
             });
-            out.push(result(
-                format!("{prefix}/{m}x{n}/vl{vls}"),
-                wall,
-                events,
-                opts.iters,
-            ));
+            out.push(result(name, wall, events, opts.iters));
         }
     }
 
@@ -160,27 +181,37 @@ fn run_workloads(opts: &Opts) -> Vec<WorkloadResult> {
     // rows to their own history on comparable hardware, not across hosts.
     println!("sim_engine_par (8x3/vl4, sharded engine):");
     {
-        let net = Network::mport_ntree(TreeParams::new(8, 3).expect("valid config"));
-        let routing = Routing::build(&net, RoutingKind::Mlid);
-        let cfg = SimConfig::paper(4);
-        for threads in [1usize, 2, 4] {
-            let (wall, events) = best_of(opts.iters, || {
-                run_once_par(
-                    &net,
-                    &routing,
-                    cfg.clone(),
-                    TrafficPattern::Uniform,
-                    RunSpec::new(0.5, sim_time_ns),
-                    threads,
-                )
-                .events_processed
-            });
-            out.push(result(
-                format!("sim_engine_par/8x3/vl4/t{threads}"),
-                wall,
-                events,
-                opts.iters,
-            ));
+        // Host core count, stamped on every par row: a t4 wall time from
+        // a 1-core box is synchronization overhead, not parallelism, and
+        // whoever reads the trajectory later needs to tell them apart.
+        let threads_available = std::thread::available_parallelism()
+            .map(|n| n.get() as u32)
+            .unwrap_or(0);
+        let rows =
+            [1usize, 2, 4].map(|threads| (format!("sim_engine_par/8x3/vl4/t{threads}"), threads));
+        if rows.iter().any(|(name, _)| opts.wanted(name)) {
+            let net = Network::mport_ntree(TreeParams::new(8, 3).expect("valid config"));
+            let routing = Routing::build(&net, RoutingKind::Mlid);
+            let cfg = SimConfig::paper(4);
+            for (name, threads) in rows {
+                if !opts.wanted(&name) {
+                    continue;
+                }
+                let (wall, events) = best_of(opts.iters, || {
+                    run_once_par(
+                        &net,
+                        &routing,
+                        cfg.clone(),
+                        TrafficPattern::Uniform,
+                        RunSpec::new(0.5, sim_time_ns),
+                        threads,
+                    )
+                    .events_processed
+                });
+                let mut row = result(name, wall, events, opts.iters);
+                row.threads_available = threads_available;
+                out.push(row);
+            }
         }
     }
 
@@ -191,7 +222,7 @@ fn run_workloads(opts: &Opts) -> Vec<WorkloadResult> {
     // this row is NOT comparable to its `sim_engine` twin, only to its
     // own history.
     println!("sim_profile (8x3/vl4, per-phase wall time):");
-    {
+    if opts.wanted("sim_profile/8x3/vl4") {
         let net = Network::mport_ntree(TreeParams::new(8, 3).expect("valid config"));
         let routing = Routing::build(&net, RoutingKind::Mlid);
         let cfg = SimConfig::paper(4);
@@ -237,8 +268,18 @@ fn run_workloads(opts: &Opts) -> Vec<WorkloadResult> {
 
     println!("lft_build:");
     for &(m, n) in &LFT_CONFIGS {
+        let kinds = [RoutingKind::Slid, RoutingKind::Mlid];
+        if !kinds
+            .iter()
+            .any(|k| opts.wanted(&format!("lft_build/{m}x{n}/{}", k.as_str())))
+        {
+            continue;
+        }
         let net = Network::mport_ntree(TreeParams::new(m, n).expect("valid configs"));
-        for kind in [RoutingKind::Slid, RoutingKind::Mlid] {
+        for kind in kinds {
+            if !opts.wanted(&format!("lft_build/{m}x{n}/{}", kind.as_str())) {
+                continue;
+            }
             let (wall, events) = best_of(opts.iters, || {
                 let routing = Routing::build(&net, kind);
                 // Work unit: programmed forwarding entries.
@@ -266,12 +307,19 @@ fn run_workloads(opts: &Opts) -> Vec<WorkloadResult> {
     // entry-count sweep), so compare them to each other, not to the
     // `lft_build` rows above.
     println!("lft_build_serial (per-entry reference, 16x3):");
-    {
+    let serial_dense_rows: Vec<String> = ["lft_build_serial", "lft_build_dense"]
+        .iter()
+        .flat_map(|prefix| ["slid", "mlid"].map(|kind| format!("{prefix}/16x3/{kind}")))
+        .collect();
+    if serial_dense_rows.iter().any(|name| opts.wanted(name)) {
         let net = Network::mport_ntree(TreeParams::new(16, 3).expect("valid config"));
         let entries = |lfts: &[ibfat_routing::Lft], space: &LidSpace| {
             lfts.len() as u64 * u64::from(space.max_lid().0)
         };
         for kind in [RoutingKind::Slid, RoutingKind::Mlid] {
+            if !opts.wanted(&format!("lft_build_serial/16x3/{}", kind.as_str())) {
+                continue;
+            }
             let lmc = match kind {
                 RoutingKind::Mlid => net.params().lmc(),
                 _ => 0,
@@ -294,6 +342,9 @@ fn run_workloads(opts: &Opts) -> Vec<WorkloadResult> {
             ));
         }
         for kind in [RoutingKind::Slid, RoutingKind::Mlid] {
+            if !opts.wanted(&format!("lft_build_dense/16x3/{}", kind.as_str())) {
+                continue;
+            }
             let lmc = match kind {
                 RoutingKind::Mlid => net.params().lmc(),
                 _ => 0,
@@ -324,6 +375,9 @@ fn run_workloads(opts: &Opts) -> Vec<WorkloadResult> {
         println!("lft_build (streamed per switch, 32x3):");
         let params = TreeParams::new(32, 3).expect("valid config");
         for kind in [RoutingKind::Slid, RoutingKind::Mlid] {
+            if !opts.wanted(&format!("lft_build/32x3/{}", kind.as_str())) {
+                continue;
+            }
             let lmc = match kind {
                 RoutingKind::Mlid => params.lmc(),
                 _ => 0,
@@ -366,6 +420,9 @@ fn run_workloads(opts: &Opts) -> Vec<WorkloadResult> {
             if opts.quick && (m, n) == (16, 3) {
                 continue; // ~1M traced routes: full runs only
             }
+            if !opts.wanted(&format!("loads_all_to_all/{m}x{n}")) {
+                continue;
+            }
             let net = Network::mport_ntree(TreeParams::new(m, n).expect("valid configs"));
             let routing = Routing::build(&net, RoutingKind::Mlid);
             let nodes = u64::from(net.params().num_nodes());
@@ -381,7 +438,7 @@ fn run_workloads(opts: &Opts) -> Vec<WorkloadResult> {
                 opts.iters,
             ));
         }
-        if !opts.quick {
+        if !opts.quick && opts.wanted("loads_all_to_all/32x3") {
             // FT(32, 3): 8192 nodes, 67M flows. The closed-form oracle
             // streams the whole matrix without tables or a graph; one
             // iteration — the workload is deterministic and long.
@@ -403,6 +460,9 @@ fn run_workloads(opts: &Opts) -> Vec<WorkloadResult> {
     // wall time is host-dependent like every other row, and these are
     // warn-only in the comparator. `--quick` shrinks the payload.
     println!("workload (message engine, 8x3):");
+    if ["workload_allreduce/8x3", "workload_alltoall/8x3"]
+        .iter()
+        .any(|name| opts.wanted(name))
     {
         let net = Network::mport_ntree(TreeParams::new(8, 3).expect("valid config"));
         let routing = Routing::build(&net, RoutingKind::Mlid);
@@ -420,6 +480,9 @@ fn run_workloads(opts: &Opts) -> Vec<WorkloadResult> {
             ),
         ];
         for (name, wl) in rows {
+            if !opts.wanted(name) {
+                continue;
+            }
             let (wall, events) = best_of(opts.iters, || {
                 ibfat_sim::run_workload(&net, &routing, cfg.clone(), &wl).events
             });
@@ -430,6 +493,9 @@ fn run_workloads(opts: &Opts) -> Vec<WorkloadResult> {
     println!("path_select:");
     let lookups: u64 = if opts.quick { 200_000 } else { 1_000_000 };
     for &(m, n) in &[(8u32, 3u32), (32, 2)] {
+        if !opts.wanted(&format!("path_select/{m}x{n}")) {
+            continue;
+        }
         let net = Network::mport_ntree(TreeParams::new(m, n).expect("valid configs"));
         let routing = Routing::build(&net, RoutingKind::Mlid);
         let nodes = net.num_nodes() as u32;
@@ -462,9 +528,24 @@ fn main() {
 
     let speedups = par_speedups(&report);
     if !speedups.is_empty() {
-        println!("\nsharded-engine speedup over its t1 row (this host):");
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        println!("\nsharded-engine speedup over its t1 row (this host, {cores} core(s)):");
         for (name, threads, speedup) in &speedups {
             println!("  {name:<28} {threads} thread(s)  {speedup:>5.2}x");
+        }
+        if cores == 1 {
+            // A t4 row on one core measures synchronization overhead, not
+            // parallelism — flagging it as "slow" would be noise by
+            // construction, so the speedup warnings are skipped outright.
+            println!("  (1-CPU host: tN rows measure overhead only; speedup warnings skipped)");
+        } else {
+            for (name, threads, speedup) in &speedups {
+                if *threads > 1 && *speedup < 1.0 {
+                    println!("  warning: {name} is slower than its t1 twin on a {cores}-core host");
+                }
+            }
         }
     }
 

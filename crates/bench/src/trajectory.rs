@@ -39,6 +39,13 @@ pub struct WorkloadResult {
     pub events_per_sec: f64,
     /// Iterations the minimum was taken over.
     pub iters: u32,
+    /// Cores available on the measuring host, recorded for rows whose
+    /// wall time depends on the core count (the `sim_engine_par` rows) —
+    /// a t4 row measured on 1 CPU is overhead, not parallelism, and the
+    /// comparator needs to know which it is looking at. Omitted from the
+    /// JSON when 0 (host-independent rows, pre-recording snapshots), so
+    /// the schema version stands.
+    pub threads_available: u32,
     /// Per-phase breakdown of the best iteration; empty for workloads
     /// that do not self-profile. Omitted from the JSON when empty, and
     /// absent in pre-profiling snapshots, so the schema version stands.
@@ -85,6 +92,9 @@ impl BenchReport {
             let _ = writeln!(out, "      \"wall_ns\": {},", w.wall_ns);
             let _ = writeln!(out, "      \"events\": {},", w.events);
             let _ = writeln!(out, "      \"events_per_sec\": {:.1},", w.events_per_sec);
+            if w.threads_available > 0 {
+                let _ = writeln!(out, "      \"threads_available\": {},", w.threads_available);
+            }
             if w.phases.is_empty() {
                 let _ = writeln!(out, "      \"iters\": {}", w.iters);
             } else {
@@ -160,6 +170,12 @@ impl BenchReport {
                 events: w.field("events")?.as_u64("events")?,
                 events_per_sec: w.field("events_per_sec")?.as_f64("events_per_sec")?,
                 iters: w.field("iters")?.as_u64("iters")? as u32,
+                // Absent in snapshots that predate the recording — 0
+                // means "host core count unknown".
+                threads_available: match w.field("threads_available") {
+                    Err(_) => 0,
+                    Ok(v) => v.as_u64("threads_available")? as u32,
+                },
                 phases,
             });
         }
@@ -502,6 +518,7 @@ mod tests {
                 events: 1_000_000,
                 events_per_sec: 8_100_000.5,
                 iters: 3,
+                threads_available: 0,
                 phases: Vec::new(),
             },
             WorkloadResult {
@@ -510,6 +527,7 @@ mod tests {
                 events: 0,
                 events_per_sec: 0.0,
                 iters: 5,
+                threads_available: 0,
                 phases: Vec::new(),
             },
         ])
@@ -554,6 +572,26 @@ mod tests {
         assert!(BenchReport::parse(&old).unwrap().workloads[0]
             .phases
             .is_empty());
+    }
+
+    #[test]
+    fn threads_available_round_trips_and_tolerates_absence() {
+        let mut report = sample();
+        report.workloads[0].threads_available = 4;
+        let text = report.to_json();
+        assert!(text.contains("\"threads_available\": 4"));
+        // Host-independent rows (0) omit the key entirely.
+        assert_eq!(text.matches("threads_available").count(), 1);
+        let back = BenchReport::parse(&text).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.to_json(), text);
+        // Snapshots from before the field was recorded still parse.
+        let old = sample().to_json();
+        assert!(!old.contains("threads_available"));
+        assert_eq!(
+            BenchReport::parse(&old).unwrap().workloads[0].threads_available,
+            0
+        );
     }
 
     #[test]
@@ -619,6 +657,7 @@ mod tests {
             events: 1_000,
             events_per_sec: 1.0,
             iters: 3,
+            threads_available: 0,
             phases: Vec::new(),
         };
         let report = BenchReport::new(vec![

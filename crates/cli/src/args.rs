@@ -1,7 +1,7 @@
 //! Argument parsing for the `ibfat` CLI (no external parser crate).
 #![allow(clippy::module_name_repetitions)]
 
-use ib_fabric::{NodeId, RoutingKind, TrafficPattern};
+use ib_fabric::{NodeId, PartitionKind, RoutingKind, TrafficPattern};
 
 /// Usage text.
 pub const USAGE: &str = "\
@@ -32,7 +32,10 @@ options:
   --time-us T                    simulated microseconds (default 200)
   --seed S                       RNG seed
   --threads N                    simulation worker threads (default 1;
-                                 any N yields bit-identical results)
+                                 0 = all cores; any N yields
+                                 bit-identical results)
+  --partition fat-tree|block     parallel shard partitioner
+                                 (default fat-tree)
   --fail-links i,j,k             remove cables by index before anything else
   --sample-interval-ns N         counters time-series period (default time/50)
   --top K                        ports listed in counters/loads rankings
@@ -78,8 +81,10 @@ pub struct Cmd {
     pub time_ns: u64,
     /// RNG seed.
     pub seed: Option<u64>,
-    /// Simulation worker threads (1 = sequential engine).
+    /// Simulation worker threads (1 = sequential engine, 0 = all cores).
     pub threads: usize,
+    /// Shard partitioner for the parallel engine.
+    pub partition: PartitionKind,
     /// Cables to fail before acting.
     pub fail_links: Vec<usize>,
     /// Time-series period for `counters` (None = duration / 50).
@@ -213,6 +218,7 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
         time_ns: 200_000,
         seed: None,
         threads: 1,
+        partition: PartitionKind::FatTree,
         fail_links: Vec::new(),
         sample_interval_ns: None,
         top: 8,
@@ -265,13 +271,16 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
                 );
             }
             "--threads" => {
-                let threads: usize = next_value(&mut it, arg)?
+                cmd.threads = next_value(&mut it, arg)?
                     .parse()
                     .map_err(|_| "bad --threads value".to_string())?;
-                if threads == 0 {
-                    return Err("--threads must be positive".into());
-                }
-                cmd.threads = threads;
+            }
+            "--partition" => {
+                cmd.partition = match next_value(&mut it, arg)?.as_str() {
+                    "fat-tree" => PartitionKind::FatTree,
+                    "block" => PartitionKind::Block,
+                    other => return Err(format!("unknown partition '{other}'")),
+                };
             }
             "--fail-links" => {
                 cmd.fail_links = next_value(&mut it, arg)?
@@ -484,8 +493,21 @@ mod tests {
         // Default is the sequential engine.
         let cmd = parse(&argv("sweep 4x2")).unwrap();
         assert_eq!(cmd.threads, 1);
-        assert!(parse(&argv("run 4x2 --threads 0")).is_err());
+        // 0 = auto-detect available cores (resolved by the builder).
+        let cmd = parse(&argv("run 4x2 --threads 0")).unwrap();
+        assert_eq!(cmd.threads, 0);
         assert!(parse(&argv("run 4x2 --threads lots")).is_err());
+    }
+
+    #[test]
+    fn parses_partition_kind() {
+        let cmd = parse(&argv("run 4x2")).unwrap();
+        assert_eq!(cmd.partition, PartitionKind::FatTree);
+        let cmd = parse(&argv("run 4x2 --partition block")).unwrap();
+        assert_eq!(cmd.partition, PartitionKind::Block);
+        let cmd = parse(&argv("run 4x2 --partition fat-tree")).unwrap();
+        assert_eq!(cmd.partition, PartitionKind::FatTree);
+        assert!(parse(&argv("run 4x2 --partition diagonal")).is_err());
     }
 
     #[test]

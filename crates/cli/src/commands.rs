@@ -97,9 +97,27 @@ fn route(cmd: &Cmd, fabric: &Fabric, src: NodeId, dst: NodeId) -> Result<(), Str
     let route = fabric.route(src, dst).map_err(|e| e.to_string())?;
     let params = fabric.params();
     if cmd.json {
+        // Hand-rolled JSON: the offline serde_json stub cannot serialize.
+        let hops: Vec<serde_json::Value> = route
+            .hops
+            .iter()
+            .map(|h| {
+                serde_json::json!({
+                    "switch": h.switch.0,
+                    "in_port": h.in_port.0,
+                    "out_port": h.out_port.0,
+                })
+            })
+            .collect();
+        let value = serde_json::json!({
+            "src": route.src.0,
+            "dlid": route.dlid.0,
+            "dst": route.dst.0,
+            "hops": serde_json::Value::Array(hops),
+        });
         println!(
             "{}",
-            serde_json::to_string_pretty(&route).expect("route serializes")
+            serde_json::to_string_pretty(&value).expect("route serializes")
         );
         return Ok(());
     }
@@ -178,7 +196,8 @@ fn simulate(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
         .traffic(pattern_of(cmd, fabric))
         .offered_load(cmd.load)
         .duration_ns(cmd.time_ns)
-        .threads(cmd.threads);
+        .threads(cmd.threads)
+        .partition(cmd.partition);
     if let Some(seed) = cmd.seed {
         experiment = experiment.seed(seed);
     }
@@ -700,7 +719,8 @@ pub fn collect_workload(cmd: &Cmd, fabric: &Fabric) -> Result<WorkloadReport, St
     let mut experiment = fabric
         .experiment()
         .virtual_lanes(cmd.vls)
-        .threads(cmd.threads);
+        .threads(cmd.threads)
+        .partition(cmd.partition);
     if let Some(seed) = cmd.seed {
         experiment = experiment.seed(seed);
     }
@@ -795,6 +815,7 @@ fn sweep(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
         .traffic(pattern_of(cmd, fabric))
         .duration_ns(cmd.time_ns)
         .threads(cmd.threads)
+        .partition(cmd.partition)
         .run_sweep(&cmd.loads);
     println!("offered,accepted,avg_latency_ns,p99_latency_ns,delivered,dropped");
     for r in &reports {

@@ -34,10 +34,33 @@ impl<'a> ExperimentBuilder<'a> {
     }
 
     /// Simulation worker threads (default 1 = the sequential engine).
-    /// Any value yields bit-identical reports: the parallel engine's
-    /// determinism contract (see [`ibfat_sim::ParSimulator`]).
+    /// `0` auto-detects the number of available cores. Any value yields
+    /// bit-identical reports: the parallel engine's determinism contract
+    /// (see [`ibfat_sim::ParSimulator`]).
     pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        self
+    }
+
+    /// Shard partitioner for the parallel engine (default: fat-tree-aware;
+    /// see [`ibfat_sim::PartitionKind`]). Bit-identical reports across
+    /// choices.
+    pub fn partition(mut self, kind: ibfat_sim::PartitionKind) -> Self {
+        self.cfg.partition = kind;
+        self
+    }
+
+    /// Window-sizing policy for the parallel engine (default: adaptive;
+    /// see [`ibfat_sim::WindowPolicy`]). Bit-identical reports across
+    /// choices.
+    pub fn window_policy(mut self, policy: ibfat_sim::WindowPolicy) -> Self {
+        self.cfg.window_policy = policy;
         self
     }
 
@@ -288,6 +311,52 @@ mod tests {
         assert!(seq.makespan_ns > 0);
         let par = fabric.experiment().threads(3).run_workload(&wl);
         assert_eq!(par, seq, "thread count must not change the report");
+    }
+
+    // The only host-dependent report field; everything else must match.
+    fn normalized(mut r: SimReport) -> SimReport {
+        r.events_per_sec = 0.0;
+        r
+    }
+
+    #[test]
+    fn threads_zero_auto_detects_cores() {
+        let fabric = Fabric::builder(4, 2).build().unwrap();
+        let auto = fabric.experiment().threads(0);
+        assert!(
+            auto.threads >= 1,
+            "auto-detect must resolve to a real count"
+        );
+        let report = auto.duration_ns(60_000).run();
+        let seq = fabric.experiment().duration_ns(60_000).run();
+        assert_eq!(
+            normalized(report),
+            normalized(seq),
+            "auto thread count must not change the report"
+        );
+    }
+
+    #[test]
+    fn partition_and_window_knobs_are_report_invariant() {
+        use ibfat_sim::{PartitionKind, WindowPolicy};
+        let fabric = Fabric::builder(4, 2).build().unwrap();
+        let base = normalized(fabric.experiment().duration_ns(60_000).threads(2).run());
+        for kind in [PartitionKind::FatTree, PartitionKind::Block] {
+            for policy in [WindowPolicy::Fixed, WindowPolicy::Adaptive] {
+                let r = fabric
+                    .experiment()
+                    .duration_ns(60_000)
+                    .threads(2)
+                    .partition(kind)
+                    .window_policy(policy)
+                    .run();
+                assert_eq!(
+                    normalized(r),
+                    base,
+                    "{kind:?}/{policy:?} changed the report"
+                );
+            }
+        }
     }
 
     #[test]

@@ -59,8 +59,9 @@ pub use ibfat_routing::{
 };
 pub use ibfat_sim::{
     aggregate, generators, workload_trace, Aggregate, ClosedLoopKind, FabricCounters, HotPort,
-    InjectionProcess, LinkUse, NoopProbe, PathSelection, Phase, PhaseProfile, Probe, RunSpec,
-    SimConfig, SimReport, TrafficPattern, VlArbitration, VlAssignment, Workload, WorkloadReport,
+    InjectionProcess, LinkUse, NoopProbe, PartitionKind, PathSelection, Phase, PhaseProfile, Probe,
+    RunSpec, SimConfig, SimReport, TrafficPattern, VlArbitration, VlAssignment, WindowPolicy,
+    Workload, WorkloadReport,
 };
 pub use ibfat_sm::SubnetManager;
 pub use ibfat_topology::{

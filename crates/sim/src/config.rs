@@ -48,6 +48,42 @@ pub enum VlAssignment {
     SourceHash,
 }
 
+/// How the parallel engine assigns switches (and, transitively, the
+/// nodes behind each leaf switch) to worker shards. Purely a
+/// performance knob: the report is bit-identical across partitioners
+/// for a given seed (the parallel equivalence tests assert exactly
+/// that); only the volume of cross-shard synchronization traffic
+/// changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PartitionKind {
+    /// Fat-tree-aware: each leaf switch stays with its nodes and its
+    /// dominant up-tree ancestors, so only genuinely shared
+    /// top-of-tree cables are cut
+    /// (see `ibfat_topology::fat_tree_switch_partition`).
+    #[default]
+    FatTree,
+    /// Id-order block split — the original partitioner, kept as the
+    /// fallback and as the baseline the edge-cut metric is judged
+    /// against.
+    Block,
+}
+
+/// How the parallel engine sizes its synchronization windows. Also a
+/// pure performance knob: window boundaries never affect cohort
+/// composition or dispatch order, so reports are bit-identical across
+/// policies for a given seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum WindowPolicy {
+    /// One lookahead per window, one barrier per lookahead — the
+    /// original fixed cadence.
+    Fixed,
+    /// Jump each window's end to the global next-event time (rounded up
+    /// to a whole multiple of the lookahead), so quiet stretches cost
+    /// one barrier instead of one per lookahead.
+    #[default]
+    Adaptive,
+}
+
 /// Simulator configuration: the IBA subnet model constants of Section 5.
 ///
 /// Defaults reproduce the paper's setup: 256-byte packets on a 4X link
@@ -102,6 +138,14 @@ pub struct SimConfig {
     /// given seed (the equivalence tests assert exactly that).
     #[serde(default)]
     pub calendar: CalendarKind,
+    /// Shard partitioner for the parallel engine (ignored by the
+    /// sequential one). Bit-identical reports across choices.
+    #[serde(default)]
+    pub partition: PartitionKind,
+    /// Window-sizing policy for the parallel engine (ignored by the
+    /// sequential one). Bit-identical reports across choices.
+    #[serde(default)]
+    pub window_policy: WindowPolicy,
 }
 
 impl Default for SimConfig {
@@ -122,6 +166,8 @@ impl Default for SimConfig {
             trace_first_packets: 0,
             adaptive_up: false,
             calendar: CalendarKind::default(),
+            partition: PartitionKind::default(),
+            window_policy: WindowPolicy::default(),
         }
     }
 }

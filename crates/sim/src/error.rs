@@ -18,6 +18,10 @@ pub enum SimError {
     /// The workload DAG is inconsistent with the fabric or the
     /// simulator configuration.
     InvalidWorkload(String),
+    /// A parallel worker thread panicked. The run was aborted (every
+    /// other worker released from the window barrier and unwound
+    /// cleanly) and the panic payload captured here.
+    WorkerPanicked(String),
 }
 
 impl fmt::Display for SimError {
@@ -25,6 +29,7 @@ impl fmt::Display for SimError {
         match self {
             SimError::InvalidPattern(msg) => write!(f, "invalid traffic pattern: {msg}"),
             SimError::InvalidWorkload(msg) => write!(f, "invalid workload: {msg}"),
+            SimError::WorkerPanicked(msg) => write!(f, "parallel worker panicked: {msg}"),
         }
     }
 }

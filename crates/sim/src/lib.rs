@@ -62,7 +62,9 @@ mod traffic;
 mod vlarb;
 mod workload;
 
-pub use config::{InjectionProcess, PathSelection, SimConfig, VlAssignment};
+pub use config::{
+    InjectionProcess, PartitionKind, PathSelection, SimConfig, VlAssignment, WindowPolicy,
+};
 pub use counters::{
     FabricCounters, HotPort, NodeCounters, PortVlCounters, Sample, COUNTERS_SCHEMA_VERSION,
 };
@@ -73,8 +75,8 @@ pub use packet::{Packet, PacketId, PacketSlab};
 pub use par::ParSimulator;
 pub use probe::{NoopProbe, ParProbe, Phase, PhaseProfile, Probe, NUM_PHASES};
 pub use runner::{
-    aggregate, par_map_indexed, replicate, run_observed, run_once, run_once_par, sweep, Aggregate,
-    RunSpec,
+    aggregate, par_map_indexed, replicate, run_observed, run_once, run_once_par, sweep,
+    try_run_once_par, Aggregate, RunSpec,
 };
 pub use sim::Simulator;
 pub use trace::{PacketTrace, TraceEvent};
@@ -87,4 +89,4 @@ pub use ibfat_workload::{
     generators, trace as workload_trace, ClosedLoopKind, GroupReport, Message, MessageTiming,
     MsgId, MsgLatency, Workload, WorkloadReport,
 };
-pub use runner::{run_workload, run_workload_par};
+pub use runner::{run_workload, run_workload_par, try_run_workload_par};

@@ -51,6 +51,10 @@ pub fn run_once(
 /// threads. Bit-identical to [`run_once`] for the same inputs (the
 /// parallel engine's determinism contract; see [`crate::ParSimulator`]);
 /// `threads <= 1` runs the sequential engine directly.
+///
+/// # Panics
+/// Panics if a worker thread panicked; [`try_run_once_par`] propagates
+/// that as [`crate::SimError::WorkerPanicked`] instead.
 pub fn run_once_par(
     net: &Network,
     routing: &Routing,
@@ -59,6 +63,19 @@ pub fn run_once_par(
     spec: RunSpec,
     threads: usize,
 ) -> SimReport {
+    try_run_once_par(net, routing, cfg, pattern, spec, threads).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_once_par`] with worker panics propagated as
+/// [`crate::SimError::WorkerPanicked`] instead of re-panicking.
+pub fn try_run_once_par(
+    net: &Network,
+    routing: &Routing,
+    cfg: SimConfig,
+    pattern: TrafficPattern,
+    spec: RunSpec,
+    threads: usize,
+) -> Result<SimReport, crate::SimError> {
     crate::ParSimulator::new(
         net,
         routing,
@@ -87,6 +104,10 @@ pub fn run_workload(
 /// Drive a workload to completion on the parallel engine with `threads`
 /// worker threads. Bit-identical to [`run_workload`] for the same
 /// inputs; `threads <= 1` runs the sequential engine directly.
+///
+/// # Panics
+/// Panics if a worker thread panicked; [`try_run_workload_par`]
+/// propagates that as [`crate::SimError::WorkerPanicked`] instead.
 pub fn run_workload_par(
     net: &Network,
     routing: &Routing,
@@ -94,6 +115,18 @@ pub fn run_workload_par(
     wl: &crate::Workload,
     threads: usize,
 ) -> crate::WorkloadReport {
+    try_run_workload_par(net, routing, cfg, wl, threads).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_workload_par`] with worker panics propagated as
+/// [`crate::SimError::WorkerPanicked`] instead of re-panicking.
+pub fn try_run_workload_par(
+    net: &Network,
+    routing: &Routing,
+    cfg: SimConfig,
+    wl: &crate::Workload,
+    threads: usize,
+) -> Result<crate::WorkloadReport, crate::SimError> {
     crate::ParSimulator::for_workload(net, routing, cfg, threads).run_workload(wl)
 }
 

@@ -10,8 +10,8 @@
 use ibfat_routing::{Routing, RoutingKind};
 use ibfat_sim::{
     generators, run_once, run_once_par, run_workload, run_workload_par, CalendarKind,
-    ClosedLoopKind, FabricCounters, ParSimulator, RunSpec, SimConfig, SimReport, Simulator,
-    TrafficPattern, Workload,
+    ClosedLoopKind, FabricCounters, ParSimulator, PartitionKind, RunSpec, SimConfig, SimReport,
+    Simulator, TrafficPattern, WindowPolicy, Workload,
 };
 use ibfat_topology::{Network, NodeId, TreeParams};
 use proptest::prelude::*;
@@ -54,6 +54,14 @@ proptest! {
             Just(CalendarKind::TimingWheel),
             Just(CalendarKind::BinaryHeap),
         ],
+        partition in prop_oneof![
+            Just(PartitionKind::FatTree),
+            Just(PartitionKind::Block),
+        ],
+        window_policy in prop_oneof![
+            Just(WindowPolicy::Adaptive),
+            Just(WindowPolicy::Fixed),
+        ],
     ) {
         // Keep the simulated horizon small: proptest runs many cases,
         // and FT(8,3) has 512 nodes.
@@ -65,6 +73,8 @@ proptest! {
             num_vls: vls,
             seed,
             calendar,
+            partition,
+            window_policy,
             ..SimConfig::default()
         };
         let pattern = TrafficPattern::Uniform;
@@ -75,6 +85,63 @@ proptest! {
         for threads in [1usize, 2, 4] {
             let par = par_report(&net, &routing, &cfg, &pattern, spec, threads);
             prop_assert_eq!(&par, &seq, "divergence at {} threads", threads);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Adaptive windows are a pure barrier-count optimization: for every
+    /// fabric × routing scheme × thread count, an adaptive-window run
+    /// must be bit-identical to a fixed-window run of the same inputs —
+    /// reports AND every per-port counter register the probe collects.
+    /// (Window boundaries never reorder dispatch: cohorts are formed by
+    /// `(time, lineage)` order alone; the policy only chooses how far a
+    /// window may jump ahead when all shards are quiet.)
+    #[test]
+    fn adaptive_windows_equal_fixed_windows(
+        (m, n) in prop_oneof![Just((4u32, 2u32)), Just((4, 3)), Just((8, 2))],
+        scheme in prop_oneof![Just(RoutingKind::Mlid), Just(RoutingKind::Slid)],
+        seed in any::<u64>(),
+        partition in prop_oneof![
+            Just(PartitionKind::FatTree),
+            Just(PartitionKind::Block),
+        ],
+    ) {
+        let params = TreeParams::new(m, n).expect("valid params");
+        let net = Network::mport_ntree(params);
+        let routing = Routing::build(&net, scheme);
+        let base = SimConfig {
+            num_vls: 2,
+            seed,
+            partition,
+            ..SimConfig::default()
+        };
+        let pattern = TrafficPattern::Uniform;
+        let spec = RunSpec::new(0.4, 25_000);
+        for threads in [1usize, 2, 4] {
+            let [fixed, adaptive] = [WindowPolicy::Fixed, WindowPolicy::Adaptive].map(|window_policy| {
+                let cfg = SimConfig { window_policy, ..base.clone() };
+                let (report, counters) = ParSimulator::with_probe(
+                    &net,
+                    &routing,
+                    cfg,
+                    pattern.clone(),
+                    spec.offered_load,
+                    spec.sim_time_ns,
+                    spec.warmup_ns,
+                    threads,
+                    FabricCounters::new(&net, base.num_vls),
+                )
+                .run_observed()
+                .expect("no worker panicked");
+                (normalized(report), counters.switch_totals())
+            });
+            prop_assert_eq!(
+                adaptive, fixed,
+                "fixed/adaptive divergence at {} threads", threads
+            );
         }
     }
 }
@@ -190,7 +257,8 @@ fn fabric_counter_registers_merge_exactly() {
         4,
         FabricCounters::new(&net, cfg.num_vls),
     )
-    .run_observed();
+    .run_observed()
+    .expect("no worker panicked");
 
     assert_eq!(normalized(par_report), normalized(seq_report));
     let seq_sw = seq_counters.switch_totals();

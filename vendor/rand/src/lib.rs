@@ -1,0 +1,263 @@
+//! Offline stub of `rand` 0.8.
+//!
+//! Implements the trait surface the workspace uses — [`RngCore`],
+//! [`SeedableRng`], and the [`Rng`] extension with `gen_range` /
+//! `gen_bool` — with the same algorithms as upstream where it matters
+//! for distribution quality (PCG-based `seed_from_u64` seeding,
+//! widening-multiply rejection sampling for integer ranges, 53-bit
+//! mantissa floats). Determinism is the contract; numeric identity with
+//! upstream `rand` is not guaranteed.
+
+use std::ops::{Range, RangeInclusive};
+
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed with a PCG32 stream, as
+    /// `rand_core` does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let word = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&word.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        assert!(!range.is_empty(), "cannot sample empty range");
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        if p >= 1.0 {
+            // Consume a draw anyway so call sequences stay aligned.
+            let _ = self.next_u64();
+            return true;
+        }
+        let p_int = (p * (u64::MAX as f64 + 1.0)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable uniformly from a range.
+pub trait SampleUniform: Sized + PartialOrd {
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool)
+        -> Self;
+}
+
+/// Range types accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    fn is_empty(&self) -> bool;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(rng, self.start, self.end, false)
+    }
+    fn is_empty(&self) -> bool {
+        !(self.start < self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(rng, *self.start(), *self.end(), true)
+    }
+    fn is_empty(&self) -> bool {
+        !(self.start() <= self.end())
+    }
+}
+
+macro_rules! uniform_int {
+    ($($t:ty => $unsigned:ty => $large:ty => $gen:ident),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: $t,
+                high: $t,
+                inclusive: bool,
+            ) -> $t {
+                // Width of the sampled interval minus one, in the
+                // unsigned domain (wrapping handles signed types).
+                let span = if inclusive {
+                    (high as $unsigned).wrapping_sub(low as $unsigned)
+                } else {
+                    (high as $unsigned).wrapping_sub(low as $unsigned).wrapping_sub(1)
+                };
+                if span == <$unsigned>::MAX {
+                    // Full domain: any draw is uniform.
+                    return rng.$gen() as $t;
+                }
+                let range = span.wrapping_add(1);
+                // Lemire's widening-multiply method with rejection, as in
+                // upstream rand 0.8.
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.$gen() as $unsigned;
+                    let m = (v as $large) * (range as $large);
+                    let lo = m as $unsigned;
+                    if lo <= zone {
+                        let hi = (m >> <$unsigned>::BITS) as $unsigned;
+                        return low.wrapping_add(hi as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+uniform_int!(
+    u8 => u8 => u16 => next_u32,
+    u16 => u16 => u32 => next_u32,
+    u32 => u32 => u64 => next_u32,
+    u64 => u64 => u128 => next_u64,
+    usize => usize => u128 => next_u64,
+    i8 => u8 => u16 => next_u32,
+    i16 => u16 => u32 => next_u32,
+    i32 => u32 => u64 => next_u32,
+    i64 => u64 => u128 => next_u64,
+    isize => usize => u128 => next_u64,
+);
+
+macro_rules! uniform_float {
+    ($($t:ty => $bits:expr),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: $t,
+                high: $t,
+                _inclusive: bool,
+            ) -> $t {
+                let mut scale = high - low;
+                loop {
+                    // A uniform draw in [0, 1) with a full mantissa.
+                    let unit =
+                        (rng.next_u64() >> (64 - $bits)) as $t / (1u64 << $bits) as $t;
+                    let res = unit * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                    // Rounding produced `high`; tighten and retry so the
+                    // half-open contract holds.
+                    scale *= 1.0 - <$t>::EPSILON;
+                }
+            }
+        }
+    )*};
+}
+
+uniform_float!(f32 => 24, f64 => 53);
+
+pub mod rngs {}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Subset of rand's `SliceRandom`: Fisher–Yates shuffle.
+    pub trait SliceRandom {
+        type Item;
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = uniform_index(rng, i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[uniform_index(rng, self.len())])
+            }
+        }
+    }
+
+    fn uniform_index<R: RngCore + ?Sized>(rng: &mut R, bound: usize) -> usize {
+        ((u128::from(rng.next_u64()) * bound as u128) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let b = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&b[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = Counter(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(0u32..17);
+            assert!(v < 17);
+            let w = rng.gen_range(5u64..=9);
+            assert!((5..=9).contains(&w));
+            let f = rng.gen_range(0.25f64..0.5);
+            assert!((0.25..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(7);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+}

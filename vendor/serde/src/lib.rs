@@ -1,0 +1,81 @@
+//! Offline stub of `serde`.
+//!
+//! `Serialize` / `Deserialize` are marker traits so derived bounds
+//! compile; nothing here can actually serialize a derived type. The one
+//! escape hatch is [`Serialize::__stub_json`], which `serde_json`'s
+//! `Value` overrides so that `json!`-built values still print. Workspace
+//! crates that persist data use hand-rolled JSON instead.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {
+    /// Stub hook: a compact JSON rendering, if this type knows how to
+    /// produce one. Derived impls keep the default (`None`), which makes
+    /// `serde_json::to_string` fail at runtime rather than silently
+    /// emitting garbage.
+    #[doc(hidden)]
+    fn __stub_json(&self) -> Option<String> {
+        None
+    }
+}
+
+pub trait Deserialize<'de>: Sized {}
+
+// Container and primitive impls so generic `T: Serialize` bounds hold
+// for composite values, as with the real serde. All keep the default
+// (non-serializable) stub hook.
+macro_rules! stub_serialize {
+    ($($t:ty),* $(,)?) => {
+        $(impl Serialize for $t {})*
+    };
+}
+stub_serialize!(
+    (), bool, char, str, String,
+    u8, u16, u32, u64, u128, usize,
+    i8, i16, i32, i64, i128, isize,
+    f32, f64
+);
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn __stub_json(&self) -> Option<String> {
+        (**self).__stub_json()
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn __stub_json(&self) -> Option<String> {
+        (**self).__stub_json()
+    }
+}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}
+
+macro_rules! stub_deserialize {
+    ($($t:ty),* $(,)?) => {
+        $(impl<'de> Deserialize<'de> for $t {})*
+    };
+}
+stub_deserialize!(
+    (), bool, char, String,
+    u8, u16, u32, u64, u128, usize,
+    i8, i16, i32, i64, i128, isize,
+    f32, f64
+);
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+
+pub mod de {
+    /// Mirror of `serde::de::DeserializeOwned` for API compatibility.
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+    impl<T: for<'de> crate::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    pub use crate::Serialize;
+}

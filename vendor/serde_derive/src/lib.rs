@@ -1,0 +1,51 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build container has no network access to crates.io, so the real
+//! serde machinery is replaced by marker traits (see the sibling `serde`
+//! stub). These derives emit empty `impl` blocks — just enough for
+//! `T: Serialize` / `T: Deserialize` bounds to hold. Actual
+//! serialization goes through hand-rolled JSON in the workspace crates;
+//! `serde_json::to_string` on a derived type returns an error at runtime.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type name from a (non-generic) `struct`/`enum` item.
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            // Skip outer attributes: `#` followed by a bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    if let Some(TokenTree::Ident(name)) = iter.next() {
+                        return name.to_string();
+                    }
+                    panic!("serde_derive stub: missing type name");
+                }
+                // `pub`, `pub(crate)` etc. — keep scanning.
+            }
+            _ => {}
+        }
+    }
+    panic!("serde_derive stub: not a struct or enum");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}
