@@ -7,6 +7,7 @@
 //! byte-stable for unchanged measurements modulo the numbers themselves,
 //! and the comparison step runs anywhere the workspace compiles.
 
+use ibfat_sim::json::{self, escape};
 use std::fmt::Write as _;
 
 /// Version stamp of the JSON layout. Bump only on breaking changes;
@@ -23,6 +24,27 @@ pub struct PhaseSplit {
     pub wall_ns: u64,
     /// Events dispatched in this phase.
     pub events: u64,
+}
+
+/// Sharded-engine self-telemetry attached to a `sim_engine_par` row:
+/// the structural summary of one representative (untimed) telemetry run
+/// at the row's thread count. Wall-clock context for the row's own wall
+/// time — a high `barrier_wait_ns` or `event_imbalance` explains a slow
+/// tN row better than the number alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimTelemetry {
+    /// Worker threads (= shards) the telemetry run used.
+    pub threads: u32,
+    /// Conservative windows executed, summed over shards.
+    pub windows: u64,
+    /// Wall time spent waiting at the window barrier, summed over shards, ns.
+    pub barrier_wait_ns: u64,
+    /// Cross-shard messages sent, summed over shards.
+    pub msgs: u64,
+    /// Inter-shard links cut by the partition.
+    pub edge_cut: u64,
+    /// Max/mean per-shard event count (1.0 = perfectly balanced).
+    pub event_imbalance: f64,
 }
 
 /// One measured workload configuration.
@@ -50,6 +72,10 @@ pub struct WorkloadResult {
     /// that do not self-profile. Omitted from the JSON when empty, and
     /// absent in pre-profiling snapshots, so the schema version stands.
     pub phases: Vec<PhaseSplit>,
+    /// Sharded-engine telemetry context for `sim_engine_par` rows;
+    /// `None` everywhere else. Omitted from the JSON when absent, and
+    /// absent in pre-telemetry snapshots, so the schema version stands.
+    pub sim_telemetry: Option<SimTelemetry>,
 }
 
 /// A whole trajectory snapshot.
@@ -95,6 +121,15 @@ impl BenchReport {
             if w.threads_available > 0 {
                 let _ = writeln!(out, "      \"threads_available\": {},", w.threads_available);
             }
+            if let Some(t) = &w.sim_telemetry {
+                let _ = writeln!(
+                    out,
+                    "      \"sim_telemetry\": {{ \"threads\": {}, \"windows\": {}, \
+                     \"barrier_wait_ns\": {}, \"msgs\": {}, \"edge_cut\": {}, \
+                     \"event_imbalance\": {:.3} }},",
+                    t.threads, t.windows, t.barrier_wait_ns, t.msgs, t.edge_cut, t.event_imbalance
+                );
+            }
             if w.phases.is_empty() {
                 let _ = writeln!(out, "      \"iters\": {}", w.iters);
             } else {
@@ -134,9 +169,10 @@ impl BenchReport {
     }
 
     /// Parse a report previously written by [`to_json`](Self::to_json)
-    /// (tolerant of whitespace and key order, not a general JSON parser).
+    /// (tolerant of whitespace and key order; uses the workspace-shared
+    /// subset parser in [`ibfat_sim::json`]).
     pub fn parse(text: &str) -> Result<BenchReport, String> {
-        let value = Parser::new(text).parse_document()?;
+        let value = json::parse(text)?;
         let obj = value.as_object("top level")?;
         let schema = obj.field("schema")?.as_u64("schema")? as u32;
         let mut workloads = Vec::new();
@@ -164,6 +200,22 @@ impl BenchReport {
                     })
                     .collect::<Result<_, String>>()?,
             };
+            // `sim_telemetry` arrived after the first snapshots were
+            // committed; absence means "no telemetry context recorded".
+            let sim_telemetry = match w.field("sim_telemetry") {
+                Err(_) => None,
+                Ok(v) => {
+                    let t = v.as_object("sim_telemetry")?;
+                    Some(SimTelemetry {
+                        threads: t.field("threads")?.as_u64("threads")? as u32,
+                        windows: t.field("windows")?.as_u64("windows")?,
+                        barrier_wait_ns: t.field("barrier_wait_ns")?.as_u64("barrier_wait_ns")?,
+                        msgs: t.field("msgs")?.as_u64("msgs")?,
+                        edge_cut: t.field("edge_cut")?.as_u64("edge_cut")?,
+                        event_imbalance: t.field("event_imbalance")?.as_f64("event_imbalance")?,
+                    })
+                }
+            };
             workloads.push(WorkloadResult {
                 name: w.field("name")?.as_string("name")?.to_string(),
                 wall_ns: w.field("wall_ns")?.as_u64("wall_ns")?,
@@ -177,21 +229,11 @@ impl BenchReport {
                     Ok(v) => v.as_u64("threads_available")? as u32,
                 },
                 phases,
+                sim_telemetry,
             });
         }
         Ok(BenchReport { schema, workloads })
     }
-}
-
-fn escape(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' => vec!['\\', '"'],
-            '\\' => vec!['\\', '\\'],
-            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
 }
 
 // ----- comparison ------------------------------------------------------
@@ -274,238 +316,6 @@ pub fn par_speedups(report: &BenchReport) -> Vec<(String, u32, f64)> {
         .collect()
 }
 
-// ----- a minimal JSON subset parser ------------------------------------
-
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Number(f64),
-    String(String),
-    Array(Vec<Json>),
-    Object(Vec<(String, Json)>),
-}
-
-struct Obj<'a>(&'a [(String, Json)]);
-
-impl Obj<'_> {
-    fn field(&self, key: &str) -> Result<&Json, String> {
-        self.0
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v)
-            .ok_or_else(|| format!("missing field \"{key}\""))
-    }
-}
-
-impl Json {
-    fn as_object(&self, what: &str) -> Result<Obj<'_>, String> {
-        match self {
-            Json::Object(fields) => Ok(Obj(fields)),
-            _ => Err(format!("{what}: expected an object")),
-        }
-    }
-    fn as_array(&self, what: &str) -> Result<&[Json], String> {
-        match self {
-            Json::Array(items) => Ok(items),
-            _ => Err(format!("{what}: expected an array")),
-        }
-    }
-    fn as_string(&self, what: &str) -> Result<&str, String> {
-        match self {
-            Json::String(s) => Ok(s),
-            _ => Err(format!("{what}: expected a string")),
-        }
-    }
-    fn as_f64(&self, what: &str) -> Result<f64, String> {
-        match self {
-            Json::Number(x) => Ok(*x),
-            _ => Err(format!("{what}: expected a number")),
-        }
-    }
-    fn as_u64(&self, what: &str) -> Result<u64, String> {
-        let x = self.as_f64(what)?;
-        if x < 0.0 || x.fract() != 0.0 {
-            return Err(format!("{what}: expected a non-negative integer, got {x}"));
-        }
-        Ok(x as u64)
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn parse_document(&mut self) -> Result<Json, String> {
-        let v = self.parse_value()?;
-        self.skip_ws();
-        if self.pos != self.bytes.len() {
-            return Err(format!("trailing content at byte {}", self.pos));
-        }
-        Ok(v)
-    }
-
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_whitespace())
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Result<u8, String> {
-        self.skip_ws();
-        self.bytes
-            .get(self.pos)
-            .copied()
-            .ok_or_else(|| "unexpected end of input".to_string())
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        let got = self.peek()?;
-        if got != b {
-            return Err(format!(
-                "expected '{}' at byte {}, found '{}'",
-                b as char, self.pos, got as char
-            ));
-        }
-        self.pos += 1;
-        Ok(())
-    }
-
-    fn parse_value(&mut self) -> Result<Json, String> {
-        match self.peek()? {
-            b'{' => self.parse_object(),
-            b'[' => self.parse_array(),
-            b'"' => Ok(Json::String(self.parse_string()?)),
-            _ => self.parse_number(),
-        }
-    }
-
-    fn parse_object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        if self.peek()? == b'}' {
-            self.pos += 1;
-            return Ok(Json::Object(fields));
-        }
-        loop {
-            let key = self.parse_string()?;
-            self.expect(b':')?;
-            let value = self.parse_value()?;
-            fields.push((key, value));
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b'}' => {
-                    self.pos += 1;
-                    return Ok(Json::Object(fields));
-                }
-                other => return Err(format!("expected ',' or '}}', found '{}'", other as char)),
-            }
-        }
-    }
-
-    fn parse_array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek()? == b']' {
-            self.pos += 1;
-            return Ok(Json::Array(items));
-        }
-        loop {
-            items.push(self.parse_value()?);
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b']' => {
-                    self.pos += 1;
-                    return Ok(Json::Array(items));
-                }
-                other => return Err(format!("expected ',' or ']', found '{}'", other as char)),
-            }
-        }
-    }
-
-    fn parse_string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.bytes.get(self.pos) {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.bytes.get(self.pos) {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                                16,
-                            )
-                            .map_err(|e| e.to_string())?;
-                            out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
-                            self.pos += 4;
-                        }
-                        other => return Err(format!("unsupported escape: {other:?}")),
-                    }
-                    self.pos += 1;
-                }
-                Some(&b) => {
-                    // Multi-byte UTF-8 passes through byte by byte; the
-                    // input is a &str, so the result stays valid.
-                    let start = self.pos;
-                    let len = match b {
-                        _ if b < 0x80 => 1,
-                        _ if b >= 0xF0 => 4,
-                        _ if b >= 0xE0 => 3,
-                        _ => 2,
-                    };
-                    let chunk = self
-                        .bytes
-                        .get(start..start + len)
-                        .ok_or("truncated UTF-8 sequence")?;
-                    out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
-                    self.pos += len;
-                }
-            }
-        }
-    }
-
-    fn parse_number(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        let start = self.pos;
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
-        {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
-        text.parse::<f64>()
-            .map(Json::Number)
-            .map_err(|_| format!("invalid number \"{text}\" at byte {start}"))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -520,6 +330,7 @@ mod tests {
                 iters: 3,
                 threads_available: 0,
                 phases: Vec::new(),
+                sim_telemetry: None,
             },
             WorkloadResult {
                 name: "lft_build/32x2/mlid".into(),
@@ -529,6 +340,7 @@ mod tests {
                 iters: 5,
                 threads_available: 0,
                 phases: Vec::new(),
+                sim_telemetry: None,
             },
         ])
     }
@@ -592,6 +404,32 @@ mod tests {
             BenchReport::parse(&old).unwrap().workloads[0].threads_available,
             0
         );
+    }
+
+    #[test]
+    fn sim_telemetry_round_trips_and_tolerates_absence() {
+        let mut report = sample();
+        report.workloads[0].sim_telemetry = Some(SimTelemetry {
+            threads: 4,
+            windows: 1_234,
+            barrier_wait_ns: 56_789,
+            msgs: 4_321,
+            edge_cut: 96,
+            event_imbalance: 1.25,
+        });
+        let text = report.to_json();
+        assert!(text.contains("\"sim_telemetry\": { \"threads\": 4,"));
+        // Rows without telemetry omit the key entirely.
+        assert_eq!(text.matches("sim_telemetry").count(), 1);
+        let back = BenchReport::parse(&text).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.to_json(), text);
+        // Snapshots from before the field was recorded still parse.
+        let old = sample().to_json();
+        assert!(!old.contains("sim_telemetry"));
+        assert!(BenchReport::parse(&old).unwrap().workloads[0]
+            .sim_telemetry
+            .is_none());
     }
 
     #[test]
@@ -659,6 +497,7 @@ mod tests {
             iters: 3,
             threads_available: 0,
             phases: Vec::new(),
+            sim_telemetry: None,
         };
         let report = BenchReport::new(vec![
             row("sim_engine/8x3/vl4", 100), // not a par row: ignored

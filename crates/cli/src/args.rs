@@ -1,7 +1,7 @@
 //! Argument parsing for the `ibfat` CLI (no external parser crate).
 #![allow(clippy::module_name_repetitions)]
 
-use ib_fabric::{NodeId, PartitionKind, RoutingKind, TrafficPattern};
+use ib_fabric::{NodeId, PartitionKind, RoutingKind, TraceSampling, TrafficPattern};
 
 /// Usage text.
 pub const USAGE: &str = "\
@@ -22,6 +22,10 @@ commands:
   workload <MxN>                 drive a message-level workload (collective,
                                  closed-loop, or trace replay) to completion
                                  and report per-message latency + skew
+  trace <MxN>                    flight recorder: run once and emit sampled
+                                 per-packet lifecycle spans (inject, per-hop
+                                 arbitration, credit stalls, deliver) as
+                                 JSONL on stdout
 
 options:
   --scheme mlid|slid|updown      routing scheme        (default mlid)
@@ -56,6 +60,15 @@ options:
                                  (default 32)
   --trace FILE                   replay: JSONL trace, one
                                  {src, dst, bytes, depends_on} per line
+  --packets N                    trace: flight-recorder slots (default 16)
+  --one-in N                     trace: sample 1 in N flows (by flow hash;
+                                 default: first packets generated)
+  --pairs s:d,s:d                trace: only these (src, dst) flows
+  --telemetry                    simulate/run: print engine self-telemetry
+                                 (per-shard windows, barrier waits, mailbox
+                                 volume) as JSONL after the report
+  --profile                      workload: print the engine's per-phase
+                                 self-profile table after the report
   --json                         machine-readable output";
 
 /// A parsed invocation.
@@ -106,6 +119,14 @@ pub struct Cmd {
     pub messages: u32,
     /// `workload` replay: path to a JSONL trace.
     pub trace: Option<String>,
+    /// `trace`: flight-recorder slots to fill.
+    pub trace_packets: u32,
+    /// `trace`: which flows may claim recorder slots.
+    pub sampling: TraceSampling,
+    /// `simulate`: print engine self-telemetry after the report.
+    pub telemetry: bool,
+    /// `workload`: print the per-phase self-profile after the report.
+    pub profile: bool,
     /// Emit JSON instead of text.
     pub json: bool,
 }
@@ -122,6 +143,7 @@ pub enum Action {
     Counters,
     Loads,
     Workload,
+    Trace,
 }
 
 /// Workload families for the `workload` subcommand.
@@ -229,6 +251,10 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
         in_flight: 4,
         messages: 32,
         trace: None,
+        trace_packets: 16,
+        sampling: TraceSampling::FirstN,
+        telemetry: false,
+        profile: false,
         json: false,
     };
 
@@ -333,6 +359,44 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
                 cmd.messages = m;
             }
             "--trace" => cmd.trace = Some(next_value(&mut it, arg)?.clone()),
+            "--packets" => {
+                let n: u32 = next_value(&mut it, arg)?
+                    .parse()
+                    .map_err(|_| "bad --packets value".to_string())?;
+                if n == 0 {
+                    return Err("--packets must be positive".into());
+                }
+                cmd.trace_packets = n;
+            }
+            "--one-in" => {
+                let n: u32 = next_value(&mut it, arg)?
+                    .parse()
+                    .map_err(|_| "bad --one-in value".to_string())?;
+                if n == 0 {
+                    return Err("--one-in must be positive".into());
+                }
+                cmd.sampling = TraceSampling::OneInN(n);
+            }
+            "--pairs" => {
+                let pairs = next_value(&mut it, arg)?
+                    .split(',')
+                    .map(|p| {
+                        let (s, d) = p
+                            .split_once(':')
+                            .ok_or_else(|| format!("bad pair '{p}', expected src:dst"))?;
+                        Ok((
+                            s.parse().map_err(|_| format!("bad src in '{p}'"))?,
+                            d.parse().map_err(|_| format!("bad dst in '{p}'"))?,
+                        ))
+                    })
+                    .collect::<Result<Vec<(u32, u32)>, String>>()?;
+                if pairs.is_empty() {
+                    return Err("--pairs needs at least one src:dst".into());
+                }
+                cmd.sampling = TraceSampling::Pairs(pairs);
+            }
+            "--telemetry" => cmd.telemetry = true,
+            "--profile" => cmd.profile = true,
             "--json" => cmd.json = true,
             other if !other.starts_with("--") => positional.push(arg),
             other => return Err(format!("unknown flag '{other}'")),
@@ -347,6 +411,7 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
         "sweep" => Action::Sweep,
         "counters" => Action::Counters,
         "loads" => Action::Loads,
+        "trace" => Action::Trace,
         "workload" => {
             if cmd.wl_kind == WlKind::Replay && cmd.trace.is_none() {
                 return Err("--kind replay needs --trace FILE".into());
@@ -540,6 +605,36 @@ mod tests {
         assert!(parse(&argv("workload 4x2 --bytes 0")).is_err());
         assert!(parse(&argv("workload 4x2 --in-flight 0")).is_err());
         assert!(parse(&argv("workload 4x2 --messages 0")).is_err());
+    }
+
+    #[test]
+    fn parses_trace_options() {
+        let cmd = parse(&argv("trace 4x2 --packets 8 --one-in 3 --scheme slid")).unwrap();
+        assert_eq!(cmd.action, Action::Trace);
+        assert_eq!(cmd.trace_packets, 8);
+        assert_eq!(cmd.sampling, TraceSampling::OneInN(3));
+        assert_eq!(cmd.scheme, RoutingKind::Slid);
+        // Defaults: 16 slots, first packets generated.
+        let cmd = parse(&argv("trace 4x2")).unwrap();
+        assert_eq!(cmd.trace_packets, 16);
+        assert_eq!(cmd.sampling, TraceSampling::FirstN);
+        // Explicit flow filters.
+        let cmd = parse(&argv("trace 4x2 --pairs 0:5,3:1")).unwrap();
+        assert_eq!(cmd.sampling, TraceSampling::Pairs(vec![(0, 5), (3, 1)]));
+        assert!(parse(&argv("trace 4x2 --packets 0")).is_err());
+        assert!(parse(&argv("trace 4x2 --one-in 0")).is_err());
+        assert!(parse(&argv("trace 4x2 --pairs 5")).is_err());
+        assert!(parse(&argv("trace 4x2 --pairs x:1")).is_err());
+    }
+
+    #[test]
+    fn parses_telemetry_and_profile_flags() {
+        let cmd = parse(&argv("run 4x2 --threads 2 --telemetry")).unwrap();
+        assert!(cmd.telemetry);
+        let cmd = parse(&argv("workload 4x2 --profile")).unwrap();
+        assert!(cmd.profile);
+        let cmd = parse(&argv("run 4x2")).unwrap();
+        assert!(!cmd.telemetry && !cmd.profile);
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! Command implementations for the `ibfat` CLI.
 
 use crate::args::{Action, Cmd, WlKind};
+use ib_fabric::json::JsonBuf;
 use ib_fabric::prelude::*;
 use ib_fabric::sm::SubnetManager;
 use ib_fabric::topology::analysis;
-use ib_fabric::SwitchId;
+use ib_fabric::{EngineTelemetry, SwitchId};
 
 /// Run a parsed command.
 pub fn run(cmd: Cmd) -> Result<(), String> {
@@ -23,6 +24,7 @@ pub fn run(cmd: Cmd) -> Result<(), String> {
         Action::Counters => counters(&cmd, &fabric),
         Action::Loads => loads(&cmd, &fabric),
         Action::Workload => workload(&cmd, &fabric),
+        Action::Trace => trace(&cmd, &fabric),
     }
 }
 
@@ -189,6 +191,26 @@ fn discover(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
     }
 }
 
+/// Run the configured operating point with engine self-telemetry
+/// (exposed for tests). The report is bit-identical to a plain run.
+pub fn collect_telemetry(
+    cmd: &Cmd,
+    fabric: &Fabric,
+) -> Result<(SimReport, EngineTelemetry), String> {
+    let mut experiment = fabric
+        .experiment()
+        .virtual_lanes(cmd.vls)
+        .traffic(pattern_of(cmd, fabric))
+        .offered_load(cmd.load)
+        .duration_ns(cmd.time_ns)
+        .threads(cmd.threads)
+        .partition(cmd.partition);
+    if let Some(seed) = cmd.seed {
+        experiment = experiment.seed(seed);
+    }
+    Ok(experiment.run_telemetry())
+}
+
 fn simulate(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
     let mut experiment = fabric
         .experiment()
@@ -201,12 +223,17 @@ fn simulate(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
     if let Some(seed) = cmd.seed {
         experiment = experiment.seed(seed);
     }
-    let report = experiment.run();
+    let (report, telemetry) = if cmd.telemetry {
+        let (r, t) = experiment.run_telemetry();
+        (r, Some(t))
+    } else {
+        (experiment.run(), None)
+    };
     if cmd.json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&report).expect("report serializes")
-        );
+        println!("{}", report_to_json(&report));
+        if let Some(t) = &telemetry {
+            print!("{}", t.to_jsonl(false));
+        }
         return Ok(());
     }
     println!(
@@ -242,6 +269,105 @@ fn simulate(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
         report.events_processed,
         report.events_per_sec / 1e6
     );
+    if let Some(t) = &telemetry {
+        println!(
+            "\nengine telemetry ({} shards, lookahead {} ns, edge cut {}, \
+             imbalance {:.2}) — JSONL:",
+            t.threads,
+            t.lookahead_ns,
+            t.edge_cut,
+            t.event_imbalance()
+        );
+        print!("{}", t.to_jsonl(false));
+    }
+    Ok(())
+}
+
+/// Render a [`SimReport`] as one compact JSON object on the shared
+/// [`JsonBuf`] writer (the offline serde stub cannot derive this).
+/// Flight-recorder timelines are left to the `trace` subcommand.
+pub fn report_to_json(report: &SimReport) -> String {
+    fn latency(j: &mut JsonBuf, key: &str, s: &ib_fabric::sim::LatencyStats) {
+        j.key(key);
+        j.begin_obj();
+        j.field_u64("count", s.count());
+        j.field_f64("mean_ns", s.mean(), 1);
+        j.field_u64("min_ns", s.min());
+        j.field_u64("p50_ns", s.quantile(0.50));
+        j.field_u64("p95_ns", s.quantile(0.95));
+        j.field_u64("p99_ns", s.quantile(0.99));
+        j.field_u64("max_ns", s.max());
+        j.end_obj();
+    }
+    let mut j = JsonBuf::new();
+    j.begin_obj();
+    j.field_f64("offered_load", report.offered_load, 4);
+    j.field_u64("sim_time_ns", report.sim_time_ns);
+    j.field_u64("warmup_ns", report.warmup_ns);
+    j.field_u64("generated", report.generated);
+    j.field_u64("dropped", report.dropped);
+    j.field_u64("total_generated", report.total_generated);
+    j.field_u64("total_delivered", report.total_delivered);
+    j.field_u64("delivered", report.delivered);
+    j.field_u64("delivered_bytes", report.delivered_bytes);
+    j.field_u64("in_flight_at_end", report.in_flight_at_end);
+    j.field_f64(
+        "accepted_bytes_per_ns_per_node",
+        report.accepted_bytes_per_ns_per_node,
+        6,
+    );
+    j.field_f64(
+        "offered_bytes_per_ns_per_node",
+        report.offered_bytes_per_ns_per_node,
+        6,
+    );
+    latency(&mut j, "latency", &report.latency);
+    latency(&mut j, "network_latency", &report.network_latency);
+    j.field_u64("events_processed", report.events_processed);
+    j.field_f64("events_per_sec", report.events_per_sec, 0);
+    j.field_f64("mean_link_utilization", report.mean_link_utilization, 6);
+    j.field_f64("max_link_utilization", report.max_link_utilization, 6);
+    if let Some(links) = &report.link_utilization {
+        j.key("link_utilization");
+        j.begin_arr();
+        for l in links {
+            j.begin_obj();
+            j.field_str("from", &l.from);
+            j.field_u64("port", u64::from(l.port));
+            j.field_f64("utilization", l.utilization, 6);
+            j.end_obj();
+        }
+        j.end_arr();
+    }
+    j.field_u64("out_of_order", report.out_of_order);
+    j.end_obj();
+    j.into_string()
+}
+
+/// Run the flight recorder over the configured scenario and render the
+/// sampled packet spans as JSONL (exposed for tests). Byte-identical at
+/// any thread count.
+pub fn collect_trace(cmd: &Cmd, fabric: &Fabric) -> Result<String, String> {
+    let mut experiment = fabric
+        .experiment()
+        .virtual_lanes(cmd.vls)
+        .traffic(pattern_of(cmd, fabric))
+        .offered_load(cmd.load)
+        .duration_ns(cmd.time_ns)
+        .threads(cmd.threads)
+        .partition(cmd.partition)
+        .trace_first_packets(cmd.trace_packets)
+        .trace_sampling(cmd.sampling.clone());
+    if let Some(seed) = cmd.seed {
+        experiment = experiment.seed(seed);
+    }
+    let report = experiment.run();
+    let traces = report.traces.as_deref().unwrap_or(&[]);
+    Ok(ib_fabric::traces_to_jsonl(traces))
+}
+
+fn trace(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
+    print!("{}", collect_trace(cmd, fabric)?);
     Ok(())
 }
 
@@ -578,40 +704,36 @@ fn loads(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
         None => "all-to-all".into(),
     };
     if cmd.json {
-        // Hand-rolled JSON: the offline serde_json stub cannot serialize.
-        let levels: Vec<String> = out
-            .levels
-            .iter()
-            .map(|l| {
-                format!(
-                    "{{\"level\":{},\"up_links\":{},\"down_links\":{},\
-                     \"max_up\":{},\"max_down\":{},\"mean_up\":{:.3},\"mean_down\":{:.3}}}",
-                    l.level,
-                    l.up_links,
-                    l.down_links,
-                    l.max_up,
-                    l.max_down,
-                    l.mean_up(),
-                    l.mean_down()
-                )
-            })
-            .collect();
-        println!(
-            "{{\"m\":{},\"n\":{},\"scheme\":\"{}\",\"matrix\":\"{}\",\"flows\":{},\
-             \"used_links\":{},\"max\":{},\"max_up\":{},\"max_down\":{},\
-             \"max_injection\":{},\"levels\":[{}]}}",
-            params.m(),
-            params.n(),
-            cmd.scheme.as_str(),
-            matrix,
-            out.flows,
-            out.loads.used_links,
-            out.loads.max(),
-            out.loads.max_up,
-            out.loads.max_down,
-            out.max_injection,
-            levels.join(",")
-        );
+        // Hand-rolled JSON (via the shared ib_fabric::json writer): the
+        // offline serde_json stub cannot serialize.
+        let mut j = JsonBuf::new();
+        j.begin_obj();
+        j.field_u64("m", u64::from(params.m()));
+        j.field_u64("n", u64::from(params.n()));
+        j.field_str("scheme", cmd.scheme.as_str());
+        j.field_str("matrix", &matrix);
+        j.field_u64("flows", out.flows);
+        j.field_u64("used_links", out.loads.used_links as u64);
+        j.field_u64("max", u64::from(out.loads.max()));
+        j.field_u64("max_up", u64::from(out.loads.max_up));
+        j.field_u64("max_down", u64::from(out.loads.max_down));
+        j.field_u64("max_injection", u64::from(out.max_injection));
+        j.key("levels");
+        j.begin_arr();
+        for l in &out.levels {
+            j.begin_obj();
+            j.field_u64("level", u64::from(l.level));
+            j.field_u64("up_links", l.up_links as u64);
+            j.field_u64("down_links", l.down_links as u64);
+            j.field_u64("max_up", u64::from(l.max_up));
+            j.field_u64("max_down", u64::from(l.max_down));
+            j.field_f64("mean_up", l.mean_up(), 3);
+            j.field_f64("mean_down", l.mean_down(), 3);
+            j.end_obj();
+        }
+        j.end_arr();
+        j.end_obj();
+        println!("{}", j.into_string());
         return Ok(());
     }
     println!(
@@ -727,47 +849,103 @@ pub fn collect_workload(cmd: &Cmd, fabric: &Fabric) -> Result<WorkloadReport, St
     Ok(experiment.run_workload(&wl))
 }
 
+/// Drive the workload with the engine's per-phase self-profiler attached
+/// (exposed for tests). The report matches [`collect_workload`] exactly;
+/// only the wall-clock phase table is extra.
+pub fn collect_workload_profiled(
+    cmd: &Cmd,
+    fabric: &Fabric,
+) -> Result<(WorkloadReport, PhaseProfile), String> {
+    let wl = build_workload(cmd, fabric)?;
+    let mut experiment = fabric
+        .experiment()
+        .virtual_lanes(cmd.vls)
+        .threads(cmd.threads)
+        .partition(cmd.partition);
+    if let Some(seed) = cmd.seed {
+        experiment = experiment.seed(seed);
+    }
+    Ok(experiment.run_workload_observed(&wl, PhaseProfile::new()))
+}
+
+fn print_phase_table(profile: &PhaseProfile) {
+    println!("\nengine self-profile (dispatch wall time per phase):");
+    let total = profile.total_wall_ns().max(1);
+    println!("  phase        wall µs    share   events");
+    for (phase, wall_ns, events) in profile.rows() {
+        println!(
+            "  {:<12} {:>8.1}   {:>5.1}%   {events}",
+            phase.name(),
+            wall_ns as f64 / 1e3,
+            100.0 * wall_ns as f64 / total as f64
+        );
+    }
+    println!(
+        "  total        {:>8.1}            {}",
+        profile.total_wall_ns() as f64 / 1e3,
+        profile.total_events()
+    );
+}
+
 fn workload(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
-    let r = collect_workload(cmd, fabric)?;
+    let (r, profile) = if cmd.profile {
+        let (r, p) = collect_workload_profiled(cmd, fabric)?;
+        (r, Some(p))
+    } else {
+        (collect_workload(cmd, fabric)?, None)
+    };
     let params = fabric.params();
     if cmd.json {
-        // Hand-rolled JSON: the offline serde_json stub cannot serialize.
-        let groups: Vec<String> = r
-            .groups
-            .iter()
-            .map(|g| {
-                format!(
-                    "{{\"name\":\"{}\",\"messages\":{},\"bytes\":{},\
-                     \"start_ns\":{},\"completion_ns\":{}}}",
-                    g.name, g.messages, g.bytes, g.start_ns, g.completion_ns
-                )
-            })
-            .collect();
-        println!(
-            "{{\"m\":{},\"n\":{},\"scheme\":\"{}\",\"kind\":\"{}\",\"nodes\":{},\
-             \"messages\":{},\"packets\":{},\"total_bytes\":{},\"makespan_ns\":{},\
-             \"latency\":{{\"min_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\
-             \"max_ns\":{},\"mean_ns\":{}}},\"node_skew_ns\":{},\"events\":{},\
-             \"groups\":[{}]}}",
-            params.m(),
-            params.n(),
-            cmd.scheme.as_str(),
-            cmd.wl_kind.as_str(),
-            r.num_nodes,
-            r.messages,
-            r.packets,
-            r.total_bytes,
-            r.makespan_ns,
-            r.latency.min_ns,
-            r.latency.p50_ns,
-            r.latency.p95_ns,
-            r.latency.p99_ns,
-            r.latency.max_ns,
-            r.latency.mean_ns,
-            r.node_skew_ns,
-            r.events,
-            groups.join(",")
-        );
+        // Hand-rolled JSON (via the shared ib_fabric::json writer): the
+        // offline serde_json stub cannot serialize.
+        let mut j = JsonBuf::new();
+        j.begin_obj();
+        j.field_u64("m", u64::from(params.m()));
+        j.field_u64("n", u64::from(params.n()));
+        j.field_str("scheme", cmd.scheme.as_str());
+        j.field_str("kind", cmd.wl_kind.as_str());
+        j.field_u64("nodes", u64::from(r.num_nodes));
+        j.field_u64("messages", r.messages);
+        j.field_u64("packets", r.packets);
+        j.field_u64("total_bytes", r.total_bytes);
+        j.field_u64("makespan_ns", r.makespan_ns);
+        j.key("latency");
+        j.begin_obj();
+        j.field_u64("min_ns", r.latency.min_ns);
+        j.field_u64("p50_ns", r.latency.p50_ns);
+        j.field_u64("p95_ns", r.latency.p95_ns);
+        j.field_u64("p99_ns", r.latency.p99_ns);
+        j.field_u64("max_ns", r.latency.max_ns);
+        j.field_u64("mean_ns", r.latency.mean_ns);
+        j.end_obj();
+        j.field_u64("node_skew_ns", r.node_skew_ns);
+        j.field_u64("events", r.events);
+        j.key("groups");
+        j.begin_arr();
+        for g in &r.groups {
+            j.begin_obj();
+            j.field_str("name", &g.name);
+            j.field_u64("messages", g.messages);
+            j.field_u64("bytes", g.bytes);
+            j.field_u64("start_ns", g.start_ns);
+            j.field_u64("completion_ns", g.completion_ns);
+            j.end_obj();
+        }
+        j.end_arr();
+        if let Some(p) = &profile {
+            j.key("phases");
+            j.begin_arr();
+            for (phase, wall_ns, events) in p.rows() {
+                j.begin_obj();
+                j.field_str("phase", phase.name());
+                j.field_u64("wall_ns", wall_ns);
+                j.field_u64("events", events);
+                j.end_obj();
+            }
+            j.end_arr();
+        }
+        j.end_obj();
+        println!("{}", j.into_string());
         return Ok(());
     }
     println!(
@@ -805,6 +983,9 @@ fn workload(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
         );
     }
     println!("  engine     : {} events", r.events);
+    if let Some(p) = &profile {
+        print_phase_table(p);
+    }
     Ok(())
 }
 

@@ -219,6 +219,156 @@ fn workload_threads_flag_leaves_reports_bit_identical() {
     assert_eq!(par, seq);
 }
 
+#[test]
+fn trace_telemetry_and_profile_run_end_to_end() {
+    run("trace 4x2 --packets 4 --time-us 30 --seed 1").unwrap();
+    run("trace 4x2 --one-in 2 --time-us 30 --threads 2").unwrap();
+    run("trace 4x2 --pairs 0:1,2:3 --time-us 30").unwrap();
+    run("run 4x2 --time-us 30 --threads 2 --telemetry").unwrap();
+    run("run 4x2 --time-us 30 --threads 2 --telemetry --json").unwrap();
+    run("workload 4x2 --kind bcast --profile").unwrap();
+    run("workload 4x2 --kind bcast --profile --json").unwrap();
+}
+
+/// Render the flight-recorder JSONL for one `trace` command line.
+fn record(line: &str) -> String {
+    let argv: Vec<String> = line.split_whitespace().map(String::from).collect();
+    let cmd = args::parse(&argv).unwrap();
+    let fabric = ib_fabric::Fabric::builder(cmd.m, cmd.n)
+        .routing(cmd.scheme)
+        .build()
+        .unwrap();
+    commands::collect_trace(&cmd, &fabric).unwrap()
+}
+
+#[test]
+fn trace_jsonl_shows_the_slid_hot_spot_credit_stalls_mlid_avoids() {
+    // The paper's motivating scenario at packet granularity: under
+    // hot-spot traffic, SLID funnels every flow through ONE root, so the
+    // recorded packets sit credit-stalled at that single root switch;
+    // MLID spreads the same flows and its (fewer per-root) stall spans
+    // split evenly across the roots. Total stalls don't discriminate —
+    // the endpoint link saturates under either scheme — the *location*
+    // does, exactly like the counters-level hot-spot test above.
+    let params = ib_fabric::TreeParams::new(4, 2).unwrap();
+    let root_stalls = |doc: &str| {
+        let mut per_root = std::collections::BTreeMap::new();
+        for l in doc.lines() {
+            let v = ib_fabric::json::parse(l).expect("valid JSONL line");
+            let span = v.as_object("span").unwrap();
+            span.field("slot").unwrap();
+            span.field("dlid").unwrap();
+            for ev in span.field("events").unwrap().as_array("events").unwrap() {
+                let ev = ev.as_object("event").unwrap();
+                if ev.field("ev").unwrap().as_string("ev").unwrap() != "credit_stalled" {
+                    continue;
+                }
+                let sw = ev.field("sw").unwrap().as_u64("sw").unwrap() as u32;
+                let label = ib_fabric::SwitchLabel::from_id(params, ib_fabric::SwitchId(sw));
+                if label.level().index() == 0 {
+                    *per_root.entry(sw).or_insert(0u64) += 1;
+                }
+            }
+        }
+        per_root
+    };
+    let line = |scheme: &str| {
+        format!(
+            "trace 4x2 --pattern centric --load 0.8 --time-us 150 --seed 11 \
+             --packets 64 --scheme {scheme}"
+        )
+    };
+    let slid = root_stalls(&record(&line("slid")));
+    let mlid = root_stalls(&record(&line("mlid")));
+    assert!(
+        !slid.is_empty() && !mlid.is_empty(),
+        "roots must stall under centric load"
+    );
+
+    // SLID: nearly every root-level stall happens at the one root its
+    // single path per destination selects. MLID: both roots carry flows,
+    // so neither dominates.
+    let share = |m: &std::collections::BTreeMap<u32, u64>| {
+        let total: u64 = m.values().sum();
+        let max = m.values().copied().max().unwrap_or(0);
+        max as f64 / total as f64
+    };
+    let (s, m) = (share(&slid), share(&mlid));
+    assert!(
+        s > 0.75,
+        "slid must concentrate root stalls on one root (share {s:.2})"
+    );
+    assert!(
+        m < 0.65,
+        "mlid must spread root stalls across roots (share {m:.2})"
+    );
+}
+
+#[test]
+fn trace_jsonl_is_byte_identical_across_thread_counts() {
+    let line = |threads: usize| {
+        format!(
+            "trace 4x2 --pattern centric --load 0.6 --time-us 60 --seed 3 \
+             --packets 32 --one-in 2 --threads {threads}"
+        )
+    };
+    let seq = record(&line(1));
+    assert!(!seq.is_empty());
+    assert_eq!(record(&line(2)), seq);
+    assert_eq!(record(&line(4)), seq);
+}
+
+#[test]
+fn telemetry_is_a_separate_channel_from_the_report() {
+    let argv: Vec<String> = "run 4x2 --load 0.3 --time-us 40 --seed 7 --threads 2"
+        .split_whitespace()
+        .map(String::from)
+        .collect();
+    let cmd = args::parse(&argv).unwrap();
+    let fabric = ib_fabric::Fabric::builder(cmd.m, cmd.n)
+        .routing(cmd.scheme)
+        .build()
+        .unwrap();
+    let (mut with_tel, tel) = commands::collect_telemetry(&cmd, &fabric).unwrap();
+    let mut plain = fabric
+        .experiment()
+        .offered_load(0.3)
+        .duration_ns(40_000)
+        .seed(7)
+        .threads(2)
+        .run();
+    with_tel.events_per_sec = 0.0;
+    plain.events_per_sec = 0.0;
+    assert_eq!(with_tel, plain, "telemetry must not perturb the report");
+
+    assert_eq!(tel.threads, 2);
+    assert_eq!(tel.shards.len(), 2);
+    assert!(tel.windows() > 0);
+    assert_eq!(tel.total_events(), plain.events_processed);
+    assert!(tel.event_imbalance() >= 1.0);
+    // The JSONL export parses line by line.
+    for l in tel.to_jsonl(true).lines() {
+        ib_fabric::json::parse(l).expect("valid telemetry JSONL line");
+    }
+}
+
+#[test]
+fn workload_profile_rides_along_without_changing_the_report() {
+    let argv: Vec<String> = "workload 4x2 --kind alltoall --bytes 512"
+        .split_whitespace()
+        .map(String::from)
+        .collect();
+    let cmd = args::parse(&argv).unwrap();
+    let fabric = ib_fabric::Fabric::builder(cmd.m, cmd.n)
+        .routing(cmd.scheme)
+        .build()
+        .unwrap();
+    let (report, profile) = commands::collect_workload_profiled(&cmd, &fabric).unwrap();
+    assert_eq!(report, commands::collect_workload(&cmd, &fabric).unwrap());
+    assert_eq!(profile.total_events(), report.events);
+    assert!(profile.total_wall_ns() > 0);
+}
+
 /// Collect counters for one `counters` command line.
 fn collect(line: &str) -> commands::CountersReport {
     let argv: Vec<String> = line.split_whitespace().map(String::from).collect();

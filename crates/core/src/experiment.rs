@@ -1,7 +1,7 @@
 use crate::Fabric;
 use ibfat_sim::{
-    run_once, run_once_par, sweep, InjectionProcess, Probe, RunSpec, SimConfig, SimReport,
-    TrafficPattern, Workload, WorkloadReport,
+    run_once, run_once_par, sweep, EngineTelemetry, InjectionProcess, Probe, RunSpec, SimConfig,
+    SimReport, TrafficPattern, Workload, WorkloadReport,
 };
 
 /// Fluent configuration of a simulation over a [`Fabric`].
@@ -167,6 +167,25 @@ impl<'a> ExperimentBuilder<'a> {
         )
     }
 
+    /// Run the configured operating point with engine self-telemetry:
+    /// the report (bit-identical to [`run`](ExperimentBuilder::run))
+    /// plus per-shard window/barrier/mailbox statistics from the
+    /// parallel engine (see [`ibfat_sim::EngineTelemetry`]). With one
+    /// thread the sequential engine runs and the telemetry is the
+    /// `threads: 1` marker.
+    pub fn run_telemetry(self) -> (SimReport, EngineTelemetry) {
+        let spec = self.spec(self.offered_load);
+        ibfat_sim::try_run_once_par_telemetry(
+            self.fabric.network(),
+            self.fabric.routing(),
+            self.cfg,
+            self.pattern,
+            spec,
+            self.threads,
+        )
+        .unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// Run the configured operating point observed by `probe` — e.g. an
     /// [`ibfat_sim::FabricCounters`] for per-port counters and sampled
     /// time-series, an [`ibfat_sim::PhaseProfile`] for self-profiling, or
@@ -233,6 +252,27 @@ impl<'a> ExperimentBuilder<'a> {
         ibfat_sim::run_workload(self.fabric.network(), self.fabric.routing(), self.cfg, wl)
     }
 
+    /// Drive a workload to completion observed by `probe` — e.g. an
+    /// [`ibfat_sim::PhaseProfile`] for engine self-profiling. Honors
+    /// `threads` like [`run_workload`](ExperimentBuilder::run_workload):
+    /// the probe forks one child per shard and absorbs them at the end,
+    /// and the report is bit-identical at any thread count.
+    pub fn run_workload_observed<P: ibfat_sim::ParProbe>(
+        self,
+        wl: &Workload,
+        probe: P,
+    ) -> (WorkloadReport, P) {
+        ibfat_sim::ParSimulator::for_workload_observed(
+            self.fabric.network(),
+            self.fabric.routing(),
+            self.cfg,
+            self.threads,
+            probe,
+        )
+        .run_workload_observed(wl)
+        .unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// Run the configured operating point under several seeds and return
     /// each replica's report (use [`ibfat_sim::aggregate`] to summarize).
     pub fn run_replicated(self, seeds: &[u64]) -> Vec<SimReport> {
@@ -256,6 +296,16 @@ impl<'a> ExperimentBuilder<'a> {
     /// Record full event timelines for the first `n` generated packets.
     pub fn trace_first_packets(mut self, n: u32) -> Self {
         self.cfg.trace_first_packets = n;
+        self
+    }
+
+    /// Which flows fill the flight-recorder slots (default: the first
+    /// packets generated, whatever their flow; see
+    /// [`ibfat_sim::TraceSampling`] for 1-in-N flow sampling and
+    /// explicit (src, dst) filters). Slot assignment is a pure flow
+    /// function, so traces stay byte-identical at any thread count.
+    pub fn trace_sampling(mut self, sampling: ibfat_sim::TraceSampling) -> Self {
+        self.cfg.trace_sampling = sampling;
         self
     }
 
@@ -305,7 +355,7 @@ mod tests {
     #[test]
     fn workload_through_experiment_api() {
         let fabric = Fabric::builder(4, 2).build().unwrap();
-        let wl = ibfat_sim::generators::allreduce_ring(fabric.num_nodes() as u32, 2048);
+        let wl = ibfat_sim::generators::allreduce_ring(fabric.num_nodes(), 2048);
         let seq = fabric.experiment().run_workload(&wl);
         assert_eq!(seq.messages as usize, wl.messages.len());
         assert!(seq.makespan_ns > 0);

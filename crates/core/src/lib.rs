@@ -58,10 +58,11 @@ pub use ibfat_routing::{
     ChannelLoads, Lft, Lid, LidSpace, Route, RouteOracle, Routing, RoutingError, RoutingKind,
 };
 pub use ibfat_sim::{
-    aggregate, generators, workload_trace, Aggregate, ClosedLoopKind, FabricCounters, HotPort,
-    InjectionProcess, LinkUse, NoopProbe, PartitionKind, PathSelection, Phase, PhaseProfile, Probe,
-    RunSpec, SimConfig, SimReport, TrafficPattern, VlArbitration, VlAssignment, WindowPolicy,
-    Workload, WorkloadReport,
+    aggregate, generators, json, traces_to_jsonl, workload_trace, Aggregate, ClosedLoopKind,
+    CongestionView, EngineTelemetry, FabricCounters, HotPort, InjectionProcess, LinkUse, NoopProbe,
+    PacketTrace, ParProbe, PartitionKind, PathSelection, Phase, PhaseProfile, Probe, RunSpec,
+    ShardTelemetry, SimConfig, SimReport, TraceEvent, TraceSampling, TrafficPattern, VlArbitration,
+    VlAssignment, WindowPolicy, Workload, WorkloadReport,
 };
 pub use ibfat_sm::SubnetManager;
 pub use ibfat_topology::{

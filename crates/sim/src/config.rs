@@ -84,6 +84,55 @@ pub enum WindowPolicy {
     Adaptive,
 }
 
+/// Which generated flows the flight recorder samples (the recorder
+/// itself is armed by `SimConfig::trace_first_packets > 0`, which also
+/// bounds the trace buffer). Sampling is decided per packet from the
+/// `(src, dst)` pair alone — deterministically, with no shared counter —
+/// so the sampled set is identical at any thread count by construction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum TraceSampling {
+    /// Record the first N generated packets, whatever their flow — the
+    /// original recorder behavior.
+    #[default]
+    FirstN,
+    /// Record packets of roughly one in N flows: a packet is sampled
+    /// when `hash(src, dst, seed) % n == 0`. All packets of a sampled
+    /// flow are eligible (until the buffer fills), so whole flow
+    /// lifecycles stay observable at scale.
+    OneInN(u32),
+    /// Record only packets of the listed `(src, dst)` flows.
+    Pairs(Vec<(u32, u32)>),
+}
+
+impl TraceSampling {
+    /// Whether a packet of flow `(src, dst)` is eligible for a trace
+    /// slot under this policy. Pure function of the flow and the seed:
+    /// the parallel engine's injection pre-pass replays the same calls
+    /// in the same order, so slot assignment is thread-invariant.
+    #[inline]
+    pub fn samples(&self, src: u32, dst: u32, seed: u64) -> bool {
+        match self {
+            TraceSampling::FirstN => true,
+            TraceSampling::OneInN(n) => {
+                let n = (*n).max(1);
+                flow_hash(src, dst, seed).is_multiple_of(u64::from(n))
+            }
+            TraceSampling::Pairs(pairs) => pairs.iter().any(|&(s, d)| s == src && d == dst),
+        }
+    }
+}
+
+/// SplitMix64 finalizer over the flow pair, mixed with the run seed so
+/// different seeds sample different 1-in-N flow subsets.
+#[inline]
+fn flow_hash(src: u32, dst: u32, seed: u64) -> u64 {
+    let mut z = (u64::from(src) << 32 | u64::from(dst)) ^ seed.rotate_left(17);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Simulator configuration: the IBA subnet model constants of Section 5.
 ///
 /// Defaults reproduce the paper's setup: 256-byte packets on a 4X link
@@ -123,9 +172,16 @@ pub struct SimConfig {
     /// Collect per-link utilization into the report (off by default to
     /// keep sweep outputs lean).
     pub collect_link_stats: bool,
-    /// Record full event timelines for the first N generated packets
-    /// (the flight recorder; 0 disables).
+    /// Record full event timelines for up to N generated packets
+    /// (the flight recorder; 0 disables). `trace_sampling` chooses
+    /// *which* packets compete for the N slots.
     pub trace_first_packets: u32,
+    /// Flow-sampling policy for the flight recorder (ignored while
+    /// `trace_first_packets` is 0). Recording never perturbs the
+    /// simulation: the report of a recorded run is bit-identical to an
+    /// unrecorded one.
+    #[serde(default)]
+    pub trace_sampling: TraceSampling,
     /// Adaptive upward routing: when a packet must climb, pick the least
     /// occupied up-port instead of the forwarding table's designated one.
     /// This models what IBA's deterministic tables *give up*: it is not
@@ -164,6 +220,7 @@ impl Default for SimConfig {
             seed: 0xF47_7EE,
             collect_link_stats: false,
             trace_first_packets: 0,
+            trace_sampling: TraceSampling::default(),
             adaptive_up: false,
             calendar: CalendarKind::default(),
             partition: PartitionKind::default(),
@@ -288,5 +345,28 @@ mod tests {
     #[should_panic(expected = "offered load")]
     fn zero_load_panics() {
         SimConfig::default().interarrival_ns(0.0);
+    }
+
+    #[test]
+    fn trace_sampling_is_a_pure_flow_function() {
+        // Deterministic per (flow, seed), seed-sensitive overall.
+        let one_in_4 = TraceSampling::OneInN(4);
+        for src in 0..8 {
+            for dst in 0..8 {
+                assert_eq!(one_in_4.samples(src, dst, 7), one_in_4.samples(src, dst, 7));
+            }
+        }
+        // Roughly one in four flows sampled over a 64x64 flow matrix.
+        let hits = (0..64u32)
+            .flat_map(|s| (0..64u32).map(move |d| (s, d)))
+            .filter(|&(s, d)| one_in_4.samples(s, d, 1))
+            .count();
+        assert!((64 * 64 / 8..64 * 64 / 2).contains(&hits), "hits = {hits}");
+        let pairs = TraceSampling::Pairs(vec![(1, 2)]);
+        assert!(pairs.samples(1, 2, 0));
+        assert!(!pairs.samples(2, 1, 0));
+        assert!(TraceSampling::FirstN.samples(9, 9, 0));
+        // OneInN(0) clamps to 1 (sample everything), not a div-by-zero.
+        assert!(TraceSampling::OneInN(0).samples(3, 4, 5));
     }
 }

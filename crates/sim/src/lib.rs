@@ -51,22 +51,26 @@ mod config;
 mod counters;
 mod engine;
 mod error;
+pub mod json;
 mod metrics;
 mod packet;
 mod par;
 mod probe;
 mod runner;
 mod sim;
+mod telemetry;
 mod trace;
 mod traffic;
 mod vlarb;
 mod workload;
 
 pub use config::{
-    InjectionProcess, PartitionKind, PathSelection, SimConfig, VlAssignment, WindowPolicy,
+    InjectionProcess, PartitionKind, PathSelection, SimConfig, TraceSampling, VlAssignment,
+    WindowPolicy,
 };
 pub use counters::{
-    FabricCounters, HotPort, NodeCounters, PortVlCounters, Sample, COUNTERS_SCHEMA_VERSION,
+    CongestionView, FabricCounters, HotPort, NodeCounters, PortVlCounters, Sample,
+    COUNTERS_SCHEMA_VERSION,
 };
 pub use engine::{CalendarKind, EventQueue, HeapCalendar, Time, TimingWheel};
 pub use error::SimError;
@@ -76,10 +80,11 @@ pub use par::ParSimulator;
 pub use probe::{NoopProbe, ParProbe, Phase, PhaseProfile, Probe, NUM_PHASES};
 pub use runner::{
     aggregate, par_map_indexed, replicate, run_observed, run_once, run_once_par, sweep,
-    try_run_once_par, Aggregate, RunSpec,
+    try_run_once_par, try_run_once_par_telemetry, Aggregate, RunSpec,
 };
 pub use sim::Simulator;
-pub use trace::{PacketTrace, TraceEvent};
+pub use telemetry::{EngineTelemetry, ShardTelemetry, WindowRecord, WINDOW_LOG_CAP};
+pub use trace::{traces_to_jsonl, PacketTrace, TraceEvent};
 pub use traffic::TrafficPattern;
 pub use vlarb::{VlArbiter, VlArbitration};
 // The message-level workload layer: the data model re-exported from

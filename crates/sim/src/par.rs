@@ -128,6 +128,7 @@ use crate::metrics::{LatencyStats, SimReport};
 use crate::packet::Packet;
 use crate::probe::{NoopProbe, ParProbe, Probe};
 use crate::sim::{Ev, InjectRec, Sched, Simulator};
+use crate::telemetry::{EngineTelemetry, ShardTelemetry, WindowRecord};
 use crate::trace::PacketTrace;
 use crate::{PartitionKind, SimConfig, TrafficPattern, WindowPolicy};
 use ibfat_routing::Routing;
@@ -625,8 +626,9 @@ fn injection_prepass(
 /// Drain this shard's inbound mailbox lanes (parity side) into the
 /// local calendar. Every message was sent under the previous window's
 /// bound and fires at or after it — possibly several windows from now,
-/// in which case it simply waits in the calendar. Returns whether
-/// anything arrived (the empty-window fast path's trigger).
+/// in which case it simply waits in the calendar. Returns how many
+/// messages arrived (`> 0` is the empty-window fast path's trigger;
+/// the count itself feeds engine telemetry).
 fn drain_inbound<P: Probe>(
     sim: &mut Simulator<'_, P, ShardQueue>,
     me: usize,
@@ -634,8 +636,8 @@ fn drain_inbound<P: Probe>(
     parity: usize,
     lanes: &[Vec<MailLane>],
     scratch: &mut Vec<Msg>,
-) -> bool {
-    let mut drained = false;
+) -> usize {
+    let mut drained = 0usize;
     for (src, from_src) in lanes.iter().enumerate() {
         if src == me {
             continue;
@@ -643,7 +645,7 @@ fn drain_inbound<P: Probe>(
         if !from_src[me].take(parity, scratch) {
             continue;
         }
-        drained = true;
+        drained += scratch.len();
         for msg in scratch.drain(..) {
             debug_assert!(msg.at >= prev_bound, "cross-shard message in the past");
             let ev = match msg.kind {
@@ -762,15 +764,16 @@ fn dispatch_window<P: Probe>(
 
 /// Flush the window's cross-shard sends into the opposite-parity lane
 /// sides; returns the earliest fire time put in flight (`u64::MAX` when
-/// nothing was sent), the shard's contribution to the global
-/// next-event time.
+/// nothing was sent) — the shard's contribution to the global
+/// next-event time — and the number of messages published.
 fn flush_outbox(
     me: usize,
     parity: usize,
     outbox: &mut [Vec<Msg>],
     lanes: &[Vec<MailLane>],
-) -> Time {
+) -> (Time, u64) {
     let mut min_at = u64::MAX;
+    let mut sent = 0u64;
     for (dst, staged) in outbox.iter_mut().enumerate() {
         if staged.is_empty() {
             continue;
@@ -778,9 +781,10 @@ fn flush_outbox(
         for m in staged.iter() {
             min_at = min_at.min(m.at);
         }
+        sent += staged.len() as u64;
         lanes[me][dst].publish(parity ^ 1, staged);
     }
-    min_at
+    (min_at, sent)
 }
 
 /// One worker, pattern and workload mode alike: drain inbound lanes,
@@ -799,6 +803,7 @@ fn run_shard<P: Probe>(
     shards: usize,
     lanes: &[Vec<MailLane>],
     sync: &WindowSync,
+    mut tel: Option<&mut ShardTelemetry>,
 ) -> Result<(), GateAborted> {
     let w = sim.cfg.lookahead_ns();
     let horizon = sim.sim_time_ns;
@@ -818,14 +823,36 @@ fn run_shard<P: Probe>(
         // fires before the bound — skip the dispatch (and its
         // calendar scans) outright.
         let mut in_flight_min = u64::MAX;
-        if drained || next_local < bound {
+        let mut sent = 0u64;
+        let events_before = sim.events_processed;
+        let dispatched = drained > 0 || next_local < bound;
+        if dispatched {
             next_local = dispatch_window(sim, bound, &mut cohort, &mut outbox);
-            in_flight_min = flush_outbox(me, parity, &mut outbox, lanes);
+            (in_flight_min, sent) = flush_outbox(me, parity, &mut outbox, lanes);
         }
         // Relaxed suffices: the gate's internal mutex orders every
         // store before the barrier against every load after it.
         sync.next_min[me][parity ^ 1].store(next_local.min(in_flight_min), Ordering::Relaxed);
-        sync.gate.wait()?;
+        // Time the barrier only when telemetry asked for it: the
+        // Instant reads never influence simulation state, and the plain
+        // path keeps its syscall-free wait.
+        if let Some(t) = tel.as_mut() {
+            let t0 = std::time::Instant::now();
+            sync.gate.wait()?;
+            t.on_window(
+                WindowRecord {
+                    bound_ns: bound,
+                    span_ns: bound - prev_bound,
+                    events: sim.events_processed - events_before,
+                    msgs_sent: sent,
+                    msgs_recv: drained as u64,
+                    barrier_wait_ns: t0.elapsed().as_nanos() as u64,
+                },
+                dispatched,
+            );
+        } else {
+            sync.gate.wait()?;
+        }
         let g = sync
             .next_min
             .iter()
@@ -874,26 +901,30 @@ fn finish_shard<P: Probe>(
 /// Run every shard engine to completion on its own thread. A worker
 /// panic trips the gate (releasing every peer) and surfaces as
 /// [`SimError::WorkerPanicked`]; otherwise the finished engines come
-/// back in shard order.
+/// back in shard order, each paired with its telemetry (when `tels`
+/// supplied one — pass `None`s to run untelemetered).
+#[allow(clippy::type_complexity)]
 fn run_shards<'n, P: Probe + Send>(
     sims: Vec<Simulator<'n, P, ShardQueue>>,
     shards: usize,
     lanes: &[Vec<MailLane>],
     sync: &WindowSync,
-) -> Result<Vec<Simulator<'n, P, ShardQueue>>, SimError> {
+    tels: Vec<Option<ShardTelemetry>>,
+) -> Result<Vec<(Simulator<'n, P, ShardQueue>, Option<ShardTelemetry>)>, SimError> {
     let mut done = Vec::with_capacity(shards);
     let mut panicked: Option<String> = None;
     std::thread::scope(|scope| {
         let handles: Vec<_> = sims
             .into_iter()
+            .zip(tels)
             .enumerate()
-            .map(|(me, mut sim)| {
+            .map(|(me, (mut sim, mut tel))| {
                 scope.spawn(move || {
                     let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                        run_shard(&mut sim, me, shards, lanes, sync)
+                        run_shard(&mut sim, me, shards, lanes, sync, tel.as_mut())
                     }));
                     match run {
-                        Ok(Ok(())) => Ok(sim),
+                        Ok(Ok(())) => Ok((sim, tel)),
                         // Released by a peer's abort; unwound cleanly.
                         Ok(Err(GateAborted)) => Err(None),
                         Err(payload) => {
@@ -906,7 +937,7 @@ fn run_shards<'n, P: Probe + Send>(
             .collect();
         for h in handles {
             match h.join() {
-                Ok(Ok(sim)) => done.push(sim),
+                Ok(Ok(pair)) => done.push(pair),
                 Ok(Err(msg)) => panicked = panicked.take().or(msg),
                 // The catch above never unwinds, but stay defensive.
                 Err(payload) => {
@@ -921,6 +952,24 @@ fn run_shards<'n, P: Probe + Send>(
         Some(msg) => Err(SimError::WorkerPanicked(msg)),
         None => Ok(done),
     }
+}
+
+/// Pre-sized telemetry slots for [`run_shards`]: one per shard with its
+/// device ownership filled in when enabled, all-`None` otherwise.
+fn make_shard_telemetry(
+    enabled: bool,
+    map: &ShardMap,
+    shards: usize,
+) -> Vec<Option<ShardTelemetry>> {
+    (0..shards as u32)
+        .map(|me| {
+            enabled.then(|| {
+                let switches = map.sw.iter().filter(|&&s| s == me).count() as u32;
+                let nodes = map.node.iter().filter(|&&s| s == me).count() as u32;
+                ShardTelemetry::new(me, switches, nodes)
+            })
+        })
+        .collect()
 }
 
 /// The parallel discrete-event engine: same inputs, same report, N
@@ -959,6 +1008,7 @@ pub struct ParSimulator<'a, P: ParProbe = NoopProbe> {
     warmup_ns: Time,
     threads: usize,
     probe: P,
+    telemetry: bool,
 }
 
 impl<'a> ParSimulator<'a> {
@@ -1036,7 +1086,41 @@ impl<'a, P: ParProbe> ParSimulator<'a, P> {
             warmup_ns,
             threads,
             probe,
+            telemetry: false,
         }
+    }
+
+    /// A probed parallel workload driver: [`ParSimulator::for_workload`]
+    /// with an observer attached (forked per shard, absorbed at the end).
+    pub fn for_workload_observed(
+        net: &'a Network,
+        routing: &'a Routing,
+        cfg: SimConfig,
+        threads: usize,
+        probe: P,
+    ) -> ParSimulator<'a, P> {
+        ParSimulator::with_probe(
+            net,
+            routing,
+            cfg,
+            TrafficPattern::Uniform, // unused: workload mode never samples
+            1.0,
+            crate::workload::WL_HORIZON,
+            0,
+            threads,
+            probe,
+        )
+    }
+
+    /// Toggle engine self-telemetry (see [`EngineTelemetry`]). Off by
+    /// default; when on, each worker records per-window engine behavior
+    /// (chosen window sizes, barrier waits, mailbox volume) retrievable
+    /// via [`run_telemetry`](ParSimulator::run_telemetry) or
+    /// [`run_observed_telemetry`](ParSimulator::run_observed_telemetry).
+    /// The simulation result is bit-identical either way.
+    pub fn with_telemetry(mut self, on: bool) -> ParSimulator<'a, P> {
+        self.telemetry = on;
+        self
     }
 
     /// Worker count after feasibility clamps (1 = sequential fallback).
@@ -1066,9 +1150,31 @@ impl<'a, P: ParProbe> ParSimulator<'a, P> {
 
     /// Run to completion; return the report and the merged probe.
     pub fn run_observed(self) -> Result<(SimReport, P), SimError> {
+        let (report, probe, _) = self.run_full()?;
+        Ok((report, probe))
+    }
+
+    /// Run with engine self-telemetry on; return the report and the
+    /// telemetry. The report is bit-identical to an untelemetered run.
+    pub fn run_telemetry(mut self) -> Result<(SimReport, EngineTelemetry), SimError> {
+        self.telemetry = true;
+        let (report, _, tel) = self.run_full()?;
+        Ok((report, tel))
+    }
+
+    /// Run with engine self-telemetry on; return report, merged probe,
+    /// and telemetry.
+    pub fn run_observed_telemetry(mut self) -> Result<(SimReport, P, EngineTelemetry), SimError> {
+        self.telemetry = true;
+        self.run_full()
+    }
+
+    /// The one pattern-mode engine behind every `run_*` entry point.
+    fn run_full(self) -> Result<(SimReport, P, EngineTelemetry), SimError> {
         let shards = self.effective_threads();
         if shards <= 1 {
-            return Ok(Simulator::with_probe(
+            let lookahead = self.cfg.lookahead_ns();
+            let (report, probe) = Simulator::with_probe(
                 self.net,
                 self.routing,
                 self.cfg,
@@ -1078,7 +1184,8 @@ impl<'a, P: ParProbe> ParSimulator<'a, P> {
                 self.warmup_ns,
                 self.probe,
             )
-            .run_observed());
+            .run_observed();
+            return Ok((report, probe, EngineTelemetry::sequential(lookahead)));
         }
         let wall_start = std::time::Instant::now();
         let (mut scripts, gen_traces) = injection_prepass(
@@ -1134,9 +1241,18 @@ impl<'a, P: ParProbe> ParSimulator<'a, P> {
             .map(|_| (0..shards).map(|_| MailLane::new()).collect())
             .collect();
         let sync = WindowSync::new(shards);
-        let done = run_shards(sims, shards, &lanes, &sync)?;
+        let tels = make_shard_telemetry(self.telemetry, &map, shards);
+        let done = run_shards(sims, shards, &lanes, &sync, tels)?;
         let wall = wall_start.elapsed().as_secs_f64();
-        Ok(self.merge(done, gen_traces, wall))
+        let (engines, tels): (Vec<_>, Vec<_>) = done.into_iter().unzip();
+        let telemetry = EngineTelemetry {
+            threads: shards,
+            lookahead_ns: self.cfg.lookahead_ns(),
+            edge_cut: map.edge_cut,
+            shards: tels.into_iter().flatten().collect(),
+        };
+        let (report, probe) = self.merge(engines, gen_traces, wall);
+        Ok((report, probe, telemetry))
     }
 
     /// Fold the finished shards into one report + probe, reproducing the
@@ -1350,9 +1466,11 @@ impl<'a, P: ParProbe> ParSimulator<'a, P> {
             .map(|_| (0..shards).map(|_| MailLane::new()).collect())
             .collect();
         let sync = WindowSync::new(shards);
-        let done = run_shards(sims, shards, &lanes, &sync)?;
+        let tels = make_shard_telemetry(false, &map, shards);
+        let done = run_shards(sims, shards, &lanes, &sync, tels)?;
         let _ = wall_start.elapsed();
-        Ok(self.merge_workload(done, &map))
+        let engines: Vec<_> = done.into_iter().map(|(sim, _)| sim).collect();
+        Ok(self.merge_workload(engines, &map))
     }
 
     /// Stitch the per-shard timing tables into one report. Ownership

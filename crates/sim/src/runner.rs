@@ -89,6 +89,32 @@ pub fn try_run_once_par(
     .run()
 }
 
+/// [`run_once_par`] with engine self-telemetry on: returns the report
+/// (bit-identical to the untelemetered run) plus the engine's
+/// [`crate::EngineTelemetry`] — per-shard window sizes, barrier waits,
+/// and mailbox volume. `threads <= 1` runs sequentially and returns the
+/// `threads: 1` marker telemetry.
+pub fn try_run_once_par_telemetry(
+    net: &Network,
+    routing: &Routing,
+    cfg: SimConfig,
+    pattern: TrafficPattern,
+    spec: RunSpec,
+    threads: usize,
+) -> Result<(SimReport, crate::EngineTelemetry), crate::SimError> {
+    crate::ParSimulator::new(
+        net,
+        routing,
+        cfg,
+        pattern,
+        spec.offered_load,
+        spec.sim_time_ns,
+        spec.warmup_ns,
+        threads,
+    )
+    .run_telemetry()
+}
+
 /// Drive a message-level workload (see [`crate::Workload`]) to
 /// completion on the sequential engine and report per-message latency,
 /// per-group completion times, and node skew.

@@ -689,7 +689,13 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
             VlAssignment::DestinationHash => (dst.0 as usize % self.num_vls) as u8,
             VlAssignment::SourceHash => (node as usize % self.num_vls) as u8,
         };
-        let trace_slot = if (self.traces.len() as u32) < self.cfg.trace_first_packets {
+        // Slot assignment is a pure function of (pattern draw, sampling
+        // policy, slots already taken) — no RNG, no time — so the
+        // parallel engine's sequential injection pre-pass reproduces the
+        // exact same slots at any thread count.
+        let trace_slot = if (self.traces.len() as u32) < self.cfg.trace_first_packets
+            && self.cfg.trace_sampling.samples(node, dst.0, self.cfg.seed)
+        {
             self.traces.push(PacketTrace {
                 src: node,
                 dst: dst.0,
@@ -1125,19 +1131,32 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
                     .sw_xmit(self.now, sw, port, vl as u8, self.cfg.packet_bytes);
             }
         }
-        if P::COUNTERS {
+        if P::COUNTERS || self.cfg.trace_first_packets > 0 {
             // Credit-stall detection at this arbitration instant: a VL
             // whose head is ready but holds no credits is stalled on
-            // link-level flow control (ended by `CreditToSwitch`).
+            // link-level flow control (ended by `CreditToSwitch`). Both
+            // the probe and the flight recorder observe it; recording
+            // mutates nothing but the trace buffer, so a recorded run
+            // stays bit-identical to an unrecorded one.
             let p = &self.switches[sw as usize][port as usize];
-            let stalled: u16 = (0..num_vls)
-                .filter(|&vl| {
-                    p.credits[vl] == 0 && p.out_q[vl].front().is_some_and(|h| !h.transmitting)
-                })
-                .fold(0, |m, vl| m | (1 << vl));
-            for vl in 0..num_vls {
+            let mut stalled: u16 = 0;
+            let mut heads: [PacketId; 16] = [0; 16];
+            for (vl, head) in heads.iter_mut().enumerate().take(num_vls) {
+                if p.credits[vl] == 0 {
+                    if let Some(h) = p.out_q[vl].front() {
+                        if !h.transmitting {
+                            stalled |= 1 << vl;
+                            *head = h.pkt;
+                        }
+                    }
+                }
+            }
+            for (vl, &head) in heads.iter().enumerate().take(num_vls) {
                 if stalled & (1 << vl) != 0 {
-                    self.probe.credit_stall_start(self.now, sw, port, vl as u8);
+                    if P::COUNTERS {
+                        self.probe.credit_stall_start(self.now, sw, port, vl as u8);
+                    }
+                    self.record(head, TraceEvent::CreditStalled { sw, out_port: port });
                 }
             }
         }

@@ -42,6 +42,16 @@ pub enum TraceEvent {
         /// 0-based output port.
         out_port: u8,
     },
+    /// At an arbitration instant the packet sat at the head of an output
+    /// buffer with zero credits for its VL: stalled on link-level flow
+    /// control. Re-recorded at each arbitration instant the stall
+    /// persists through, so a long stall shows up as a run of these.
+    CreditStalled {
+        /// Switch id.
+        sw: u32,
+        /// 0-based output port.
+        out_port: u8,
+    },
     /// Tail arrived at the destination endport.
     Delivered,
     /// Discarded for lack of an LFT entry.
@@ -114,6 +124,9 @@ impl PacketTrace {
                 TraceEvent::TransmitStart { sw, out_port } => {
                     format!("leaving S{sw} via port {}", out_port + 1)
                 }
+                TraceEvent::CreditStalled { sw, out_port } => {
+                    format!("credit-stalled at S{sw} out-port {}", out_port + 1)
+                }
                 TraceEvent::Delivered => "delivered".to_string(),
                 TraceEvent::Dropped { sw } => format!("DROPPED at S{sw} (no LFT entry)"),
             };
@@ -121,6 +134,72 @@ impl PacketTrace {
         }
         out
     }
+
+    /// Render this trace as one compact JSON object (one JSONL line,
+    /// without the trailing newline). Ports are 1-based, matching
+    /// [`render`](PacketTrace::render) and InfiniBand convention.
+    /// `slot` is the flight-recorder slot, stable across thread counts.
+    pub fn to_json_line(&self, slot: usize) -> String {
+        let mut j = crate::json::JsonBuf::with_capacity(128 + 48 * self.events.len());
+        j.begin_obj();
+        j.field_u64("slot", slot as u64);
+        j.field_u64("src", u64::from(self.src));
+        j.field_u64("dst", u64::from(self.dst));
+        j.field_u64("dlid", u64::from(self.dlid));
+        j.field_u64("vl", u64::from(self.vl));
+        match self.latency_ns() {
+            Some(ns) => j.field_u64("latency_ns", ns),
+            None => {
+                j.key("latency_ns");
+                j.raw_value("null");
+            }
+        }
+        j.field_bool("completed", self.completed());
+        j.key("events");
+        j.begin_arr();
+        for &(t, ev) in &self.events {
+            j.begin_obj();
+            j.field_u64("t_ns", t);
+            let (kind, sw_port) = match ev {
+                TraceEvent::Generated => ("generated", None),
+                TraceEvent::InjectionStart => ("injection_start", None),
+                TraceEvent::HeaderArrive { sw, port } => ("header_arrive", Some((sw, port))),
+                TraceEvent::Routed { sw, out_port } => ("routed", Some((sw, out_port))),
+                TraceEvent::Granted { sw, out_port } => ("granted", Some((sw, out_port))),
+                TraceEvent::TransmitStart { sw, out_port } => {
+                    ("transmit_start", Some((sw, out_port)))
+                }
+                TraceEvent::CreditStalled { sw, out_port } => {
+                    ("credit_stalled", Some((sw, out_port)))
+                }
+                TraceEvent::Delivered => ("delivered", None),
+                TraceEvent::Dropped { sw } => ("dropped", Some((sw, u8::MAX))),
+            };
+            j.field_str("ev", kind);
+            if let Some((sw, port)) = sw_port {
+                j.field_u64("sw", u64::from(sw));
+                if port != u8::MAX {
+                    j.field_u64("port", u64::from(port) + 1);
+                }
+            }
+            j.end_obj();
+        }
+        j.end_arr();
+        j.end_obj();
+        j.into_string()
+    }
+}
+
+/// Render a whole flight-recorder buffer as a JSONL document: one line
+/// per traced packet, in slot order. Byte-identical at any thread count
+/// (the parallel engine merges shard-local events deterministically).
+pub fn traces_to_jsonl(traces: &[PacketTrace]) -> String {
+    let mut out = String::new();
+    for (slot, t) in traces.iter().enumerate() {
+        out.push_str(&t.to_json_line(slot));
+        out.push('\n');
+    }
+    out
 }
 
 #[cfg(test)]
@@ -185,5 +264,70 @@ mod tests {
         assert!(text.contains("N0 -> N4"));
         assert!(text.contains("header at S12"));
         assert!(text.contains("delivered"));
+    }
+
+    #[test]
+    fn render_shows_credit_stalls() {
+        let mut t = sample();
+        t.events.insert(
+            3,
+            (
+                180,
+                TraceEvent::CreditStalled {
+                    sw: 12,
+                    out_port: 2,
+                },
+            ),
+        );
+        assert!(t.render().contains("credit-stalled at S12 out-port 3"));
+    }
+
+    #[test]
+    fn jsonl_line_is_valid_and_one_based() {
+        let mut t = sample();
+        t.events.insert(
+            3,
+            (
+                180,
+                TraceEvent::CreditStalled {
+                    sw: 12,
+                    out_port: 2,
+                },
+            ),
+        );
+        let line = t.to_json_line(7);
+        let doc = crate::json::parse(&line).expect("valid JSON");
+        let obj = doc.as_object("line").unwrap();
+        assert_eq!(obj.field("slot").unwrap().as_u64("slot").unwrap(), 7);
+        assert_eq!(obj.field("src").unwrap().as_u64("src").unwrap(), 0);
+        assert_eq!(obj.field("latency_ns").unwrap().as_u64("lat").unwrap(), 396);
+        let events = obj.field("events").unwrap().as_array("events").unwrap();
+        assert_eq!(events.len(), t.events.len());
+        let stall = events[3].as_object("ev").unwrap();
+        assert_eq!(
+            stall.field("ev").unwrap().as_string("ev").unwrap(),
+            "credit_stalled"
+        );
+        // 0-based out-port 2 is exported as wire port 3.
+        assert_eq!(stall.field("port").unwrap().as_u64("port").unwrap(), 3);
+    }
+
+    #[test]
+    fn incomplete_trace_exports_null_latency() {
+        let mut t = sample();
+        t.events.pop();
+        let line = t.to_json_line(0);
+        assert!(line.contains("\"latency_ns\":null"));
+        assert!(line.contains("\"completed\":false"));
+        crate::json::parse(&line).expect("valid JSON");
+    }
+
+    #[test]
+    fn jsonl_document_has_one_line_per_trace() {
+        let doc = traces_to_jsonl(&[sample(), sample()]);
+        assert_eq!(doc.lines().count(), 2);
+        for line in doc.lines() {
+            crate::json::parse(line).expect("valid JSON");
+        }
     }
 }

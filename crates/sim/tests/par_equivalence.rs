@@ -9,9 +9,9 @@
 
 use ibfat_routing::{Routing, RoutingKind};
 use ibfat_sim::{
-    generators, run_once, run_once_par, run_workload, run_workload_par, CalendarKind,
-    ClosedLoopKind, FabricCounters, ParSimulator, PartitionKind, RunSpec, SimConfig, SimReport,
-    Simulator, TrafficPattern, WindowPolicy, Workload,
+    generators, run_once, run_once_par, run_workload, run_workload_par, traces_to_jsonl,
+    CalendarKind, ClosedLoopKind, FabricCounters, ParSimulator, PartitionKind, RunSpec, SimConfig,
+    SimReport, Simulator, TraceSampling, TrafficPattern, WindowPolicy, Workload,
 };
 use ibfat_topology::{Network, NodeId, TreeParams};
 use proptest::prelude::*;
@@ -188,6 +188,75 @@ proptest! {
         for threads in [2usize, 4] {
             let par = run_workload_par(&net, &routing, cfg.clone(), &wl, threads);
             prop_assert_eq!(&par, &seq, "divergence at {} threads", threads);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The flight recorder's contract, in both directions: a recorded
+    /// run is bit-identical to an unrecorded one (the recorder only ever
+    /// writes its own buffer), and the rendered trace JSONL is
+    /// byte-identical at every thread count (slot assignment is a pure
+    /// flow function, so sampling survives sharding).
+    #[test]
+    fn recorded_runs_equal_unrecorded_and_traces_survive_sharding(
+        (m, n) in prop_oneof![Just((4u32, 2u32)), Just((4, 3)), Just((8, 2))],
+        scheme in prop_oneof![Just(RoutingKind::Mlid), Just(RoutingKind::Slid)],
+        seed in any::<u64>(),
+        calendar in prop_oneof![
+            Just(CalendarKind::TimingWheel),
+            Just(CalendarKind::BinaryHeap),
+        ],
+        sampling in prop_oneof![
+            Just(TraceSampling::FirstN),
+            Just(TraceSampling::OneInN(3)),
+            Just(TraceSampling::Pairs(vec![(0, 1), (2, 3), (1, 0)])),
+        ],
+    ) {
+        let params = TreeParams::new(m, n).expect("valid params");
+        let net = Network::mport_ntree(params);
+        let routing = Routing::build(&net, scheme);
+        let base = SimConfig {
+            num_vls: 2,
+            seed,
+            calendar,
+            ..SimConfig::default()
+        };
+        let pattern = TrafficPattern::Uniform;
+        let spec = RunSpec::new(0.5, 25_000);
+
+        let plain = normalized(run_once(
+            &net, &routing, base.clone(), pattern.clone(), spec,
+        ));
+        prop_assert!(plain.traces.is_none());
+
+        let recorded_cfg = SimConfig {
+            trace_first_packets: 16,
+            trace_sampling: sampling,
+            ..base
+        };
+        let recorded = normalized(run_once(
+            &net, &routing, recorded_cfg.clone(), pattern.clone(), spec,
+        ));
+        let traces = recorded.traces.clone().expect("recording was on");
+        let jsonl = traces_to_jsonl(&traces);
+
+        // Recording must not perturb the simulation: stripped of the
+        // buffer itself, the recorded report is the unrecorded report.
+        let mut stripped = recorded;
+        stripped.traces = None;
+        prop_assert_eq!(&stripped, &plain);
+
+        // And the rendered spans are byte-stable under sharding.
+        for threads in [1usize, 2, 4] {
+            let par = par_report(&net, &routing, &recorded_cfg, &pattern, spec, threads);
+            let par_jsonl = traces_to_jsonl(par.traces.as_deref().expect("recording was on"));
+            prop_assert_eq!(
+                &par_jsonl, &jsonl,
+                "trace divergence at {} threads", threads
+            );
         }
     }
 }
