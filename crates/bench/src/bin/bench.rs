@@ -30,15 +30,29 @@ use ibfat_routing::{
     RoutingScheme, SlidScheme,
 };
 use ibfat_sim::{
-    run_observed, run_once, run_once_par, CalendarKind, PhaseProfile, RunSpec, SimConfig,
-    TrafficPattern,
+    run_observed, run_once, run_once_par, CalendarKind, PhaseProfile, RouteBackend, RunSpec,
+    SimConfig, TrafficPattern,
 };
 use ibfat_topology::{Network, TreeParams};
 use std::time::Instant;
 
 /// Simulated configurations: the `sim_50us` criterion set, with VL 4 on
-/// the paper's mid-size FT(8,3) as the headline.
-const SIM_CONFIGS: [(u32, u32, u8); 5] = [(4, 3, 1), (4, 3, 4), (8, 3, 1), (8, 3, 4), (16, 2, 1)];
+/// the paper's mid-size FT(8,3) as the headline, plus the extended-LID
+/// scale-out fabric FT(16,3) (1024 nodes) at VL 1.
+const SIM_CONFIGS: [(u32, u32, u8); 6] = [
+    (4, 3, 1),
+    (4, 3, 4),
+    (8, 3, 1),
+    (8, 3, 4),
+    (16, 2, 1),
+    (16, 3, 1),
+];
+
+/// Oracle-backend configurations: the headline fabric (for a direct
+/// table-vs-oracle comparison against `sim_engine/8x3/vl4`) and the
+/// scale-out fabric whose flat MLID LFT costs ~21 MB the oracle never
+/// allocates.
+const ORACLE_CONFIGS: [(u32, u32, u8); 2] = [(8, 3, 4), (16, 3, 1)];
 
 /// Routing-build configurations (Table 1 sizes × both schemes, plus the
 /// extended-LID scale-out point FT(16, 3): 1024 nodes, 2^16 LIDs).
@@ -180,6 +194,38 @@ fn run_workloads(opts: &Opts) -> Vec<WorkloadResult> {
             });
             out.push(result(name, wall, events, opts.iters));
         }
+    }
+
+    // The table-free data plane: every per-hop forwarding decision is
+    // answered by the closed-form `RouteOracle` instead of an LFT read,
+    // over a `Routing` that never materialized a table. Reports are
+    // bit-identical to the table backend (pinned by the route_backend
+    // proptest), so these rows measure the pure lookup-cost delta — and
+    // on FT(16,3) they run a fabric whose flat MLID LFT (~21 MB) is
+    // never allocated at all.
+    println!("sim_engine_oracle (closed-form hop routing, table-free):");
+    for &(m, n, vls) in &ORACLE_CONFIGS {
+        let name = format!("sim_engine_oracle/{m}x{n}/vl{vls}");
+        if !opts.wanted(&name) {
+            continue;
+        }
+        let net = Network::mport_ntree(TreeParams::new(m, n).expect("valid configs"));
+        let routing = Routing::build_table_free(&net, RoutingKind::Mlid);
+        let cfg = SimConfig {
+            route_backend: RouteBackend::Oracle,
+            ..SimConfig::paper(vls)
+        };
+        let (wall, events) = best_of(opts.iters, || {
+            run_once(
+                &net,
+                &routing,
+                cfg.clone(),
+                TrafficPattern::Uniform,
+                RunSpec::new(0.5, sim_time_ns),
+            )
+            .events_processed
+        });
+        out.push(result(name, wall, events, opts.iters));
     }
 
     // The headline configuration on the sharded engine, at 1/2/4 worker
@@ -627,10 +673,16 @@ fn main() {
                     // builders scale with cores, and the sub-millisecond
                     // dense-build rows are pure scheduling noise on a
                     // shared box.
+                    // The oracle rows and the FT(16,3) scale-out rows
+                    // are new to the trajectory and memory-pressure
+                    // sensitive (the 16x3 table rows walk a ~21 MB LFT);
+                    // keep them warn-only until their history settles.
                     if d.name.starts_with("sim_engine_par")
+                        || d.name.starts_with("sim_engine_oracle")
                         || d.name.starts_with("lft_build")
                         || d.name.starts_with("loads_all_to_all")
                         || d.name.starts_with("workload_")
+                        || d.name.ends_with("/16x3/vl1")
                     {
                         "slower (warn-only: host-dependent)"
                     } else {

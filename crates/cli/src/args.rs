@@ -1,7 +1,7 @@
 //! Argument parsing for the `ibfat` CLI (no external parser crate).
 #![allow(clippy::module_name_repetitions)]
 
-use ib_fabric::{NodeId, PartitionKind, RoutingKind, TraceSampling, TrafficPattern};
+use ib_fabric::{NodeId, PartitionKind, RouteBackend, RoutingKind, TraceSampling, TrafficPattern};
 
 /// Usage text.
 pub const USAGE: &str = "\
@@ -40,6 +40,13 @@ options:
                                  bit-identical results)
   --partition fat-tree|block     parallel shard partitioner
                                  (default fat-tree)
+  --route-backend table|oracle   simulate/run, sweep, counters, workload,
+                                 trace: forwarding-state backend — flat
+                                 LFT lookups, or the closed-form routing
+                                 oracle with no tables in memory
+                                 (default table; oracle is mlid/slid
+                                 only, pristine fabric only; reports are
+                                 bit-identical across backends)
   --fail-links i,j,k             remove cables by index before anything else
   --sample-interval-ns N         counters time-series period (default time/50)
   --top K                        ports listed in counters/loads rankings
@@ -98,6 +105,8 @@ pub struct Cmd {
     pub threads: usize,
     /// Shard partitioner for the parallel engine.
     pub partition: PartitionKind,
+    /// Forwarding-state backend for the packet engine (table or oracle).
+    pub route_backend: RouteBackend,
     /// Cables to fail before acting.
     pub fail_links: Vec<usize>,
     /// Time-series period for `counters` (None = duration / 50).
@@ -241,6 +250,7 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
         seed: None,
         threads: 1,
         partition: PartitionKind::FatTree,
+        route_backend: RouteBackend::Table,
         fail_links: Vec::new(),
         sample_interval_ns: None,
         top: 8,
@@ -307,6 +317,9 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
                     "block" => PartitionKind::Block,
                     other => return Err(format!("unknown partition '{other}'")),
                 };
+            }
+            "--route-backend" => {
+                cmd.route_backend = next_value(&mut it, arg)?.parse::<RouteBackend>()?;
             }
             "--fail-links" => {
                 cmd.fail_links = next_value(&mut it, arg)?
@@ -625,6 +638,18 @@ mod tests {
         assert!(parse(&argv("trace 4x2 --one-in 0")).is_err());
         assert!(parse(&argv("trace 4x2 --pairs 5")).is_err());
         assert!(parse(&argv("trace 4x2 --pairs x:1")).is_err());
+    }
+
+    #[test]
+    fn parses_route_backend() {
+        let cmd = parse(&argv("run 4x2")).unwrap();
+        assert_eq!(cmd.route_backend, RouteBackend::Table);
+        let cmd = parse(&argv("run 4x2 --route-backend oracle")).unwrap();
+        assert_eq!(cmd.route_backend, RouteBackend::Oracle);
+        let cmd = parse(&argv("workload 4x2 --route-backend table")).unwrap();
+        assert_eq!(cmd.route_backend, RouteBackend::Table);
+        assert!(parse(&argv("run 4x2 --route-backend magic")).is_err());
+        assert!(parse(&argv("run 4x2 --route-backend")).is_err());
     }
 
     #[test]

@@ -29,6 +29,21 @@ pub fn run(cmd: Cmd) -> Result<(), String> {
 }
 
 fn build_fabric(cmd: &Cmd) -> Result<Fabric, String> {
+    if cmd.route_backend == RouteBackend::Oracle {
+        if cmd.scheme == RoutingKind::UpDown {
+            return Err(
+                "--route-backend oracle supports only the mlid/slid schemes \
+                 (up*/down* has no closed-form route)"
+                    .into(),
+            );
+        }
+        if !cmd.fail_links.is_empty() {
+            return Err("--route-backend oracle requires an intact fabric \
+                 (fault-repaired tables deviate from the closed form); \
+                 drop --fail-links or use --route-backend table"
+                .into());
+        }
+    }
     let fabric = Fabric::builder(cmd.m, cmd.n)
         .routing(cmd.scheme)
         .build()
@@ -204,7 +219,8 @@ pub fn collect_telemetry(
         .offered_load(cmd.load)
         .duration_ns(cmd.time_ns)
         .threads(cmd.threads)
-        .partition(cmd.partition);
+        .partition(cmd.partition)
+        .route_backend(cmd.route_backend);
     if let Some(seed) = cmd.seed {
         experiment = experiment.seed(seed);
     }
@@ -219,7 +235,8 @@ fn simulate(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
         .offered_load(cmd.load)
         .duration_ns(cmd.time_ns)
         .threads(cmd.threads)
-        .partition(cmd.partition);
+        .partition(cmd.partition)
+        .route_backend(cmd.route_backend);
     if let Some(seed) = cmd.seed {
         experiment = experiment.seed(seed);
     }
@@ -265,9 +282,10 @@ fn simulate(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
         100.0 * report.max_link_utilization
     );
     println!(
-        "  engine     : {} events ({:.2} Mev/s)",
+        "  engine     : {} events ({:.2} Mev/s, {:.0} kpkt/s)",
         report.events_processed,
-        report.events_per_sec / 1e6
+        report.events_per_sec / 1e6,
+        report.packets_per_sec / 1e3
     );
     if let Some(t) = &telemetry {
         println!(
@@ -325,6 +343,7 @@ pub fn report_to_json(report: &SimReport) -> String {
     latency(&mut j, "network_latency", &report.network_latency);
     j.field_u64("events_processed", report.events_processed);
     j.field_f64("events_per_sec", report.events_per_sec, 0);
+    j.field_f64("packets_per_sec", report.packets_per_sec, 0);
     j.field_f64("mean_link_utilization", report.mean_link_utilization, 6);
     j.field_f64("max_link_utilization", report.max_link_utilization, 6);
     if let Some(links) = &report.link_utilization {
@@ -356,6 +375,7 @@ pub fn collect_trace(cmd: &Cmd, fabric: &Fabric) -> Result<String, String> {
         .duration_ns(cmd.time_ns)
         .threads(cmd.threads)
         .partition(cmd.partition)
+        .route_backend(cmd.route_backend)
         .trace_first_packets(cmd.trace_packets)
         .trace_sampling(cmd.sampling.clone());
     if let Some(seed) = cmd.seed {
@@ -407,7 +427,8 @@ pub fn collect_counters(cmd: &Cmd, fabric: &Fabric) -> Result<CountersReport, St
         .virtual_lanes(cmd.vls)
         .traffic(pattern_of(cmd, fabric))
         .offered_load(cmd.load)
-        .duration_ns(cmd.time_ns);
+        .duration_ns(cmd.time_ns)
+        .route_backend(cmd.route_backend);
     if let Some(seed) = cmd.seed {
         experiment = experiment.seed(seed);
     }
@@ -842,7 +863,8 @@ pub fn collect_workload(cmd: &Cmd, fabric: &Fabric) -> Result<WorkloadReport, St
         .experiment()
         .virtual_lanes(cmd.vls)
         .threads(cmd.threads)
-        .partition(cmd.partition);
+        .partition(cmd.partition)
+        .route_backend(cmd.route_backend);
     if let Some(seed) = cmd.seed {
         experiment = experiment.seed(seed);
     }
@@ -861,7 +883,8 @@ pub fn collect_workload_profiled(
         .experiment()
         .virtual_lanes(cmd.vls)
         .threads(cmd.threads)
-        .partition(cmd.partition);
+        .partition(cmd.partition)
+        .route_backend(cmd.route_backend);
     if let Some(seed) = cmd.seed {
         experiment = experiment.seed(seed);
     }
@@ -997,6 +1020,7 @@ fn sweep(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
         .duration_ns(cmd.time_ns)
         .threads(cmd.threads)
         .partition(cmd.partition)
+        .route_backend(cmd.route_backend)
         .run_sweep(&cmd.loads);
     println!("offered,accepted,avg_latency_ns,p99_latency_ns,delivered,dropped");
     for r in &reports {

@@ -75,6 +75,7 @@ fn threads_flag_leaves_reports_bit_identical() {
             .threads(threads)
             .run();
         r.events_per_sec = 0.0; // wall-clock throughput is host noise
+        r.packets_per_sec = 0.0;
         r
     };
     let seq = report_at(1);
@@ -339,6 +340,8 @@ fn telemetry_is_a_separate_channel_from_the_report() {
         .run();
     with_tel.events_per_sec = 0.0;
     plain.events_per_sec = 0.0;
+    with_tel.packets_per_sec = 0.0;
+    plain.packets_per_sec = 0.0;
     assert_eq!(with_tel, plain, "telemetry must not perturb the report");
 
     assert_eq!(tel.threads, 2);

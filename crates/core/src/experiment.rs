@@ -64,6 +64,19 @@ impl<'a> ExperimentBuilder<'a> {
         self
     }
 
+    /// Forwarding-state backend for the packet engine (default: table —
+    /// flat LFT lookups, exactly what real switch hardware does). The
+    /// oracle backend answers hops from the closed-form route formula
+    /// instead, never materializing per-switch tables; reports are
+    /// bit-identical across backends, the oracle just trades a formula
+    /// evaluation for the table's memory footprint. Only the SLID/MLID
+    /// schemes on intact fabrics have an oracle (see
+    /// [`ibfat_sim::RouteBackend`]).
+    pub fn route_backend(mut self, backend: ibfat_sim::RouteBackend) -> Self {
+        self.cfg.route_backend = backend;
+        self
+    }
+
     /// Number of virtual lanes (paper: 1, 2 or 4).
     pub fn virtual_lanes(mut self, vls: u8) -> Self {
         self.cfg.num_vls = vls;
@@ -363,9 +376,10 @@ mod tests {
         assert_eq!(par, seq, "thread count must not change the report");
     }
 
-    // The only host-dependent report field; everything else must match.
+    // The only host-dependent report fields; everything else must match.
     fn normalized(mut r: SimReport) -> SimReport {
         r.events_per_sec = 0.0;
+        r.packets_per_sec = 0.0;
         r
     }
 

@@ -60,9 +60,9 @@ pub use ibfat_routing::{
 pub use ibfat_sim::{
     aggregate, generators, json, traces_to_jsonl, workload_trace, Aggregate, ClosedLoopKind,
     CongestionView, EngineTelemetry, FabricCounters, HotPort, InjectionProcess, LinkUse, NoopProbe,
-    PacketTrace, ParProbe, PartitionKind, PathSelection, Phase, PhaseProfile, Probe, RunSpec,
-    ShardTelemetry, SimConfig, SimReport, TraceEvent, TraceSampling, TrafficPattern, VlArbitration,
-    VlAssignment, WindowPolicy, Workload, WorkloadReport,
+    PacketTrace, ParProbe, PartitionKind, PathSelection, Phase, PhaseProfile, Probe, RouteBackend,
+    RunSpec, ShardTelemetry, SimConfig, SimReport, TraceEvent, TraceSampling, TrafficPattern,
+    VlArbitration, VlAssignment, WindowPolicy, Workload, WorkloadReport,
 };
 pub use ibfat_sm::SubnetManager;
 pub use ibfat_topology::{
@@ -73,8 +73,8 @@ pub use ibfat_topology::{
 pub mod prelude {
     pub use crate::{
         ChannelLoads, Fabric, FabricBuilder, FabricCounters, FabricError, InjectionProcess, Lid,
-        Network, NodeId, NodeLabel, PathSelection, PhaseProfile, Probe, RouteOracle, Routing,
-        RoutingKind, SimConfig, SimReport, SubnetManager, SwitchLabel, TrafficPattern, TreeParams,
-        VlArbitration, VlAssignment, Workload, WorkloadReport,
+        Network, NodeId, NodeLabel, PathSelection, PhaseProfile, Probe, RouteBackend, RouteOracle,
+        Routing, RoutingKind, SimConfig, SimReport, SubnetManager, SwitchLabel, TrafficPattern,
+        TreeParams, VlArbitration, VlAssignment, Workload, WorkloadReport,
     };
 }

@@ -84,6 +84,52 @@ pub enum WindowPolicy {
     Adaptive,
 }
 
+/// How the data plane answers "which output port does this DLID leave
+/// on" at each switch hop. Purely a representation choice: both
+/// backends return the same port for every `(switch, dlid)` (the
+/// backend equivalence tests assert bit-identical reports), so this is
+/// a memory/speed knob, not a semantic one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum RouteBackend {
+    /// Materialized flat forwarding tables (`num_switches × lid_space`
+    /// bytes), exactly as a subnet manager programs real switches. The
+    /// default; works for every scheme, including fault-repaired tables.
+    #[default]
+    Table,
+    /// Closed-form per-hop lookup through `ibfat_routing::RouteOracle`
+    /// (the paper's Eq. 1/Eq. 2) — no forwarding tables in memory at
+    /// all. Only valid for pristine SLID/MLID routings on intact
+    /// fabrics; construction rejects anything the oracle cannot model.
+    Oracle,
+}
+
+impl RouteBackend {
+    /// Short lowercase name (stable; used in CLI flags).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RouteBackend::Table => "table",
+            RouteBackend::Oracle => "oracle",
+        }
+    }
+}
+
+impl std::str::FromStr for RouteBackend {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "table" => Ok(RouteBackend::Table),
+            "oracle" => Ok(RouteBackend::Oracle),
+            other => Err(format!("unknown route backend '{other}'")),
+        }
+    }
+}
+
+impl std::fmt::Display for RouteBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Which generated flows the flight recorder samples (the recorder
 /// itself is armed by `SimConfig::trace_first_packets > 0`, which also
 /// bounds the trace buffer). Sampling is decided per packet from the
@@ -202,6 +248,10 @@ pub struct SimConfig {
     /// sequential one). Bit-identical reports across choices.
     #[serde(default)]
     pub window_policy: WindowPolicy,
+    /// Data-plane route lookup backend. Bit-identical reports across
+    /// backends wherever the oracle applies.
+    #[serde(default)]
+    pub route_backend: RouteBackend,
 }
 
 impl Default for SimConfig {
@@ -225,6 +275,7 @@ impl Default for SimConfig {
             calendar: CalendarKind::default(),
             partition: PartitionKind::default(),
             window_policy: WindowPolicy::default(),
+            route_backend: RouteBackend::default(),
         }
     }
 }

@@ -173,16 +173,31 @@ impl<E> TimingWheel<E> {
     /// for tests and diagnostics, not the hot path (the simulator only
     /// pops).
     pub fn peek_time(&self) -> Option<Time> {
+        self.peek_head().map(|(t, _)| t)
+    }
+
+    /// The earliest pending event without removing it. Non-mutating on
+    /// purpose: the cursor stays put, so events may still be scheduled at
+    /// any time ≥ the last *popped* timestamp afterwards. (A mutating peek
+    /// that advanced the cursor would make later schedules below the new
+    /// cursor clamp — see [`schedule`](TimingWheel::schedule) — which is
+    /// exactly what the fused-chain queue must avoid: chains deliver
+    /// events earlier than the wheel head, and dispatching them can
+    /// legally schedule residual events below it.) O(horizon) worst case,
+    /// like [`peek_time`](TimingWheel::peek_time).
+    pub fn peek_head(&self) -> Option<(Time, &E)> {
         if self.near > 0 {
             for i in 0..WHEEL_SLOTS as u64 {
                 let t = self.cursor + i;
-                if !self.slots[(t & WHEEL_MASK) as usize].is_empty() {
-                    return Some(t);
+                if let Some(e) = self.slots[(t & WHEEL_MASK) as usize].front() {
+                    return Some((t, e));
                 }
             }
             unreachable!("near > 0 but no occupied bucket in the horizon");
         }
-        self.overflow.first_key_value().map(|(&t, _)| t)
+        self.overflow
+            .first_key_value()
+            .map(|(&t, q)| (t, q.front().expect("empty overflow bucket")))
     }
 
     /// Number of pending events.
@@ -317,6 +332,12 @@ impl<E> HeapCalendar<E> {
         self.heap.peek().map(|Reverse(e)| e.at)
     }
 
+    /// The earliest pending event without removing it.
+    #[inline]
+    pub fn peek_head(&self) -> Option<(Time, &E)> {
+        self.heap.peek().map(|Reverse(e)| (e.at, &e.event))
+    }
+
     /// Number of pending events.
     #[inline]
     pub fn len(&self) -> usize {
@@ -399,6 +420,15 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// The earliest pending event without removing it.
+    #[inline]
+    pub fn peek_head(&self) -> Option<(Time, &E)> {
+        match self {
+            EventQueue::Wheel(w) => w.peek_head(),
+            EventQueue::Heap(h) => h.peek_head(),
+        }
+    }
+
     /// Number of pending events.
     #[inline]
     pub fn len(&self) -> usize {
@@ -418,6 +448,155 @@ impl<E> EventQueue<E> {
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         EventQueue::new()
+    }
+}
+
+/// The fixed-latency event classes of the simulator's hot path. Every
+/// event a handler schedules at one of these four constant delays goes
+/// into a dedicated FIFO delay line instead of the general calendar —
+/// see [`ChainQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainClass {
+    /// One wire flight (`fly_time_ns`): header arrivals, credit returns,
+    /// workload arm notifications.
+    Fly,
+    /// One routing stage (`routing_time_ns`): route-done completions.
+    Route,
+    /// One packet serialization (`packet_time_ns`): transmit completions
+    /// and input-buffer departures.
+    Pkt,
+    /// Wire flight plus serialization: tail delivery at an endport.
+    FlyPkt,
+}
+
+/// Cached location of the residual calendar's head inside a
+/// [`ChainQueue`], so the wheel's O(horizon) peek is paid once per
+/// residual pop instead of once per event.
+#[derive(Debug, Clone, Copy)]
+enum RestHead {
+    /// The residual calendar is empty.
+    Empty,
+    /// Head key `(time, global seq)` is known.
+    Known(Time, u64),
+    /// Must be recomputed with `peek_head` before the next comparison.
+    Unknown,
+}
+
+/// A calendar specialized for the simulator's event mix: four constant-
+/// delay FIFO delay lines (one per [`ChainClass`]) in front of a residual
+/// [`EventQueue`] for everything else (injections, busy-link retries,
+/// discard drains).
+///
+/// Because dispatch time is monotone and each chain's delay is a run
+/// constant, every chain is `(time, seq)`-sorted by construction — a
+/// `schedule` is a plain `push_back` and the earliest event is one of at
+/// most five FIFO heads. A single global sequence number, stamped at
+/// schedule time across chains *and* the residual calendar, reproduces
+/// the exact `(time, insertion order)` pop contract of a single
+/// [`EventQueue`] — same events, same order, same `events_processed`;
+/// only the per-event calendar cost changes. The calendar-equivalence
+/// and parallel-equivalence suites pin exactly that.
+#[derive(Debug)]
+pub struct ChainQueue<E> {
+    chains: [VecDeque<(Time, u64, E)>; 4],
+    rest: EventQueue<(u64, E)>,
+    rest_head: RestHead,
+    seq: u64,
+}
+
+impl<E> ChainQueue<E> {
+    /// An empty queue whose residual calendar uses the given kind.
+    pub fn with_kind(kind: CalendarKind) -> Self {
+        ChainQueue {
+            chains: std::array::from_fn(|_| VecDeque::with_capacity(64)),
+            rest: EventQueue::with_kind(kind),
+            rest_head: RestHead::Empty,
+            seq: 0,
+        }
+    }
+
+    /// Which implementation backs the residual calendar.
+    pub fn kind(&self) -> CalendarKind {
+        self.rest.kind()
+    }
+
+    /// Schedule into the residual calendar (non-constant delays).
+    #[inline]
+    pub fn schedule(&mut self, at: Time, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.rest.schedule(at, (seq, event));
+        match self.rest_head {
+            RestHead::Empty => self.rest_head = RestHead::Known(at, seq),
+            // `seq` strictly increases, so the new entry only wins on a
+            // strictly earlier timestamp.
+            RestHead::Known(t, _) if at < t => self.rest_head = RestHead::Known(at, seq),
+            _ => {}
+        }
+    }
+
+    /// Schedule onto a constant-delay chain. The caller must pass the
+    /// chain matching the event's delay class: within a chain,
+    /// timestamps must be non-decreasing (dispatch time is monotone and
+    /// the delay constant, so this holds by construction; debug builds
+    /// assert it).
+    #[inline]
+    pub fn schedule_chain(&mut self, class: ChainClass, at: Time, event: E) {
+        let chain = &mut self.chains[class as usize];
+        debug_assert!(
+            chain.back().is_none_or(|&(t, _, _)| t <= at),
+            "chain {class:?} scheduled out of order"
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        chain.push_back((at, seq, event));
+    }
+
+    /// Pop the earliest event: the minimum `(time, seq)` over the four
+    /// chain heads and the residual head.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        // Best chain candidate.
+        let mut best: Option<(Time, u64, usize)> = None;
+        for (i, chain) in self.chains.iter().enumerate() {
+            if let Some(&(t, s, _)) = chain.front() {
+                if best.is_none_or(|(bt, bs, _)| (t, s) < (bt, bs)) {
+                    best = Some((t, s, i));
+                }
+            }
+        }
+        // Residual candidate, through the head cache.
+        if let RestHead::Unknown = self.rest_head {
+            self.rest_head = match self.rest.peek_head() {
+                Some((t, &(s, _))) => RestHead::Known(t, s),
+                None => RestHead::Empty,
+            };
+        }
+        if let RestHead::Known(t, s) = self.rest_head {
+            if best.is_none_or(|(bt, bs, _)| (t, s) < (bt, bs)) {
+                let (at, (_, event)) = self.rest.pop().expect("cached head of empty calendar");
+                debug_assert_eq!(at, t);
+                self.rest_head = if self.rest.is_empty() {
+                    RestHead::Empty
+                } else {
+                    RestHead::Unknown
+                };
+                return Some((t, event));
+            }
+        }
+        best.map(|(_, _, i)| {
+            let (t, _, event) = self.chains[i].pop_front().expect("checked nonempty");
+            (t, event)
+        })
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.chains.iter().map(|c| c.len()).sum::<usize>() + self.rest.len()
+    }
+
+    /// Whether every chain and the residual calendar are drained.
+    pub fn is_empty(&self) -> bool {
+        self.chains.iter().all(|c| c.is_empty()) && self.rest.is_empty()
     }
 }
 
@@ -557,6 +736,80 @@ mod tests {
         while w.pop().is_some() {}
         assert!(w.spare.len() <= SPARE_BUCKETS);
         assert!(w.is_empty());
+    }
+
+    #[test]
+    fn chain_queue_matches_single_calendar_pop_order() {
+        // Differential: an interleaved mix of chain and residual
+        // schedules (with a monotone dispatch clock, as the simulator
+        // guarantees) must pop in exactly the order one shared calendar
+        // would produce — same times, same tie-breaks.
+        let classes = [
+            ChainClass::Fly,
+            ChainClass::Route,
+            ChainClass::Pkt,
+            ChainClass::FlyPkt,
+        ];
+        let delays = [20u64, 100, 256, 276];
+        for kind in [CalendarKind::TimingWheel, CalendarKind::BinaryHeap] {
+            let mut cq = ChainQueue::with_kind(kind);
+            let mut eq = EventQueue::with_kind(kind);
+            let mut state = 0x9E37_79B9_7F4A_7C15u64;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let mut now = 0u64;
+            let mut id = 0u32;
+            for _ in 0..500 {
+                for _ in 0..next() % 4 {
+                    id += 1;
+                    if next() % 3 == 0 {
+                        // Residual: arbitrary future delay (injections,
+                        // retries), occasionally far past the horizon.
+                        let at = now + next() % (2 * WHEEL_SLOTS as u64);
+                        cq.schedule(at, id);
+                        eq.schedule(at, id);
+                    } else {
+                        let c = (next() % 4) as usize;
+                        cq.schedule_chain(classes[c], now + delays[c], id);
+                        eq.schedule(now + delays[c], id);
+                    }
+                }
+                for _ in 0..next() % 4 {
+                    let a = cq.pop();
+                    assert_eq!(a, eq.pop(), "{kind:?}");
+                    if let Some((t, _)) = a {
+                        now = t;
+                    }
+                }
+            }
+            loop {
+                let a = cq.pop();
+                assert_eq!(a, eq.pop(), "{kind:?} drain");
+                if a.is_none() {
+                    break;
+                }
+            }
+            assert!(cq.is_empty());
+            assert_eq!(cq.len(), 0);
+        }
+    }
+
+    #[test]
+    fn peek_head_does_not_disturb_the_cursor() {
+        // peek_head must be non-mutating: scheduling an event earlier
+        // than the peeked head, after the peek, must still work (the
+        // chain queue relies on this exact sequence).
+        let mut w = TimingWheel::new();
+        w.schedule(3000, "far");
+        assert_eq!(w.peek_head(), Some((3000, &"far")));
+        w.schedule(5, "near");
+        assert_eq!(w.pop(), Some((5, "near")));
+        assert_eq!(w.pop(), Some((3000, "far")));
+        assert_eq!(w.peek_head(), None);
     }
 
     #[test]

@@ -22,6 +22,11 @@ pub enum SimError {
     /// other worker released from the window barrier and unwound
     /// cleanly) and the panic payload captured here.
     WorkerPanicked(String),
+    /// An engine invariant was violated mid-run (e.g. a route-done event
+    /// fired against an empty input buffer). Debug builds assert instead;
+    /// release builds abort the run and surface this through the
+    /// `try_run_*` entry points rather than panicking deep in a handler.
+    EngineInvariant(String),
 }
 
 impl fmt::Display for SimError {
@@ -30,6 +35,7 @@ impl fmt::Display for SimError {
             SimError::InvalidPattern(msg) => write!(f, "invalid traffic pattern: {msg}"),
             SimError::InvalidWorkload(msg) => write!(f, "invalid workload: {msg}"),
             SimError::WorkerPanicked(msg) => write!(f, "parallel worker panicked: {msg}"),
+            SimError::EngineInvariant(msg) => write!(f, "engine invariant violated: {msg}"),
         }
     }
 }

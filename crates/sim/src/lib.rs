@@ -65,14 +65,16 @@ mod vlarb;
 mod workload;
 
 pub use config::{
-    InjectionProcess, PartitionKind, PathSelection, SimConfig, TraceSampling, VlAssignment,
-    WindowPolicy,
+    InjectionProcess, PartitionKind, PathSelection, RouteBackend, SimConfig, TraceSampling,
+    VlAssignment, WindowPolicy,
 };
 pub use counters::{
     CongestionView, FabricCounters, HotPort, NodeCounters, PortVlCounters, Sample,
     COUNTERS_SCHEMA_VERSION,
 };
-pub use engine::{CalendarKind, EventQueue, HeapCalendar, Time, TimingWheel};
+pub use engine::{
+    CalendarKind, ChainClass, ChainQueue, EventQueue, HeapCalendar, Time, TimingWheel,
+};
 pub use error::SimError;
 pub use metrics::{LatencyStats, LinkUse, Percentiles, SimReport};
 pub use packet::{Packet, PacketId, PacketSlab};

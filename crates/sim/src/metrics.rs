@@ -136,9 +136,10 @@ pub struct LinkUse {
 /// Everything measured during one simulation run.
 ///
 /// `PartialEq` compares every field, including the wall-clock-derived
-/// [`events_per_sec`](SimReport::events_per_sec); comparisons that only
+/// [`events_per_sec`](SimReport::events_per_sec) and
+/// [`packets_per_sec`](SimReport::packets_per_sec); comparisons that only
 /// care about simulated behaviour (e.g. the calendar equivalence tests)
-/// should zero that field first.
+/// should zero those fields first.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
     /// Offered load as configured (fraction of link bandwidth per node).
@@ -176,10 +177,21 @@ pub struct SimReport {
     /// Events processed (engine throughput diagnostics).
     pub events_processed: u64,
     /// Events processed per wall-clock second, measured inside `run()`.
-    /// A host-dependent diagnostic: the only report field that is not a
-    /// deterministic function of the inputs and seed.
+    /// A host-dependent diagnostic: with
+    /// [`packets_per_sec`](SimReport::packets_per_sec), one of the two
+    /// report fields that are not a deterministic function of the inputs
+    /// and seed.
     #[serde(default)]
     pub events_per_sec: f64,
+    /// Packets delivered per wall-clock second, measured inside `run()`.
+    /// The engine-throughput currency that stays comparable when the
+    /// calendar changes how much bookkeeping one packet costs (fused
+    /// event chains do fewer calendar operations per packet, not fewer
+    /// packets). Host-dependent, like
+    /// [`events_per_sec`](SimReport::events_per_sec); equality
+    /// comparisons should zero both.
+    #[serde(default)]
+    pub packets_per_sec: f64,
     /// Mean utilization (busy fraction) over all directed links.
     pub mean_link_utilization: f64,
     /// Peak utilization over all directed links.

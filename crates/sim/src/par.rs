@@ -366,6 +366,20 @@ struct GateState {
 #[derive(Debug)]
 struct GateAborted;
 
+/// Why a shard worker stopped early: released by a peer's abort, or its
+/// own engine detected an invariant violation (release builds surface
+/// that as [`SimError::EngineInvariant`] instead of panicking).
+enum ShardAbort {
+    Gate,
+    Invariant(SimError),
+}
+
+impl From<GateAborted> for ShardAbort {
+    fn from(_: GateAborted) -> ShardAbort {
+        ShardAbort::Gate
+    }
+}
+
 impl SyncGate {
     fn new(n: usize) -> SyncGate {
         SyncGate {
@@ -686,12 +700,12 @@ fn dispatch_window<P: Probe>(
     bound: Time,
     cohort: &mut Vec<ParEntry>,
     outbox: &mut [Vec<Msg>],
-) -> Time {
+) -> Result<Time, SimError> {
     loop {
         let t = match sim.queue.cal.peek_time() {
             Some(t) if t < bound => t,
-            Some(t) => return t,
-            None => return u64::MAX,
+            Some(t) => return Ok(t),
+            None => return Ok(u64::MAX),
         };
         cohort.clear();
         while sim.queue.cal.peek_time() == Some(t) {
@@ -716,6 +730,9 @@ fn dispatch_window<P: Probe>(
                 sim.probe.phase_time(phase, t0.elapsed().as_nanos() as u64);
             } else {
                 sim.dispatch(entry.ev);
+            }
+            if let Some(err) = sim.invariant_err.take() {
+                return Err(err);
             }
             // Zero-delay events join the cohort tail in schedule
             // order — the exact sequential FIFO position.
@@ -804,7 +821,7 @@ fn run_shard<P: Probe>(
     lanes: &[Vec<MailLane>],
     sync: &WindowSync,
     mut tel: Option<&mut ShardTelemetry>,
-) -> Result<(), GateAborted> {
+) -> Result<(), ShardAbort> {
     let w = sim.cfg.lookahead_ns();
     let horizon = sim.sim_time_ns;
     let adaptive = matches!(sim.cfg.window_policy, WindowPolicy::Adaptive);
@@ -827,7 +844,15 @@ fn run_shard<P: Probe>(
         let events_before = sim.events_processed;
         let dispatched = drained > 0 || next_local < bound;
         if dispatched {
-            next_local = dispatch_window(sim, bound, &mut cohort, &mut outbox);
+            next_local = match dispatch_window(sim, bound, &mut cohort, &mut outbox) {
+                Ok(t) => t,
+                Err(err) => {
+                    // Release the peers parked at the barrier; the
+                    // driver reports this shard's error.
+                    sync.gate.abort();
+                    return Err(ShardAbort::Invariant(err));
+                }
+            };
             (in_flight_min, sent) = flush_outbox(me, parity, &mut outbox, lanes);
         }
         // Relaxed suffices: the gate's internal mutex orders every
@@ -880,7 +905,7 @@ fn run_shard<P: Probe>(
         };
         parity ^= 1;
     }
-    finish_shard(sim, sync)
+    Ok(finish_shard(sim, sync)?)
 }
 
 /// Agree on the global last dispatch time, then close out the probe
@@ -900,7 +925,9 @@ fn finish_shard<P: Probe>(
 
 /// Run every shard engine to completion on its own thread. A worker
 /// panic trips the gate (releasing every peer) and surfaces as
-/// [`SimError::WorkerPanicked`]; otherwise the finished engines come
+/// [`SimError::WorkerPanicked`]; an engine invariant violation does the
+/// same but surfaces as [`SimError::EngineInvariant`]. Otherwise the
+/// finished engines come
 /// back in shard order, each paired with its telemetry (when `tels`
 /// supplied one — pass `None`s to run untelemetered).
 #[allow(clippy::type_complexity)]
@@ -912,7 +939,7 @@ fn run_shards<'n, P: Probe + Send>(
     tels: Vec<Option<ShardTelemetry>>,
 ) -> Result<Vec<(Simulator<'n, P, ShardQueue>, Option<ShardTelemetry>)>, SimError> {
     let mut done = Vec::with_capacity(shards);
-    let mut panicked: Option<String> = None;
+    let mut failed: Option<SimError> = None;
     std::thread::scope(|scope| {
         let handles: Vec<_> = sims
             .into_iter()
@@ -926,10 +953,15 @@ fn run_shards<'n, P: Probe + Send>(
                     match run {
                         Ok(Ok(())) => Ok((sim, tel)),
                         // Released by a peer's abort; unwound cleanly.
-                        Ok(Err(GateAborted)) => Err(None),
+                        Ok(Err(ShardAbort::Gate)) => Err(None),
+                        // This shard's engine tripped an invariant; the
+                        // gate was aborted on the way out.
+                        Ok(Err(ShardAbort::Invariant(err))) => Err(Some(err)),
                         Err(payload) => {
                             sync.gate.abort();
-                            Err(Some(panic_message(payload.as_ref())))
+                            Err(Some(SimError::WorkerPanicked(panic_message(
+                                payload.as_ref(),
+                            ))))
                         }
                     }
                 })
@@ -938,18 +970,18 @@ fn run_shards<'n, P: Probe + Send>(
         for h in handles {
             match h.join() {
                 Ok(Ok(pair)) => done.push(pair),
-                Ok(Err(msg)) => panicked = panicked.take().or(msg),
+                Ok(Err(err)) => failed = failed.take().or(err),
                 // The catch above never unwinds, but stay defensive.
                 Err(payload) => {
-                    panicked = panicked
+                    failed = failed
                         .take()
-                        .or_else(|| Some(panic_message(payload.as_ref())))
+                        .or_else(|| Some(SimError::WorkerPanicked(panic_message(payload.as_ref()))))
                 }
             }
         }
     });
-    match panicked {
-        Some(msg) => Err(SimError::WorkerPanicked(msg)),
+    match failed {
+        Some(err) => Err(err),
         None => Ok(done),
     }
 }
@@ -993,9 +1025,11 @@ fn make_shard_telemetry(
 /// );
 /// let mut par_report = par.run().expect("no worker panicked");
 /// let mut seq_report = seq.run();
-/// // Wall-clock throughput is the only nondeterministic field.
+/// // Wall-clock throughput fields are the only nondeterministic ones.
 /// par_report.events_per_sec = 0.0;
 /// seq_report.events_per_sec = 0.0;
+/// par_report.packets_per_sec = 0.0;
+/// seq_report.packets_per_sec = 0.0;
 /// assert_eq!(par_report, seq_report);
 /// ```
 pub struct ParSimulator<'a, P: ParProbe = NoopProbe> {
@@ -1184,7 +1218,7 @@ impl<'a, P: ParProbe> ParSimulator<'a, P> {
                 self.warmup_ns,
                 self.probe,
             )
-            .run_observed();
+            .try_run_observed()?;
             return Ok((report, probe, EngineTelemetry::sequential(lookahead)));
         }
         let wall_start = std::time::Instant::now();
@@ -1374,6 +1408,11 @@ impl<'a, P: ParProbe> ParSimulator<'a, P> {
             } else {
                 0.0
             },
+            packets_per_sec: if wall_secs > 0.0 {
+                total_delivered as f64 / wall_secs
+            } else {
+                0.0
+            },
             mean_link_utilization: total_busy as f64 / (links as f64 * span),
             max_link_utilization: max_busy as f64 / span,
             link_utilization,
@@ -1383,6 +1422,7 @@ impl<'a, P: ParProbe> ParSimulator<'a, P> {
 
         let mut probe = self.probe;
         for s in shards {
+            crate::sim::recycle_queues(s.switches, s.nodes);
             probe.absorb(s.probe);
         }
         (report, probe)
@@ -1410,14 +1450,14 @@ impl<'a, P: ParProbe> ParSimulator<'a, P> {
     ) -> Result<(crate::WorkloadReport, P), SimError> {
         let shards = self.effective_threads();
         if shards <= 1 {
-            return Ok(Simulator::for_workload_observed(
+            return Simulator::for_workload_observed(
                 self.net,
                 self.routing,
                 self.cfg,
                 wl,
                 self.probe,
             )
-            .run_workload_observed());
+            .try_run_workload_observed();
         }
         let wall_start = std::time::Instant::now();
         let map = Arc::new(ShardMap::build(self.net, shards, self.cfg.partition));
@@ -1515,6 +1555,7 @@ impl<'a, P: ParProbe> ParSimulator<'a, P> {
             crate::WorkloadReport::build(model, timings, u64::from(self.cfg.packet_bytes), events);
         let mut probe = self.probe;
         for s in shards {
+            crate::sim::recycle_queues(s.switches, s.nodes);
             probe.absorb(s.probe);
         }
         (report, probe)

@@ -25,32 +25,59 @@
 //! The simulation is single-threaded and fully deterministic for a given
 //! seed: events at equal timestamps fire in scheduling order.
 
-use crate::engine::{EventQueue, Time};
+use crate::engine::{ChainClass, ChainQueue, EventQueue, Time};
 use crate::metrics::{LatencyStats, SimReport};
 use crate::packet::{Packet, PacketId, PacketSlab};
 use crate::probe::{NoopProbe, Phase, Probe};
 use crate::trace::{PacketTrace, TraceEvent};
 use crate::vlarb::VlArbiter;
-use crate::{InjectionProcess, PathSelection, SimConfig, TrafficPattern, VlAssignment};
-use ibfat_routing::Routing;
+use crate::{
+    InjectionProcess, PathSelection, RouteBackend, SimConfig, SimError, TrafficPattern,
+    VlAssignment,
+};
+use ibfat_routing::{RouteOracle, Routing};
 use ibfat_topology::{DeviceRef, Network, NodeId, PortNum};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
+use std::cell::RefCell;
 use std::collections::VecDeque;
 
 /// The scheduler seam: handlers emit future events through this trait,
 /// so the same dispatch code drives both the sequential engine (events go
-/// straight into the [`EventQueue`]) and the parallel engine (events are
+/// into the fused [`ChainQueue`]) and the parallel engine (events are
 /// keyed for deterministic ordering and routed to the owning shard's
 /// calendar or a cross-shard mailbox — see `par.rs`).
 pub trait Sched {
     fn schedule(&mut self, at: Time, ev: Ev);
+
+    /// Schedule an event whose delay is one of the run-constant
+    /// [`ChainClass`]es. The sequential engine diverts these onto FIFO
+    /// delay lines; every other scheduler falls back to the general
+    /// calendar, so the class is a pure performance hint — never a
+    /// semantic one.
+    #[inline]
+    fn schedule_chain(&mut self, class: ChainClass, at: Time, ev: Ev) {
+        let _ = class;
+        self.schedule(at, ev);
+    }
 }
 
 impl Sched for EventQueue<Ev> {
     #[inline]
     fn schedule(&mut self, at: Time, ev: Ev) {
         EventQueue::schedule(self, at, ev);
+    }
+}
+
+impl Sched for ChainQueue<Ev> {
+    #[inline]
+    fn schedule(&mut self, at: Time, ev: Ev) {
+        ChainQueue::schedule(self, at, ev);
+    }
+
+    #[inline]
+    fn schedule_chain(&mut self, class: ChainClass, at: Time, ev: Ev) {
+        ChainQueue::schedule_chain(self, class, at, ev);
     }
 }
 
@@ -139,6 +166,22 @@ pub(crate) struct NodeSt {
     pub(crate) busy_ns: u64,
 }
 
+/// How the data plane resolves `(switch, dlid) → output port` — the
+/// materialization behind [`RouteBackend`].
+#[derive(Debug)]
+pub(crate) enum RouteState {
+    /// All forwarding tables in one contiguous buffer:
+    /// `lft[sw * stride + lid]` is the 0-based output port
+    /// (`u8::MAX` = no entry). One allocation, stride-indexed, so the
+    /// per-hop lookup stays in cache across switches.
+    Table { lft: Vec<u8>, stride: usize },
+    /// Closed-form per-hop lookup (the paper's Eq. 1/Eq. 2) — no tables
+    /// in memory. `route_hop` returns `None` exactly where a pristine
+    /// table has no entry, so the drop semantics line up bit-for-bit
+    /// with the flattened table's `u8::MAX`.
+    Oracle(RouteOracle),
+}
+
 /// Simulator events.
 #[derive(Debug, Clone, Copy)]
 pub enum Ev {
@@ -189,7 +232,7 @@ pub enum Ev {
 /// [`NoopProbe`]). Every probe hook site is guarded by the probe's
 /// associated consts, so the unprobed simulator monomorphizes to exactly
 /// the pre-observability hot path.
-pub struct Simulator<'a, P: Probe = NoopProbe, Q = EventQueue<Ev>> {
+pub struct Simulator<'a, P: Probe = NoopProbe, Q = ChainQueue<Ev>> {
     pub(crate) cfg: SimConfig,
     pub(crate) pattern: TrafficPattern,
     pub(crate) offered_load: f64,
@@ -206,13 +249,9 @@ pub struct Simulator<'a, P: Probe = NoopProbe, Q = EventQueue<Ev>> {
     pub(crate) arb_table: Vec<(u8, u8)>,
 
     pub(crate) routing: &'a Routing,
-    /// All forwarding tables in one contiguous buffer:
-    /// `lft[sw * lft_stride + lid]` is the 0-based output port
-    /// (`u8::MAX` = no entry). One allocation, stride-indexed, so the
-    /// per-hop lookup stays in cache across switches.
-    pub(crate) lft: Vec<u8>,
-    /// Row length of `lft` (= max LID index + 1).
-    pub(crate) lft_stride: usize,
+    /// Per-hop route lookup state (flattened tables or the closed-form
+    /// oracle), per `cfg.route_backend`.
+    pub(crate) route: RouteState,
     /// Per-switch 0-based first up-port (= m/2), or `u8::MAX` for roots
     /// (which have no up-ports). Used by adaptive upward routing.
     pub(crate) up_ports_from: Vec<u8>,
@@ -254,8 +293,90 @@ pub struct Simulator<'a, P: Probe = NoopProbe, Q = EventQueue<Ev>> {
     /// Workload-mode state (message DAG, dependency counters, timings);
     /// `None` in pattern mode — the hot-path hooks cost one branch.
     pub(crate) wl: Option<Box<crate::workload::WlState>>,
+    /// First engine-invariant violation observed during dispatch (release
+    /// builds; debug builds assert instead). Checked by the run loops,
+    /// which abort and surface it through the `try_run_*` entry points.
+    pub(crate) invariant_err: Option<SimError>,
 
     pub(crate) probe: P,
+}
+
+/// Cap per queue family on the thread-local pool of recycled per-(port,
+/// VL) buffers: enough for an FT(16,3) simulator's full complement, and
+/// a few hundred KiB at most if a larger fabric drains into it.
+const POOL_CAP: usize = 1 << 16;
+
+/// Thread-local freelists of the per-(port, VL) `VecDeque` buffers. A
+/// finished run returns its (cleared) queues here and the next
+/// construction on the same thread draws from them, so sweeps and
+/// replications stop paying thousands of small allocations per operating
+/// point. Purely an allocation cache: drawn buffers are empty, and only
+/// their capacity differs from a fresh one.
+struct QueuePool {
+    in_q: Vec<VecDeque<InEntry>>,
+    out_q: Vec<VecDeque<OutEntry>>,
+    waiters: Vec<VecDeque<u8>>,
+    inj_q: Vec<VecDeque<PacketId>>,
+}
+
+thread_local! {
+    static QUEUE_POOL: RefCell<QueuePool> = const {
+        RefCell::new(QueuePool {
+            in_q: Vec::new(),
+            out_q: Vec::new(),
+            waiters: Vec::new(),
+            inj_q: Vec::new(),
+        })
+    };
+}
+
+/// Draw a buffer from one pool family (or allocate), guaranteeing at
+/// least `capacity` slots so the hot path never reallocates.
+fn pool_draw<T>(store: &mut Vec<VecDeque<T>>, capacity: usize) -> VecDeque<T> {
+    match store.pop() {
+        Some(mut q) => {
+            debug_assert!(q.is_empty(), "pooled queue was not cleared");
+            if q.capacity() < capacity {
+                q.reserve(capacity);
+            }
+            q
+        }
+        None => VecDeque::with_capacity(capacity),
+    }
+}
+
+/// Clear a drained simulator's buffer and return it to its pool family.
+fn pool_put<T>(store: &mut Vec<VecDeque<T>>, mut q: VecDeque<T>) {
+    if store.len() < POOL_CAP {
+        q.clear();
+        store.push(q);
+    }
+}
+
+/// Recycle every per-(port, VL) buffer of a finished simulator into the
+/// thread-local pool.
+pub(crate) fn recycle_queues(switches: Vec<Vec<SwPort>>, nodes: Vec<NodeSt>) {
+    QUEUE_POOL.with(|pool| {
+        let pool = &mut *pool.borrow_mut();
+        for ports in switches {
+            for p in ports {
+                for q in p.in_q {
+                    pool_put(&mut pool.in_q, q);
+                }
+                for q in p.out_q {
+                    pool_put(&mut pool.out_q, q);
+                }
+                for q in p.waiters {
+                    pool_put(&mut pool.waiters, q);
+                }
+            }
+        }
+        for n in nodes {
+            for q in n.inj_q {
+                pool_put(&mut pool.inj_q, q);
+            }
+        }
+    });
 }
 
 /// One pre-drawn injection event (see
@@ -326,7 +447,7 @@ impl<'a, P: Probe> Simulator<'a, P> {
         warmup_ns: Time,
         probe: P,
     ) -> Simulator<'a, P> {
-        let queue = EventQueue::with_kind(cfg.calendar);
+        let queue = ChainQueue::with_kind(cfg.calendar);
         Simulator::with_queue(
             net,
             routing,
@@ -367,17 +488,32 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
         let cap = cfg.buffer_packets;
         let arb_table = cfg.vl_arbitration.table(cfg.num_vls);
 
-        // Flatten forwarding tables to 0-based ports for the hot path:
-        // one contiguous stride-indexed buffer across all switches.
-        let lft_stride = routing.lid_space().max_lid().index() + 1;
-        let mut lft = vec![u8::MAX; net.num_switches() * lft_stride];
-        for sw in 0..net.num_switches() {
-            let table = routing.lft(ibfat_topology::SwitchId(sw as u32));
-            let row = &mut lft[sw * lft_stride..(sw + 1) * lft_stride];
-            for (lid, port) in table.entries() {
-                row[lid.index()] = port.0 - 1;
+        let route = match cfg.route_backend {
+            RouteBackend::Table => {
+                assert!(
+                    routing.has_tables(),
+                    "table route backend needs materialized forwarding tables; \
+                     this routing was built table-free"
+                );
+                // Flatten forwarding tables to 0-based ports for the hot
+                // path: one contiguous stride-indexed buffer across all
+                // switches.
+                let stride = routing.lid_space().max_lid().index() + 1;
+                let mut lft = vec![u8::MAX; net.num_switches() * stride];
+                for sw in 0..net.num_switches() {
+                    let table = routing.lft(ibfat_topology::SwitchId(sw as u32));
+                    let row = &mut lft[sw * stride..(sw + 1) * stride];
+                    for (lid, port) in table.entries() {
+                        row[lid.index()] = port.0 - 1;
+                    }
+                }
+                RouteState::Table { lft, stride }
             }
-        }
+            RouteBackend::Oracle => RouteState::Oracle(
+                RouteOracle::for_routing(routing)
+                    .expect("oracle route backend supports only the SLID/MLID schemes"),
+            ),
+        };
 
         let params = net.params();
         let up_ports_from: Vec<u8> = (0..net.num_switches())
@@ -393,89 +529,112 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
                 }
             })
             .collect();
-        if cfg.adaptive_up {
+        if cfg.adaptive_up || cfg.route_backend == RouteBackend::Oracle {
             let intact = (0..net.num_switches()).all(|sw| {
                 net.switch(ibfat_topology::SwitchId(sw as u32))
                     .peers()
                     .count()
                     == params.m() as usize
             });
-            assert!(intact, "adaptive upward routing requires an intact fabric");
+            if cfg.adaptive_up {
+                assert!(intact, "adaptive upward routing requires an intact fabric");
+            }
+            if cfg.route_backend == RouteBackend::Oracle {
+                // The oracle reproduces *pristine* tables; fault-repaired
+                // routings deviate from the closed form, so degraded
+                // fabrics must use the table backend.
+                assert!(
+                    intact,
+                    "oracle route backend requires an intact fabric (repaired \
+                     routings deviate from the closed-form tables)"
+                );
+            }
         }
 
         // Pre-size every per-(port, VL) queue from the topology: buffers
         // hold at most `cap` packets, and at most `m` inputs can wait on
-        // one output — so the hot path never reallocates.
+        // one output — so the hot path never reallocates. Buffers come
+        // from the thread-local freelist a previous run on this thread
+        // left behind (see [`QueuePool`]); only capacity is reused.
         let m = net.params().m() as usize;
-        fn queues<T>(num_vls: usize, capacity: usize) -> Vec<VecDeque<T>> {
-            (0..num_vls)
-                .map(|_| VecDeque::with_capacity(capacity))
-                .collect()
-        }
-        let switches: Vec<Vec<SwPort>> = (0..net.num_switches())
-            .map(|sw| {
-                (0..net.params().m())
-                    .map(|p| {
-                        let port = PortNum(p as u8 + 1);
-                        // Degraded subnets may have uncabled (failed)
-                        // ports; a repaired routing never forwards into
-                        // them, which `sw_try_output` asserts.
-                        let peer = net
-                            .peer_of(DeviceRef::Switch(ibfat_topology::SwitchId(sw as u32)), port)
-                            .map(|peer| match peer.device {
-                                DeviceRef::Switch(s) => PeerRef::SwitchPort {
-                                    sw: s.0,
-                                    port: peer.port.0 - 1,
-                                },
-                                DeviceRef::Node(n) => PeerRef::Node { node: n.0 },
-                            })
-                            .unwrap_or(PeerRef::Dead);
-                        SwPort {
-                            peer,
-                            busy_until: 0,
-                            retry_pending: false,
-                            arb: VlArbiter::new(&arb_table),
-                            credits: vec![cap; num_vls],
-                            out_q: queues(num_vls, cap as usize),
-                            waiters: queues(num_vls, m),
-                            in_q: queues(num_vls, cap as usize),
-                            busy_ns: 0,
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
+        let (switches, nodes) = QUEUE_POOL.with(|pool| {
+            let pool = &mut *pool.borrow_mut();
+            fn queues<T>(
+                store: &mut Vec<VecDeque<T>>,
+                num_vls: usize,
+                capacity: usize,
+            ) -> Vec<VecDeque<T>> {
+                (0..num_vls).map(|_| pool_draw(store, capacity)).collect()
+            }
+            let switches: Vec<Vec<SwPort>> = (0..net.num_switches())
+                .map(|sw| {
+                    (0..net.params().m())
+                        .map(|p| {
+                            let port = PortNum(p as u8 + 1);
+                            // Degraded subnets may have uncabled (failed)
+                            // ports; a repaired routing never forwards into
+                            // them, which `sw_try_output` asserts.
+                            let peer = net
+                                .peer_of(
+                                    DeviceRef::Switch(ibfat_topology::SwitchId(sw as u32)),
+                                    port,
+                                )
+                                .map(|peer| match peer.device {
+                                    DeviceRef::Switch(s) => PeerRef::SwitchPort {
+                                        sw: s.0,
+                                        port: peer.port.0 - 1,
+                                    },
+                                    DeviceRef::Node(n) => PeerRef::Node { node: n.0 },
+                                })
+                                .unwrap_or(PeerRef::Dead);
+                            SwPort {
+                                peer,
+                                busy_until: 0,
+                                retry_pending: false,
+                                arb: VlArbiter::new(&arb_table),
+                                credits: vec![cap; num_vls],
+                                out_q: queues(&mut pool.out_q, num_vls, cap as usize),
+                                waiters: queues(&mut pool.waiters, num_vls, m),
+                                in_q: queues(&mut pool.in_q, num_vls, cap as usize),
+                                busy_ns: 0,
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
 
-        let nodes: Vec<NodeSt> = (0..net.num_nodes())
-            .map(|n| {
-                // An isolated node (failed endport cable) neither sends
-                // nor receives; peers may still address it, and those
-                // packets are dropped at the first unprogrammed LFT entry.
-                let peer = net.peer_of(DeviceRef::Node(NodeId(n as u32)), PortNum(1));
-                let (peer_sw, peer_port, active) = match peer {
-                    Some(p) => match p.device {
-                        DeviceRef::Switch(s) => (s.0, p.port.0 - 1, true),
-                        DeviceRef::Node(_) => unreachable!("endports attach to switches"),
-                    },
-                    None => (u32::MAX, u8::MAX, false),
-                };
-                NodeSt {
-                    peer_sw,
-                    peer_port,
-                    // Source queues are unbounded; a few slots of headroom
-                    // covers the common transient backlog without growth.
-                    inj_q: queues(num_vls, 8),
-                    arb: VlArbiter::new(&arb_table),
-                    busy_until: 0,
-                    retry_pending: false,
-                    credits: vec![cap; num_vls],
-                    next_gen: 0.0,
-                    active,
-                    rr_offset: 0,
-                    busy_ns: 0,
-                }
-            })
-            .collect();
+            let nodes: Vec<NodeSt> = (0..net.num_nodes())
+                .map(|n| {
+                    // An isolated node (failed endport cable) neither sends
+                    // nor receives; peers may still address it, and those
+                    // packets are dropped at the first unprogrammed LFT entry.
+                    let peer = net.peer_of(DeviceRef::Node(NodeId(n as u32)), PortNum(1));
+                    let (peer_sw, peer_port, active) = match peer {
+                        Some(p) => match p.device {
+                            DeviceRef::Switch(s) => (s.0, p.port.0 - 1, true),
+                            DeviceRef::Node(_) => unreachable!("endports attach to switches"),
+                        },
+                        None => (u32::MAX, u8::MAX, false),
+                    };
+                    NodeSt {
+                        peer_sw,
+                        peer_port,
+                        // Source queues are unbounded; a few slots of headroom
+                        // covers the common transient backlog without growth.
+                        inj_q: queues(&mut pool.inj_q, num_vls, 8),
+                        arb: VlArbiter::new(&arb_table),
+                        busy_until: 0,
+                        retry_pending: false,
+                        credits: vec![cap; num_vls],
+                        next_gen: 0.0,
+                        active,
+                        rr_offset: 0,
+                        busy_ns: 0,
+                    }
+                })
+                .collect();
+            (switches, nodes)
+        });
 
         Simulator {
             pkt_ns: cfg.packet_time_ns(),
@@ -490,8 +649,7 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
             warmup_ns,
             pattern,
             routing,
-            lft,
-            lft_stride,
+            route,
             up_ports_from,
             switches,
             nodes,
@@ -517,6 +675,7 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
             trace_slots: Vec::new(),
             scripted_inj: None,
             wl: None,
+            invariant_err: None,
             cfg,
             probe,
         }
@@ -525,13 +684,28 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
 
 impl<'a, P: Probe> Simulator<'a, P> {
     /// Run to completion and produce the report.
+    ///
+    /// # Panics
+    /// Panics if an engine invariant is violated mid-run; use
+    /// [`try_run`](Simulator::try_run) to get a [`SimError`] instead.
     pub fn run(self) -> SimReport {
         self.run_observed().0
     }
 
     /// Run to completion; return the report and the probe with whatever
-    /// it observed.
-    pub fn run_observed(mut self) -> (SimReport, P) {
+    /// it observed. Panics like [`run`](Simulator::run).
+    pub fn run_observed(self) -> (SimReport, P) {
+        self.try_run_observed().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Run to completion, surfacing engine-invariant violations as a
+    /// [`SimError::EngineInvariant`] instead of panicking.
+    pub fn try_run(self) -> Result<SimReport, SimError> {
+        Ok(self.try_run_observed()?.0)
+    }
+
+    /// Fallible twin of [`run_observed`](Simulator::run_observed).
+    pub fn try_run_observed(mut self) -> Result<(SimReport, P), SimError> {
         let wall_start = std::time::Instant::now();
         // Prime every node with a randomly phased first injection so the
         // deterministic process does not fire in lockstep across nodes.
@@ -562,12 +736,15 @@ impl<'a, P: Probe> Simulator<'a, P> {
             } else {
                 self.dispatch(ev);
             }
+            if let Some(err) = self.invariant_err.take() {
+                return Err(err);
+            }
         }
         if P::COUNTERS || P::TIMING {
             self.probe.finish(self.now);
         }
         let wall = wall_start.elapsed().as_secs_f64();
-        self.report(wall)
+        Ok(self.report(wall))
     }
 }
 
@@ -811,7 +988,8 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
             self.probe
                 .node_xmit(self.now, node, vl as u8, self.cfg.packet_bytes);
         }
-        self.queue.schedule(
+        self.queue.schedule_chain(
+            ChainClass::Fly,
             self.now + self.fly,
             Ev::SwHeaderArrive {
                 sw,
@@ -821,7 +999,8 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
             },
         );
         // The next queued packet can follow once the link is clear.
-        self.queue.schedule(tx_end, Ev::TryNodeSend { node });
+        self.queue
+            .schedule_chain(ChainClass::Pkt, tx_end, Ev::TryNodeSend { node });
         self.nodes[node as usize].retry_pending = true;
     }
 
@@ -864,7 +1043,8 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
         // Immediate consumption: the endport buffer frees now; the credit
         // flies back to the leaf switch.
         let n = &self.nodes[node as usize];
-        self.queue.schedule(
+        self.queue.schedule_chain(
+            ChainClass::Fly,
             self.now + self.fly,
             Ev::CreditToSwitch {
                 sw: n.peer_sw,
@@ -897,19 +1077,35 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
                 .sw_rcv(self.now, sw, port, vl, self.cfg.packet_bytes, depth as u8);
         }
         if depth == 1 {
-            self.queue
-                .schedule(self.now + self.route_ns, Ev::SwRouteDone { sw, port, vl });
+            self.queue.schedule_chain(
+                ChainClass::Route,
+                self.now + self.route_ns,
+                Ev::SwRouteDone { sw, port, vl },
+            );
         }
     }
 
     fn sw_route_done(&mut self, sw: u32, port: u8, vl: u8) {
-        let head = self.switches[sw as usize][port as usize].in_q[vl as usize]
+        let Some(head) = self.switches[sw as usize][port as usize].in_q[vl as usize]
             .front()
             .copied()
-            .expect("route-done with empty input buffer");
+        else {
+            debug_assert!(false, "route-done with empty input buffer");
+            self.invariant_err = Some(SimError::EngineInvariant(format!(
+                "route-done with empty input buffer (switch {sw}, port {port}, \
+                 vl {vl}, t={})",
+                self.now
+            )));
+            return;
+        };
         debug_assert_eq!(head.state, InState::Routing);
         let dlid = self.slab.get(head.pkt).dlid;
-        let out_port = self.lft[sw as usize * self.lft_stride + dlid.index()];
+        let out_port = match &self.route {
+            RouteState::Table { lft, stride } => lft[sw as usize * stride + dlid.index()],
+            RouteState::Oracle(o) => o
+                .route_hop(ibfat_topology::SwitchId(sw), dlid)
+                .map_or(u8::MAX, |p| p.0 - 1),
+        };
         if out_port == u8::MAX {
             // No LFT entry (possible on degraded fabrics): the switch
             // discards the packet, per IBA semantics. The input buffer
@@ -1004,7 +1200,8 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
                 self.probe.out_buffer_depth(sw, out_port, vl, depth);
             }
             self.record(pkt, TraceEvent::Granted { sw, out_port });
-            self.queue.schedule(
+            self.queue.schedule_chain(
+                ChainClass::Pkt,
                 self.now + self.pkt_ns,
                 Ev::SwInputDeparted {
                     sw,
@@ -1039,7 +1236,8 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
             PeerRef::SwitchPort {
                 sw: usw,
                 port: uport,
-            } => self.queue.schedule(
+            } => self.queue.schedule_chain(
+                ChainClass::Fly,
                 self.now + self.fly,
                 Ev::CreditToSwitch {
                     sw: usw,
@@ -1047,17 +1245,22 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
                     vl,
                 },
             ),
-            PeerRef::Node { node } => self
-                .queue
-                .schedule(self.now + self.fly, Ev::CreditToNode { node, vl }),
+            PeerRef::Node { node } => self.queue.schedule_chain(
+                ChainClass::Fly,
+                self.now + self.fly,
+                Ev::CreditToNode { node, vl },
+            ),
             PeerRef::Dead => unreachable!("packets never arrive through a failed port"),
         }
         // The next buffered packet (fully or partially arrived) becomes
         // head and enters the routing stage.
         if let Some(entry) = next_head {
             debug_assert_eq!(entry.state, InState::Routing);
-            self.queue
-                .schedule(self.now + self.route_ns, Ev::SwRouteDone { sw, port, vl });
+            self.queue.schedule_chain(
+                ChainClass::Route,
+                self.now + self.route_ns,
+                Ev::SwRouteDone { sw, port, vl },
+            );
         }
     }
 
@@ -1094,7 +1297,8 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
             p.busy_until = tx_end;
             p.busy_ns += self.pkt_ns.min(self.sim_time_ns - self.now);
             let peer = p.peer;
-            self.queue.schedule(
+            self.queue.schedule_chain(
+                ChainClass::Pkt,
                 tx_end,
                 Ev::SwOutputDeparted {
                     sw,
@@ -1106,7 +1310,8 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
                 PeerRef::SwitchPort {
                     sw: dsw,
                     port: dport,
-                } => self.queue.schedule(
+                } => self.queue.schedule_chain(
+                    ChainClass::Fly,
                     self.now + self.fly,
                     Ev::SwHeaderArrive {
                         sw: dsw,
@@ -1115,7 +1320,8 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
                         pkt,
                     },
                 ),
-                PeerRef::Node { node } => self.queue.schedule(
+                PeerRef::Node { node } => self.queue.schedule_chain(
+                    ChainClass::FlyPkt,
                     self.now + self.fly + self.pkt_ns,
                     Ev::Deliver {
                         node,
@@ -1248,12 +1454,18 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
             } else {
                 0.0
             },
+            packets_per_sec: if wall_secs > 0.0 {
+                self.total_delivered as f64 / wall_secs
+            } else {
+                0.0
+            },
             mean_link_utilization: total_busy as f64 / (links as f64 * span),
             max_link_utilization: max_busy as f64 / span,
             link_utilization,
             traces: (self.cfg.trace_first_packets > 0).then_some(self.traces),
             out_of_order: self.out_of_order,
         };
+        recycle_queues(self.switches, self.nodes);
         (report, self.probe)
     }
 }

@@ -27,7 +27,7 @@
 //! the moment the notification arrives, with no shared RNG stream to
 //! preserve.
 
-use crate::engine::Time;
+use crate::engine::{ChainClass, Time};
 use crate::packet::{Packet, PacketId};
 use crate::probe::Probe;
 use crate::sim::{Ev, Sched, Simulator};
@@ -244,7 +244,8 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
         for idx in 0..wl.dependents[i].len() {
             let d = wl.dependents[i][idx];
             let node = wl.wl.messages[d as usize].src.0;
-            self.queue.schedule(at, Ev::WlArm { node, msg: d });
+            self.queue
+                .schedule_chain(ChainClass::Fly, at, Ev::WlArm { node, msg: d });
         }
     }
 }
@@ -314,15 +315,33 @@ impl<'a, P: Probe> Simulator<'a, P> {
     }
 
     /// Drive the workload to completion and report.
+    ///
+    /// # Panics
+    /// Panics if an engine invariant is violated mid-run; use
+    /// [`try_run_workload`](Simulator::try_run_workload) for a
+    /// [`SimError`] instead.
     pub fn run_workload(self) -> WorkloadReport {
         self.run_workload_observed().0
     }
 
     /// Drive the workload to completion; return the report and the
-    /// probe. Unlike [`run_observed`](Simulator::run_observed), the loop
-    /// has no horizon: it ends when the calendar drains, which (absent
-    /// drops) is exactly when the last message completes.
-    pub fn run_workload_observed(mut self) -> (WorkloadReport, P) {
+    /// probe. Panics like [`run_workload`](Simulator::run_workload).
+    pub fn run_workload_observed(self) -> (WorkloadReport, P) {
+        self.try_run_workload_observed()
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`run_workload`](Simulator::run_workload).
+    pub fn try_run_workload(self) -> Result<WorkloadReport, SimError> {
+        Ok(self.try_run_workload_observed()?.0)
+    }
+
+    /// Fallible twin of
+    /// [`run_workload_observed`](Simulator::run_workload_observed).
+    /// Unlike [`run_observed`](Simulator::run_observed), the loop has no
+    /// horizon: it ends when the calendar drains, which (absent drops)
+    /// is exactly when the last message completes.
+    pub fn try_run_workload_observed(mut self) -> Result<(WorkloadReport, P), SimError> {
         // Prime the DAG roots node-major (per node, ascending id): the
         // parallel engine reproduces this exact order with its initial
         // lineage keys.
@@ -352,11 +371,14 @@ impl<'a, P: Probe> Simulator<'a, P> {
             } else {
                 self.dispatch(ev);
             }
+            if let Some(err) = self.invariant_err.take() {
+                return Err(err);
+            }
         }
         if P::COUNTERS || P::TIMING {
             self.probe.finish(self.now);
         }
-        self.wl_finish()
+        Ok(self.wl_finish())
     }
 
     /// Close out a drained workload run: every message must have
@@ -378,6 +400,7 @@ impl<'a, P: Probe> Simulator<'a, P> {
             u64::from(self.cfg.packet_bytes),
             self.events_processed,
         );
+        crate::sim::recycle_queues(self.switches, self.nodes);
         (report, self.probe)
     }
 }

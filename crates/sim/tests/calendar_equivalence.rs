@@ -116,6 +116,7 @@ fn report_with(kind: CalendarKind) -> SimReport {
     );
     // The only host-dependent field; everything else must match exactly.
     report.events_per_sec = 0.0;
+    report.packets_per_sec = 0.0;
     report
 }
 

@@ -127,10 +127,13 @@ fn probed_run_is_bit_identical_to_unprobed() {
     let mut a = plain;
     let mut b = counted;
     let mut c = noop;
-    // The only non-deterministic field is wall-clock throughput.
+    // The only non-deterministic fields are wall-clock throughput.
     a.events_per_sec = 0.0;
     b.events_per_sec = 0.0;
     c.events_per_sec = 0.0;
+    a.packets_per_sec = 0.0;
+    b.packets_per_sec = 0.0;
+    c.packets_per_sec = 0.0;
     assert_eq!(a, b);
     assert_eq!(a, c);
 }

@@ -10,15 +10,17 @@
 use ibfat_routing::{Routing, RoutingKind};
 use ibfat_sim::{
     generators, run_once, run_once_par, run_workload, run_workload_par, traces_to_jsonl,
-    CalendarKind, ClosedLoopKind, FabricCounters, ParSimulator, PartitionKind, RunSpec, SimConfig,
-    SimReport, Simulator, TraceSampling, TrafficPattern, WindowPolicy, Workload,
+    CalendarKind, ClosedLoopKind, FabricCounters, ParSimulator, PartitionKind, RouteBackend,
+    RunSpec, SimConfig, SimReport, Simulator, TraceSampling, TrafficPattern, WindowPolicy,
+    Workload,
 };
 use ibfat_topology::{Network, NodeId, TreeParams};
 use proptest::prelude::*;
 
 fn normalized(mut r: SimReport) -> SimReport {
-    // The only host-dependent field; everything else must match exactly.
+    // The only host-dependent fields; everything else must match exactly.
     r.events_per_sec = 0.0;
+    r.packets_per_sec = 0.0;
     r
 }
 
@@ -62,6 +64,10 @@ proptest! {
             Just(WindowPolicy::Adaptive),
             Just(WindowPolicy::Fixed),
         ],
+        route_backend in prop_oneof![
+            Just(RouteBackend::Table),
+            Just(RouteBackend::Oracle),
+        ],
     ) {
         // Keep the simulated horizon small: proptest runs many cases,
         // and FT(8,3) has 512 nodes.
@@ -75,6 +81,7 @@ proptest! {
             calendar,
             partition,
             window_policy,
+            route_backend,
             ..SimConfig::default()
         };
         let pattern = TrafficPattern::Uniform;
