@@ -38,6 +38,13 @@ options:
   --threads N                    simulation worker threads (default 1;
                                  0 = all cores; any N yields
                                  bit-identical results)
+  --processes N                  simulate/run: split the sharded engine
+                                 across N worker processes (composes
+                                 with --threads: the shard count is
+                                 max(threads, processes), placed N
+                                 workers wide; reports stay
+                                 bit-identical at any process count;
+                                 pristine fabric only)
   --partition fat-tree|block     parallel shard partitioner
                                  (default fat-tree)
   --route-backend table|oracle   simulate/run, sweep, counters, workload,
@@ -103,6 +110,8 @@ pub struct Cmd {
     pub seed: Option<u64>,
     /// Simulation worker threads (1 = sequential engine, 0 = all cores).
     pub threads: usize,
+    /// Worker processes for `simulate` (1 = in-process engine).
+    pub processes: usize,
     /// Shard partitioner for the parallel engine.
     pub partition: PartitionKind,
     /// Forwarding-state backend for the packet engine (table or oracle).
@@ -249,6 +258,7 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
         time_ns: 200_000,
         seed: None,
         threads: 1,
+        processes: 1,
         partition: PartitionKind::FatTree,
         route_backend: RouteBackend::Table,
         fail_links: Vec::new(),
@@ -310,6 +320,15 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
                 cmd.threads = next_value(&mut it, arg)?
                     .parse()
                     .map_err(|_| "bad --threads value".to_string())?;
+            }
+            "--processes" => {
+                let p: usize = next_value(&mut it, arg)?
+                    .parse()
+                    .map_err(|_| "bad --processes value".to_string())?;
+                if p == 0 {
+                    return Err("--processes must be positive".into());
+                }
+                cmd.processes = p;
             }
             "--partition" => {
                 cmd.partition = match next_value(&mut it, arg)?.as_str() {
@@ -575,6 +594,21 @@ mod tests {
         let cmd = parse(&argv("run 4x2 --threads 0")).unwrap();
         assert_eq!(cmd.threads, 0);
         assert!(parse(&argv("run 4x2 --threads lots")).is_err());
+    }
+
+    #[test]
+    fn parses_processes() {
+        let cmd = parse(&argv("run 8x3 --processes 2")).unwrap();
+        assert_eq!(cmd.processes, 2);
+        assert_eq!(cmd.threads, 1);
+        // Composes with --threads: both survive parsing untouched.
+        let cmd = parse(&argv("run 8x3 --threads 4 --processes 2")).unwrap();
+        assert_eq!((cmd.threads, cmd.processes), (4, 2));
+        // Default is the in-process engine.
+        let cmd = parse(&argv("run 8x3")).unwrap();
+        assert_eq!(cmd.processes, 1);
+        assert!(parse(&argv("run 8x3 --processes 0")).is_err());
+        assert!(parse(&argv("run 8x3 --processes many")).is_err());
     }
 
     #[test]

@@ -9,6 +9,14 @@ use ib_fabric::{EngineTelemetry, SwitchId};
 
 /// Run a parsed command.
 pub fn run(cmd: Cmd) -> Result<(), String> {
+    if cmd.processes > 1 && cmd.action != Action::Simulate {
+        return Err(
+            "--processes is only supported for simulate/run (pattern mode); \
+             workload, counters and the other commands run in-process — \
+             use --threads there"
+                .into(),
+        );
+    }
     let fabric = build_fabric(&cmd)?;
     match cmd.action {
         Action::Info => info(&cmd, &fabric),
@@ -227,24 +235,81 @@ pub fn collect_telemetry(
     Ok(experiment.run_telemetry())
 }
 
-fn simulate(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
-    let mut experiment = fabric
-        .experiment()
-        .virtual_lanes(cmd.vls)
-        .traffic(pattern_of(cmd, fabric))
-        .offered_load(cmd.load)
-        .duration_ns(cmd.time_ns)
-        .threads(cmd.threads)
-        .partition(cmd.partition)
-        .route_backend(cmd.route_backend);
-    if let Some(seed) = cmd.seed {
-        experiment = experiment.seed(seed);
+/// Run `simulate` on the multi-process driver: the same shard engine,
+/// each contiguous shard range in its own worker process behind the
+/// deterministic message bridge. Reports are bit-identical to the
+/// in-process engines; workers materialize only their own switches'
+/// forwarding state.
+fn simulate_proc(
+    cmd: &Cmd,
+    fabric: &Fabric,
+) -> Result<(SimReport, Option<EngineTelemetry>), String> {
+    if !cmd.fail_links.is_empty() {
+        return Err(
+            "--processes requires a pristine fabric (workers rebuild the \
+             topology from its parameters); drop --fail-links or run \
+             in-process with --threads"
+                .into(),
+        );
     }
-    let (report, telemetry) = if cmd.telemetry {
-        let (r, t) = experiment.run_telemetry();
-        (r, Some(t))
+    let mut cfg = ibfat_sim::SimConfig {
+        num_vls: cmd.vls,
+        partition: cmd.partition,
+        route_backend: cmd.route_backend,
+        ..ibfat_sim::SimConfig::default()
+    };
+    if let Some(seed) = cmd.seed {
+        cfg.seed = seed;
+    }
+    let threads = if cmd.threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
     } else {
-        (experiment.run(), None)
+        cmd.threads
+    };
+    let sim = ibfat_driver::ProcSimulator::new(
+        cmd.m,
+        cmd.n,
+        cmd.scheme,
+        cfg,
+        pattern_of(cmd, fabric),
+        cmd.load,
+        cmd.time_ns,
+        cmd.time_ns / 5,
+        threads.max(cmd.processes),
+        cmd.processes,
+    );
+    if cmd.telemetry {
+        let (report, _, tel) = sim.run_telemetry().map_err(|e| e.to_string())?;
+        Ok((report, Some(tel)))
+    } else {
+        Ok((sim.run().map_err(|e| e.to_string())?, None))
+    }
+}
+
+fn simulate(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
+    let (report, telemetry) = if cmd.processes > 1 {
+        simulate_proc(cmd, fabric)?
+    } else {
+        let mut experiment = fabric
+            .experiment()
+            .virtual_lanes(cmd.vls)
+            .traffic(pattern_of(cmd, fabric))
+            .offered_load(cmd.load)
+            .duration_ns(cmd.time_ns)
+            .threads(cmd.threads)
+            .partition(cmd.partition)
+            .route_backend(cmd.route_backend);
+        if let Some(seed) = cmd.seed {
+            experiment = experiment.seed(seed);
+        }
+        if cmd.telemetry {
+            let (r, t) = experiment.run_telemetry();
+            (r, Some(t))
+        } else {
+            (experiment.run(), None)
+        }
     };
     if cmd.json {
         println!("{}", report_to_json(&report));

@@ -1,0 +1,9 @@
+//! Dedicated worker executable for the multi-process driver. The
+//! production binaries (`ibfat`, the bench harness) re-exec themselves
+//! via `maybe_run_worker`, but tests and external supervisors can
+//! point `IBFAT_WORKER_EXE` (or the `worker_exe` builder knob) at this
+//! bin to get a worker with nothing else linked in.
+
+fn main() {
+    std::process::exit(ibfat_driver::worker_main());
+}

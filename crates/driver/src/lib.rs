@@ -1,0 +1,868 @@
+//! Multi-process execution driver for the sharded simulator.
+//!
+//! [`ProcSimulator`] runs the same conservatively-synchronized shard
+//! engine as `ibfat_sim::ParSimulator`, but places each contiguous
+//! shard range in its own worker *process*. Workers rebuild their
+//! subfabric locally (only the forwarding tables of owned switches are
+//! materialized — the per-process memory win), run their shards
+//! sequentially inside each synchronization window, and talk to the
+//! parent over a hand-rolled length-prefixed pipe protocol
+//! (stdin/stdout, std only). The parent never simulates: it is a vote
+//! reducer and blob router, mirroring the window clock so that it
+//! agrees with every child about the final window.
+//!
+//! The determinism contract is inherited wholesale from
+//! `ibfat_sim::dist`: reports are **bit-identical** to the sequential
+//! `Simulator` and the threaded `ParSimulator` at any process count.
+//! The driver adds only transport — framing, process supervision, and
+//! failure mapping (a dead worker surfaces as
+//! [`SimError::WorkerPanicked`] with its stderr tail, a protocol
+//! violation as [`SimError::Bridge`]).
+//!
+//! ## Frame format
+//!
+//! Every frame is `u32` little-endian payload length, then payload;
+//! the first payload byte is the tag:
+//!
+//! | tag | direction      | body                                         |
+//! |-----|----------------|----------------------------------------------|
+//! | 0   | parent → child | Hello: `DistSpec::encode`                    |
+//! | 1   | child → parent | WindowEnd: vote `u64`, blob count `u32`, each blob `src u32, dst u32, len u32, bytes` |
+//! | 2   | parent → child | WindowGrant: `g u64`, blobs as above          |
+//! | 3   | child → parent | Finished: `VmHWM kB u64`, bridge bytes `u64`, windows `u64`, partial blobs, telemetry blobs (both `u32` count, each `u32` len + bytes) |
+//! | 4   | child → parent | Error: `SimError` kind `u8`, message bytes    |
+//!
+//! One WindowEnd/WindowGrant pair per synchronization window; after
+//! the final grant every child sends Finished and exits.
+
+use ibfat_routing::{Routing, RoutingKind};
+use ibfat_sim::dist::{
+    decode_shard_telemetry, parent_report, run_child, ChannelBlob, ChildBridge, ChildOutcome,
+    DistSpec, WindowClock,
+};
+use ibfat_sim::{
+    EngineTelemetry, ParSimulator, RouteBackend, ShardTelemetry, SimConfig, SimError, SimReport,
+    TrafficPattern,
+};
+use ibfat_topology::{Network, TreeParams};
+use std::io::{self, Read, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::time::Instant;
+
+/// Environment variable that flips a binary into worker mode. The
+/// supervisor sets it to `1` when spawning; [`maybe_run_worker`]
+/// checks it before any argument parsing.
+pub const WORKER_ENV: &str = "IBFAT_DRIVER_WORKER";
+
+/// Environment variable overriding which executable to spawn as the
+/// worker (highest-priority default is the [`ProcSimulator::worker_exe`]
+/// builder knob, then this, then `current_exe()`).
+pub const WORKER_EXE_ENV: &str = "IBFAT_WORKER_EXE";
+
+const TAG_HELLO: u8 = 0;
+const TAG_WINDOW_END: u8 = 1;
+const TAG_WINDOW_GRANT: u8 = 2;
+const TAG_FINISHED: u8 = 3;
+const TAG_ERROR: u8 = 4;
+
+/// Upper bound on a single frame; a corrupt length prefix must not
+/// provoke a multi-gigabyte allocation.
+const MAX_FRAME: usize = 1 << 30;
+
+/// Keep only this much of a dead worker's stderr for the diagnostic.
+const STDERR_TAIL: usize = 8 * 1024;
+
+fn bridge_err(msg: impl Into<String>) -> SimError {
+    SimError::Bridge(msg.into())
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+fn put_u32(o: &mut Vec<u8>, v: u32) {
+    o.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(o: &mut Vec<u8>, v: u64) {
+    o.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Checked reader over a frame payload.
+struct Rd<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn new(b: &'a [u8]) -> Rd<'a> {
+        Rd { b, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SimError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.b.len())
+            .ok_or_else(|| bridge_err("truncated frame"))?;
+        let s = &self.b[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, SimError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SimError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SimError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, SimError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn rest(self) -> &'a [u8] {
+        &self.b[self.pos..]
+    }
+
+    fn finish(self) -> Result<(), SimError> {
+        if self.pos == self.b.len() {
+            Ok(())
+        } else {
+            Err(bridge_err("trailing bytes after frame payload"))
+        }
+    }
+}
+
+fn encode_blobs(o: &mut Vec<u8>, blobs: &[ChannelBlob]) {
+    put_u32(o, blobs.len() as u32);
+    for b in blobs {
+        put_u32(o, b.src);
+        put_u32(o, b.dst);
+        put_u32(o, b.bytes.len() as u32);
+        o.extend_from_slice(&b.bytes);
+    }
+}
+
+fn decode_blobs(r: &mut Rd) -> Result<Vec<ChannelBlob>, SimError> {
+    let n = r.u32()? as usize;
+    let mut blobs = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let src = r.u32()?;
+        let dst = r.u32()?;
+        let bytes = r.bytes()?;
+        blobs.push(ChannelBlob { src, dst, bytes });
+    }
+    Ok(blobs)
+}
+
+fn encode_error(e: &SimError) -> Vec<u8> {
+    let (kind, msg) = match e {
+        SimError::InvalidPattern(m) => (0u8, m),
+        SimError::InvalidWorkload(m) => (1, m),
+        SimError::WorkerPanicked(m) => (2, m),
+        SimError::EngineInvariant(m) => (3, m),
+        SimError::Bridge(m) => (4, m),
+    };
+    let mut o = vec![TAG_ERROR, kind];
+    o.extend_from_slice(msg.as_bytes());
+    o
+}
+
+fn decode_error(r: Rd) -> SimError {
+    let mut r = r;
+    let kind = r.u8().unwrap_or(4);
+    let msg = String::from_utf8_lossy(r.rest()).into_owned();
+    match kind {
+        0 => SimError::InvalidPattern(msg),
+        1 => SimError::InvalidWorkload(msg),
+        2 => SimError::WorkerPanicked(msg),
+        3 => SimError::EngineInvariant(msg),
+        _ => SimError::Bridge(msg),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker (child) side
+// ---------------------------------------------------------------------
+
+/// Peak resident set of this process (VmHWM, kB). Returns 0 when
+/// `/proc` is unavailable.
+pub fn vm_hwm_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+struct PipeBridge<'a, R: Read, W: Write> {
+    r: &'a mut R,
+    w: &'a mut W,
+}
+
+impl<R: Read, W: Write> ChildBridge for PipeBridge<'_, R, W> {
+    fn exchange(
+        &mut self,
+        vote: u64,
+        out: Vec<ChannelBlob>,
+    ) -> Result<(u64, Vec<ChannelBlob>), SimError> {
+        let mut payload = vec![TAG_WINDOW_END];
+        put_u64(&mut payload, vote);
+        encode_blobs(&mut payload, &out);
+        write_frame(self.w, &payload).map_err(|e| bridge_err(format!("parent pipe: {e}")))?;
+        let frame = read_frame(self.r).map_err(|e| bridge_err(format!("parent pipe: {e}")))?;
+        let mut r = Rd::new(&frame);
+        match r.u8()? {
+            TAG_WINDOW_GRANT => {
+                let g = r.u64()?;
+                let blobs = decode_blobs(&mut r)?;
+                r.finish()?;
+                Ok((g, blobs))
+            }
+            t => Err(bridge_err(format!("expected WindowGrant, got tag {t}"))),
+        }
+    }
+}
+
+fn worker_run(r: &mut impl Read, w: &mut impl Write) -> Result<(), SimError> {
+    let hello = read_frame(r).map_err(|e| bridge_err(format!("reading Hello: {e}")))?;
+    let mut rd = Rd::new(&hello);
+    if rd.u8()? != TAG_HELLO {
+        return Err(bridge_err("first frame was not Hello"));
+    }
+    let spec = DistSpec::decode(rd.rest())?;
+    let mut bridge = PipeBridge { r, w };
+    let ChildOutcome {
+        partials,
+        telemetry,
+        bridge_bytes_out,
+        windows,
+    } = run_child(&spec, &mut bridge)?;
+    let mut payload = vec![TAG_FINISHED];
+    put_u64(&mut payload, vm_hwm_kb());
+    put_u64(&mut payload, bridge_bytes_out);
+    put_u64(&mut payload, windows);
+    put_u32(&mut payload, partials.len() as u32);
+    for p in &partials {
+        put_u32(&mut payload, p.len() as u32);
+        payload.extend_from_slice(p);
+    }
+    put_u32(&mut payload, telemetry.len() as u32);
+    for t in &telemetry {
+        put_u32(&mut payload, t.len() as u32);
+        payload.extend_from_slice(t);
+    }
+    write_frame(w, &payload).map_err(|e| bridge_err(format!("writing Finished: {e}")))
+}
+
+/// The worker process entry point: speak the bridge protocol on
+/// stdin/stdout until the run completes, returning the process exit
+/// code. Simulation errors are reported to the parent as an Error
+/// frame (best-effort — if the parent is gone, exiting non-zero is all
+/// that is left).
+pub fn worker_main() -> i32 {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut r = io::BufReader::new(stdin.lock());
+    let mut w = io::BufWriter::new(stdout.lock());
+    match worker_run(&mut r, &mut w) {
+        Ok(()) => 0,
+        Err(e) => {
+            let _ = write_frame(&mut w, &encode_error(&e));
+            1
+        }
+    }
+}
+
+/// Call this first thing in `main()` of any binary that may be used as
+/// a worker executable (the CLI, the bench harness): if the supervisor
+/// spawned this process, it never returns — the process runs the
+/// worker protocol and exits.
+pub fn maybe_run_worker() {
+    if std::env::var_os(WORKER_ENV).is_some_and(|v| v == "1") {
+        std::process::exit(worker_main());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Supervisor (parent) side
+// ---------------------------------------------------------------------
+
+struct Worker {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: io::BufReader<ChildStdout>,
+    stderr: Option<std::thread::JoinHandle<Vec<u8>>>,
+    lo: u32,
+    hi: u32,
+}
+
+impl Worker {
+    /// Turn an I/O failure on this worker's pipes into the most
+    /// specific error available: if the process died, its exit status
+    /// and stderr tail; otherwise a bridge transport error.
+    fn diagnose(&mut self, context: &str, err: &dyn std::fmt::Display) -> SimError {
+        let _ = self.child.kill();
+        let status = self.child.wait().ok();
+        let tail = self
+            .stderr
+            .take()
+            .and_then(|h| h.join().ok())
+            .map(|b| String::from_utf8_lossy(&b).trim().to_string())
+            .unwrap_or_default();
+        let died = status.map(|s| !s.success()).unwrap_or(true);
+        let mut msg = format!(
+            "worker for shards {}..{} ({context}): {err}",
+            self.lo, self.hi
+        );
+        if let Some(s) = status {
+            msg.push_str(&format!("; exit: {s}"));
+        }
+        if !tail.is_empty() {
+            msg.push_str(&format!("; stderr: {tail}"));
+        }
+        if died {
+            SimError::WorkerPanicked(msg)
+        } else {
+            bridge_err(msg)
+        }
+    }
+}
+
+/// What a worker reported back in its Finished frame.
+struct Finished {
+    rss_kb: u64,
+    bridge_bytes: u64,
+    windows: u64,
+    partials: Vec<Vec<u8>>,
+    telemetry: Vec<Vec<u8>>,
+}
+
+/// Transport-level statistics of a multi-process run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcStats {
+    /// Worker processes actually spawned (0 = the run was delegated to
+    /// the in-process engine).
+    pub processes: usize,
+    /// Largest per-worker peak resident set (VmHWM, kB) — for the
+    /// delegated path, this process's own VmHWM.
+    pub max_worker_rss_kb: u64,
+    /// Total message-payload bytes serialized across the bridge.
+    pub bridge_bytes: u64,
+    /// Synchronization windows driven over the bridge.
+    pub windows: u64,
+}
+
+/// Multi-process counterpart of `ParSimulator`: same inputs plus a
+/// process count, same bit-identical report. `shards` plays the role
+/// of `threads` — it fixes the shard decomposition (and therefore the
+/// report-irrelevant execution order), while `processes` only chooses
+/// how the shards are placed. `--threads 4 --processes 2` thus means
+/// "the 4-shard run, split across 2 workers".
+///
+/// Unlike the in-process engines this type owns its inputs (workers
+/// rebuild fabric and routing from parameters), so it is constructed
+/// from `(m, n, scheme)` rather than borrowed `Network`/`Routing`.
+pub struct ProcSimulator {
+    m: u32,
+    n: u32,
+    kind: RoutingKind,
+    cfg: SimConfig,
+    pattern: TrafficPattern,
+    offered_load: f64,
+    sim_time_ns: u64,
+    warmup_ns: u64,
+    shards: usize,
+    processes: usize,
+    worker_exe: Option<PathBuf>,
+    force_spawn: bool,
+}
+
+impl ProcSimulator {
+    /// A multi-process pattern-mode run over the pristine m-port
+    /// n-tree. Feasibility clamps mirror the threaded engine: shard
+    /// count is clamped to the switch count, the process count to the
+    /// shard count, and infeasible sharding (one shard, zero
+    /// lookahead) falls back to the in-process engine.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        m: u32,
+        n: u32,
+        kind: RoutingKind,
+        cfg: SimConfig,
+        pattern: TrafficPattern,
+        offered_load: f64,
+        sim_time_ns: u64,
+        warmup_ns: u64,
+        shards: usize,
+        processes: usize,
+    ) -> ProcSimulator {
+        ProcSimulator {
+            m,
+            n,
+            kind,
+            cfg,
+            pattern,
+            offered_load,
+            sim_time_ns,
+            warmup_ns,
+            shards,
+            processes,
+            worker_exe: None,
+            force_spawn: false,
+        }
+    }
+
+    /// Explicit worker executable (tests point this at the
+    /// `ibfat-worker` bin; production binaries re-exec themselves via
+    /// [`maybe_run_worker`]). Overrides the `IBFAT_WORKER_EXE`
+    /// environment variable.
+    pub fn worker_exe(mut self, exe: impl Into<PathBuf>) -> ProcSimulator {
+        self.worker_exe = Some(exe.into());
+        self
+    }
+
+    /// Spawn workers even for a single-process run instead of
+    /// delegating to the in-process engine. Used to measure a lone
+    /// worker's resident set without the parent's allocations in the
+    /// way.
+    pub fn force_spawn(mut self, on: bool) -> ProcSimulator {
+        self.force_spawn = on;
+        self
+    }
+
+    /// Run to completion and produce the report.
+    pub fn run(self) -> Result<SimReport, SimError> {
+        Ok(self.execute(false)?.0)
+    }
+
+    /// Run to completion; return the report and the bridge statistics.
+    pub fn run_stats(self) -> Result<(SimReport, ProcStats), SimError> {
+        let (report, stats, _) = self.execute(false)?;
+        Ok((report, stats))
+    }
+
+    /// Run with per-shard engine telemetry on; the report stays
+    /// bit-identical to an untelemetered run (telemetry only adds
+    /// bridge-wait sampling on the child side).
+    pub fn run_telemetry(self) -> Result<(SimReport, ProcStats, EngineTelemetry), SimError> {
+        self.execute(true)
+    }
+
+    fn resolve_exe(&self) -> Result<PathBuf, SimError> {
+        if let Some(exe) = &self.worker_exe {
+            return Ok(exe.clone());
+        }
+        if let Some(exe) = std::env::var_os(WORKER_EXE_ENV) {
+            return Ok(PathBuf::from(exe));
+        }
+        std::env::current_exe()
+            .map_err(|e| bridge_err(format!("cannot resolve worker executable: {e}")))
+    }
+
+    fn execute(self, telemetry: bool) -> Result<(SimReport, ProcStats, EngineTelemetry), SimError> {
+        self.cfg
+            .validate()
+            .map_err(|e| bridge_err(format!("invalid config: {e}")))?;
+        let params = TreeParams::new(self.m, self.n)
+            .map_err(|e| bridge_err(format!("invalid tree parameters: {e}")))?;
+        let net = Network::mport_ntree(params);
+        self.pattern.validate(net.num_nodes() as u32)?;
+        let shards = self.shards.clamp(1, net.num_switches());
+        let processes = self.processes.clamp(1, shards.max(1));
+        let infeasible = shards < 2 || self.cfg.lookahead_ns() == 0;
+        if infeasible || (processes == 1 && !self.force_spawn) {
+            // Delegate to the in-process engine: identical by the
+            // threaded engine's own equivalence contract.
+            let routing = build_routing(&net, self.kind, self.cfg.route_backend);
+            let par = ParSimulator::new(
+                &net,
+                &routing,
+                self.cfg.clone(),
+                self.pattern.clone(),
+                self.offered_load,
+                self.sim_time_ns,
+                self.warmup_ns,
+                shards,
+            );
+            let stats = ProcStats {
+                processes: 0,
+                max_worker_rss_kb: 0,
+                bridge_bytes: 0,
+                windows: 0,
+            };
+            let (report, tel) = if telemetry {
+                par.run_telemetry()?
+            } else {
+                let lookahead = self.cfg.lookahead_ns();
+                (par.run()?, EngineTelemetry::sequential(lookahead))
+            };
+            let stats = ProcStats {
+                max_worker_rss_kb: vm_hwm_kb(),
+                ..stats
+            };
+            return Ok((report, stats, tel));
+        }
+        self.supervise(&net, shards, processes, telemetry)
+    }
+
+    /// The hub loop: spawn workers, drive the window protocol, merge.
+    fn supervise(
+        &self,
+        net: &Network,
+        shards: usize,
+        processes: usize,
+        telemetry: bool,
+    ) -> Result<(SimReport, ProcStats, EngineTelemetry), SimError> {
+        let wall_start = Instant::now();
+        let exe = self.resolve_exe()?;
+        let spec = DistSpec {
+            m: self.m,
+            n: self.n,
+            kind: self.kind,
+            cfg: self.cfg.clone(),
+            pattern: self.pattern.clone(),
+            offered_load: self.offered_load,
+            sim_time_ns: self.sim_time_ns,
+            warmup_ns: self.warmup_ns,
+            shards: shards as u32,
+            lo: 0,
+            hi: 0,
+            telemetry,
+        };
+        let mut workers = Vec::with_capacity(processes);
+        for (lo, hi) in split_ranges(shards, processes) {
+            workers.push(spawn_worker(&exe, &spec, lo, hi)?);
+        }
+        let result = drive_protocol(&mut workers, &self.cfg, self.sim_time_ns);
+        let finished = match result {
+            Ok(f) => f,
+            Err(e) => {
+                for w in &mut workers {
+                    let _ = w.child.kill();
+                    let _ = w.child.wait();
+                }
+                return Err(e);
+            }
+        };
+        let mut partials = Vec::with_capacity(shards);
+        let mut tel_blobs = Vec::new();
+        let mut stats = ProcStats {
+            processes,
+            ..ProcStats::default()
+        };
+        for f in &finished {
+            stats.max_worker_rss_kb = stats.max_worker_rss_kb.max(f.rss_kb);
+            stats.bridge_bytes += f.bridge_bytes;
+            stats.windows = stats.windows.max(f.windows);
+            partials.extend(f.partials.iter().cloned());
+            tel_blobs.extend(f.telemetry.iter().cloned());
+        }
+        if partials.len() != shards {
+            return Err(bridge_err(format!(
+                "workers returned {} shard partials, expected {shards}",
+                partials.len()
+            )));
+        }
+        let routing = build_routing(net, self.kind, self.cfg.route_backend);
+        let report = parent_report(
+            net,
+            &routing,
+            &self.cfg,
+            &self.pattern,
+            self.offered_load,
+            self.sim_time_ns,
+            self.warmup_ns,
+            &partials,
+            wall_start.elapsed().as_secs_f64(),
+        )?;
+        let tel = if telemetry {
+            let shard_tels = tel_blobs
+                .iter()
+                .map(|b| decode_shard_telemetry(b))
+                .collect::<Result<Vec<ShardTelemetry>, _>>()?;
+            let edge_cut = ParSimulator::new(
+                net,
+                &routing,
+                self.cfg.clone(),
+                self.pattern.clone(),
+                self.offered_load,
+                self.sim_time_ns,
+                self.warmup_ns,
+                shards,
+            )
+            .partition_edge_cut();
+            EngineTelemetry {
+                threads: shards,
+                lookahead_ns: self.cfg.lookahead_ns(),
+                edge_cut,
+                shards: shard_tels,
+            }
+        } else {
+            EngineTelemetry::sequential(self.cfg.lookahead_ns())
+        };
+        Ok((report, stats, tel))
+    }
+}
+
+fn build_routing(net: &Network, kind: RoutingKind, backend: RouteBackend) -> Routing {
+    match backend {
+        RouteBackend::Table => Routing::build(net, kind),
+        RouteBackend::Oracle => Routing::build_table_free(net, kind),
+    }
+}
+
+/// Contiguous shard ranges, one per worker, sized as evenly as
+/// possible (the first `shards % processes` workers get one extra).
+fn split_ranges(shards: usize, processes: usize) -> Vec<(u32, u32)> {
+    let base = shards / processes;
+    let rem = shards % processes;
+    let mut ranges = Vec::with_capacity(processes);
+    let mut lo = 0u32;
+    for i in 0..processes {
+        let span = (base + usize::from(i < rem)) as u32;
+        ranges.push((lo, lo + span));
+        lo += span;
+    }
+    ranges
+}
+
+fn spawn_worker(exe: &PathBuf, spec: &DistSpec, lo: u32, hi: u32) -> Result<Worker, SimError> {
+    let mut child = Command::new(exe)
+        .env(WORKER_ENV, "1")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .map_err(|e| bridge_err(format!("spawning worker {}: {e}", exe.display())))?;
+    let stdin = child.stdin.take().expect("piped stdin");
+    let stdout = io::BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut stderr = child.stderr.take().expect("piped stderr");
+    // Drain stderr on a dedicated thread: a worker blocked writing a
+    // panic backtrace into a full pipe would deadlock the window loop.
+    let drainer = std::thread::spawn(move || {
+        let mut tail = Vec::new();
+        let mut buf = [0u8; 4096];
+        while let Ok(n) = stderr.read(&mut buf) {
+            if n == 0 {
+                break;
+            }
+            tail.extend_from_slice(&buf[..n]);
+            if tail.len() > 2 * STDERR_TAIL {
+                let cut = tail.len() - STDERR_TAIL;
+                tail.drain(..cut);
+            }
+        }
+        tail
+    });
+    let mut worker = Worker {
+        child,
+        stdin,
+        stdout,
+        stderr: Some(drainer),
+        lo,
+        hi,
+    };
+    let child_spec = DistSpec {
+        lo,
+        hi,
+        ..spec.clone()
+    };
+    let mut hello = vec![TAG_HELLO];
+    hello.extend_from_slice(&child_spec.encode());
+    if let Err(e) = write_frame(&mut worker.stdin, &hello) {
+        return Err(worker.diagnose("sending Hello", &e));
+    }
+    Ok(worker)
+}
+
+/// One frame from a worker, with transport failures and Error frames
+/// both mapped to `SimError`.
+fn recv(worker: &mut Worker, context: &str) -> Result<Vec<u8>, SimError> {
+    match read_frame(&mut worker.stdout) {
+        Ok(frame) => {
+            if frame.first() == Some(&TAG_ERROR) {
+                let mut r = Rd::new(&frame);
+                let _ = r.u8();
+                Err(decode_error(r))
+            } else {
+                Ok(frame)
+            }
+        }
+        Err(e) => Err(worker.diagnose(context, &e)),
+    }
+}
+
+fn drive_protocol(
+    workers: &mut [Worker],
+    cfg: &SimConfig,
+    sim_time_ns: u64,
+) -> Result<Vec<Finished>, SimError> {
+    let mut clock = WindowClock::new(cfg, sim_time_ns);
+    loop {
+        let mut g = u64::MAX;
+        let mut routed: Vec<Vec<ChannelBlob>> = (0..workers.len()).map(|_| Vec::new()).collect();
+        for i in 0..workers.len() {
+            let frame = recv(&mut workers[i], "awaiting WindowEnd")?;
+            let mut r = Rd::new(&frame);
+            match r.u8()? {
+                TAG_WINDOW_END => {
+                    g = g.min(r.u64()?);
+                    for blob in decode_blobs(&mut r)? {
+                        let owner = workers
+                            .iter()
+                            .position(|w| (w.lo..w.hi).contains(&blob.dst))
+                            .ok_or_else(|| bridge_err("blob addressed to unowned shard"))?;
+                        routed[owner].push(blob);
+                    }
+                    r.finish()?;
+                }
+                t => return Err(bridge_err(format!("expected WindowEnd, got tag {t}"))),
+            }
+        }
+        for (w, blobs) in workers.iter_mut().zip(routed) {
+            let mut payload = vec![TAG_WINDOW_GRANT];
+            put_u64(&mut payload, g);
+            encode_blobs(&mut payload, &blobs);
+            if let Err(e) = write_frame(&mut w.stdin, &payload) {
+                return Err(w.diagnose("sending WindowGrant", &e));
+            }
+        }
+        if clock.advance(g) {
+            break;
+        }
+    }
+    let mut finished = Vec::with_capacity(workers.len());
+    for w in workers.iter_mut() {
+        let frame = recv(w, "awaiting Finished")?;
+        let mut r = Rd::new(&frame);
+        if r.u8()? != TAG_FINISHED {
+            return Err(bridge_err("expected Finished frame"));
+        }
+        let rss_kb = r.u64()?;
+        let bridge_bytes = r.u64()?;
+        let windows = r.u64()?;
+        let np = r.u32()? as usize;
+        let mut partials = Vec::with_capacity(np);
+        for _ in 0..np {
+            partials.push(r.bytes()?);
+        }
+        let nt = r.u32()? as usize;
+        let mut telemetry = Vec::with_capacity(nt);
+        for _ in 0..nt {
+            telemetry.push(r.bytes()?);
+        }
+        r.finish()?;
+        let expected = (w.hi - w.lo) as usize;
+        if partials.len() != expected {
+            return Err(bridge_err(format!(
+                "worker for shards {}..{} returned {} partials",
+                w.lo,
+                w.hi,
+                partials.len()
+            )));
+        }
+        finished.push(Finished {
+            rss_kb,
+            bridge_bytes,
+            windows,
+            partials,
+            telemetry,
+        });
+        let status = w
+            .child
+            .wait()
+            .map_err(|e| bridge_err(format!("waiting for worker: {e}")))?;
+        if !status.success() {
+            return Err(SimError::WorkerPanicked(format!(
+                "worker for shards {}..{} exited {status} after finishing",
+                w.lo, w.hi
+            )));
+        }
+    }
+    Ok(finished)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_ranges_cover_exactly() {
+        assert_eq!(split_ranges(4, 2), vec![(0, 2), (2, 4)]);
+        assert_eq!(split_ranges(5, 2), vec![(0, 3), (3, 5)]);
+        assert_eq!(split_ranges(4, 4), vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(split_ranges(7, 3), vec![(0, 3), (3, 5), (5, 7)]);
+        let ranges = split_ranges(20, 6);
+        assert_eq!(ranges.first().unwrap().0, 0);
+        assert_eq!(ranges.last().unwrap().1, 20);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+            assert!(w[0].0 < w[0].1);
+        }
+    }
+
+    #[test]
+    fn error_frames_roundtrip_every_kind() {
+        for e in [
+            SimError::InvalidPattern("p".into()),
+            SimError::InvalidWorkload("w".into()),
+            SimError::WorkerPanicked("k".into()),
+            SimError::EngineInvariant("i".into()),
+            SimError::Bridge("b".into()),
+        ] {
+            let frame = encode_error(&e);
+            let mut r = Rd::new(&frame);
+            assert_eq!(r.u8().unwrap(), TAG_ERROR);
+            assert_eq!(decode_error(r), e);
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip_and_length_guard() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert!(read_frame(&mut r).is_err()); // EOF
+
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(read_frame(&mut io::Cursor::new(bad)).is_err());
+    }
+}

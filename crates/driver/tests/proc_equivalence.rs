@@ -1,0 +1,269 @@
+//! The multi-process driver's determinism contract.
+//!
+//! [`ProcSimulator`] promises reports *bit-identical* to the
+//! sequential `Simulator` and the threaded `ParSimulator` for the same
+//! inputs and seed, at any process count — every worker a real spawned
+//! process, every cross-shard message serialized through the pipe
+//! bridge. Same normalization as `crates/sim/tests/par_equivalence.rs`:
+//! only the wall-clock throughput fields are zeroed.
+
+use ibfat_driver::ProcSimulator;
+use ibfat_routing::{Routing, RoutingKind};
+use ibfat_sim::{
+    run_once, CalendarKind, RouteBackend, RunSpec, SimConfig, SimError, SimReport, TraceSampling,
+    TrafficPattern, WindowPolicy,
+};
+use ibfat_topology::{Network, NodeId, TreeParams};
+use proptest::prelude::*;
+
+/// The dedicated worker bin, built by cargo alongside these tests.
+fn worker_exe() -> &'static str {
+    env!("CARGO_BIN_EXE_ibfat-worker")
+}
+
+fn normalized(mut r: SimReport) -> SimReport {
+    // The only host-dependent fields; everything else must match exactly.
+    r.events_per_sec = 0.0;
+    r.packets_per_sec = 0.0;
+    r
+}
+
+#[allow(clippy::too_many_arguments)]
+fn proc_report(
+    m: u32,
+    n: u32,
+    kind: RoutingKind,
+    cfg: &SimConfig,
+    pattern: &TrafficPattern,
+    spec: RunSpec,
+    shards: usize,
+    processes: usize,
+) -> SimReport {
+    let sim = ProcSimulator::new(
+        m,
+        n,
+        kind,
+        cfg.clone(),
+        pattern.clone(),
+        spec.offered_load,
+        spec.sim_time_ns,
+        spec.warmup_ns,
+        shards,
+        processes,
+    )
+    .worker_exe(worker_exe())
+    .force_spawn(true);
+    normalized(sim.run().expect("multi-process run failed"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any legal configuration, any process count: same report. The
+    /// same matrix par_equivalence pins for threads, here with every
+    /// worker a spawned process (p=1 force-spawned, so even that case
+    /// crosses the bridge).
+    #[test]
+    fn proc_reports_equal_sequential(
+        (m, n) in prop_oneof![Just((4u32, 2u32)), Just((4, 3)), Just((8, 2)), Just((8, 3))],
+        scheme in prop_oneof![Just(RoutingKind::Mlid), Just(RoutingKind::Slid)],
+        vls in prop_oneof![Just(1u8), Just(4)],
+        seed in any::<u64>(),
+        load in prop_oneof![Just(0.15f64), Just(0.45), Just(0.9)],
+        calendar in prop_oneof![
+            Just(CalendarKind::TimingWheel),
+            Just(CalendarKind::BinaryHeap),
+        ],
+        window_policy in prop_oneof![
+            Just(WindowPolicy::Adaptive),
+            Just(WindowPolicy::Fixed),
+        ],
+        route_backend in prop_oneof![
+            Just(RouteBackend::Table),
+            Just(RouteBackend::Oracle),
+        ],
+    ) {
+        // Processes are pricier than threads (spawn + per-worker
+        // injection pre-pass), so keep the horizon tight.
+        let sim_time = if m == 8 && n == 3 { 5_000 } else { 15_000 };
+        let params = TreeParams::new(m, n).expect("valid params");
+        let net = Network::mport_ntree(params);
+        let routing = match route_backend {
+            RouteBackend::Table => Routing::build(&net, scheme),
+            RouteBackend::Oracle => Routing::build_table_free(&net, scheme),
+        };
+        let cfg = SimConfig {
+            num_vls: vls,
+            seed,
+            calendar,
+            window_policy,
+            route_backend,
+            ..SimConfig::default()
+        };
+        let pattern = TrafficPattern::Uniform;
+        let spec = RunSpec::new(load, sim_time);
+        let seq = normalized(run_once(
+            &net, &routing, cfg.clone(), pattern.clone(), spec,
+        ));
+        let shards = 4;
+        for processes in [1usize, 2, 4] {
+            let proc = proc_report(m, n, scheme, &cfg, &pattern, spec, shards, processes);
+            prop_assert_eq!(&proc, &seq, "divergence at {} processes", processes);
+        }
+    }
+}
+
+/// Flight recorder and link stats survive the bridge byte-for-byte:
+/// the hard merge case, pinned at a fixed seed with an uneven 3-way
+/// process split on top of a 4-shard decomposition.
+#[test]
+fn traces_and_link_stats_survive_the_bridge() {
+    let (m, n) = (4u32, 3u32);
+    let net = Network::mport_ntree(TreeParams::new(m, n).expect("valid params"));
+    let routing = Routing::build(&net, RoutingKind::Mlid);
+    let cfg = SimConfig {
+        num_vls: 2,
+        seed: 0xB1D6E,
+        trace_first_packets: 16,
+        trace_sampling: TraceSampling::OneInN(3),
+        collect_link_stats: true,
+        ..SimConfig::default()
+    };
+    let pattern = TrafficPattern::Centric {
+        hotspot: NodeId(3),
+        fraction: 0.2,
+    };
+    let spec = RunSpec::new(0.5, 30_000);
+    let seq = normalized(run_once(&net, &routing, cfg.clone(), pattern.clone(), spec));
+    assert!(seq.delivered > 0, "the run must carry traffic");
+    assert!(seq.traces.is_some() && seq.link_utilization.is_some());
+    for processes in [2usize, 3] {
+        let proc = proc_report(m, n, RoutingKind::Mlid, &cfg, &pattern, spec, 4, processes);
+        assert_eq!(proc, seq, "divergence at {processes} processes");
+    }
+}
+
+/// The run statistics are real: bridge bytes flow once more than one
+/// process is involved, windows are counted, and every worker reports
+/// a resident set.
+#[test]
+fn run_stats_report_bridge_traffic_and_rss() {
+    let cfg = SimConfig::default();
+    let (report, stats) = ProcSimulator::new(
+        4,
+        3,
+        RoutingKind::Mlid,
+        cfg.clone(),
+        TrafficPattern::Uniform,
+        0.6,
+        20_000,
+        0,
+        4,
+        2,
+    )
+    .worker_exe(worker_exe())
+    .run_stats()
+    .expect("multi-process run failed");
+    assert!(report.delivered > 0);
+    assert_eq!(stats.processes, 2);
+    assert!(stats.windows > 0, "no synchronization windows counted");
+    assert!(
+        stats.bridge_bytes > 0,
+        "cross-process traffic must serialize through the bridge"
+    );
+    assert!(stats.max_worker_rss_kb > 0, "VmHWM must be readable");
+
+    // Telemetry arrives per shard and its bridge counters line up
+    // with the transport-level stats.
+    let (report2, stats2, tel) = ProcSimulator::new(
+        4,
+        3,
+        RoutingKind::Mlid,
+        cfg,
+        TrafficPattern::Uniform,
+        0.6,
+        20_000,
+        0,
+        4,
+        2,
+    )
+    .worker_exe(worker_exe())
+    .run_telemetry()
+    .expect("multi-process run failed");
+    assert_eq!(normalized(report2), normalized(report));
+    assert_eq!(tel.shards.len(), 4);
+    assert_eq!(stats2.windows, tel.shards[0].windows);
+    let tel_bytes: u64 = tel.shards.iter().map(|s| s.bridge_bytes).sum();
+    assert_eq!(tel_bytes, stats2.bridge_bytes);
+    assert!(tel.shards.iter().all(|s| s.bridge_flushes == s.windows));
+}
+
+/// A worker that cannot even start (nonexistent executable) or that
+/// dies without speaking the protocol surfaces as a clean error, not a
+/// hang or a panic.
+#[test]
+fn dead_workers_surface_as_errors() {
+    let build = |exe: &str| {
+        ProcSimulator::new(
+            4,
+            2,
+            RoutingKind::Mlid,
+            SimConfig::default(),
+            TrafficPattern::Uniform,
+            0.3,
+            5_000,
+            0,
+            4,
+            2,
+        )
+        .worker_exe(exe)
+    };
+    match build("/nonexistent/ibfat-worker").run() {
+        Err(SimError::Bridge(msg)) => assert!(msg.contains("spawning worker"), "{msg}"),
+        other => panic!("expected spawn failure, got {other:?}"),
+    }
+    // `true` exits 0 immediately: the Hello write may race the exit,
+    // but the WindowEnd read must then fail cleanly.
+    match build("/usr/bin/true").run() {
+        Err(SimError::WorkerPanicked(_)) | Err(SimError::Bridge(_)) => {}
+        other => panic!("expected a dead-worker error, got {other:?}"),
+    }
+}
+
+/// Degenerate configurations (zero lookahead, a single shard) fall
+/// back to the in-process engine and still produce the sequential
+/// answer.
+#[test]
+fn degenerate_configurations_fall_back_in_process() {
+    let net = Network::mport_ntree(TreeParams::new(4, 2).expect("valid params"));
+    let routing = Routing::build(&net, RoutingKind::Mlid);
+    let spec = RunSpec::new(0.3, 10_000);
+    let cfg = SimConfig {
+        fly_time_ns: 0,
+        ..SimConfig::default()
+    };
+    let seq = normalized(run_once(
+        &net,
+        &routing,
+        cfg.clone(),
+        TrafficPattern::Uniform,
+        spec,
+    ));
+    let (report, stats) = ProcSimulator::new(
+        4,
+        2,
+        RoutingKind::Mlid,
+        cfg,
+        TrafficPattern::Uniform,
+        spec.offered_load,
+        spec.sim_time_ns,
+        spec.warmup_ns,
+        4,
+        4,
+    )
+    .worker_exe("/nonexistent/never-spawned")
+    .run_stats()
+    .expect("fallback run failed");
+    assert_eq!(normalized(report), seq);
+    assert_eq!(stats.processes, 0, "no worker may be spawned");
+}

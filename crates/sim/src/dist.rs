@@ -1,0 +1,1919 @@
+//! The multi-process execution seam: everything a worker *process*
+//! needs to run a contiguous range of [`crate::ParSimulator`] shards
+//! behind a byte-level message bridge, plus the parent-side helpers
+//! that mirror the window protocol and merge the results.
+//!
+//! ## Shape
+//!
+//! The in-process engine runs one thread per shard and exchanges
+//! [`Msg`]s through swap-buffered mailbox lanes. The multi-process
+//! driver (`ibfat-driver`) instead assigns each worker process a
+//! contiguous shard range `lo..hi`; the worker runs its shards
+//! *sequentially* inside each synchronization window (shards share no
+//! state within a window, so any execution order is exact) and performs
+//! one bridge exchange per window: it submits its vote — the earliest
+//! simulation time any of its shards still knows about — together with
+//! its outbound cross-process message blobs, and receives the agreed
+//! global minimum `g` plus its inbound blobs. The parent is a pure
+//! router and clock: it never simulates, it only takes the min of the
+//! votes, forwards blobs by destination, and mirrors the bound-update
+//! formula ([`WindowClock`]) to know when every child breaks.
+//!
+//! ## Determinism contract
+//!
+//! The child loop replays `run_shard`'s discipline exactly — drain in
+//! ascending source order (packet-slab insertion happens at drain, so
+//! slab id sequences are reproduced), dispatch strictly below the
+//! bound in lineage-key order, vote `min(next_local, in_flight_min)`,
+//! adaptive bound jump `(g / W + 1) * W` — so per-shard state evolves
+//! bit-identically to the threaded engine at any process count.
+//! Reports are merged through the same [`merge_partials`] fold the
+//! threaded engine uses. The only subtlety is the lineage tie-break
+//! key: serialized [`EvKey`]s deserialize into fresh `Arc`s, so
+//! `cmp_key` falls back to value equality (`(sched, tb)` plus
+//! rootedness) when pointer identity fails — see its docs.
+//!
+//! ## Wire format
+//!
+//! Everything is hand-rolled little-endian (std only, no serde on the
+//! hot path). Lineage keys are interned per ordered `(src shard, dst
+//! shard)` channel: each key is encoded as the count of
+//! not-yet-interned ancestors, a table reference for the deepest known
+//! ancestor (`u32::MAX` = rootless), and the new `(sched, tb)` nodes
+//! bottom-up. Sender and receiver grow their tables in lockstep
+//! because blobs on a channel are produced and consumed in window
+//! order, so an ancestry chain crosses the wire once, not once per
+//! message.
+
+use crate::engine::Time;
+use crate::error::SimError;
+use crate::metrics::{LatencyStats, SimReport};
+use crate::packet::Packet;
+use crate::par::{
+    dispatch_window, injection_prepass, merge_partials, schedule_inbound, EvKey, Msg, MsgKind,
+    ParEntry, ShardMap, ShardPartial, ShardQueue,
+};
+use crate::probe::NoopProbe;
+use crate::sim::{Ev, InjectRec, Simulator};
+use crate::telemetry::{ShardTelemetry, WindowRecord};
+use crate::trace::TraceEvent;
+use crate::{
+    CalendarKind, InjectionProcess, PartitionKind, PathSelection, RouteBackend, SimConfig,
+    TraceSampling, TrafficPattern, VlArbitration, VlAssignment, WindowPolicy,
+};
+use ibfat_routing::{Lid, Routing, RoutingKind};
+use ibfat_topology::{Network, TreeParams};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Wire-format version, first byte of every [`DistSpec`] blob. Parent
+/// and workers ship in one binary, so this only guards against a stale
+/// `IBFAT_WORKER_EXE` pointing at an old build.
+pub const WIRE_VERSION: u8 = 1;
+
+fn bridge_err(msg: impl Into<String>) -> SimError {
+    SimError::Bridge(msg.into())
+}
+
+// ---------------------------------------------------------------------
+// Byte codec primitives (little-endian, std only)
+// ---------------------------------------------------------------------
+
+fn put_u8(o: &mut Vec<u8>, v: u8) {
+    o.push(v);
+}
+
+fn put_u32(o: &mut Vec<u8>, v: u32) {
+    o.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(o: &mut Vec<u8>, v: u64) {
+    o.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(o: &mut Vec<u8>, v: f64) {
+    put_u64(o, v.to_bits());
+}
+
+fn put_bool(o: &mut Vec<u8>, v: bool) {
+    put_u8(o, v as u8);
+}
+
+/// Checked little-endian reader over a received blob. Every read is
+/// bounds-checked and surfaces [`SimError::Bridge`] instead of
+/// panicking: a truncated or corrupt frame must fail the run cleanly.
+struct Rd<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn new(b: &'a [u8]) -> Rd<'a> {
+        Rd { b, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SimError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.b.len())
+            .ok_or_else(|| bridge_err("truncated frame"))?;
+        let s = &self.b[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, SimError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SimError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SimError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, SimError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bool(&mut self) -> Result<bool, SimError> {
+        Ok(self.u8()? != 0)
+    }
+
+    /// A u32 length prefix, sanity-capped so a corrupt frame cannot
+    /// provoke a huge allocation before the bounds checks kick in.
+    fn len(&mut self) -> Result<usize, SimError> {
+        let n = self.u32()? as usize;
+        if n > self
+            .b
+            .len()
+            .saturating_sub(self.pos)
+            .saturating_add(1 << 20)
+        {
+            return Err(bridge_err("implausible length prefix"));
+        }
+        Ok(n)
+    }
+
+    fn finish(self) -> Result<(), SimError> {
+        if self.pos == self.b.len() {
+            Ok(())
+        } else {
+            Err(bridge_err("trailing bytes after frame payload"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// DistSpec: the run description shipped to every worker
+// ---------------------------------------------------------------------
+
+/// Everything a worker process needs to reconstruct its slice of the
+/// run: fabric parameters (workers rebuild the `Network` and a
+/// subfabric-view `Routing` locally — topology and tables are
+/// deterministic, so only the parameters travel), the full
+/// [`SimConfig`], the traffic pattern, the shard count, and this
+/// worker's contiguous shard range `lo..hi`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistSpec {
+    /// Switch port count of the m-port n-tree.
+    pub m: u32,
+    /// Tree height.
+    pub n: u32,
+    /// Routing scheme.
+    pub kind: RoutingKind,
+    /// Full simulator configuration (workers validate it again).
+    pub cfg: SimConfig,
+    /// Traffic pattern.
+    pub pattern: TrafficPattern,
+    /// Normalized offered load.
+    pub offered_load: f64,
+    /// Simulated horizon (ns).
+    pub sim_time_ns: Time,
+    /// Warm-up cutoff (ns).
+    pub warmup_ns: Time,
+    /// Total shard count across all workers.
+    pub shards: u32,
+    /// First shard this worker owns.
+    pub lo: u32,
+    /// One past the last shard this worker owns.
+    pub hi: u32,
+    /// Collect per-shard engine telemetry.
+    pub telemetry: bool,
+}
+
+impl DistSpec {
+    /// Serialize for the bridge's Hello frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut o = Vec::with_capacity(128);
+        put_u8(&mut o, WIRE_VERSION);
+        put_u32(&mut o, self.m);
+        put_u32(&mut o, self.n);
+        put_u8(
+            &mut o,
+            match self.kind {
+                RoutingKind::Slid => 0,
+                RoutingKind::Mlid => 1,
+                RoutingKind::UpDown => 2,
+            },
+        );
+        let c = &self.cfg;
+        put_u32(&mut o, c.packet_bytes);
+        put_u64(&mut o, c.byte_time_ns);
+        put_u64(&mut o, c.fly_time_ns);
+        put_u64(&mut o, c.routing_time_ns);
+        put_u8(&mut o, c.num_vls);
+        put_u8(&mut o, c.buffer_packets);
+        put_u8(
+            &mut o,
+            match c.injection {
+                InjectionProcess::Deterministic => 0,
+                InjectionProcess::Poisson => 1,
+            },
+        );
+        put_u8(
+            &mut o,
+            match c.path_selection {
+                PathSelection::Paper => 0,
+                PathSelection::RandomPerPacket => 1,
+                PathSelection::RoundRobinPerSource => 2,
+            },
+        );
+        put_u8(
+            &mut o,
+            match c.vl_assignment {
+                VlAssignment::Random => 0,
+                VlAssignment::DestinationHash => 1,
+                VlAssignment::SourceHash => 2,
+            },
+        );
+        match &c.vl_arbitration {
+            VlArbitration::RoundRobin => put_u8(&mut o, 0),
+            VlArbitration::Weighted(entries) => {
+                put_u8(&mut o, 1);
+                put_u32(&mut o, entries.len() as u32);
+                for &(vl, w) in entries {
+                    put_u8(&mut o, vl);
+                    put_u8(&mut o, w);
+                }
+            }
+        }
+        put_u64(&mut o, c.seed);
+        put_bool(&mut o, c.collect_link_stats);
+        put_u32(&mut o, c.trace_first_packets);
+        match &c.trace_sampling {
+            TraceSampling::FirstN => put_u8(&mut o, 0),
+            TraceSampling::OneInN(n) => {
+                put_u8(&mut o, 1);
+                put_u32(&mut o, *n);
+            }
+            TraceSampling::Pairs(pairs) => {
+                put_u8(&mut o, 2);
+                put_u32(&mut o, pairs.len() as u32);
+                for &(s, d) in pairs {
+                    put_u32(&mut o, s);
+                    put_u32(&mut o, d);
+                }
+            }
+        }
+        put_bool(&mut o, c.adaptive_up);
+        put_u8(
+            &mut o,
+            match c.calendar {
+                CalendarKind::TimingWheel => 0,
+                CalendarKind::BinaryHeap => 1,
+            },
+        );
+        put_u8(
+            &mut o,
+            match c.partition {
+                PartitionKind::FatTree => 0,
+                PartitionKind::Block => 1,
+            },
+        );
+        put_u8(
+            &mut o,
+            match c.window_policy {
+                WindowPolicy::Fixed => 0,
+                WindowPolicy::Adaptive => 1,
+            },
+        );
+        put_u8(
+            &mut o,
+            match c.route_backend {
+                RouteBackend::Table => 0,
+                RouteBackend::Oracle => 1,
+            },
+        );
+        match &self.pattern {
+            TrafficPattern::Uniform => put_u8(&mut o, 0),
+            TrafficPattern::Centric { hotspot, fraction } => {
+                put_u8(&mut o, 1);
+                put_u32(&mut o, hotspot.0);
+                put_f64(&mut o, *fraction);
+            }
+            TrafficPattern::Permutation(perm) => {
+                put_u8(&mut o, 2);
+                put_u32(&mut o, perm.len() as u32);
+                for p in perm {
+                    put_u32(&mut o, p.0);
+                }
+            }
+        }
+        put_f64(&mut o, self.offered_load);
+        put_u64(&mut o, self.sim_time_ns);
+        put_u64(&mut o, self.warmup_ns);
+        put_u32(&mut o, self.shards);
+        put_u32(&mut o, self.lo);
+        put_u32(&mut o, self.hi);
+        put_bool(&mut o, self.telemetry);
+        o
+    }
+
+    /// Deserialize a Hello frame.
+    pub fn decode(bytes: &[u8]) -> Result<DistSpec, SimError> {
+        let mut r = Rd::new(bytes);
+        let ver = r.u8()?;
+        if ver != WIRE_VERSION {
+            return Err(bridge_err(format!(
+                "wire version mismatch: parent speaks {WIRE_VERSION}, frame says {ver} \
+                 (stale IBFAT_WORKER_EXE?)"
+            )));
+        }
+        let m = r.u32()?;
+        let n = r.u32()?;
+        let kind = match r.u8()? {
+            0 => RoutingKind::Slid,
+            1 => RoutingKind::Mlid,
+            2 => RoutingKind::UpDown,
+            t => return Err(bridge_err(format!("bad routing kind tag {t}"))),
+        };
+        let packet_bytes = r.u32()?;
+        let byte_time_ns = r.u64()?;
+        let fly_time_ns = r.u64()?;
+        let routing_time_ns = r.u64()?;
+        let num_vls = r.u8()?;
+        let buffer_packets = r.u8()?;
+        let injection = match r.u8()? {
+            0 => InjectionProcess::Deterministic,
+            1 => InjectionProcess::Poisson,
+            t => return Err(bridge_err(format!("bad injection tag {t}"))),
+        };
+        let path_selection = match r.u8()? {
+            0 => PathSelection::Paper,
+            1 => PathSelection::RandomPerPacket,
+            2 => PathSelection::RoundRobinPerSource,
+            t => return Err(bridge_err(format!("bad path-selection tag {t}"))),
+        };
+        let vl_assignment = match r.u8()? {
+            0 => VlAssignment::Random,
+            1 => VlAssignment::DestinationHash,
+            2 => VlAssignment::SourceHash,
+            t => return Err(bridge_err(format!("bad vl-assignment tag {t}"))),
+        };
+        let vl_arbitration = match r.u8()? {
+            0 => VlArbitration::RoundRobin,
+            1 => {
+                let k = r.len()?;
+                let mut entries = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let vl = r.u8()?;
+                    let w = r.u8()?;
+                    entries.push((vl, w));
+                }
+                VlArbitration::Weighted(entries)
+            }
+            t => return Err(bridge_err(format!("bad vl-arbitration tag {t}"))),
+        };
+        let seed = r.u64()?;
+        let collect_link_stats = r.bool()?;
+        let trace_first_packets = r.u32()?;
+        let trace_sampling = match r.u8()? {
+            0 => TraceSampling::FirstN,
+            1 => TraceSampling::OneInN(r.u32()?),
+            2 => {
+                let k = r.len()?;
+                let mut pairs = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let s = r.u32()?;
+                    let d = r.u32()?;
+                    pairs.push((s, d));
+                }
+                TraceSampling::Pairs(pairs)
+            }
+            t => return Err(bridge_err(format!("bad trace-sampling tag {t}"))),
+        };
+        let adaptive_up = r.bool()?;
+        let calendar = match r.u8()? {
+            0 => CalendarKind::TimingWheel,
+            1 => CalendarKind::BinaryHeap,
+            t => return Err(bridge_err(format!("bad calendar tag {t}"))),
+        };
+        let partition = match r.u8()? {
+            0 => PartitionKind::FatTree,
+            1 => PartitionKind::Block,
+            t => return Err(bridge_err(format!("bad partition tag {t}"))),
+        };
+        let window_policy = match r.u8()? {
+            0 => WindowPolicy::Fixed,
+            1 => WindowPolicy::Adaptive,
+            t => return Err(bridge_err(format!("bad window-policy tag {t}"))),
+        };
+        let route_backend = match r.u8()? {
+            0 => RouteBackend::Table,
+            1 => RouteBackend::Oracle,
+            t => return Err(bridge_err(format!("bad route-backend tag {t}"))),
+        };
+        let pattern = match r.u8()? {
+            0 => TrafficPattern::Uniform,
+            1 => {
+                let hotspot = ibfat_topology::NodeId(r.u32()?);
+                let fraction = r.f64()?;
+                TrafficPattern::Centric { hotspot, fraction }
+            }
+            2 => {
+                let k = r.len()?;
+                let mut perm = Vec::with_capacity(k);
+                for _ in 0..k {
+                    perm.push(ibfat_topology::NodeId(r.u32()?));
+                }
+                TrafficPattern::Permutation(perm)
+            }
+            t => return Err(bridge_err(format!("bad traffic-pattern tag {t}"))),
+        };
+        let offered_load = r.f64()?;
+        let sim_time_ns = r.u64()?;
+        let warmup_ns = r.u64()?;
+        let shards = r.u32()?;
+        let lo = r.u32()?;
+        let hi = r.u32()?;
+        let telemetry = r.bool()?;
+        r.finish()?;
+        Ok(DistSpec {
+            m,
+            n,
+            kind,
+            cfg: SimConfig {
+                packet_bytes,
+                byte_time_ns,
+                fly_time_ns,
+                routing_time_ns,
+                num_vls,
+                buffer_packets,
+                injection,
+                path_selection,
+                vl_assignment,
+                vl_arbitration,
+                seed,
+                collect_link_stats,
+                trace_first_packets,
+                trace_sampling,
+                adaptive_up,
+                calendar,
+                partition,
+                window_policy,
+                route_backend,
+            },
+            pattern,
+            offered_load,
+            sim_time_ns,
+            warmup_ns,
+            shards,
+            lo,
+            hi,
+            telemetry,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lineage-key interning codec (per ordered channel)
+// ---------------------------------------------------------------------
+
+/// Sender side of one `(src shard, dst shard)` channel's lineage-key
+/// interning. The `pin` vector keeps every interned `Arc` alive so the
+/// pointer-keyed map stays sound (a freed-and-reused allocation would
+/// otherwise alias an old id).
+#[derive(Default)]
+struct KeyEncoder {
+    ids: HashMap<usize, u32>,
+    pin: Vec<Arc<EvKey>>,
+}
+
+impl KeyEncoder {
+    /// Encode a key: walk up to the first already-interned ancestor,
+    /// then emit the new nodes bottom-up, interning them as we go (the
+    /// decoder appends in the same order, keeping the tables aligned).
+    fn encode(&mut self, out: &mut Vec<u8>, key: &Arc<EvKey>) {
+        let mut chain: Vec<Arc<EvKey>> = Vec::new();
+        let mut base = u32::MAX;
+        let mut cur = key.clone();
+        loop {
+            if let Some(&id) = self.ids.get(&(Arc::as_ptr(&cur) as usize)) {
+                base = id;
+                break;
+            }
+            chain.push(cur.clone());
+            let parent = match &cur.parent {
+                Some(p) => p.clone(),
+                None => break,
+            };
+            cur = parent;
+        }
+        put_u32(out, chain.len() as u32);
+        put_u32(out, base);
+        for node in chain.iter().rev() {
+            put_u64(out, node.sched);
+            put_u64(out, node.tb);
+            let id = self.pin.len() as u32;
+            self.ids.insert(Arc::as_ptr(node) as usize, id);
+            self.pin.push(node.clone());
+        }
+    }
+}
+
+/// Receiver side: the table mirror. Entry `i` is the `i`-th node the
+/// sender interned.
+#[derive(Default)]
+struct KeyDecoder {
+    table: Vec<Arc<EvKey>>,
+}
+
+impl KeyDecoder {
+    fn decode(&mut self, r: &mut Rd) -> Result<Arc<EvKey>, SimError> {
+        let count = r.len()?;
+        let base = r.u32()?;
+        let mut parent: Option<Arc<EvKey>> = if base == u32::MAX {
+            None
+        } else {
+            Some(
+                self.table
+                    .get(base as usize)
+                    .cloned()
+                    .ok_or_else(|| bridge_err("lineage table reference out of range"))?,
+            )
+        };
+        if count == 0 {
+            return parent.ok_or_else(|| bridge_err("empty lineage chain with no base"));
+        }
+        let mut key = None;
+        for _ in 0..count {
+            let sched = r.u64()?;
+            let tb = r.u64()?;
+            let node = Arc::new(EvKey { sched, tb, parent });
+            self.table.push(node.clone());
+            parent = Some(node.clone());
+            key = Some(node);
+        }
+        Ok(key.expect("count > 0"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Message blob codec
+// ---------------------------------------------------------------------
+
+/// Entries a channel's intern table may hold before the next blob
+/// resets it. Interning exists to compress shared lineage *prefixes*;
+/// unbounded, the pinned `Arc`s grow with the total traffic a channel
+/// ever carried and come to dominate a long run's resident set. The
+/// reset is a pure function of the channel's message history (the
+/// sender's table size), so every run replays it identically and the
+/// decoder mirrors it via a one-byte flag — determinism is untouched,
+/// the post-reset blobs just spell out their first lineages in full
+/// again.
+const KEY_INTERN_CAP: usize = 32_768;
+
+fn encode_msgs(enc: &mut KeyEncoder, msgs: &[Msg], out: &mut Vec<u8>) {
+    encode_msgs_with_cap(enc, msgs, out, KEY_INTERN_CAP);
+}
+
+fn encode_msgs_with_cap(enc: &mut KeyEncoder, msgs: &[Msg], out: &mut Vec<u8>, cap: usize) {
+    if enc.pin.len() >= cap {
+        enc.ids.clear();
+        enc.pin.clear();
+        put_u8(out, 1);
+    } else {
+        put_u8(out, 0);
+    }
+    put_u32(out, msgs.len() as u32);
+    for m in msgs {
+        put_u64(out, m.at);
+        enc.encode(out, &m.key);
+        match &m.kind {
+            MsgKind::Arrive {
+                sw,
+                port,
+                vl,
+                packet,
+                trace_slot,
+                wl_msg,
+            } => {
+                put_u8(out, 0);
+                put_u32(out, *sw);
+                put_u8(out, *port);
+                put_u8(out, *vl);
+                put_u32(out, packet.src);
+                put_u32(out, packet.dlid.0);
+                put_u8(out, packet.vl);
+                put_u64(out, packet.t_gen);
+                put_u64(out, packet.t_inject);
+                put_u32(out, packet.flow_seq);
+                put_u32(out, *trace_slot);
+                put_u32(out, *wl_msg);
+            }
+            MsgKind::Credit { sw, port, vl } => {
+                put_u8(out, 1);
+                put_u32(out, *sw);
+                put_u8(out, *port);
+                put_u8(out, *vl);
+            }
+            MsgKind::Arm { node, msg } => {
+                put_u8(out, 2);
+                put_u32(out, *node);
+                put_u32(out, *msg);
+            }
+        }
+    }
+}
+
+fn decode_msgs(dec: &mut KeyDecoder, r: &mut Rd) -> Result<Vec<Msg>, SimError> {
+    match r.u8()? {
+        0 => {}
+        1 => dec.table.clear(),
+        other => return Err(bridge_err(format!("bad intern-reset flag {other}"))),
+    }
+    let n = r.len()?;
+    let mut msgs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let at = r.u64()?;
+        let key = dec.decode(r)?;
+        let kind = match r.u8()? {
+            0 => {
+                let sw = r.u32()?;
+                let port = r.u8()?;
+                let vl = r.u8()?;
+                let src = r.u32()?;
+                let dlid = Lid(r.u32()?);
+                let pvl = r.u8()?;
+                let t_gen = r.u64()?;
+                let t_inject = r.u64()?;
+                let flow_seq = r.u32()?;
+                let trace_slot = r.u32()?;
+                let wl_msg = r.u32()?;
+                MsgKind::Arrive {
+                    sw,
+                    port,
+                    vl,
+                    packet: Packet {
+                        src,
+                        dlid,
+                        vl: pvl,
+                        t_gen,
+                        t_inject,
+                        flow_seq,
+                    },
+                    trace_slot,
+                    wl_msg,
+                }
+            }
+            1 => {
+                let sw = r.u32()?;
+                let port = r.u8()?;
+                let vl = r.u8()?;
+                MsgKind::Credit { sw, port, vl }
+            }
+            2 => {
+                let node = r.u32()?;
+                let msg = r.u32()?;
+                MsgKind::Arm { node, msg }
+            }
+            t => return Err(bridge_err(format!("bad message tag {t}"))),
+        };
+        msgs.push(Msg { at, key, kind });
+    }
+    Ok(msgs)
+}
+
+// ---------------------------------------------------------------------
+// ShardPartial / telemetry codecs (the Finished frame payloads)
+// ---------------------------------------------------------------------
+
+fn put_latency(o: &mut Vec<u8>, l: &LatencyStats) {
+    let (count, sum, min, max, buckets) = l.raw_parts();
+    put_u64(o, count);
+    put_u64(o, sum);
+    put_u64(o, min);
+    put_u64(o, max);
+    put_u32(o, buckets.len() as u32);
+    for &b in buckets {
+        put_u64(o, b);
+    }
+}
+
+fn read_latency(r: &mut Rd) -> Result<LatencyStats, SimError> {
+    let count = r.u64()?;
+    let sum = r.u64()?;
+    let min = r.u64()?;
+    let max = r.u64()?;
+    let k = r.len()?;
+    let mut buckets = Vec::with_capacity(k);
+    for _ in 0..k {
+        buckets.push(r.u64()?);
+    }
+    Ok(LatencyStats::from_raw(count, sum, min, max, buckets))
+}
+
+fn put_trace_event(o: &mut Vec<u8>, ev: &TraceEvent) {
+    match *ev {
+        TraceEvent::Generated => put_u8(o, 0),
+        TraceEvent::InjectionStart => put_u8(o, 1),
+        TraceEvent::HeaderArrive { sw, port } => {
+            put_u8(o, 2);
+            put_u32(o, sw);
+            put_u8(o, port);
+        }
+        TraceEvent::Routed { sw, out_port } => {
+            put_u8(o, 3);
+            put_u32(o, sw);
+            put_u8(o, out_port);
+        }
+        TraceEvent::Granted { sw, out_port } => {
+            put_u8(o, 4);
+            put_u32(o, sw);
+            put_u8(o, out_port);
+        }
+        TraceEvent::TransmitStart { sw, out_port } => {
+            put_u8(o, 5);
+            put_u32(o, sw);
+            put_u8(o, out_port);
+        }
+        TraceEvent::CreditStalled { sw, out_port } => {
+            put_u8(o, 6);
+            put_u32(o, sw);
+            put_u8(o, out_port);
+        }
+        TraceEvent::Delivered => put_u8(o, 7),
+        TraceEvent::Dropped { sw } => {
+            put_u8(o, 8);
+            put_u32(o, sw);
+        }
+    }
+}
+
+fn read_trace_event(r: &mut Rd) -> Result<TraceEvent, SimError> {
+    Ok(match r.u8()? {
+        0 => TraceEvent::Generated,
+        1 => TraceEvent::InjectionStart,
+        2 => TraceEvent::HeaderArrive {
+            sw: r.u32()?,
+            port: r.u8()?,
+        },
+        3 => TraceEvent::Routed {
+            sw: r.u32()?,
+            out_port: r.u8()?,
+        },
+        4 => TraceEvent::Granted {
+            sw: r.u32()?,
+            out_port: r.u8()?,
+        },
+        5 => TraceEvent::TransmitStart {
+            sw: r.u32()?,
+            out_port: r.u8()?,
+        },
+        6 => TraceEvent::CreditStalled {
+            sw: r.u32()?,
+            out_port: r.u8()?,
+        },
+        7 => TraceEvent::Delivered,
+        8 => TraceEvent::Dropped { sw: r.u32()? },
+        t => return Err(bridge_err(format!("bad trace-event tag {t}"))),
+    })
+}
+
+fn encode_partial(p: &ShardPartial) -> Vec<u8> {
+    let mut o = Vec::with_capacity(256 + 8 * (p.sw_busy.len() + p.node_busy.len()));
+    put_u64(&mut o, p.generated);
+    put_u64(&mut o, p.dropped);
+    put_u64(&mut o, p.total_generated);
+    put_u64(&mut o, p.total_delivered);
+    put_u64(&mut o, p.delivered);
+    put_u64(&mut o, p.delivered_bytes);
+    put_u64(&mut o, p.events_processed);
+    put_u64(&mut o, p.out_of_order);
+    put_latency(&mut o, &p.latency);
+    put_latency(&mut o, &p.network_latency);
+    put_u32(&mut o, p.sw_busy.len() as u32);
+    for &b in &p.sw_busy {
+        put_u64(&mut o, b);
+    }
+    put_u32(&mut o, p.node_busy.len() as u32);
+    for &b in &p.node_busy {
+        put_u64(&mut o, b);
+    }
+    put_u32(&mut o, p.trace_events.len() as u32);
+    for slot in &p.trace_events {
+        put_u32(&mut o, slot.len() as u32);
+        for (t, ev) in slot {
+            put_u64(&mut o, *t);
+            put_trace_event(&mut o, ev);
+        }
+    }
+    o
+}
+
+fn decode_partial(bytes: &[u8]) -> Result<ShardPartial, SimError> {
+    let mut r = Rd::new(bytes);
+    let generated = r.u64()?;
+    let dropped = r.u64()?;
+    let total_generated = r.u64()?;
+    let total_delivered = r.u64()?;
+    let delivered = r.u64()?;
+    let delivered_bytes = r.u64()?;
+    let events_processed = r.u64()?;
+    let out_of_order = r.u64()?;
+    let latency = read_latency(&mut r)?;
+    let network_latency = read_latency(&mut r)?;
+    let k = r.len()?;
+    let mut sw_busy = Vec::with_capacity(k);
+    for _ in 0..k {
+        sw_busy.push(r.u64()?);
+    }
+    let k = r.len()?;
+    let mut node_busy = Vec::with_capacity(k);
+    for _ in 0..k {
+        node_busy.push(r.u64()?);
+    }
+    let slots = r.len()?;
+    let mut trace_events = Vec::with_capacity(slots);
+    for _ in 0..slots {
+        let k = r.len()?;
+        let mut evs = Vec::with_capacity(k);
+        for _ in 0..k {
+            let t = r.u64()?;
+            let ev = read_trace_event(&mut r)?;
+            evs.push((t, ev));
+        }
+        trace_events.push(evs);
+    }
+    r.finish()?;
+    Ok(ShardPartial {
+        generated,
+        dropped,
+        total_generated,
+        total_delivered,
+        delivered,
+        delivered_bytes,
+        events_processed,
+        out_of_order,
+        latency,
+        network_latency,
+        sw_busy,
+        node_busy,
+        trace_events,
+    })
+}
+
+/// Serialize one shard's engine telemetry for the Finished frame.
+pub fn encode_shard_telemetry(t: &ShardTelemetry) -> Vec<u8> {
+    let mut o = Vec::with_capacity(128 + 56 * t.window_log.len());
+    put_u32(&mut o, t.shard);
+    put_u32(&mut o, t.switches);
+    put_u32(&mut o, t.nodes);
+    put_u64(&mut o, t.windows);
+    put_u64(&mut o, t.skipped_windows);
+    put_u64(&mut o, t.events);
+    put_u64(&mut o, t.msgs_sent);
+    put_u64(&mut o, t.msgs_recv);
+    put_u64(&mut o, t.barrier_wait_ns);
+    put_u64(&mut o, t.bridge_wait_ns);
+    put_u64(&mut o, t.bridge_bytes);
+    put_u64(&mut o, t.bridge_flushes);
+    put_u64(&mut o, t.span_sum_ns);
+    put_u64(&mut o, t.span_max_ns);
+    put_u64(&mut o, t.window_log_dropped);
+    put_u32(&mut o, t.window_log.len() as u32);
+    for w in &t.window_log {
+        put_u64(&mut o, w.bound_ns);
+        put_u64(&mut o, w.span_ns);
+        put_u64(&mut o, w.events);
+        put_u64(&mut o, w.msgs_sent);
+        put_u64(&mut o, w.msgs_recv);
+        put_u64(&mut o, w.barrier_wait_ns);
+        put_u64(&mut o, w.bridge_wait_ns);
+    }
+    o
+}
+
+/// Parse one shard's telemetry out of a Finished frame.
+pub fn decode_shard_telemetry(bytes: &[u8]) -> Result<ShardTelemetry, SimError> {
+    let mut r = Rd::new(bytes);
+    let mut t = ShardTelemetry::new(r.u32()?, r.u32()?, r.u32()?);
+    t.windows = r.u64()?;
+    t.skipped_windows = r.u64()?;
+    t.events = r.u64()?;
+    t.msgs_sent = r.u64()?;
+    t.msgs_recv = r.u64()?;
+    t.barrier_wait_ns = r.u64()?;
+    t.bridge_wait_ns = r.u64()?;
+    t.bridge_bytes = r.u64()?;
+    t.bridge_flushes = r.u64()?;
+    t.span_sum_ns = r.u64()?;
+    t.span_max_ns = r.u64()?;
+    t.window_log_dropped = r.u64()?;
+    let k = r.len()?;
+    let mut log = Vec::with_capacity(k);
+    for _ in 0..k {
+        log.push(WindowRecord {
+            bound_ns: r.u64()?,
+            span_ns: r.u64()?,
+            events: r.u64()?,
+            msgs_sent: r.u64()?,
+            msgs_recv: r.u64()?,
+            barrier_wait_ns: r.u64()?,
+            bridge_wait_ns: r.u64()?,
+        });
+    }
+    t.window_log = log;
+    r.finish()?;
+    Ok(t)
+}
+
+// ---------------------------------------------------------------------
+// The window protocol
+// ---------------------------------------------------------------------
+
+/// One channel's worth of serialized cross-process messages for one
+/// window, tagged with the ordered shard pair it belongs to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelBlob {
+    /// Sending (global) shard.
+    pub src: u32,
+    /// Receiving (global) shard.
+    pub dst: u32,
+    /// `encode_msgs` payload (lineage-interned against this channel).
+    pub bytes: Vec<u8>,
+}
+
+/// The worker's view of the bridge: one synchronous exchange per
+/// window. The transport (pipes, an in-process test harness, …) is the
+/// driver's business; the protocol — votes in, global minimum and
+/// routed blobs out — is fixed here.
+pub trait ChildBridge {
+    /// Submit this worker's vote (the earliest simulation time any of
+    /// its shards still knows about, `u64::MAX` = nothing) and its
+    /// outbound blobs; block until the parent answers with the agreed
+    /// global minimum `g` and the blobs routed *to* this worker.
+    fn exchange(
+        &mut self,
+        vote: u64,
+        out: Vec<ChannelBlob>,
+    ) -> Result<(u64, Vec<ChannelBlob>), SimError>;
+}
+
+/// The parent's mirror of `run_shard`'s bound sequence. The parent
+/// never simulates; it only needs to know, after each round of votes,
+/// whether every child just broke out of its window loop — which this
+/// clock decides with the exact formula the children use, so parent
+/// and children always agree on the final window.
+#[derive(Debug, Clone)]
+pub struct WindowClock {
+    w: u64,
+    horizon: u64,
+    adaptive: bool,
+    bound: u64,
+}
+
+impl WindowClock {
+    /// A clock for one run. `horizon` is the simulated end time.
+    ///
+    /// # Panics
+    /// Panics on a zero lookahead — such configurations cannot run
+    /// sharded at all and must be caught before spawning workers.
+    pub fn new(cfg: &SimConfig, horizon: u64) -> WindowClock {
+        let w = cfg.lookahead_ns();
+        assert!(w > 0, "zero lookahead cannot run sharded");
+        WindowClock {
+            w,
+            horizon,
+            adaptive: matches!(cfg.window_policy, WindowPolicy::Adaptive),
+            bound: w.min(horizon),
+        }
+    }
+
+    /// The bound of the window currently executing.
+    pub fn bound(&self) -> u64 {
+        self.bound
+    }
+
+    /// Fold in the agreed global next-event time `g` after a round of
+    /// votes. Returns `true` when this was the final window (every
+    /// child breaks; expect Finished frames next), otherwise advances
+    /// the bound exactly as every child does.
+    pub fn advance(&mut self, g: u64) -> bool {
+        if self.bound >= self.horizon || g >= self.horizon {
+            return true;
+        }
+        self.bound = if self.adaptive {
+            (g / self.w)
+                .saturating_add(1)
+                .saturating_mul(self.w)
+                .min(self.horizon)
+        } else {
+            self.bound.saturating_add(self.w).min(self.horizon)
+        };
+        false
+    }
+}
+
+/// What a finished worker hands back to the driver for the Finished
+/// frame.
+pub struct ChildOutcome {
+    /// Encoded [`ShardPartial`]s, one per owned shard, in global shard
+    /// order (`lo..hi`). The parent feeds them to [`parent_report`].
+    pub partials: Vec<Vec<u8>>,
+    /// Encoded [`ShardTelemetry`] per owned shard (empty unless the
+    /// spec asked for telemetry).
+    pub telemetry: Vec<Vec<u8>>,
+    /// Total bytes of message payload this worker serialized outbound.
+    pub bridge_bytes_out: u64,
+    /// Bridge exchanges performed (= synchronization windows run).
+    pub windows: u64,
+}
+
+/// Per-shard per-window counters staged until the exchange completes
+/// (the bridge wait is only known afterwards).
+struct WinStat {
+    events: u64,
+    sent: u64,
+    recv: u64,
+    bytes: u64,
+    dispatched: bool,
+}
+
+/// Run this worker's shard range to completion against the bridge.
+/// This is the whole child: build the subfabric, replay the injection
+/// pre-pass, then drive the window loop in lockstep with every other
+/// worker. Pattern mode with the no-op probe only — the driver rejects
+/// workload and probed runs before spawning anything.
+pub fn run_child<B: ChildBridge>(
+    spec: &DistSpec,
+    bridge: &mut B,
+) -> Result<ChildOutcome, SimError> {
+    spec.cfg
+        .validate()
+        .map_err(|e| bridge_err(format!("invalid config in spec: {e}")))?;
+    let params = TreeParams::new(spec.m, spec.n)
+        .map_err(|e| bridge_err(format!("invalid tree parameters in spec: {e}")))?;
+    let net = Network::mport_ntree(params);
+    let shards = spec.shards as usize;
+    let (lo, hi) = (spec.lo as usize, spec.hi as usize);
+    if shards < 2 || shards > net.num_switches() || lo >= hi || hi > shards {
+        return Err(bridge_err(format!(
+            "bad shard range {lo}..{hi} of {shards} over {} switches",
+            net.num_switches()
+        )));
+    }
+    if spec.cfg.lookahead_ns() == 0 {
+        return Err(bridge_err("zero lookahead cannot run sharded"));
+    }
+    let map = Arc::new(ShardMap::build(&net, shards, spec.cfg.partition));
+    // The memory-scaling win: materialize forwarding tables only for
+    // owned switches. `select_dlid` and the injection pre-pass never
+    // consult tables, so the view is exact for everything this worker
+    // does; the oracle backend holds no tables in any process.
+    let routing = match spec.cfg.route_backend {
+        RouteBackend::Table => {
+            let owned: Vec<bool> = map
+                .sw
+                .iter()
+                .map(|&s| (s as usize) >= lo && (s as usize) < hi)
+                .collect();
+            Routing::build_view(&net, spec.kind, &owned)
+        }
+        RouteBackend::Oracle => Routing::build_table_free(&net, spec.kind),
+    };
+    // Deterministic, so every worker replays it identically — but only
+    // the nodes this worker actually injects at have their scripts
+    // retained: the rest are drawn (the RNG sequence is global) and
+    // dropped on the spot, keeping the worker's peak resident set
+    // proportional to its shard range.
+    let owned_nodes: Vec<bool> = map
+        .node
+        .iter()
+        .map(|&s| (s as usize) >= lo && (s as usize) < hi)
+        .collect();
+    let (mut scripts, gen_traces) = injection_prepass(
+        &net,
+        &routing,
+        &spec.cfg,
+        &spec.pattern,
+        spec.offered_load,
+        spec.sim_time_ns,
+        spec.warmup_ns,
+        Some(&owned_nodes),
+    );
+    let num_nodes = net.num_nodes();
+    let local = hi - lo;
+    let mut sims: Vec<Simulator<'_, NoopProbe, ShardQueue>> = Vec::with_capacity(local);
+    for me in lo as u32..hi as u32 {
+        let queue = ShardQueue::new(me, map.clone(), &spec.cfg);
+        let mut sim = Simulator::with_queue(
+            &net,
+            &routing,
+            spec.cfg.clone(),
+            spec.pattern.clone(),
+            spec.offered_load,
+            spec.sim_time_ns,
+            spec.warmup_ns,
+            queue,
+            NoopProbe,
+        );
+        sim.traces = gen_traces.clone();
+        let mut script: Vec<VecDeque<InjectRec>> =
+            (0..num_nodes).map(|_| VecDeque::new()).collect();
+        for node in 0..num_nodes {
+            if map.node[node] == me {
+                script[node] = std::mem::take(&mut scripts[node]);
+            }
+        }
+        for (node, s) in script.iter().enumerate() {
+            if let Some(first) = s.front() {
+                sim.queue.cal.schedule(
+                    first.at,
+                    ParEntry {
+                        key: EvKey::initial(node as u32),
+                        ev: Ev::Inject { node: node as u32 },
+                    },
+                );
+            }
+        }
+        sim.scripted_inj = Some(script);
+        sims.push(sim);
+    }
+
+    let w = spec.cfg.lookahead_ns();
+    let horizon = spec.sim_time_ns;
+    let adaptive = matches!(spec.cfg.window_policy, WindowPolicy::Adaptive);
+    let mut cohort: Vec<ParEntry> = Vec::new();
+    let mut outbox: Vec<Vec<Msg>> = (0..shards).map(|_| Vec::new()).collect();
+    // `inbox[i][src]` is what global shard `src` sent to local shard
+    // `i` in the previous window; drained in ascending `src` order,
+    // exactly like the threaded engine's lane scan.
+    let mut inbox: Vec<Vec<Vec<Msg>>> = (0..local)
+        .map(|_| (0..shards).map(|_| Vec::new()).collect())
+        .collect();
+    let mut next_inbox: Vec<Vec<Vec<Msg>>> = (0..local)
+        .map(|_| (0..shards).map(|_| Vec::new()).collect())
+        .collect();
+    let mut next_local: Vec<Time> = sims
+        .iter_mut()
+        .map(|s| s.queue.cal.peek_time().unwrap_or(u64::MAX))
+        .collect();
+    let mut encoders: HashMap<(u32, u32), KeyEncoder> = HashMap::new();
+    let mut decoders: HashMap<(u32, u32), KeyDecoder> = HashMap::new();
+    let mut tels: Vec<ShardTelemetry> = if spec.telemetry {
+        (lo as u32..hi as u32)
+            .map(|me| {
+                let switches = map.sw.iter().filter(|&&s| s == me).count() as u32;
+                let nodes = map.node.iter().filter(|&&s| s == me).count() as u32;
+                ShardTelemetry::new(me, switches, nodes)
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let mut bridge_bytes_out = 0u64;
+    let mut windows = 0u64;
+    let mut prev_bound: Time = 0;
+    let mut bound = w.min(horizon);
+    loop {
+        let mut vote = u64::MAX;
+        let mut out_blobs: Vec<ChannelBlob> = Vec::new();
+        let mut stats: Vec<WinStat> = Vec::new();
+        for i in 0..local {
+            let me = (lo + i) as u32;
+            let mut drained = 0usize;
+            for slot in inbox[i].iter_mut() {
+                if slot.is_empty() {
+                    continue;
+                }
+                let msgs = std::mem::take(slot);
+                drained += msgs.len();
+                schedule_inbound(&mut sims[i], prev_bound, msgs.into_iter());
+            }
+            let events_before = sims[i].events_processed;
+            let dispatched = drained > 0 || next_local[i] < bound;
+            let mut in_flight_min = u64::MAX;
+            let mut sent = 0u64;
+            let mut shard_bytes = 0u64;
+            if dispatched {
+                next_local[i] = dispatch_window(&mut sims[i], bound, &mut cohort, &mut outbox)?;
+                for dst in 0..shards {
+                    if outbox[dst].is_empty() {
+                        continue;
+                    }
+                    let staged = std::mem::take(&mut outbox[dst]);
+                    for m in &staged {
+                        in_flight_min = in_flight_min.min(m.at);
+                    }
+                    sent += staged.len() as u64;
+                    if (lo..hi).contains(&dst) {
+                        // Local delivery: visible at the next window's
+                        // drain, same as a lane publish.
+                        debug_assert!(next_inbox[dst - lo][me as usize].is_empty());
+                        next_inbox[dst - lo][me as usize] = staged;
+                    } else {
+                        let enc = encoders.entry((me, dst as u32)).or_default();
+                        let mut bytes = Vec::new();
+                        encode_msgs(enc, &staged, &mut bytes);
+                        shard_bytes += bytes.len() as u64;
+                        out_blobs.push(ChannelBlob {
+                            src: me,
+                            dst: dst as u32,
+                            bytes,
+                        });
+                    }
+                }
+            }
+            vote = vote.min(next_local[i].min(in_flight_min));
+            if spec.telemetry {
+                stats.push(WinStat {
+                    events: sims[i].events_processed - events_before,
+                    sent,
+                    recv: drained as u64,
+                    bytes: shard_bytes,
+                    dispatched,
+                });
+            }
+        }
+        bridge_bytes_out += out_blobs.iter().map(|b| b.bytes.len() as u64).sum::<u64>();
+        windows += 1;
+        let t0 = spec.telemetry.then(std::time::Instant::now);
+        let (g, in_blobs) = bridge.exchange(vote, out_blobs)?;
+        if let Some(t0) = t0 {
+            let wait = t0.elapsed().as_nanos() as u64;
+            for (t, s) in tels.iter_mut().zip(&stats) {
+                t.on_window(
+                    WindowRecord {
+                        bound_ns: bound,
+                        span_ns: bound - prev_bound,
+                        events: s.events,
+                        msgs_sent: s.sent,
+                        msgs_recv: s.recv,
+                        barrier_wait_ns: 0,
+                        bridge_wait_ns: wait,
+                    },
+                    s.dispatched,
+                );
+                t.bridge_bytes += s.bytes;
+                t.bridge_flushes += 1;
+            }
+        }
+        // Same exit as `run_shard`: every worker computes this from
+        // the same `g` and the same bound sequence, so all of them
+        // break in the same window (the parent's WindowClock agrees).
+        if bound >= horizon || g >= horizon {
+            break;
+        }
+        debug_assert!(g >= bound, "next-event time below the dispatched bound");
+        for blob in in_blobs {
+            let dst = blob.dst as usize;
+            if !(lo..hi).contains(&dst) {
+                return Err(bridge_err("blob routed to the wrong worker"));
+            }
+            let dec = decoders.entry((blob.src, blob.dst)).or_default();
+            let mut r = Rd::new(&blob.bytes);
+            let msgs = decode_msgs(dec, &mut r)?;
+            r.finish()?;
+            let slot = &mut next_inbox[dst - lo][blob.src as usize];
+            if !slot.is_empty() {
+                return Err(bridge_err("duplicate channel blob in one window"));
+            }
+            *slot = msgs;
+        }
+        prev_bound = bound;
+        bound = if adaptive {
+            (g / w).saturating_add(1).saturating_mul(w).min(horizon)
+        } else {
+            bound.saturating_add(w).min(horizon)
+        };
+        std::mem::swap(&mut inbox, &mut next_inbox);
+    }
+
+    let m_ports = net.params().m() as usize;
+    let partials = sims
+        .iter()
+        .map(|s| encode_partial(&ShardPartial::from_sim(s, m_ports)))
+        .collect();
+    let telemetry = tels.iter().map(encode_shard_telemetry).collect();
+    Ok(ChildOutcome {
+        partials,
+        telemetry,
+        bridge_bytes_out,
+        windows,
+    })
+}
+
+/// Parent-side close-out: replay the injection pre-pass for the trace
+/// headers (the parent holds the full fabric anyway), decode every
+/// worker's partials, and fold them through the *same*
+/// [`merge_partials`] the threaded engine uses — bit-identical reports
+/// by construction. `partial_blobs` must hold one blob per shard;
+/// order does not affect the result (the fold is commutative — same-
+/// time trace events of one packet never sit in different shards), but
+/// global shard order is the convention.
+#[allow(clippy::too_many_arguments)]
+pub fn parent_report(
+    net: &Network,
+    routing: &Routing,
+    cfg: &SimConfig,
+    pattern: &TrafficPattern,
+    offered_load: f64,
+    sim_time_ns: Time,
+    warmup_ns: Time,
+    partial_blobs: &[Vec<u8>],
+    wall_secs: f64,
+) -> Result<SimReport, SimError> {
+    // Only the globally assigned trace headers matter here; retain no
+    // scripts at all (the workers injected every packet already).
+    let keep_none = vec![false; net.num_nodes()];
+    let (_, gen_traces) = injection_prepass(
+        net,
+        routing,
+        cfg,
+        pattern,
+        offered_load,
+        sim_time_ns,
+        warmup_ns,
+        Some(&keep_none),
+    );
+    let partials = partial_blobs
+        .iter()
+        .map(|b| decode_partial(b))
+        .collect::<Result<Vec<_>, _>>()?;
+    if cfg.trace_first_packets > 0 {
+        for p in &partials {
+            if p.trace_events.len() != gen_traces.len() {
+                return Err(bridge_err(format!(
+                    "partial carries {} trace slots, pre-pass assigned {}",
+                    p.trace_events.len(),
+                    gen_traces.len()
+                )));
+            }
+        }
+    }
+    Ok(merge_partials(
+        cfg,
+        offered_load,
+        sim_time_ns,
+        warmup_ns,
+        net.num_nodes(),
+        net.num_switches(),
+        net.params().m() as usize,
+        partials,
+        gen_traces,
+        wall_secs,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::par::cmp_key;
+    use crate::ParSimulator;
+    use std::sync::mpsc;
+
+    fn spec_for(cfg: SimConfig, pattern: TrafficPattern, load: f64, t: u64) -> DistSpec {
+        DistSpec {
+            m: 4,
+            n: 3,
+            kind: RoutingKind::Mlid,
+            cfg,
+            pattern,
+            offered_load: load,
+            sim_time_ns: t,
+            warmup_ns: 0,
+            shards: 4,
+            lo: 0,
+            hi: 2,
+            telemetry: false,
+        }
+    }
+
+    #[test]
+    fn spec_roundtrip_covers_every_enum_arm() {
+        let mut cfg = SimConfig::paper(4);
+        cfg.injection = InjectionProcess::Poisson;
+        cfg.path_selection = PathSelection::RoundRobinPerSource;
+        cfg.vl_assignment = VlAssignment::DestinationHash;
+        cfg.vl_arbitration = VlArbitration::Weighted(vec![(0, 3), (1, 1), (2, 2), (3, 1)]);
+        cfg.collect_link_stats = true;
+        cfg.trace_first_packets = 16;
+        cfg.trace_sampling = TraceSampling::Pairs(vec![(1, 2), (7, 0)]);
+        cfg.adaptive_up = true;
+        cfg.calendar = CalendarKind::BinaryHeap;
+        cfg.partition = PartitionKind::Block;
+        cfg.window_policy = WindowPolicy::Fixed;
+        cfg.route_backend = RouteBackend::Oracle;
+        let spec = DistSpec {
+            telemetry: true,
+            ..spec_for(
+                cfg,
+                TrafficPattern::Centric {
+                    hotspot: ibfat_topology::NodeId(3),
+                    fraction: 0.5,
+                },
+                0.45,
+                12_345,
+            )
+        };
+        assert_eq!(DistSpec::decode(&spec.encode()).unwrap(), spec);
+
+        let mut cfg2 = SimConfig::paper(1);
+        cfg2.trace_sampling = TraceSampling::OneInN(8);
+        let spec2 = spec_for(
+            cfg2,
+            TrafficPattern::Permutation((0..16).map(|i| ibfat_topology::NodeId(15 - i)).collect()),
+            0.2,
+            5_000,
+        );
+        assert_eq!(DistSpec::decode(&spec2.encode()).unwrap(), spec2);
+    }
+
+    #[test]
+    fn spec_decode_rejects_garbage() {
+        let spec = spec_for(SimConfig::paper(1), TrafficPattern::Uniform, 0.1, 100);
+        let mut bytes = spec.encode();
+        bytes[0] = 99; // wrong version
+        assert!(matches!(DistSpec::decode(&bytes), Err(SimError::Bridge(_))));
+        let bytes = spec.encode();
+        assert!(DistSpec::decode(&bytes[..bytes.len() - 1]).is_err());
+        let mut bytes = spec.encode();
+        bytes.push(0); // trailing byte
+        assert!(DistSpec::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn key_codec_interns_shared_lineage() {
+        // root <- a <- b ; root <- a <- c : encoding b then c must
+        // reuse the interned (root, a) prefix, and the decoded keys
+        // must preserve cmp_key order against each other.
+        let root = EvKey::initial(7);
+        let a = Arc::new(EvKey {
+            sched: 10,
+            tb: 1,
+            parent: Some(root.clone()),
+        });
+        let b = Arc::new(EvKey {
+            sched: 20,
+            tb: 2,
+            parent: Some(a.clone()),
+        });
+        let c = Arc::new(EvKey {
+            sched: 20,
+            tb: 3,
+            parent: Some(a.clone()),
+        });
+        let mut enc = KeyEncoder::default();
+        let mut buf = Vec::new();
+        enc.encode(&mut buf, &b);
+        let first_len = buf.len();
+        enc.encode(&mut buf, &c);
+        // Second key shares root and a: only one new node crosses.
+        assert!(buf.len() - first_len < first_len, "interning must shrink");
+        let mut dec = KeyDecoder::default();
+        let mut r = Rd::new(&buf);
+        let db = dec.decode(&mut r).unwrap();
+        let dc = dec.decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(dec.table.len(), enc.pin.len());
+        assert_eq!(cmp_key(&db, &dc), std::cmp::Ordering::Less);
+        assert_eq!(cmp_key(&dc, &db), std::cmp::Ordering::Greater);
+        // Shared ancestor decoded once: pointer-equal parents.
+        assert!(Arc::ptr_eq(
+            db.parent.as_ref().unwrap(),
+            dc.parent.as_ref().unwrap()
+        ));
+        // Cross-channel comparison (fresh Arcs vs the originals) takes
+        // the value-equality path and still agrees.
+        assert_eq!(cmp_key(&db, &c), std::cmp::Ordering::Less);
+        assert_eq!(cmp_key(&b, &dc), std::cmp::Ordering::Less);
+        assert_eq!(cmp_key(&db, &b), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn msg_blob_roundtrip() {
+        let key = Arc::new(EvKey {
+            sched: 5,
+            tb: 42,
+            parent: Some(EvKey::initial(1)),
+        });
+        let msgs = vec![
+            Msg {
+                at: 120,
+                key: key.clone(),
+                kind: MsgKind::Arrive {
+                    sw: 9,
+                    port: 3,
+                    vl: 1,
+                    packet: Packet {
+                        src: 4,
+                        dlid: Lid(77),
+                        vl: 1,
+                        t_gen: 100,
+                        t_inject: 104,
+                        flow_seq: 6,
+                    },
+                    trace_slot: u32::MAX,
+                    wl_msg: u32::MAX,
+                },
+            },
+            Msg {
+                at: 125,
+                key: key.clone(),
+                kind: MsgKind::Credit {
+                    sw: 2,
+                    port: 1,
+                    vl: 0,
+                },
+            },
+            Msg {
+                at: 130,
+                key,
+                kind: MsgKind::Arm { node: 11, msg: 5 },
+            },
+        ];
+        let mut enc = KeyEncoder::default();
+        let mut buf = Vec::new();
+        encode_msgs(&mut enc, &msgs, &mut buf);
+        let mut dec = KeyDecoder::default();
+        let mut r = Rd::new(&buf);
+        let got = decode_msgs(&mut dec, &mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].at, 120);
+        match &got[0].kind {
+            MsgKind::Arrive {
+                sw, port, packet, ..
+            } => {
+                assert_eq!((*sw, *port), (9, 3));
+                assert_eq!(packet.dlid, Lid(77));
+                assert_eq!(packet.flow_seq, 6);
+            }
+            _ => panic!("wrong kind"),
+        }
+        assert!(matches!(
+            got[1].kind,
+            MsgKind::Credit {
+                sw: 2,
+                port: 1,
+                vl: 0
+            }
+        ));
+        assert!(matches!(got[2].kind, MsgKind::Arm { node: 11, msg: 5 }));
+        // All three share one key: decoded once, pointer-shared.
+        assert!(Arc::ptr_eq(&got[0].key, &got[1].key));
+        assert_eq!(
+            cmp_key(&got[0].key, &msgs[0].key),
+            std::cmp::Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn intern_cap_resets_both_sides_and_stays_aligned() {
+        // Drive one channel for many windows with a tiny cap: the
+        // sender must keep resetting, the decoder must follow via the
+        // flag alone, and every key must still decode value-equal.
+        let mut enc = KeyEncoder::default();
+        let mut dec = KeyDecoder::default();
+        let mut resets = 0;
+        for window in 0..20u64 {
+            let root = EvKey::initial(window as u32);
+            let child = Arc::new(EvKey {
+                sched: 100 + window,
+                tb: 7 + window,
+                parent: Some(root),
+            });
+            let msgs = vec![Msg {
+                at: 1_000 + window,
+                key: child.clone(),
+                kind: MsgKind::Arm {
+                    node: window as u32,
+                    msg: 0,
+                },
+            }];
+            let mut buf = Vec::new();
+            encode_msgs_with_cap(&mut enc, &msgs, &mut buf, 3);
+            if buf[0] == 1 {
+                resets += 1;
+            }
+            let mut r = Rd::new(&buf);
+            let got = decode_msgs(&mut dec, &mut r).unwrap();
+            r.finish().unwrap();
+            assert_eq!(cmp_key(&got[0].key, &child), std::cmp::Ordering::Equal);
+            // Mirrored tables, bounded by the cap plus one window's chain.
+            assert_eq!(dec.table.len(), enc.pin.len());
+            assert!(enc.pin.len() <= 3 + 2, "cap must bound the table");
+        }
+        assert!(resets > 0, "the cap must actually trigger");
+        // A garbled reset flag is a protocol error, not a guess.
+        let bad = vec![9u8, 0, 0, 0, 0];
+        let mut r = Rd::new(&bad);
+        assert!(decode_msgs(&mut KeyDecoder::default(), &mut r).is_err());
+    }
+
+    #[test]
+    fn partial_and_telemetry_roundtrip() {
+        let mut latency = LatencyStats::new();
+        latency.record(500);
+        latency.record(1200);
+        let p = ShardPartial {
+            generated: 10,
+            dropped: 1,
+            total_generated: 12,
+            total_delivered: 9,
+            delivered: 8,
+            delivered_bytes: 2048,
+            events_processed: 333,
+            out_of_order: 2,
+            latency: latency.clone(),
+            network_latency: latency,
+            sw_busy: vec![1, 2, 3, 0, 9],
+            node_busy: vec![7, 0],
+            trace_events: vec![
+                vec![(100, TraceEvent::Generated), (130, TraceEvent::Delivered)],
+                vec![(200, TraceEvent::Routed { sw: 4, out_port: 2 })],
+                vec![],
+            ],
+        };
+        assert_eq!(decode_partial(&encode_partial(&p)).unwrap(), p);
+
+        let mut t = ShardTelemetry::new(3, 2, 8);
+        t.on_window(
+            WindowRecord {
+                bound_ns: 20,
+                span_ns: 20,
+                events: 5,
+                msgs_sent: 2,
+                msgs_recv: 1,
+                barrier_wait_ns: 0,
+                bridge_wait_ns: 900,
+            },
+            true,
+        );
+        t.bridge_bytes = 123;
+        t.bridge_flushes = 1;
+        assert_eq!(
+            decode_shard_telemetry(&encode_shard_telemetry(&t)).unwrap(),
+            t
+        );
+    }
+
+    // -----------------------------------------------------------------
+    // Full-protocol equivalence: run the child loop over an in-process
+    // hub bridge (every byte serialized, exactly the driver's routing
+    // and clock) and compare against the sequential engine.
+    // -----------------------------------------------------------------
+
+    struct TestBridge {
+        idx: usize,
+        vote_tx: mpsc::Sender<(usize, u64, Vec<ChannelBlob>)>,
+        grant_rx: mpsc::Receiver<(u64, Vec<ChannelBlob>)>,
+    }
+
+    impl ChildBridge for TestBridge {
+        fn exchange(
+            &mut self,
+            vote: u64,
+            out: Vec<ChannelBlob>,
+        ) -> Result<(u64, Vec<ChannelBlob>), SimError> {
+            self.vote_tx
+                .send((self.idx, vote, out))
+                .map_err(|_| bridge_err("hub hung up"))?;
+            self.grant_rx.recv().map_err(|_| bridge_err("hub hung up"))
+        }
+    }
+
+    /// The driver's hub loop in miniature: collect one vote per child,
+    /// agree on `g`, route blobs by destination, grant, repeat until
+    /// the WindowClock says the children broke.
+    fn run_hub(spec: &DistSpec, splits: &[(u32, u32)], wall_secs: f64) -> SimReport {
+        let nchildren = splits.len();
+        let (vote_tx, vote_rx) = mpsc::channel::<(usize, u64, Vec<ChannelBlob>)>();
+        let mut grant_txs = Vec::new();
+        let mut outcomes: Vec<Option<ChildOutcome>> = (0..nchildren).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (idx, &(lo, hi)) in splits.iter().enumerate() {
+                let (gtx, grx) = mpsc::channel();
+                grant_txs.push(gtx);
+                let child_spec = DistSpec {
+                    lo,
+                    hi,
+                    ..spec.clone()
+                };
+                let vote_tx = vote_tx.clone();
+                handles.push(scope.spawn(move || {
+                    let mut bridge = TestBridge {
+                        idx,
+                        vote_tx,
+                        grant_rx: grx,
+                    };
+                    run_child(&child_spec, &mut bridge).expect("child failed")
+                }));
+            }
+            drop(vote_tx);
+            let child_of = |shard: u32| {
+                splits
+                    .iter()
+                    .position(|&(lo, hi)| (lo..hi).contains(&shard))
+                    .expect("unowned shard")
+            };
+            let mut clock = WindowClock::new(&spec.cfg, spec.sim_time_ns);
+            loop {
+                let mut g = u64::MAX;
+                let mut routed: Vec<Vec<ChannelBlob>> =
+                    (0..nchildren).map(|_| Vec::new()).collect();
+                for _ in 0..nchildren {
+                    let (_, vote, blobs) = vote_rx.recv().expect("child died");
+                    g = g.min(vote);
+                    for blob in blobs {
+                        routed[child_of(blob.dst)].push(blob);
+                    }
+                }
+                for (gtx, blobs) in grant_txs.iter().zip(routed) {
+                    gtx.send((g, blobs)).expect("child died");
+                }
+                if clock.advance(g) {
+                    break;
+                }
+            }
+            for (idx, h) in handles.into_iter().enumerate() {
+                outcomes[idx] = Some(h.join().expect("child panicked"));
+            }
+        });
+        let partials: Vec<Vec<u8>> = outcomes
+            .into_iter()
+            .flat_map(|o| o.expect("missing outcome").partials)
+            .collect();
+        assert_eq!(partials.len(), spec.shards as usize);
+        let params = TreeParams::new(spec.m, spec.n).unwrap();
+        let net = Network::mport_ntree(params);
+        let routing = match spec.cfg.route_backend {
+            RouteBackend::Oracle => Routing::build_table_free(&net, spec.kind),
+            RouteBackend::Table => Routing::build(&net, spec.kind),
+        };
+        parent_report(
+            &net,
+            &routing,
+            &spec.cfg,
+            &spec.pattern,
+            spec.offered_load,
+            spec.sim_time_ns,
+            spec.warmup_ns,
+            &partials,
+            wall_secs,
+        )
+        .expect("merge failed")
+    }
+
+    fn normalized(mut r: SimReport) -> SimReport {
+        r.events_per_sec = 0.0;
+        r.packets_per_sec = 0.0;
+        r
+    }
+
+    #[test]
+    fn bridged_run_matches_sequential_and_threaded() {
+        let params = TreeParams::new(4, 3).unwrap();
+        let net = Network::mport_ntree(params);
+        for kind in [RoutingKind::Mlid, RoutingKind::Slid] {
+            for num_vls in [1u8, 4] {
+                let mut cfg = SimConfig::paper(num_vls);
+                cfg.trace_first_packets = 8;
+                cfg.collect_link_stats = true;
+                let routing = Routing::build(&net, kind);
+                let spec = DistSpec {
+                    m: 4,
+                    n: 3,
+                    kind,
+                    cfg: cfg.clone(),
+                    pattern: TrafficPattern::Uniform,
+                    offered_load: 0.6,
+                    sim_time_ns: 15_000,
+                    warmup_ns: 0,
+                    shards: 4,
+                    lo: 0,
+                    hi: 0,
+                    telemetry: false,
+                };
+                let seq = normalized(
+                    Simulator::new(
+                        &net,
+                        &routing,
+                        cfg.clone(),
+                        TrafficPattern::Uniform,
+                        0.6,
+                        15_000,
+                        0,
+                    )
+                    .run(),
+                );
+                let par = normalized(
+                    ParSimulator::new(
+                        &net,
+                        &routing,
+                        cfg.clone(),
+                        TrafficPattern::Uniform,
+                        0.6,
+                        15_000,
+                        0,
+                        4,
+                    )
+                    .run()
+                    .unwrap(),
+                );
+                assert_eq!(par, seq, "{kind} vl{num_vls}: threaded baseline drifted");
+                // Even 2-way split, uneven 3-way split: both must
+                // reproduce the sequential report bit for bit.
+                for splits in [vec![(0u32, 2u32), (2, 4)], vec![(0, 1), (1, 3), (3, 4)]] {
+                    let dist = normalized(run_hub(&spec, &splits, 0.0));
+                    assert_eq!(
+                        dist, seq,
+                        "{kind} vl{num_vls} split {splits:?}: bridged run drifted"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bridged_run_matches_with_oracle_backend_and_fixed_windows() {
+        let params = TreeParams::new(4, 3).unwrap();
+        let net = Network::mport_ntree(params);
+        let mut cfg = SimConfig::paper(2);
+        cfg.route_backend = RouteBackend::Oracle;
+        cfg.window_policy = WindowPolicy::Fixed;
+        cfg.calendar = CalendarKind::BinaryHeap;
+        let routing = Routing::build_table_free(&net, RoutingKind::Mlid);
+        let seq = normalized(
+            Simulator::new(
+                &net,
+                &routing,
+                cfg.clone(),
+                TrafficPattern::Uniform,
+                0.4,
+                10_000,
+                1_000,
+            )
+            .run(),
+        );
+        let spec = DistSpec {
+            m: 4,
+            n: 3,
+            kind: RoutingKind::Mlid,
+            cfg,
+            pattern: TrafficPattern::Uniform,
+            offered_load: 0.4,
+            sim_time_ns: 10_000,
+            warmup_ns: 1_000,
+            shards: 3,
+            lo: 0,
+            hi: 0,
+            telemetry: true,
+        };
+        let dist = normalized(run_hub(&spec, &[(0, 1), (1, 3)], 0.0));
+        assert_eq!(dist, seq);
+    }
+
+    #[test]
+    fn child_rejects_bad_ranges() {
+        let spec = spec_for(SimConfig::paper(1), TrafficPattern::Uniform, 0.1, 1_000);
+        struct NoBridge;
+        impl ChildBridge for NoBridge {
+            fn exchange(
+                &mut self,
+                _: u64,
+                _: Vec<ChannelBlob>,
+            ) -> Result<(u64, Vec<ChannelBlob>), SimError> {
+                panic!("must not be reached");
+            }
+        }
+        for (lo, hi, shards) in [(2, 2, 4), (3, 2, 4), (0, 5, 4), (0, 1, 1)] {
+            let bad = DistSpec {
+                lo,
+                hi,
+                shards,
+                ..spec.clone()
+            };
+            assert!(
+                matches!(run_child(&bad, &mut NoBridge), Err(SimError::Bridge(_))),
+                "{lo}..{hi}/{shards} must be rejected"
+            );
+        }
+    }
+}

@@ -49,12 +49,15 @@ impl Default for CalendarKind {
     }
 }
 
-/// Wheel horizon in slots (= ns, one bucket per ns). Must be a power of
-/// two. 4096 ns comfortably covers every in-flight delta of the model
-/// (max ≈ fly + packet serialization) at the paper's constants; only
-/// injection events at very low offered load overflow.
+/// Default wheel horizon in slots (= ns, one bucket per ns). Must be a
+/// power of two. 4096 ns comfortably covers every in-flight delta of the
+/// model (max ≈ fly + packet serialization) at the paper's constants;
+/// only injection events at very low offered load overflow.
 const WHEEL_SLOTS: usize = 1 << 12;
-const WHEEL_MASK: u64 = WHEEL_SLOTS as u64 - 1;
+
+/// Smallest wheel worth building: below this the slot array no longer
+/// dominates peek cost and shrinking further only grows overflow churn.
+const MIN_WHEEL_SLOTS: usize = 1 << 6;
 
 /// A calendar queue with 1-ns FIFO buckets over a sliding 4096-ns
 /// (`WHEEL_SLOTS`) horizon plus a sorted overflow level beyond it.
@@ -68,6 +71,9 @@ const WHEEL_MASK: u64 = WHEEL_SLOTS as u64 - 1;
 #[derive(Debug)]
 pub struct TimingWheel<E> {
     slots: Vec<VecDeque<E>>,
+    /// `slots.len() - 1`; slot count is a power of two so bucket index
+    /// is `time & mask`.
+    mask: u64,
     /// Next candidate timestamp; everything earlier has been popped.
     cursor: Time,
     /// Events currently inside the wheel horizon.
@@ -92,10 +98,22 @@ pub struct TimingWheel<E> {
 const SPARE_BUCKETS: usize = 32;
 
 impl<E> TimingWheel<E> {
-    /// An empty wheel with the cursor at t = 0.
+    /// An empty wheel with the cursor at t = 0 and the default
+    /// ([`WHEEL_SLOTS`]) horizon.
     pub fn new() -> Self {
+        TimingWheel::with_slots(WHEEL_SLOTS)
+    }
+
+    /// An empty wheel with an explicit slot count (must be a power of
+    /// two). A wheel sized to the fabric's actual delay horizon keeps the
+    /// slot array cache-resident and makes the O(slots) `peek_head` scan
+    /// proportionally cheaper; events past the horizon still land in the
+    /// sorted overflow level, so correctness never depends on the size.
+    pub fn with_slots(slots: usize) -> Self {
+        assert!(slots.is_power_of_two(), "wheel slot count must be 2^k");
         TimingWheel {
-            slots: (0..WHEEL_SLOTS).map(|_| VecDeque::new()).collect(),
+            slots: (0..slots).map(|_| VecDeque::new()).collect(),
+            mask: slots as u64 - 1,
             cursor: 0,
             near: 0,
             overflow: BTreeMap::new(),
@@ -104,6 +122,25 @@ impl<E> TimingWheel<E> {
             #[cfg(test)]
             fresh_buckets: 0,
         }
+    }
+
+    /// An empty wheel sized for a fabric whose largest common event delta
+    /// is `horizon_ns`: the next power of two covering it, clamped to
+    /// [[`MIN_WHEEL_SLOTS`], [`WHEEL_SLOTS`]]. `horizon_ns == 0` (no
+    /// hint) yields the default size.
+    pub fn with_horizon(horizon_ns: u64) -> Self {
+        if horizon_ns == 0 {
+            return TimingWheel::new();
+        }
+        let slots = horizon_ns
+            .next_power_of_two()
+            .clamp(MIN_WHEEL_SLOTS as u64, WHEEL_SLOTS as u64) as usize;
+        TimingWheel::with_slots(slots)
+    }
+
+    /// The wheel's horizon in slots (diagnostics / tests).
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
     }
 
     /// Schedule `event` at absolute time `at`. Scheduling in the past
@@ -117,8 +154,8 @@ impl<E> TimingWheel<E> {
             self.cursor
         );
         let at = at.max(self.cursor);
-        if at - self.cursor < WHEEL_SLOTS as u64 {
-            self.slots[(at & WHEEL_MASK) as usize].push_back(event);
+        if at - self.cursor < self.slots.len() as u64 {
+            self.slots[(at & self.mask) as usize].push_back(event);
             self.near += 1;
         } else {
             match self.overflow.entry(at) {
@@ -161,7 +198,7 @@ impl<E> TimingWheel<E> {
                 self.refill();
                 continue;
             }
-            if let Some(ev) = self.slots[(self.cursor & WHEEL_MASK) as usize].pop_front() {
+            if let Some(ev) = self.slots[(self.cursor & self.mask) as usize].pop_front() {
                 self.near -= 1;
                 return Some((self.cursor, ev));
             }
@@ -187,9 +224,9 @@ impl<E> TimingWheel<E> {
     /// like [`peek_time`](TimingWheel::peek_time).
     pub fn peek_head(&self) -> Option<(Time, &E)> {
         if self.near > 0 {
-            for i in 0..WHEEL_SLOTS as u64 {
+            for i in 0..self.slots.len() as u64 {
                 let t = self.cursor + i;
-                if let Some(e) = self.slots[(t & WHEEL_MASK) as usize].front() {
+                if let Some(e) = self.slots[(t & self.mask) as usize].front() {
                     return Some((t, e));
                 }
             }
@@ -213,11 +250,11 @@ impl<E> TimingWheel<E> {
     }
 
     /// Advance the cursor past an empty bucket. The window slides by one
-    /// ns, so exactly one new timestamp (`old cursor + WHEEL_SLOTS`)
-    /// becomes coverable; its bucket is the one just vacated.
+    /// ns, so exactly one new timestamp (`old cursor + slots`) becomes
+    /// coverable; its bucket is the one just vacated.
     #[inline]
     fn advance(&mut self) {
-        let new_edge = self.cursor + WHEEL_SLOTS as u64;
+        let new_edge = self.cursor + self.slots.len() as u64;
         self.cursor += 1;
         if self.far > 0 {
             if let Some(entry) = self.overflow.first_entry() {
@@ -225,7 +262,7 @@ impl<E> TimingWheel<E> {
                     let mut q = entry.remove();
                     self.far -= q.len();
                     self.near += q.len();
-                    let slot = &mut self.slots[(new_edge & WHEEL_MASK) as usize];
+                    let slot = &mut self.slots[(new_edge & self.mask) as usize];
                     debug_assert!(slot.is_empty(), "migrating into an occupied bucket");
                     slot.append(&mut q);
                     self.recycle(q);
@@ -237,7 +274,7 @@ impl<E> TimingWheel<E> {
     /// After a cursor jump, migrate every overflow entry that now falls
     /// inside the horizon (FIFO order per timestamp is preserved).
     fn refill(&mut self) {
-        let horizon = self.cursor + WHEEL_SLOTS as u64;
+        let horizon = self.cursor + self.slots.len() as u64;
         while let Some(entry) = self.overflow.first_entry() {
             let t = *entry.key();
             if t >= horizon {
@@ -246,7 +283,7 @@ impl<E> TimingWheel<E> {
             let mut q = entry.remove();
             self.far -= q.len();
             self.near += q.len();
-            self.slots[(t & WHEEL_MASK) as usize].append(&mut q);
+            self.slots[(t & self.mask) as usize].append(&mut q);
             self.recycle(q);
         }
     }
@@ -379,8 +416,15 @@ impl<E> EventQueue<E> {
 
     /// An empty calendar of an explicit kind.
     pub fn with_kind(kind: CalendarKind) -> Self {
+        EventQueue::with_kind_and_horizon(kind, 0)
+    }
+
+    /// An empty calendar of an explicit kind, with the wheel sized to
+    /// `horizon_ns` (see [`TimingWheel::with_horizon`]; `0` = default
+    /// size). The heap ignores the hint.
+    pub fn with_kind_and_horizon(kind: CalendarKind, horizon_ns: u64) -> Self {
         match kind {
-            CalendarKind::TimingWheel => EventQueue::Wheel(TimingWheel::new()),
+            CalendarKind::TimingWheel => EventQueue::Wheel(TimingWheel::with_horizon(horizon_ns)),
             CalendarKind::BinaryHeap => EventQueue::Heap(HeapCalendar::new()),
         }
     }
@@ -507,9 +551,18 @@ pub struct ChainQueue<E> {
 impl<E> ChainQueue<E> {
     /// An empty queue whose residual calendar uses the given kind.
     pub fn with_kind(kind: CalendarKind) -> Self {
+        ChainQueue::with_kind_and_horizon(kind, 0)
+    }
+
+    /// An empty queue whose residual wheel (if a wheel) is sized to the
+    /// fabric's delay horizon (`0` = default size). Wheel size never
+    /// changes pop order — each bucket is FIFO per timestamp and the
+    /// overflow level is sorted — so this is purely a cache/scan-cost
+    /// knob.
+    pub fn with_kind_and_horizon(kind: CalendarKind, horizon_ns: u64) -> Self {
         ChainQueue {
             chains: std::array::from_fn(|_| VecDeque::with_capacity(64)),
-            rest: EventQueue::with_kind(kind),
+            rest: EventQueue::with_kind_and_horizon(kind, horizon_ns),
             rest_head: RestHead::Empty,
             seq: 0,
         }
@@ -810,6 +863,57 @@ mod tests {
         assert_eq!(w.pop(), Some((5, "near")));
         assert_eq!(w.pop(), Some((3000, "far")));
         assert_eq!(w.peek_head(), None);
+    }
+
+    #[test]
+    fn horizon_hint_sizes_the_wheel() {
+        assert_eq!(TimingWheel::<u32>::with_horizon(0).num_slots(), WHEEL_SLOTS);
+        assert_eq!(
+            TimingWheel::<u32>::with_horizon(1).num_slots(),
+            MIN_WHEEL_SLOTS
+        );
+        assert_eq!(TimingWheel::<u32>::with_horizon(377).num_slots(), 512);
+        assert_eq!(TimingWheel::<u32>::with_horizon(512).num_slots(), 512);
+        assert_eq!(
+            TimingWheel::<u32>::with_horizon(1 << 20).num_slots(),
+            WHEEL_SLOTS,
+            "hint is clamped to the default maximum"
+        );
+    }
+
+    #[test]
+    fn small_wheel_keeps_order_across_overflow() {
+        // A 64-slot wheel with deltas straddling the horizon must pop in
+        // the same order as the heap oracle: size is a cost knob only.
+        let mut w = EventQueue::with_kind_and_horizon(CalendarKind::TimingWheel, 1);
+        let mut h = EventQueue::with_kind(CalendarKind::BinaryHeap);
+        let mut state = 0xDEAD_BEEFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut now = 0u64;
+        for id in 0..2000u32 {
+            let at = now + next() % 200; // often past the 64-slot horizon
+            w.schedule(at, id);
+            h.schedule(at, id);
+            if next() % 3 == 0 {
+                let a = w.pop();
+                assert_eq!(a, h.pop());
+                if let Some((t, _)) = a {
+                    now = t;
+                }
+            }
+        }
+        loop {
+            let a = w.pop();
+            assert_eq!(a, h.pop());
+            if a.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

@@ -49,6 +49,7 @@
 pub mod bounds;
 mod config;
 mod counters;
+pub mod dist;
 mod engine;
 mod error;
 pub mod json;

@@ -154,14 +154,14 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// Deterministic tiebreak key for same-timestamp events: one node of the
 /// shared lineage tree (see the module docs). Compared with [`cmp_key`].
 #[derive(Debug)]
-struct EvKey {
+pub(crate) struct EvKey {
     /// Simulation time of the scheduling call.
-    sched: Time,
+    pub(crate) sched: Time,
     /// `class << 63 | device id << 32 | per-device schedule counter`.
-    tb: u64,
+    pub(crate) tb: u64,
     /// The event whose dispatch made the scheduling call; `None` for the
     /// pre-loop priming injections.
-    parent: Option<Arc<EvKey>>,
+    pub(crate) parent: Option<Arc<EvKey>>,
 }
 
 impl EvKey {
@@ -169,7 +169,7 @@ impl EvKey {
     /// rootless, so it sorts before any dispatched event's children at
     /// the same instant, and node order matches the sequential priming
     /// loop's insertion order.
-    fn initial(node: u32) -> Arc<EvKey> {
+    pub(crate) fn initial(node: u32) -> Arc<EvKey> {
         EvKey::initial_seq(node, 0)
     }
 
@@ -177,7 +177,7 @@ impl EvKey {
     /// one `WlArm` per DAG root, and a node can own several roots; the
     /// sequential engine primes them node-major in ascending id order,
     /// which `(node, seq)` in the tiebreak word reproduces exactly.
-    fn initial_seq(node: u32, seq: u32) -> Arc<EvKey> {
+    pub(crate) fn initial_seq(node: u32, seq: u32) -> Arc<EvKey> {
         Arc::new(EvKey {
             sched: 0,
             tb: (u64::from(node) << 32) | u64::from(seq),
@@ -195,7 +195,17 @@ impl EvKey {
 /// two distinct events sharing a parent always differ in `tb` (same
 /// device, distinct counter values), so once the parents are *the same
 /// event* this level's `tb` decides. Distinct events never compare equal.
-fn cmp_key(a: &Arc<EvKey>, b: &Arc<EvKey>) -> std::cmp::Ordering {
+///
+/// Merge detection is by `Arc` identity first (the in-process fast path)
+/// and by *value* as a fallback: lineage that crossed a process bridge is
+/// deserialized into fresh `Arc`s, and one common ancestor reached via
+/// two different channels materializes twice. A dispatched event is
+/// uniquely named by `(sched, tb)` — the per-device counter is issued
+/// once — so equal `(sched, tb)` means the same event, *except* that a
+/// priming key (`parent: None`, `sched: 0`) could collide with a t = 0
+/// dispatch-scheduled event of the same device and counter; requiring
+/// the two nodes to agree on rootedness excludes exactly that case.
+pub(crate) fn cmp_key(a: &Arc<EvKey>, b: &Arc<EvKey>) -> std::cmp::Ordering {
     use std::cmp::Ordering::*;
     let (mut a, mut b) = (a, b);
     loop {
@@ -208,7 +218,11 @@ fn cmp_key(a: &Arc<EvKey>, b: &Arc<EvKey>) -> std::cmp::Ordering {
             (None, Some(_)) => return Less,
             (Some(_), None) => return Greater,
             (Some(pa), Some(pb)) => {
-                if Arc::ptr_eq(pa, pb) {
+                if Arc::ptr_eq(pa, pb)
+                    || (pa.sched == pb.sched
+                        && pa.tb == pb.tb
+                        && pa.parent.is_none() == pb.parent.is_none())
+                {
                     return a.tb.cmp(&b.tb);
                 }
                 a = pa;
@@ -220,19 +234,19 @@ fn cmp_key(a: &Arc<EvKey>, b: &Arc<EvKey>) -> std::cmp::Ordering {
 
 /// One keyed calendar entry.
 #[derive(Debug, Clone)]
-struct ParEntry {
-    key: Arc<EvKey>,
-    ev: Ev,
+pub(crate) struct ParEntry {
+    pub(crate) key: Arc<EvKey>,
+    pub(crate) ev: Ev,
 }
 
 /// A cross-shard event in flight between windows.
-struct Msg {
-    at: Time,
-    key: Arc<EvKey>,
-    kind: MsgKind,
+pub(crate) struct Msg {
+    pub(crate) at: Time,
+    pub(crate) key: Arc<EvKey>,
+    pub(crate) kind: MsgKind,
 }
 
-enum MsgKind {
+pub(crate) enum MsgKind {
     /// A packet header crossing the shard boundary: the packet leaves the
     /// source shard's slab and is re-inserted at the destination.
     Arrive {
@@ -258,27 +272,27 @@ enum MsgKind {
 /// A cross-shard schedule call awaiting conversion to a [`Msg`]. The
 /// packet id is resolved against the slab immediately after the dispatch
 /// that produced it, before any other dispatch can recycle the slot.
-struct PendingCross {
-    dst: u32,
-    at: Time,
-    key: Arc<EvKey>,
-    ev: Ev,
+pub(crate) struct PendingCross {
+    pub(crate) dst: u32,
+    pub(crate) at: Time,
+    pub(crate) key: Arc<EvKey>,
+    pub(crate) ev: Ev,
 }
 
 /// Device-to-shard assignment: switches partitioned per
 /// [`PartitionKind`], nodes co-located with their leaf switch (so
 /// node-side events never cross).
-struct ShardMap {
-    sw: Vec<u32>,
-    node: Vec<u32>,
+pub(crate) struct ShardMap {
+    pub(crate) sw: Vec<u32>,
+    pub(crate) node: Vec<u32>,
     /// Switch-to-switch cables whose endpoints fall in different
     /// shards — the partition quality metric (every cut cable is a
     /// potential cross-shard message lane).
-    edge_cut: usize,
+    pub(crate) edge_cut: usize,
 }
 
 impl ShardMap {
-    fn build(net: &Network, shards: usize, kind: PartitionKind) -> ShardMap {
+    pub(crate) fn build(net: &Network, shards: usize, kind: PartitionKind) -> ShardMap {
         let sw = match kind {
             PartitionKind::FatTree => fat_tree_switch_partition(net, shards),
             PartitionKind::Block => block_switch_partition(net.num_switches(), shards),
@@ -463,7 +477,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// `(tb prefix, per-device counter index)` of the device whose handler
 /// is dispatching — the target device of the event being dispatched.
-fn scheduling_dev(ev: &Ev, num_nodes: u32) -> (u64, u32) {
+pub(crate) fn scheduling_dev(ev: &Ev, num_nodes: u32) -> (u64, u32) {
     match *ev {
         Ev::Inject { node }
         | Ev::TryNodeSend { node }
@@ -490,7 +504,7 @@ pub struct ShardQueue {
     map: Arc<ShardMap>,
     num_nodes: u32,
     lookahead: u64,
-    cal: EventQueue<ParEntry>,
+    pub(crate) cal: EventQueue<ParEntry>,
     /// Per-device schedule-call counters (nodes, then switches).
     seq: Vec<u32>,
     // --- context of the dispatch in progress, set by the driver ---
@@ -506,7 +520,7 @@ pub struct ShardQueue {
 }
 
 impl ShardQueue {
-    fn new(me: u32, map: Arc<ShardMap>, cfg: &SimConfig) -> ShardQueue {
+    pub(crate) fn new(me: u32, map: Arc<ShardMap>, cfg: &SimConfig) -> ShardQueue {
         let num_nodes = map.node.len() as u32;
         let num_sw = map.sw.len() as u32;
         ShardQueue {
@@ -514,7 +528,7 @@ impl ShardQueue {
             map,
             num_nodes,
             lookahead: cfg.lookahead_ns(),
-            cal: EventQueue::with_kind(cfg.calendar),
+            cal: EventQueue::with_kind_and_horizon(cfg.calendar, cfg.wheel_horizon_hint()),
             seq: vec![0; (num_nodes + num_sw) as usize],
             cur_time: 0,
             parent_key: EvKey::initial(0),
@@ -588,7 +602,16 @@ impl Sched for ShardQueue {
 /// Sequential replay of exactly the injection subsequence: produces the
 /// per-node scripts of pre-drawn injections (identical RNG order to the
 /// sequential run) plus the globally assigned flight-recorder headers.
-fn injection_prepass(
+///
+/// `keep` filters which nodes' scripts are *retained* (`None` keeps
+/// all). Every node is still replayed — the RNG sequence and the trace
+/// headers are global — but a caller that only injects at a subset of
+/// nodes (a multi-process worker with its shard range, the supervisor
+/// that only wants the headers) never materializes the rest, which is
+/// what keeps a worker's peak resident set proportional to its share
+/// of the fabric.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn injection_prepass(
     net: &Network,
     routing: &Routing,
     cfg: &SimConfig,
@@ -596,6 +619,7 @@ fn injection_prepass(
     offered_load: f64,
     sim_time_ns: Time,
     warmup_ns: Time,
+    keep: Option<&[bool]>,
 ) -> (Vec<VecDeque<InjectRec>>, Vec<PacketTrace>) {
     let mut gen = Simulator::new(
         net,
@@ -628,7 +652,9 @@ fn injection_prepass(
         }
         gen.now = t;
         let (payload, next_at) = gen.draw_injection(node);
-        scripts[node as usize].push_back(InjectRec { at: t, payload });
+        if keep.is_none_or(|k| k[node as usize]) {
+            scripts[node as usize].push_back(InjectRec { at: t, payload });
+        }
         if let Some(at) = next_at {
             heap.push(Reverse((at, seq, node)));
             seq += 1;
@@ -660,33 +686,46 @@ fn drain_inbound<P: Probe>(
             continue;
         }
         drained += scratch.len();
-        for msg in scratch.drain(..) {
-            debug_assert!(msg.at >= prev_bound, "cross-shard message in the past");
-            let ev = match msg.kind {
-                MsgKind::Arrive {
-                    sw,
-                    port,
-                    vl,
-                    packet,
-                    trace_slot,
-                    wl_msg,
-                } => {
-                    let pkt = sim.slab.insert(packet);
-                    sim.set_trace_slot(pkt, trace_slot);
-                    if wl_msg != u32::MAX {
-                        sim.wl_set_msg(pkt, wl_msg);
-                    }
-                    Ev::SwHeaderArrive { sw, port, vl, pkt }
-                }
-                MsgKind::Credit { sw, port, vl } => Ev::CreditToSwitch { sw, port, vl },
-                MsgKind::Arm { node, msg } => Ev::WlArm { node, msg },
-            };
-            sim.queue
-                .cal
-                .schedule(msg.at, ParEntry { key: msg.key, ev });
-        }
+        schedule_inbound(sim, prev_bound, scratch.drain(..));
     }
     drained
+}
+
+/// Schedule one source's inbound batch into the local calendar, in batch
+/// (publish) order — packet-slab insertion happens here, so a shard's
+/// slab id sequence is a pure function of its drain/dispatch history.
+/// Shared by the threaded drain above and the multi-process child loop
+/// ([`crate::dist`]), which must replay exactly this sequence.
+pub(crate) fn schedule_inbound<P: Probe>(
+    sim: &mut Simulator<'_, P, ShardQueue>,
+    prev_bound: Time,
+    msgs: impl Iterator<Item = Msg>,
+) {
+    for msg in msgs {
+        debug_assert!(msg.at >= prev_bound, "cross-shard message in the past");
+        let ev = match msg.kind {
+            MsgKind::Arrive {
+                sw,
+                port,
+                vl,
+                packet,
+                trace_slot,
+                wl_msg,
+            } => {
+                let pkt = sim.slab.insert(packet);
+                sim.set_trace_slot(pkt, trace_slot);
+                if wl_msg != u32::MAX {
+                    sim.wl_set_msg(pkt, wl_msg);
+                }
+                Ev::SwHeaderArrive { sw, port, vl, pkt }
+            }
+            MsgKind::Credit { sw, port, vl } => Ev::CreditToSwitch { sw, port, vl },
+            MsgKind::Arm { node, msg } => Ev::WlArm { node, msg },
+        };
+        sim.queue
+            .cal
+            .schedule(msg.at, ParEntry { key: msg.key, ev });
+    }
 }
 
 /// Dispatch everything strictly before `bound`, one timestamp cohort at
@@ -695,7 +734,7 @@ fn drain_inbound<P: Probe>(
 /// calendar drained), so the caller can skip the next window's
 /// dispatch — and these O(wheel-horizon) peeks — outright when nothing
 /// new arrives.
-fn dispatch_window<P: Probe>(
+pub(crate) fn dispatch_window<P: Probe>(
     sim: &mut Simulator<'_, P, ShardQueue>,
     bound: Time,
     cohort: &mut Vec<ParEntry>,
@@ -872,6 +911,7 @@ fn run_shard<P: Probe>(
                     msgs_sent: sent,
                     msgs_recv: drained as u64,
                     barrier_wait_ns: t0.elapsed().as_nanos() as u64,
+                    bridge_wait_ns: 0,
                 },
                 dispatched,
             );
@@ -1002,6 +1042,198 @@ fn make_shard_telemetry(
             })
         })
         .collect()
+}
+
+/// Everything the report merge reads from one finished shard engine —
+/// the transport-generic seam between the in-process [`ParSimulator`]
+/// and the multi-process driver: a worker process serializes its
+/// `ShardPartial`s over the bridge and the parent feeds them through the
+/// *same* [`merge_partials`] the threaded engine uses, so the two paths
+/// produce bit-identical reports by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ShardPartial {
+    pub(crate) generated: u64,
+    pub(crate) dropped: u64,
+    pub(crate) total_generated: u64,
+    pub(crate) total_delivered: u64,
+    pub(crate) delivered: u64,
+    pub(crate) delivered_bytes: u64,
+    pub(crate) events_processed: u64,
+    pub(crate) out_of_order: u64,
+    pub(crate) latency: LatencyStats,
+    pub(crate) network_latency: LatencyStats,
+    /// Per-(switch, port) link busy time, `sw * m + port` indexed over
+    /// the *whole* fabric (unowned devices contribute zeros; the merge
+    /// sums are disjoint because only the owning shard drives a device).
+    pub(crate) sw_busy: Vec<u64>,
+    /// Per-node injection-link busy time, whole fabric.
+    pub(crate) node_busy: Vec<u64>,
+    /// Flight-recorder events this shard recorded, per trace slot
+    /// (empty when tracing is off).
+    pub(crate) trace_events: Vec<Vec<(Time, crate::trace::TraceEvent)>>,
+}
+
+impl ShardPartial {
+    /// Extract the mergeable fields of a finished shard engine.
+    pub(crate) fn from_sim<P: Probe>(s: &Simulator<'_, P, ShardQueue>, m: usize) -> ShardPartial {
+        let mut sw_busy = vec![0u64; s.switches.len() * m];
+        for (sw, ports) in s.switches.iter().enumerate() {
+            for (port, p) in ports.iter().enumerate() {
+                sw_busy[sw * m + port] = p.busy_ns;
+            }
+        }
+        let trace_events = if s.cfg.trace_first_packets > 0 {
+            s.traces.iter().map(|tr| tr.events.clone()).collect()
+        } else {
+            Vec::new()
+        };
+        ShardPartial {
+            generated: s.generated_in_window,
+            dropped: s.dropped,
+            total_generated: s.total_generated,
+            total_delivered: s.total_delivered,
+            delivered: s.delivered_in_window,
+            delivered_bytes: s.delivered_bytes_in_window,
+            events_processed: s.events_processed,
+            out_of_order: s.out_of_order,
+            latency: s.latency.clone(),
+            network_latency: s.network_latency.clone(),
+            sw_busy,
+            node_busy: s.nodes.iter().map(|n| n.busy_ns).collect(),
+            trace_events,
+        }
+    }
+}
+
+/// Fold per-shard partials into one report, reproducing the sequential
+/// `report()` computation field by field. Both the threaded engine and
+/// the multi-process driver call exactly this.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn merge_partials(
+    cfg: &SimConfig,
+    offered_load: f64,
+    sim_time: Time,
+    warmup_ns: Time,
+    num_nodes: usize,
+    num_sw: usize,
+    m: usize,
+    partials: Vec<ShardPartial>,
+    gen_traces: Vec<PacketTrace>,
+    wall_secs: f64,
+) -> SimReport {
+    let mut generated = 0u64;
+    let mut dropped = 0u64;
+    let mut total_generated = 0u64;
+    let mut total_delivered = 0u64;
+    let mut delivered = 0u64;
+    let mut delivered_bytes = 0u64;
+    let mut events_processed = 0u64;
+    let mut out_of_order = 0u64;
+    let mut latency = LatencyStats::new();
+    let mut network_latency = LatencyStats::new();
+    let mut sw_busy = vec![0u64; num_sw * m];
+    let mut node_busy = vec![0u64; num_nodes];
+    for s in &partials {
+        generated += s.generated;
+        dropped += s.dropped;
+        total_generated += s.total_generated;
+        total_delivered += s.total_delivered;
+        delivered += s.delivered;
+        delivered_bytes += s.delivered_bytes;
+        events_processed += s.events_processed;
+        out_of_order += s.out_of_order;
+        latency.merge(&s.latency);
+        network_latency.merge(&s.network_latency);
+        // Only the owning shard ever drives a device, so these sums
+        // are disjoint and exact.
+        for (i, &b) in s.sw_busy.iter().enumerate() {
+            sw_busy[i] += b;
+        }
+        for (n, &b) in s.node_busy.iter().enumerate() {
+            node_busy[n] += b;
+        }
+    }
+
+    let span = sim_time as f64;
+    let mut total_busy = 0u64;
+    let mut max_busy = 0u64;
+    for &b in sw_busy.iter().chain(node_busy.iter()) {
+        total_busy += b;
+        max_busy = max_busy.max(b);
+    }
+    let links = (sw_busy.len() + node_busy.len()) as u64;
+
+    let link_utilization = cfg.collect_link_stats.then(|| {
+        let mut out = Vec::new();
+        for sw in 0..num_sw {
+            for port in 0..m {
+                out.push(crate::metrics::LinkUse {
+                    from: format!("S{sw}"),
+                    port: port as u8 + 1,
+                    utilization: sw_busy[sw * m + port] as f64 / span,
+                });
+            }
+        }
+        for (n, &b) in node_busy.iter().enumerate() {
+            out.push(crate::metrics::LinkUse {
+                from: format!("N{n}"),
+                port: 1,
+                utilization: b as f64 / span,
+            });
+        }
+        out
+    });
+
+    let traces = (cfg.trace_first_packets > 0).then(|| {
+        let mut out = gen_traces;
+        for (slot, tr) in out.iter_mut().enumerate() {
+            for s in &partials {
+                tr.events.extend_from_slice(&s.trace_events[slot]);
+            }
+            // Stable by-time sort: same-time events of one packet are
+            // always same-shard (a crossing costs a wire flight), so
+            // per-shard append order — the dispatch order — survives.
+            tr.events.sort_by_key(|e| e.0);
+        }
+        out
+    });
+
+    let window = (sim_time - warmup_ns) as f64;
+    SimReport {
+        offered_load,
+        sim_time_ns: sim_time,
+        warmup_ns,
+        generated,
+        dropped,
+        total_generated,
+        total_delivered,
+        delivered,
+        delivered_bytes,
+        // The slab identity: every generated packet stays live until
+        // delivered or dropped. Summing shard slabs would miss
+        // packets parked in mailboxes at the horizon.
+        in_flight_at_end: total_generated - total_delivered - dropped,
+        accepted_bytes_per_ns_per_node: delivered_bytes as f64 / window / num_nodes as f64,
+        offered_bytes_per_ns_per_node: cfg.packet_bytes as f64 / cfg.interarrival_ns(offered_load),
+        latency,
+        network_latency,
+        events_processed,
+        events_per_sec: if wall_secs > 0.0 {
+            events_processed as f64 / wall_secs
+        } else {
+            0.0
+        },
+        packets_per_sec: if wall_secs > 0.0 {
+            total_delivered as f64 / wall_secs
+        } else {
+            0.0
+        },
+        mean_link_utilization: total_busy as f64 / (links as f64 * span),
+        max_link_utilization: max_busy as f64 / span,
+        link_utilization,
+        traces,
+        out_of_order,
+    }
 }
 
 /// The parallel discrete-event engine: same inputs, same report, N
@@ -1230,6 +1462,7 @@ impl<'a, P: ParProbe> ParSimulator<'a, P> {
             self.offered_load,
             self.sim_time_ns,
             self.warmup_ns,
+            None,
         );
         let map = Arc::new(ShardMap::build(self.net, shards, self.cfg.partition));
         let num_nodes = self.net.num_nodes();
@@ -1290,136 +1523,32 @@ impl<'a, P: ParProbe> ParSimulator<'a, P> {
     }
 
     /// Fold the finished shards into one report + probe, reproducing the
-    /// sequential `report()` computation field by field.
+    /// sequential `report()` computation field by field (through the
+    /// transport-generic [`ShardPartial`] seam the multi-process driver
+    /// shares, so the two paths cannot drift).
     fn merge(
         self,
         shards: Vec<Simulator<'a, P, ShardQueue>>,
         gen_traces: Vec<PacketTrace>,
         wall_secs: f64,
     ) -> (SimReport, P) {
-        let cfg = &self.cfg;
-        let sim_time = self.sim_time_ns;
-        let num_nodes = self.net.num_nodes();
-        let num_sw = self.net.num_switches();
         let m = self.net.params().m() as usize;
-
-        let mut generated = 0u64;
-        let mut dropped = 0u64;
-        let mut total_generated = 0u64;
-        let mut total_delivered = 0u64;
-        let mut delivered = 0u64;
-        let mut delivered_bytes = 0u64;
-        let mut events_processed = 0u64;
-        let mut out_of_order = 0u64;
-        let mut latency = LatencyStats::new();
-        let mut network_latency = LatencyStats::new();
-        let mut sw_busy = vec![0u64; num_sw * m];
-        let mut node_busy = vec![0u64; num_nodes];
-        for s in &shards {
-            generated += s.generated_in_window;
-            dropped += s.dropped;
-            total_generated += s.total_generated;
-            total_delivered += s.total_delivered;
-            delivered += s.delivered_in_window;
-            delivered_bytes += s.delivered_bytes_in_window;
-            events_processed += s.events_processed;
-            out_of_order += s.out_of_order;
-            latency.merge(&s.latency);
-            network_latency.merge(&s.network_latency);
-            // Only the owning shard ever drives a device, so these sums
-            // are disjoint and exact.
-            for (sw, ports) in s.switches.iter().enumerate() {
-                for (port, p) in ports.iter().enumerate() {
-                    sw_busy[sw * m + port] += p.busy_ns;
-                }
-            }
-            for (n, node) in s.nodes.iter().enumerate() {
-                node_busy[n] += node.busy_ns;
-            }
-        }
-
-        let span = sim_time as f64;
-        let mut total_busy = 0u64;
-        let mut max_busy = 0u64;
-        for &b in sw_busy.iter().chain(node_busy.iter()) {
-            total_busy += b;
-            max_busy = max_busy.max(b);
-        }
-        let links = (sw_busy.len() + node_busy.len()) as u64;
-
-        let link_utilization = cfg.collect_link_stats.then(|| {
-            let mut out = Vec::new();
-            for sw in 0..num_sw {
-                for port in 0..m {
-                    out.push(crate::metrics::LinkUse {
-                        from: format!("S{sw}"),
-                        port: port as u8 + 1,
-                        utilization: sw_busy[sw * m + port] as f64 / span,
-                    });
-                }
-            }
-            for (n, &b) in node_busy.iter().enumerate() {
-                out.push(crate::metrics::LinkUse {
-                    from: format!("N{n}"),
-                    port: 1,
-                    utilization: b as f64 / span,
-                });
-            }
-            out
-        });
-
-        let traces = (cfg.trace_first_packets > 0).then(|| {
-            let mut out = gen_traces;
-            for (slot, tr) in out.iter_mut().enumerate() {
-                for s in &shards {
-                    tr.events.extend_from_slice(&s.traces[slot].events);
-                }
-                // Stable by-time sort: same-time events of one packet are
-                // always same-shard (a crossing costs a wire flight), so
-                // per-shard append order — the dispatch order — survives.
-                tr.events.sort_by_key(|e| e.0);
-            }
-            out
-        });
-
-        let window = (sim_time - self.warmup_ns) as f64;
-        let report = SimReport {
-            offered_load: self.offered_load,
-            sim_time_ns: sim_time,
-            warmup_ns: self.warmup_ns,
-            generated,
-            dropped,
-            total_generated,
-            total_delivered,
-            delivered,
-            delivered_bytes,
-            // The slab identity: every generated packet stays live until
-            // delivered or dropped. Summing shard slabs would miss
-            // packets parked in mailboxes at the horizon.
-            in_flight_at_end: total_generated - total_delivered - dropped,
-            accepted_bytes_per_ns_per_node: delivered_bytes as f64 / window / num_nodes as f64,
-            offered_bytes_per_ns_per_node: cfg.packet_bytes as f64
-                / cfg.interarrival_ns(self.offered_load),
-            latency,
-            network_latency,
-            events_processed,
-            events_per_sec: if wall_secs > 0.0 {
-                events_processed as f64 / wall_secs
-            } else {
-                0.0
-            },
-            packets_per_sec: if wall_secs > 0.0 {
-                total_delivered as f64 / wall_secs
-            } else {
-                0.0
-            },
-            mean_link_utilization: total_busy as f64 / (links as f64 * span),
-            max_link_utilization: max_busy as f64 / span,
-            link_utilization,
-            traces,
-            out_of_order,
-        };
-
+        let partials: Vec<ShardPartial> = shards
+            .iter()
+            .map(|s| ShardPartial::from_sim(s, m))
+            .collect();
+        let report = merge_partials(
+            &self.cfg,
+            self.offered_load,
+            self.sim_time_ns,
+            self.warmup_ns,
+            self.net.num_nodes(),
+            self.net.num_switches(),
+            m,
+            partials,
+            gen_traces,
+            wall_secs,
+        );
         let mut probe = self.probe;
         for s in shards {
             crate::sim::recycle_queues(s.switches, s.nodes);
@@ -1767,6 +1896,79 @@ mod tests {
         match err {
             SimError::WorkerPanicked(msg) => assert!(msg.contains("probe bomb"), "{msg}"),
             other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panicked_run_leaves_the_engine_reusable() {
+        use ibfat_routing::RoutingKind;
+        use ibfat_topology::TreeParams;
+        let net = Network::mport_ntree(TreeParams::new(4, 2).unwrap());
+        let routing = Routing::build(&net, RoutingKind::Mlid);
+        let cfg = SimConfig::paper(2);
+        let spec = crate::RunSpec::new(0.4, 20_000);
+        // A probe that detonates only after the engine has dispatched
+        // real traffic, so the unwinding workers abandon queues with
+        // live buffers in them — the exact state that would poison the
+        // thread-local `QueuePool` freelists if a panicked run returned
+        // dirty buffers.
+        #[derive(Debug)]
+        struct LateBomb {
+            ticks: u32,
+        }
+        impl Probe for LateBomb {
+            const COUNTERS: bool = true;
+            const TIMING: bool = false;
+            fn tick(&mut self, _now: Time, _live: usize) {
+                self.ticks += 1;
+                if self.ticks > 50 {
+                    panic!("late probe bomb");
+                }
+            }
+        }
+        impl ParProbe for LateBomb {
+            fn fork(&self) -> Self {
+                LateBomb { ticks: 0 }
+            }
+            fn absorb(&mut self, _child: Self) {}
+        }
+        let err = ParSimulator::with_probe(
+            &net,
+            &routing,
+            cfg.clone(),
+            TrafficPattern::Uniform,
+            spec.offered_load,
+            spec.sim_time_ns,
+            spec.warmup_ns,
+            2,
+            LateBomb { ticks: 0 },
+        )
+        .run_observed()
+        .expect_err("the probe panicked mid-run");
+        assert!(matches!(err, SimError::WorkerPanicked(_)), "{err:?}");
+        // The same process must still run clean — and bit-identical to
+        // the sequential engine, which shares the freelists a corrupt
+        // buffer would poison.
+        let seq = crate::run_once(&net, &routing, cfg.clone(), TrafficPattern::Uniform, spec);
+        for threads in [1usize, 2, 4] {
+            let par = crate::try_run_once_par(
+                &net,
+                &routing,
+                cfg.clone(),
+                TrafficPattern::Uniform,
+                spec,
+                threads,
+            )
+            .expect("the panicked run must not poison later runs");
+            let (mut par, mut want) = (par, seq.clone());
+            par.events_per_sec = 0.0;
+            par.packets_per_sec = 0.0;
+            want.events_per_sec = 0.0;
+            want.packets_per_sec = 0.0;
+            assert_eq!(
+                par, want,
+                "divergence after a panicked run at {threads} threads"
+            );
         }
     }
 

@@ -175,6 +175,17 @@ pub(crate) enum RouteState {
     /// (`u8::MAX` = no entry). One allocation, stride-indexed, so the
     /// per-hop lookup stays in cache across switches.
     Table { lft: Vec<u8>, stride: usize },
+    /// Subfabric view of the flattened tables (a worker process in the
+    /// multi-process driver): only owned switches get a row, so the
+    /// resident table footprint scales with the shard, not the fabric.
+    /// `row_of[sw]` is the row index (`u32::MAX` = unowned; never
+    /// consulted, because a worker only dispatches events of switches it
+    /// owns).
+    TableView {
+        row_of: Vec<u32>,
+        lft: Vec<u8>,
+        stride: usize,
+    },
     /// Closed-form per-hop lookup (the paper's Eq. 1/Eq. 2) — no tables
     /// in memory. `route_hop` returns `None` exactly where a pristine
     /// table has no entry, so the drop semantics line up bit-for-bit
@@ -447,7 +458,7 @@ impl<'a, P: Probe> Simulator<'a, P> {
         warmup_ns: Time,
         probe: P,
     ) -> Simulator<'a, P> {
-        let queue = ChainQueue::with_kind(cfg.calendar);
+        let queue = ChainQueue::with_kind_and_horizon(cfg.calendar, cfg.wheel_horizon_hint());
         Simulator::with_queue(
             net,
             routing,
@@ -497,17 +508,47 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
                 );
                 // Flatten forwarding tables to 0-based ports for the hot
                 // path: one contiguous stride-indexed buffer across all
-                // switches.
+                // switches. A subfabric view (a worker process of the
+                // multi-process driver) flattens only its owned rows, so
+                // the dominant O(switches × LIDs) buffer scales with the
+                // shard instead of the fabric.
                 let stride = routing.lid_space().max_lid().index() + 1;
-                let mut lft = vec![u8::MAX; net.num_switches() * stride];
-                for sw in 0..net.num_switches() {
-                    let table = routing.lft(ibfat_topology::SwitchId(sw as u32));
-                    let row = &mut lft[sw * stride..(sw + 1) * stride];
-                    for (lid, port) in table.entries() {
-                        row[lid.index()] = port.0 - 1;
+                if routing.is_view() {
+                    let mut row_of = vec![u32::MAX; net.num_switches()];
+                    let mut rows = 0u32;
+                    for (sw, slot) in row_of.iter_mut().enumerate() {
+                        if !routing.lfts()[sw].is_empty() {
+                            *slot = rows;
+                            rows += 1;
+                        }
                     }
+                    let mut lft = vec![u8::MAX; rows as usize * stride];
+                    for (sw, &row) in row_of.iter().enumerate() {
+                        if row == u32::MAX {
+                            continue;
+                        }
+                        let table = routing.lft(ibfat_topology::SwitchId(sw as u32));
+                        let row = &mut lft[row as usize * stride..(row as usize + 1) * stride];
+                        for (lid, port) in table.entries() {
+                            row[lid.index()] = port.0 - 1;
+                        }
+                    }
+                    RouteState::TableView {
+                        row_of,
+                        lft,
+                        stride,
+                    }
+                } else {
+                    let mut lft = vec![u8::MAX; net.num_switches() * stride];
+                    for sw in 0..net.num_switches() {
+                        let table = routing.lft(ibfat_topology::SwitchId(sw as u32));
+                        let row = &mut lft[sw * stride..(sw + 1) * stride];
+                        for (lid, port) in table.entries() {
+                            row[lid.index()] = port.0 - 1;
+                        }
+                    }
+                    RouteState::Table { lft, stride }
                 }
-                RouteState::Table { lft, stride }
             }
             RouteBackend::Oracle => RouteState::Oracle(
                 RouteOracle::for_routing(routing)
@@ -1102,6 +1143,19 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
         let dlid = self.slab.get(head.pkt).dlid;
         let out_port = match &self.route {
             RouteState::Table { lft, stride } => lft[sw as usize * stride + dlid.index()],
+            RouteState::TableView {
+                row_of,
+                lft,
+                stride,
+            } => {
+                let row = row_of[sw as usize];
+                debug_assert_ne!(row, u32::MAX, "routing through an unowned switch");
+                if row == u32::MAX {
+                    u8::MAX
+                } else {
+                    lft[row as usize * stride + dlid.index()]
+                }
+            }
             RouteState::Oracle(o) => o
                 .route_hop(ibfat_topology::SwitchId(sw), dlid)
                 .map_or(u8::MAX, |p| p.0 - 1),
