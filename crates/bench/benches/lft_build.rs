@@ -54,6 +54,70 @@ fn bench_verification(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_lft_repair(c: &mut Criterion) {
+    // The SM's reconvergence choice after a mid-run failure: patch-level
+    // repair (re-sweep, reprogram only switches whose pass-3 inputs
+    // changed) vs the from-scratch rebuild it replaces. The incremental
+    // body deliberately includes recapturing the pre-fault sweep state,
+    // so it times the SM's whole reaction, not just the delta pass —
+    // and it still has to win for the fault subsystem's latency model
+    // to make sense.
+    let (m, n) = (16, 3);
+    let net = Network::mport_ntree(TreeParams::new(m, n).unwrap());
+    let kind = RoutingKind::Mlid;
+    let prev = Routing::build(&net, kind);
+    let mut dead: Vec<usize> = ib_fabric::FaultPlan::pick_links(&net, 2, 1)
+        .into_iter()
+        .map(|l| l as usize)
+        .collect();
+    dead.sort_unstable_by(|a, b| b.cmp(a));
+    let mut degraded = net.clone();
+    for idx in &dead {
+        degraded.remove_link(*idx);
+    }
+
+    let incremental = || {
+        let mut state = ib_fabric::routing::RepairState::new(&net);
+        ib_fabric::routing::repair_fault_tolerant(&degraded, kind, &prev, &mut state)
+    };
+    let full = || ib_fabric::routing::build_fault_tolerant(&degraded, kind);
+
+    let mut group = c.benchmark_group("lft_repair_incremental");
+    group.bench_function(BenchmarkId::from_parameter(format!("{m}x{n}")), |b| {
+        b.iter(|| black_box(incremental()))
+    });
+    group.finish();
+    let mut group = c.benchmark_group("lft_repair_full");
+    group.bench_function(BenchmarkId::from_parameter(format!("{m}x{n}")), |b| {
+        b.iter(|| black_box(full()))
+    });
+    group.finish();
+
+    // Warn-only sanity check (never fails the run): over a few fixed
+    // rounds, incremental repair must beat the full rebuild.
+    let rounds = 10;
+    let time = |f: &dyn Fn()| {
+        let t0 = std::time::Instant::now();
+        for _ in 0..rounds {
+            f();
+        }
+        t0.elapsed()
+    };
+    let t_inc = time(&|| {
+        black_box(incremental());
+    });
+    let t_full = time(&|| {
+        black_box(full());
+    });
+    if t_inc >= t_full {
+        eprintln!(
+            "WARNING: lft_repair_incremental/{m}x{n} ({t_inc:?}/{rounds}) did not beat \
+             lft_repair_full/{m}x{n} ({t_full:?}/{rounds}) — the patch-level repair \
+             path has lost its edge"
+        );
+    }
+}
+
 fn bench_sm_bring_up(c: &mut Criterion) {
     // Discovery + recognition + table computation (the SM role), per size.
     let mut group = c.benchmark_group("sm_initialize");
@@ -74,6 +138,7 @@ criterion_group!(
     bench_lft_build,
     bench_topology_build,
     bench_verification,
+    bench_lft_repair,
     bench_sm_bring_up
 );
 criterion_main!(benches);

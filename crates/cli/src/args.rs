@@ -1,7 +1,9 @@
 //! Argument parsing for the `ibfat` CLI (no external parser crate).
 #![allow(clippy::module_name_repetitions)]
 
-use ib_fabric::{NodeId, PartitionKind, RouteBackend, RoutingKind, TraceSampling, TrafficPattern};
+use ib_fabric::{
+    FaultPolicy, NodeId, PartitionKind, RouteBackend, RoutingKind, TraceSampling, TrafficPattern,
+};
 
 /// Usage text.
 pub const USAGE: &str = "\
@@ -26,6 +28,13 @@ commands:
                                  per-packet lifecycle spans (inject, per-hop
                                  arbitration, credit stalls, deliver) as
                                  JSONL on stdout
+  faults <MxN>                   live fault injection: kill seeded
+                                 inter-switch cables mid-run, let the SM
+                                 reconverge with incremental LFT patches,
+                                 and report the disruption (packets lost /
+                                 stalled / rerouted, reconvergence cost,
+                                 MLID-vs-SLID surviving paths, per-level
+                                 load imbalance)
 
 options:
   --scheme mlid|slid|updown      routing scheme        (default mlid)
@@ -55,6 +64,18 @@ options:
                                  only, pristine fabric only; reports are
                                  bit-identical across backends)
   --fail-links i,j,k             remove cables by index before anything else
+  --kill K                       faults: seeded inter-switch cables to cut
+                                 mid-run (default 1; selection is pinned
+                                 by --seed)
+  --at NS                        faults: the fault instant in simulated ns
+                                 (default time/4)
+  --policy drop|stall            faults: dead-port packet treatment during
+                                 the stale-table window (default drop;
+                                 stall is lossless — heads park until the
+                                 SM reroutes them)
+  --detect-ns N                  faults: SM detection latency (default 10000)
+  --per-switch-ns N              faults: SM per-switch reprogram latency
+                                 (default 100)
   --sample-interval-ns N         counters time-series period (default time/50)
   --top K                        ports listed in counters/loads rankings
                                  (default 8)
@@ -118,6 +139,16 @@ pub struct Cmd {
     pub route_backend: RouteBackend,
     /// Cables to fail before acting.
     pub fail_links: Vec<usize>,
+    /// `faults`: seeded inter-switch cables to cut mid-run.
+    pub kill: usize,
+    /// `faults`: the fault instant in ns (None = time/4).
+    pub fault_at: Option<u64>,
+    /// `faults`: dead-port packet treatment during the stale window.
+    pub fault_policy: FaultPolicy,
+    /// `faults`: SM detection latency in ns.
+    pub detect_ns: u64,
+    /// `faults`: SM per-switch reprogram latency in ns.
+    pub per_switch_ns: u64,
     /// Time-series period for `counters` (None = duration / 50).
     pub sample_interval_ns: Option<u64>,
     /// List length for the `counters` / `loads` port rankings.
@@ -162,6 +193,7 @@ pub enum Action {
     Loads,
     Workload,
     Trace,
+    Faults,
 }
 
 /// Workload families for the `workload` subcommand.
@@ -262,6 +294,11 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
         partition: PartitionKind::FatTree,
         route_backend: RouteBackend::Table,
         fail_links: Vec::new(),
+        kill: 1,
+        fault_at: None,
+        fault_policy: FaultPolicy::Drop,
+        detect_ns: 10_000,
+        per_switch_ns: 100,
         sample_interval_ns: None,
         top: 8,
         hotspot: None,
@@ -345,6 +382,39 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
                     .split(',')
                     .map(|s| s.parse().map_err(|_| format!("bad link index '{s}'")))
                     .collect::<Result<_, _>>()?;
+            }
+            "--kill" => {
+                let k: usize = next_value(&mut it, arg)?
+                    .parse()
+                    .map_err(|_| "bad --kill value".to_string())?;
+                if k == 0 {
+                    return Err("--kill must be positive".into());
+                }
+                cmd.kill = k;
+            }
+            "--at" => {
+                cmd.fault_at = Some(
+                    next_value(&mut it, arg)?
+                        .parse()
+                        .map_err(|_| "bad --at value".to_string())?,
+                );
+            }
+            "--policy" => {
+                cmd.fault_policy = match next_value(&mut it, arg)?.as_str() {
+                    "drop" => FaultPolicy::Drop,
+                    "stall" => FaultPolicy::Stall,
+                    other => return Err(format!("unknown policy '{other}'")),
+                };
+            }
+            "--detect-ns" => {
+                cmd.detect_ns = next_value(&mut it, arg)?
+                    .parse()
+                    .map_err(|_| "bad --detect-ns value".to_string())?;
+            }
+            "--per-switch-ns" => {
+                cmd.per_switch_ns = next_value(&mut it, arg)?
+                    .parse()
+                    .map_err(|_| "bad --per-switch-ns value".to_string())?;
             }
             "--sample-interval-ns" => {
                 let ns: u64 = next_value(&mut it, arg)?
@@ -444,6 +514,7 @@ pub fn parse(argv: &[String]) -> Result<Cmd, String> {
         "counters" => Action::Counters,
         "loads" => Action::Loads,
         "trace" => Action::Trace,
+        "faults" => Action::Faults,
         "workload" => {
             if cmd.wl_kind == WlKind::Replay && cmd.trace.is_none() {
                 return Err("--kind replay needs --trace FILE".into());
@@ -672,6 +743,29 @@ mod tests {
         assert!(parse(&argv("trace 4x2 --one-in 0")).is_err());
         assert!(parse(&argv("trace 4x2 --pairs 5")).is_err());
         assert!(parse(&argv("trace 4x2 --pairs x:1")).is_err());
+    }
+
+    #[test]
+    fn parses_faults_options() {
+        let cmd = parse(&argv(
+            "faults 8x3 --kill 2 --at 25000 --policy stall --detect-ns 5000 --per-switch-ns 50",
+        ))
+        .unwrap();
+        assert_eq!(cmd.action, Action::Faults);
+        assert_eq!(cmd.kill, 2);
+        assert_eq!(cmd.fault_at, Some(25_000));
+        assert_eq!(cmd.fault_policy, FaultPolicy::Stall);
+        assert_eq!((cmd.detect_ns, cmd.per_switch_ns), (5_000, 50));
+        // Defaults: one seeded kill at time/4, lossy dead ports.
+        let cmd = parse(&argv("faults 8x3 --json")).unwrap();
+        assert_eq!(cmd.kill, 1);
+        assert_eq!(cmd.fault_at, None);
+        assert_eq!(cmd.fault_policy, FaultPolicy::Drop);
+        assert_eq!((cmd.detect_ns, cmd.per_switch_ns), (10_000, 100));
+        assert!(cmd.json);
+        assert!(parse(&argv("faults 8x3 --kill 0")).is_err());
+        assert!(parse(&argv("faults 8x3 --policy maybe")).is_err());
+        assert!(parse(&argv("faults 8x3 --at soon")).is_err());
     }
 
     #[test]

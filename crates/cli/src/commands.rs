@@ -5,17 +5,15 @@ use ib_fabric::json::JsonBuf;
 use ib_fabric::prelude::*;
 use ib_fabric::sm::SubnetManager;
 use ib_fabric::topology::analysis;
-use ib_fabric::{EngineTelemetry, SwitchId};
+use ib_fabric::{EngineTelemetry, FaultPolicy, SwitchId};
 
 /// Run a parsed command.
 pub fn run(cmd: Cmd) -> Result<(), String> {
-    if cmd.processes > 1 && cmd.action != Action::Simulate {
-        return Err(
-            "--processes is only supported for simulate/run (pattern mode); \
-             workload, counters and the other commands run in-process — \
-             use --threads there"
-                .into(),
-        );
+    if cmd.processes > 1 && !matches!(cmd.action, Action::Simulate | Action::Faults) {
+        return Err("--processes is only supported for simulate/run and faults \
+             (pattern mode); workload, counters and the other commands run \
+             in-process — use --threads there"
+            .into());
     }
     let fabric = build_fabric(&cmd)?;
     match cmd.action {
@@ -33,6 +31,7 @@ pub fn run(cmd: Cmd) -> Result<(), String> {
         Action::Loads => loads(&cmd, &fabric),
         Action::Workload => workload(&cmd, &fabric),
         Action::Trace => trace(&cmd, &fabric),
+        Action::Faults => faults(&cmd, &fabric),
     }
 }
 
@@ -66,6 +65,31 @@ fn build_fabric(cmd: &Cmd) -> Result<Fabric, String> {
         }
     }
     Ok(fabric.with_failed_links(&cmd.fail_links))
+}
+
+/// Workload mode drives a message DAG to completion, so a source whose
+/// injection cable was cut can never finish its messages — the engine
+/// would drain its calendar and die on a "workload stalled" assertion.
+/// Surface the routing error as a clean message up front instead.
+/// (Pattern mode tolerates the same damage: the island simply neither
+/// sends nor receives.)
+fn ensure_sources_cabled(fabric: &Fabric) -> Result<(), String> {
+    use ib_fabric::topology::DeviceRef;
+    for node in 0..fabric.num_nodes() {
+        if fabric
+            .network()
+            .peer_of(DeviceRef::Node(NodeId(node)), ib_fabric::PortNum(1))
+            .is_none()
+        {
+            return Err(format!(
+                "{}; --fail-links cut its injection cable, so its workload \
+                 messages can never complete — fail inter-switch cables \
+                 instead (see `ibfat info`)",
+                ib_fabric::RoutingError::DisconnectedSource(NodeId(node))
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn pattern_of(cmd: &Cmd, fabric: &Fabric) -> TrafficPattern {
@@ -889,6 +913,7 @@ fn loads(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
 /// Build the workload the flags describe (exposed for tests).
 pub fn build_workload(cmd: &Cmd, fabric: &Fabric) -> Result<Workload, String> {
     use ib_fabric::generators;
+    ensure_sources_cabled(fabric)?;
     let nodes = fabric.num_nodes();
     let wl = match cmd.wl_kind {
         WlKind::AllreduceRing => generators::allreduce_ring(nodes, cmd.bytes),
@@ -1073,6 +1098,318 @@ fn workload(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
     println!("  engine     : {} events", r.events);
     if let Some(p) = &profile {
         print_phase_table(p);
+    }
+    Ok(())
+}
+
+/// Everything the `faults` subcommand computes; exposed for tests.
+#[derive(Debug, Clone)]
+pub struct FaultsReport {
+    /// The deterministic fault schedule the run executed.
+    pub plan: ib_fabric::FaultPlan,
+    /// The base-net link indices the seeded pick selected.
+    pub killed_links: Vec<u32>,
+    /// The faulted run itself.
+    pub report: SimReport,
+    /// Reconvergence cost, loss/stall/rescue counts and path survival.
+    pub disruption: ib_fabric::DisruptionReport,
+}
+
+/// Build the seeded fault plan, run the degraded-fabric scenario on the
+/// configured engine (sequential, threaded or multi-process — reports
+/// are bit-identical across all three) and derive the disruption
+/// analysis. Exposed for tests.
+pub fn collect_faults(cmd: &Cmd, fabric: &Fabric) -> Result<FaultsReport, String> {
+    use ib_fabric::FaultPlan;
+    if !cmd.fail_links.is_empty() {
+        return Err("faults schedules its own failures; drop --fail-links".into());
+    }
+    if cmd.scheme == RoutingKind::UpDown {
+        return Err("faults relies on patch-level LFT repair, which only the \
+             mlid/slid schemes support; model static up*/down* damage \
+             with --fail-links instead"
+            .into());
+    }
+    if cmd.route_backend == RouteBackend::Oracle {
+        return Err(
+            "--route-backend oracle answers routes from the intact-fabric \
+             closed form; faulted runs need --route-backend table"
+                .into(),
+        );
+    }
+    let net = fabric.network();
+    let killed = FaultPlan::pick_links(net, cmd.kill, cmd.seed.unwrap_or(1));
+    if killed.len() < cmd.kill {
+        return Err(format!(
+            "--kill {} exceeds the fabric's {} inter-switch cables",
+            cmd.kill,
+            net.inter_switch_link_indices().len()
+        ));
+    }
+    let at = cmd.fault_at.unwrap_or(cmd.time_ns / 4);
+    if at >= cmd.time_ns {
+        return Err(format!(
+            "--at {at} is past the end of the run ({} ns)",
+            cmd.time_ns
+        ));
+    }
+    let mut plan = FaultPlan::kill_links_at(&killed, at);
+    plan.policy = cmd.fault_policy;
+    plan.detect_ns = cmd.detect_ns;
+    plan.per_switch_ns = cmd.per_switch_ns;
+    plan.validate(net)?;
+
+    let report = if cmd.processes > 1 {
+        let mut cfg = ibfat_sim::SimConfig {
+            num_vls: cmd.vls,
+            partition: cmd.partition,
+            route_backend: cmd.route_backend,
+            faults: plan.clone(),
+            ..ibfat_sim::SimConfig::default()
+        };
+        if let Some(seed) = cmd.seed {
+            cfg.seed = seed;
+        }
+        let threads = if cmd.threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            cmd.threads
+        };
+        ibfat_driver::ProcSimulator::new(
+            cmd.m,
+            cmd.n,
+            cmd.scheme,
+            cfg,
+            pattern_of(cmd, fabric),
+            cmd.load,
+            cmd.time_ns,
+            cmd.time_ns / 5,
+            threads.max(cmd.processes),
+            cmd.processes,
+        )
+        .run()
+        .map_err(|e| e.to_string())?
+    } else {
+        let mut experiment = fabric
+            .experiment()
+            .virtual_lanes(cmd.vls)
+            .traffic(pattern_of(cmd, fabric))
+            .offered_load(cmd.load)
+            .duration_ns(cmd.time_ns)
+            .threads(cmd.threads)
+            .partition(cmd.partition)
+            .route_backend(cmd.route_backend)
+            .faults(plan.clone());
+        if let Some(seed) = cmd.seed {
+            experiment = experiment.seed(seed);
+        }
+        experiment.run()
+    };
+    let disruption = ib_fabric::disruption_report(net, fabric.routing(), &plan, &report);
+    Ok(FaultsReport {
+        plan,
+        killed_links: killed,
+        report,
+        disruption,
+    })
+}
+
+fn fault_action_parts(action: ib_fabric::FaultAction) -> (&'static str, u32) {
+    use ib_fabric::FaultAction;
+    match action {
+        FaultAction::KillLink(id) => ("kill_link", id),
+        FaultAction::KillSwitch(id) => ("kill_switch", id),
+        FaultAction::ReviveLink(id) => ("revive_link", id),
+        FaultAction::ReviveSwitch(id) => ("revive_switch", id),
+    }
+}
+
+/// Render a [`FaultsReport`] as JSON. Deliberately excludes the
+/// wall-clock throughput fields (`events_per_sec`, `packets_per_sec`):
+/// everything here is deterministic, so the output is byte-identical
+/// at any `--threads`/`--processes` setting.
+pub fn faults_to_json(cmd: &Cmd, fabric: &Fabric, out: &FaultsReport) -> String {
+    fn survival(j: &mut JsonBuf, key: &str, s: &ib_fabric::PathSurvival) {
+        j.key(key);
+        j.begin_obj();
+        j.field_str("scheme", s.kind.as_str());
+        j.field_u64("lids_per_node", u64::from(s.lids_per_node));
+        j.field_u64("pairs", s.pairs);
+        j.field_u64("surviving_paths", s.surviving_paths);
+        j.field_f64("avg_per_pair", s.avg_per_pair(), 3);
+        j.field_u64("min_per_pair", u64::from(s.min_per_pair));
+        j.field_u64("disconnected_pairs", s.disconnected_pairs);
+        j.end_obj();
+    }
+    let params = fabric.params();
+    let r = &out.report;
+    let d = &out.disruption;
+    let mut j = JsonBuf::new();
+    j.begin_obj();
+    j.field_u64("m", u64::from(params.m()));
+    j.field_u64("n", u64::from(params.n()));
+    j.field_str("scheme", cmd.scheme.as_str());
+    j.field_str(
+        "policy",
+        match out.plan.policy {
+            FaultPolicy::Drop => "drop",
+            FaultPolicy::Stall => "stall",
+        },
+    );
+    j.field_u64("detect_ns", out.plan.detect_ns);
+    j.field_u64("per_switch_ns", out.plan.per_switch_ns);
+    j.key("events");
+    j.begin_arr();
+    for e in &out.plan.events {
+        let (kind, id) = fault_action_parts(e.action);
+        j.begin_obj();
+        j.field_u64("at_ns", e.at_ns);
+        j.field_str("action", kind);
+        j.field_u64("id", u64::from(id));
+        j.end_obj();
+    }
+    j.end_arr();
+    j.key("run");
+    j.begin_obj();
+    j.field_f64("offered_load", r.offered_load, 4);
+    j.field_u64("sim_time_ns", r.sim_time_ns);
+    j.field_u64("generated", r.generated);
+    j.field_u64("delivered", r.delivered);
+    j.field_u64("dropped", r.dropped);
+    j.field_u64("in_flight_at_end", r.in_flight_at_end);
+    j.field_f64(
+        "accepted_bytes_per_ns_per_node",
+        r.accepted_bytes_per_ns_per_node,
+        6,
+    );
+    j.field_u64("fault_lost", r.fault_lost);
+    j.field_u64("fault_stalled", r.fault_stalled);
+    j.field_u64("fault_rerouted", r.fault_rerouted);
+    j.field_f64("mean_latency_ns", r.avg_latency_ns(), 1);
+    j.field_u64("p99_latency_ns", r.latency.quantile(0.99));
+    j.field_u64("events_processed", r.events_processed);
+    j.end_obj();
+    j.key("faults");
+    j.begin_arr();
+    for f in &d.faults {
+        let (kind, id) = fault_action_parts(f.action);
+        j.begin_obj();
+        j.field_u64("at_ns", f.at_ns);
+        j.field_str("action", kind);
+        j.field_u64("id", u64::from(id));
+        j.field_u64("reprogram_at_ns", f.reprogram_at_ns);
+        j.field_u64("reconvergence_ns", f.reconvergence_ns);
+        j.field_u64("switches_reprogrammed", f.switches_reprogrammed as u64);
+        j.field_u64("entries_patched", f.entries_patched as u64);
+        j.field_u64("table_entries", f.table_entries as u64);
+        j.end_obj();
+    }
+    j.end_arr();
+    j.field_u64("total_reconvergence_ns", d.total_reconvergence_ns);
+    survival(&mut j, "survival", &d.survival);
+    survival(&mut j, "slid_survival", &d.slid_survival);
+    j.key("level_loads");
+    j.begin_arr();
+    for l in &d.level_loads {
+        j.begin_obj();
+        j.field_u64("level", u64::from(l.level));
+        j.field_u64("healthy_max", u64::from(l.healthy_max));
+        j.field_f64("healthy_mean", l.healthy_mean, 3);
+        j.field_u64("degraded_max", u64::from(l.degraded_max));
+        j.field_f64("degraded_mean", l.degraded_mean, 3);
+        j.end_obj();
+    }
+    j.end_arr();
+    j.end_obj();
+    j.into_string()
+}
+
+fn faults(cmd: &Cmd, fabric: &Fabric) -> Result<(), String> {
+    let out = collect_faults(cmd, fabric)?;
+    if cmd.json {
+        println!("{}", faults_to_json(cmd, fabric, &out));
+        return Ok(());
+    }
+    let params = fabric.params();
+    let r = &out.report;
+    let d = &out.disruption;
+    println!(
+        "faulted run of {} under {} ({} VLs, offered {:.2}, {} µs, {} policy):",
+        params,
+        cmd.scheme.as_str().to_uppercase(),
+        cmd.vls,
+        cmd.load,
+        cmd.time_ns / 1000,
+        match out.plan.policy {
+            FaultPolicy::Drop => "drop",
+            FaultPolicy::Stall => "stall",
+        }
+    );
+    println!(
+        "  plan       : kill {} inter-switch cable(s) {:?} at {} ns (seed {})",
+        out.killed_links.len(),
+        out.killed_links,
+        out.plan.events.first().map(|e| e.at_ns).unwrap_or(0),
+        cmd.seed.unwrap_or(1)
+    );
+    println!(
+        "  SM model   : detect {} ns, then {} ns per reprogrammed switch",
+        out.plan.detect_ns, out.plan.per_switch_ns
+    );
+    for f in &d.faults {
+        let (kind, id) = fault_action_parts(f.action);
+        println!(
+            "  {kind} {id} @{} ns: SM patched {} switches / {} LFT entries \
+             (full rebuild = {}) by {} ns (+{} ns)",
+            f.at_ns,
+            f.switches_reprogrammed,
+            f.entries_patched,
+            f.table_entries,
+            f.reprogram_at_ns,
+            f.reconvergence_ns
+        );
+    }
+    println!(
+        "  disruption : {} lost, {} stalled, {} rescued by reprogramming; \
+         reconvergence total {} ns",
+        r.fault_lost, r.fault_stalled, r.fault_rerouted, d.total_reconvergence_ns
+    );
+    println!(
+        "  delivered  : {} packets ({} load-dropped), accepted {:.4} bytes/ns/node, \
+         p99 latency {} ns",
+        r.delivered,
+        r.dropped,
+        r.accepted_bytes_per_ns_per_node,
+        r.latency.quantile(0.99)
+    );
+    let surv = |s: &ib_fabric::PathSurvival| {
+        format!(
+            "{:.2} of {} paths/pair (min {}, {} pairs disconnected)",
+            s.avg_per_pair(),
+            s.lids_per_node,
+            s.min_per_pair,
+            s.disconnected_pairs
+        )
+    };
+    println!(
+        "  survival   : {} keeps {}",
+        d.survival.kind.as_str().to_uppercase(),
+        surv(&d.survival)
+    );
+    println!("    vs SLID  : {}", surv(&d.slid_survival));
+    println!("  tier loads : all-to-all channel load, healthy -> degraded");
+    for l in &d.level_loads {
+        println!(
+            "    levels {}-{}: max {} -> {}, mean {:.2} -> {:.2}",
+            l.level,
+            l.level + 1,
+            l.healthy_max,
+            l.degraded_max,
+            l.healthy_mean,
+            l.degraded_mean
+        );
     }
     Ok(())
 }

@@ -95,6 +95,112 @@ fn invalid_fabric_is_an_error_not_a_panic() {
 }
 
 #[test]
+fn disconnected_source_is_a_clean_error_not_a_panic() {
+    // Link 8 is node 0's injection cable on FT(4,2). A workload message
+    // from an uncabled node can never complete; this used to blow up as
+    // a "workload stalled" engine panic — it must be a clean error now.
+    let err = run("workload 4x2 --kind alltoall --fail-links 8").unwrap_err();
+    assert!(err.contains("endport is uncabled"), "{err}");
+    // Pattern mode tolerates the same damage: the island neither sends
+    // nor receives, everything else keeps flowing.
+    run("simulate 4x2 --fail-links 8 --time-us 30").unwrap();
+}
+
+#[test]
+fn faults_runs_in_text_and_json() {
+    run("faults 4x2 --kill 1 --time-us 40 --seed 3").unwrap();
+    run(
+        "faults 4x2 --kill 2 --policy stall --at 10000 --detect-ns 2000 \
+         --per-switch-ns 50 --time-us 40 --json",
+    )
+    .unwrap();
+    // Guard rails: schemes without patch repair, oracle backend, static
+    // damage mixed with scheduled damage, impossible kill counts, and a
+    // fault past the end of the run are all clean errors.
+    assert!(run("faults 4x2 --scheme updown --time-us 40").is_err());
+    assert!(run("faults 4x2 --route-backend oracle --time-us 40").is_err());
+    assert!(run("faults 4x2 --fail-links 3 --time-us 40").is_err());
+    assert!(run("faults 4x2 --kill 500 --time-us 40").is_err());
+    assert!(run("faults 4x2 --at 99999999 --time-us 40").is_err());
+}
+
+/// Collect the faulted-run analysis for one `faults` command line.
+fn disrupt(line: &str) -> commands::FaultsReport {
+    let argv: Vec<String> = line.split_whitespace().map(String::from).collect();
+    let cmd = args::parse(&argv).unwrap();
+    let fabric = ib_fabric::Fabric::builder(cmd.m, cmd.n)
+        .routing(cmd.scheme)
+        .build()
+        .unwrap();
+    commands::collect_faults(&cmd, &fabric).unwrap()
+}
+
+#[test]
+fn faults_disruption_pins_the_mlid_survival_story() {
+    let out = disrupt("faults 4x3 --kill 2 --seed 5 --time-us 60");
+    assert_eq!(out.killed_links.len(), 2);
+    assert_eq!(out.disruption.faults.len(), 2);
+    // Drop policy: the stale-table window really lost packets, and the
+    // disruption view mirrors the engine's counters exactly.
+    assert!(out.report.fault_lost > 0);
+    assert_eq!(out.disruption.packets_lost, out.report.fault_lost);
+    // Patch-level repair: each fault touched some entries but nowhere
+    // near the full table a from-scratch rebuild would push.
+    for f in &out.disruption.faults {
+        assert!(f.entries_patched > 0);
+        assert!(f.entries_patched < f.table_entries);
+    }
+    // The paper's claim, live: MLID's 2^LMC LIDs keep more surviving
+    // paths per pair than the single-path SLID baseline.
+    assert!(
+        out.disruption.survival.surviving_paths > out.disruption.slid_survival.surviving_paths,
+        "mlid {} vs slid {}",
+        out.disruption.survival.surviving_paths,
+        out.disruption.slid_survival.surviving_paths
+    );
+}
+
+#[test]
+fn faults_json_is_byte_identical_across_engines() {
+    // End-to-end through the real binary: the faults JSON deliberately
+    // excludes wall-clock fields, so sequential, threaded and
+    // multi-process runs must print the exact same bytes.
+    let exe = env!("CARGO_BIN_EXE_ibfat");
+    let out = |extra: &[&str]| {
+        let mut args = vec![
+            "faults",
+            "4x3",
+            "--kill",
+            "2",
+            "--time-us",
+            "60",
+            "--seed",
+            "5",
+            "--json",
+        ];
+        args.extend_from_slice(extra);
+        let o = std::process::Command::new(exe)
+            .args(&args)
+            .output()
+            .unwrap();
+        assert!(
+            o.status.success(),
+            "ibfat {args:?} failed: {}",
+            String::from_utf8_lossy(&o.stderr)
+        );
+        o.stdout
+    };
+    let seq = out(&[]);
+    assert!(!seq.is_empty());
+    assert_eq!(out(&["--threads", "2"]), seq, "threads changed the bytes");
+    assert_eq!(
+        out(&["--processes", "2"]),
+        seq,
+        "processes changed the bytes"
+    );
+}
+
+#[test]
 fn counters_runs_in_text_and_json() {
     run("counters 4x2 --time-us 30").unwrap();
     run("counters 4x2 --pattern centric --scheme slid --load 0.6 --time-us 30 --top 3").unwrap();

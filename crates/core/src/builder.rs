@@ -172,11 +172,30 @@ impl Fabric {
     /// `NoLftEntry` and simulated packets toward them are not generated
     /// by the built-in patterns unless the pattern targets them.
     pub fn with_failed_links(&self, link_indices: &[usize]) -> Fabric {
+        self.with_failed(link_indices, &[])
+    }
+
+    /// A degraded copy with failed cables *and* powered-off switches in
+    /// one batch: a dead switch fails every cable incident to it, the
+    /// network is cloned once, and the tables are reprogrammed once for
+    /// the combined damage — not per component.
+    pub fn with_failed(&self, link_indices: &[usize], switches: &[u32]) -> Fabric {
+        use ibfat_topology::DeviceRef;
+        let mut dead: Vec<usize> = link_indices.to_vec();
+        if !switches.is_empty() {
+            for (i, link) in self.net.links().iter().enumerate() {
+                if [link.a, link.b]
+                    .iter()
+                    .any(|p| matches!(p.device, DeviceRef::Switch(s) if switches.contains(&s.0)))
+                {
+                    dead.push(i);
+                }
+            }
+        }
+        dead.sort_unstable_by(|a, b| b.cmp(a)); // high to low keeps indices valid
+        dead.dedup();
         let mut net = self.net.clone();
-        let mut order: Vec<usize> = link_indices.to_vec();
-        order.sort_unstable_by(|a, b| b.cmp(a)); // high to low keeps indices valid
-        order.dedup();
-        for idx in order {
+        for idx in dead {
             net.remove_link(idx);
         }
         let routing = match self.routing.kind() {
@@ -239,6 +258,54 @@ mod tests {
             mlid.channel_loads().unwrap(),
             ibfat_routing::all_to_all_loads(mlid.network(), mlid.routing()).unwrap()
         );
+    }
+
+    #[test]
+    fn with_failed_batches_links_and_switches() {
+        use ibfat_topology::DeviceRef;
+        let fabric = Fabric::builder(4, 3).build().unwrap();
+        let net = fabric.network();
+        let incident: Vec<usize> = net
+            .links()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| {
+                [l.a, l.b]
+                    .iter()
+                    .any(|p| matches!(p.device, DeviceRef::Switch(s) if s.0 == 0))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let explicit = *net
+            .inter_switch_link_indices()
+            .iter()
+            .find(|i| !incident.contains(i))
+            .unwrap();
+        // One batch: a powered-off root switch plus one unrelated cable.
+        let batched = fabric.with_failed(&[explicit], &[0]);
+        let mut union = incident.clone();
+        union.push(explicit);
+        let by_links = fabric.with_failed_links(&union);
+        assert_eq!(
+            net.links().len() - batched.network().links().len(),
+            incident.len() + 1
+        );
+        assert_eq!(
+            batched.network().links().len(),
+            by_links.network().links().len()
+        );
+        // The reprogrammed tables steer identically either way.
+        for (s, d) in [(0u32, 5u32), (3, 12), (9, 2), (15, 8)] {
+            let a = batched.route(NodeId(s), NodeId(d)).unwrap();
+            let b = by_links.route(NodeId(s), NodeId(d)).unwrap();
+            let hops = |r: &Route| {
+                r.hops
+                    .iter()
+                    .map(|h| (h.switch.0, h.out_port.0))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(hops(&a), hops(&b), "{s}->{d} diverged");
+        }
     }
 
     #[test]

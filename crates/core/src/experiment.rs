@@ -150,6 +150,16 @@ impl<'a> ExperimentBuilder<'a> {
         self
     }
 
+    /// Schedule deterministic mid-run fabric failures (see
+    /// [`ibfat_sim::FaultPlan`]): scheduled link/switch kills and
+    /// revivals with modeled SM detection + patch-level reprogramming.
+    /// The empty plan (the default) leaves the engine on its pre-fault
+    /// code paths. Reports stay bit-identical at any thread count.
+    pub fn faults(mut self, plan: ibfat_sim::FaultPlan) -> Self {
+        self.cfg.faults = plan;
+        self
+    }
+
     fn spec(&self, load: f64) -> RunSpec {
         RunSpec {
             offered_load: load,

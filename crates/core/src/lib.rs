@@ -58,11 +58,13 @@ pub use ibfat_routing::{
     ChannelLoads, Lft, Lid, LidSpace, Route, RouteOracle, Routing, RoutingError, RoutingKind,
 };
 pub use ibfat_sim::{
-    aggregate, generators, json, traces_to_jsonl, workload_trace, Aggregate, ClosedLoopKind,
-    CongestionView, EngineTelemetry, FabricCounters, HotPort, InjectionProcess, LinkUse, NoopProbe,
-    PacketTrace, ParProbe, PartitionKind, PathSelection, Phase, PhaseProfile, Probe, RouteBackend,
-    RunSpec, ShardTelemetry, SimConfig, SimReport, TraceEvent, TraceSampling, TrafficPattern,
-    VlArbitration, VlAssignment, WindowPolicy, Workload, WorkloadReport,
+    aggregate, disruption_report, generators, json, traces_to_jsonl, workload_trace, Aggregate,
+    ClosedLoopKind, CongestionView, DisruptionReport, EngineTelemetry, FabricCounters, FaultAction,
+    FaultEvent, FaultPlan, FaultPolicy, FaultSummary, HotPort, InjectionProcess, LevelLoad,
+    LinkUse, NoopProbe, PacketTrace, ParProbe, PartitionKind, PathSelection, PathSurvival, Phase,
+    PhaseProfile, Probe, RouteBackend, RunSpec, ShardTelemetry, SimConfig, SimReport, TraceEvent,
+    TraceSampling, TrafficPattern, VlArbitration, VlAssignment, WindowPolicy, Workload,
+    WorkloadReport,
 };
 pub use ibfat_sm::SubnetManager;
 pub use ibfat_topology::{

@@ -28,12 +28,26 @@
 //! (Equation 1, guarded by liveness) and otherwise climbs through the
 //! scheme's designated up-port if that parent is feasible, falling back to
 //! the designated-index rotation over the surviving feasible up-ports.
+//!
+//! ## Incremental repair
+//!
+//! A switch's programmed row is a pure function of its own live port set,
+//! `reach_down[self]`, the `reach_down` of its down-peers, and the
+//! `feasible` of its up-peers. [`RepairState`] caches the sweep vectors of
+//! the previously routed network, so [`repair_fault_tolerant`] can re-run
+//! the (cheap) sweeps on the further-degraded network, reprogram **only**
+//! the switches whose inputs changed, and emit the exact `(switch, LID)`
+//! entry deltas as [`LftPatch`]es — the incremental reprogramming an SM
+//! performs after a mid-run failure. The result is bit-identical to a
+//! from-scratch [`build_fault_tolerant`] on the same degraded network.
 
 use crate::{Lft, Lid, MlidScheme, Routing, RoutingKind, RoutingScheme, SlidScheme};
-use ibfat_topology::{DeviceRef, Level, Network, NodeLabel, PortNum, SwitchId, SwitchLabel};
+use ibfat_topology::{
+    DeviceRef, Level, Network, NodeLabel, PortNum, SwitchId, SwitchLabel, TreeParams,
+};
 
 /// A dense bitset over node ids.
-#[derive(Clone)]
+#[derive(Clone, PartialEq, Eq)]
 struct NodeSet {
     words: Vec<u64>,
 }
@@ -62,35 +76,21 @@ impl NodeSet {
     }
 }
 
-/// Build fault-tolerant forwarding tables for a (possibly degraded)
-/// `IBFT(m, n)` network, mirroring the base scheme `kind`
-/// ([`RoutingKind::Mlid`] or [`RoutingKind::Slid`]).
-///
-/// Entries for nodes that are physically unreachable from a switch are
-/// left unprogrammed; tracing such a pair reports
-/// [`crate::RoutingError::NoLftEntry`].
-///
-/// # Panics
-/// Panics if `kind` is [`RoutingKind::UpDown`] (it is already
-/// graph-generic — build it directly on the degraded network).
-pub fn build_fault_tolerant(net: &Network, kind: RoutingKind) -> Routing {
-    let params = net.params();
-    let space = match kind {
-        RoutingKind::Mlid => MlidScheme.lid_space(net),
-        RoutingKind::Slid => SlidScheme.lid_space(net),
-        RoutingKind::UpDown => panic!("up*/down* handles degraded graphs natively"),
-    };
-
-    let num_nodes = net.num_nodes();
-    let num_switches = net.num_switches();
-    let half = params.half();
-
-    // Pass 1: reach_down, computed leaves -> roots (descending level).
-    let mut reach_down: Vec<NodeSet> = vec![NodeSet::new(num_nodes); num_switches];
+/// Switch ids grouped by tree level (index = level).
+fn switches_by_level(params: TreeParams) -> Vec<Vec<SwitchId>> {
     let mut by_level: Vec<Vec<SwitchId>> = vec![Vec::new(); params.n() as usize];
     for label in SwitchLabel::all(params) {
         by_level[label.level().index()].push(label.id(params));
     }
+    by_level
+}
+
+/// Pass 1: down-reachability, computed leaves -> roots (descending level).
+fn sweep_reach_down(net: &Network, by_level: &[Vec<SwitchId>]) -> Vec<NodeSet> {
+    let params = net.params();
+    let half = params.half();
+    let num_nodes = net.num_nodes();
+    let mut reach_down: Vec<NodeSet> = vec![NodeSet::new(num_nodes); net.num_switches()];
     for level in (0..params.n()).rev() {
         for &sw in &by_level[level as usize] {
             let down_ports = if level == 0 { params.m() } else { half };
@@ -110,9 +110,18 @@ pub fn build_fault_tolerant(net: &Network, kind: RoutingKind) -> Routing {
             reach_down[sw.index()] = set;
         }
     }
+    reach_down
+}
 
-    // Pass 2: feasibility, roots -> leaves (ascending level).
-    let mut feasible = reach_down.clone();
+/// Pass 2: feasibility, roots -> leaves (ascending level).
+fn sweep_feasible(
+    net: &Network,
+    by_level: &[Vec<SwitchId>],
+    reach_down: &[NodeSet],
+) -> Vec<NodeSet> {
+    let params = net.params();
+    let half = params.half();
+    let mut feasible = reach_down.to_vec();
     for level in 1..params.n() {
         for &sw in &by_level[level as usize] {
             let mut set = feasible[sw.index()].clone();
@@ -127,66 +136,278 @@ pub fn build_fault_tolerant(net: &Network, kind: RoutingKind) -> Routing {
             feasible[sw.index()] = set;
         }
     }
+    feasible
+}
 
-    // Pass 3: program the tables.
-    let max_lid = space.max_lid();
-    let mut lfts = Vec::with_capacity(num_switches);
+/// Bitmask of cabled ports per switch (bit `k` = port `k+1` has a peer).
+fn live_port_masks(net: &Network) -> Vec<u64> {
+    let params = net.params();
+    (0..net.num_switches())
+        .map(|sw| {
+            let mut mask = 0u64;
+            for k in 0..params.m() {
+                if net
+                    .peer_of(DeviceRef::Switch(SwitchId(sw as u32)), PortNum(k as u8 + 1))
+                    .is_some()
+                {
+                    mask |= 1 << k;
+                }
+            }
+            mask
+        })
+        .collect()
+}
+
+/// Pass 3 for one switch: program its forwarding row from the sweeps.
+fn program_switch(
+    net: &Network,
+    space: &crate::LidSpace,
+    label: &SwitchLabel,
+    reach_down: &[NodeSet],
+    feasible: &[NodeSet],
+) -> Lft {
+    let params = net.params();
+    let half = params.half();
+    let sw = label.id(params);
+    let level = label.level();
+    let mut lft = Lft::new(space.max_lid());
+
+    // Live, feasible up-port candidates are shared by every LID at
+    // this switch, except for the per-destination feasibility check.
+    let live_up: Vec<(u32, SwitchId)> = (half..params.m())
+        .filter_map(|k| {
+            net.peer_of(DeviceRef::Switch(sw), PortNum(k as u8 + 1))
+                .and_then(|peer| match peer.device {
+                    DeviceRef::Switch(parent) => Some((k, parent)),
+                    DeviceRef::Node(_) => None,
+                })
+        })
+        .collect();
+
+    for node in NodeLabel::all(params) {
+        let nid = node.id(params);
+        for lid in space.lids(nid) {
+            if reach_down[sw.index()].contains(nid.0) {
+                let port = down_port_live(net, params, sw, level, &node, reach_down);
+                if let Some(port) = port {
+                    lft.set(lid, port);
+                }
+                continue;
+            }
+            // Climb: designated digit per the base scheme's Equation 2.
+            let designated = eq2_digit(params, lid, u32::from(level.0));
+            let candidates: Vec<u32> = live_up
+                .iter()
+                .filter(|(_, parent)| feasible[parent.index()].contains(nid.0))
+                .map(|&(k, _)| k)
+                .collect();
+            if candidates.is_empty() {
+                continue; // physically unreachable from here
+            }
+            let port = if candidates.contains(&(designated + half)) {
+                designated + half
+            } else {
+                candidates[designated as usize % candidates.len()]
+            };
+            lft.set(lid, PortNum(port as u8 + 1));
+        }
+    }
+    lft
+}
+
+fn lid_space_for(net: &Network, kind: RoutingKind) -> crate::LidSpace {
+    match kind {
+        RoutingKind::Mlid => MlidScheme.lid_space(net),
+        RoutingKind::Slid => SlidScheme.lid_space(net),
+        RoutingKind::UpDown => panic!("up*/down* handles degraded graphs natively"),
+    }
+}
+
+/// Build fault-tolerant forwarding tables for a (possibly degraded)
+/// `IBFT(m, n)` network, mirroring the base scheme `kind`
+/// ([`RoutingKind::Mlid`] or [`RoutingKind::Slid`]).
+///
+/// Entries for nodes that are physically unreachable from a switch are
+/// left unprogrammed; tracing such a pair reports
+/// [`crate::RoutingError::NoLftEntry`].
+///
+/// # Panics
+/// Panics if `kind` is [`RoutingKind::UpDown`] (it is already
+/// graph-generic — build it directly on the degraded network).
+pub fn build_fault_tolerant(net: &Network, kind: RoutingKind) -> Routing {
+    let params = net.params();
+    let space = lid_space_for(net, kind);
+    let by_level = switches_by_level(params);
+    let reach_down = sweep_reach_down(net, &by_level);
+    let feasible = sweep_feasible(net, &by_level, &reach_down);
+
+    let mut lfts = Vec::with_capacity(net.num_switches());
     for label in SwitchLabel::all(params) {
+        lfts.push(program_switch(net, &space, &label, &reach_down, &feasible));
+    }
+    Routing::assemble(kind, params, space, lfts)
+}
+
+/// One forwarding-table entry delta: set `(sw, lid)` to `port`
+/// (`None` = clear the entry; the destination became unreachable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LftPatch {
+    pub sw: SwitchId,
+    pub lid: Lid,
+    pub port: Option<PortNum>,
+}
+
+/// What an incremental repair touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Switches whose row needed at least one entry change.
+    pub switches_reprogrammed: usize,
+    /// Individual `(switch, LID)` entries patched.
+    pub entries_patched: usize,
+    /// Total entry slots in the full table set (`switches × LIDs`) —
+    /// the reprogramming cost a from-scratch rebuild would pay.
+    pub table_entries: usize,
+}
+
+/// Cached sweep vectors of the last-routed network, enabling
+/// [`repair_fault_tolerant`] to reprogram only switches whose pass-3
+/// inputs changed.
+pub struct RepairState {
+    reach_down: Vec<NodeSet>,
+    feasible: Vec<NodeSet>,
+    live_mask: Vec<u64>,
+}
+
+impl RepairState {
+    /// Capture the sweep state of `net` (the network the current tables
+    /// were built for — intact or already degraded).
+    pub fn new(net: &Network) -> RepairState {
+        let by_level = switches_by_level(net.params());
+        let reach_down = sweep_reach_down(net, &by_level);
+        let feasible = sweep_feasible(net, &by_level, &reach_down);
+        RepairState {
+            reach_down,
+            feasible,
+            live_mask: live_port_masks(net),
+        }
+    }
+}
+
+/// Incrementally repair `prev` (tables valid for the network `state` was
+/// captured on) for the further-degraded (or partially revived) network
+/// `net`: re-run the reachability sweeps, reprogram only the switches
+/// whose pass-3 inputs changed, and return the repaired routing plus the
+/// exact entry-level deltas.
+///
+/// The returned tables are bit-identical to
+/// `build_fault_tolerant(net, kind)`; `state` is advanced to `net` so
+/// repairs chain across successive failures.
+///
+/// # Panics
+/// Panics if `kind` is [`RoutingKind::UpDown`], if `prev` has no
+/// materialized full tables, or if `prev` was built for a different
+/// scheme.
+pub fn repair_fault_tolerant(
+    net: &Network,
+    kind: RoutingKind,
+    prev: &Routing,
+    state: &mut RepairState,
+) -> (Routing, Vec<LftPatch>, RepairStats) {
+    let params = net.params();
+    assert_eq!(prev.kind(), kind, "repair must continue the same scheme");
+    assert!(
+        prev.has_tables() && !prev.is_view(),
+        "incremental repair needs the full previous tables"
+    );
+    let space = lid_space_for(net, kind);
+    let by_level = switches_by_level(params);
+    let reach_down = sweep_reach_down(net, &by_level);
+    let feasible = sweep_feasible(net, &by_level, &reach_down);
+    let live_mask = live_port_masks(net);
+
+    let num_switches = net.num_switches();
+    let half = params.half();
+    let reach_changed: Vec<bool> = (0..num_switches)
+        .map(|s| reach_down[s] != state.reach_down[s])
+        .collect();
+    let feas_changed: Vec<bool> = (0..num_switches)
+        .map(|s| feasible[s] != state.feasible[s])
+        .collect();
+
+    // A switch needs reprogramming iff a pass-3 input changed: its own
+    // cabled-port set or reach set, a descent-peer's reach set, or a
+    // climb-candidate's feasible set. Descent consults ports `1..=m` on a
+    // root and `1..=half` elsewhere (the designated digit's range); the
+    // climb candidates are always ports `half..m` — on a root those are
+    // down-links, but `program_switch` still consults their `feasible`
+    // sets there. (Neighbor enumeration over the *new* net is sufficient:
+    // a vanished neighbor flips the port mask.)
+    let needs_rebuild = |label: &SwitchLabel| -> bool {
         let sw = label.id(params);
+        let s = sw.index();
+        if live_mask[s] != state.live_mask[s] || reach_changed[s] {
+            return true;
+        }
         let level = label.level();
-        let mut lft = Lft::new(max_lid);
-
-        // Live, feasible up-port candidates are shared by every LID at
-        // this switch, except for the per-destination feasibility check.
-        let live_up: Vec<(u32, SwitchId)> = (half..params.m())
-            .filter_map(|k| {
-                net.peer_of(DeviceRef::Switch(sw), PortNum(k as u8 + 1))
-                    .and_then(|peer| match peer.device {
-                        DeviceRef::Switch(parent) => Some((k, parent)),
-                        DeviceRef::Node(_) => None,
-                    })
-            })
-            .collect();
-
-        for node in NodeLabel::all(params) {
-            let nid = node.id(params);
-            for lid in space.lids(nid) {
-                if reach_down[sw.index()].contains(nid.0) {
-                    let port = down_port_live(net, params, sw, level, &node, &reach_down);
-                    if let Some(port) = port {
-                        lft.set(lid, port);
-                    }
-                    continue;
+        let down_ports = if level.0 == 0 { params.m() } else { half };
+        for k in 0..params.m() {
+            let port = PortNum(k as u8 + 1);
+            let Some(peer) = net.peer_of(DeviceRef::Switch(sw), port) else {
+                continue;
+            };
+            if let DeviceRef::Switch(other) = peer.device {
+                let o = other.index();
+                if (k < down_ports && reach_changed[o]) || (k >= half && feas_changed[o]) {
+                    return true;
                 }
-                // Climb: designated digit per the base scheme's Equation 2.
-                let designated = eq2_digit(params, lid, u32::from(level.0));
-                let candidates: Vec<u32> = live_up
-                    .iter()
-                    .filter(|(_, parent)| feasible[parent.index()].contains(nid.0))
-                    .map(|&(k, _)| k)
-                    .collect();
-                if candidates.is_empty() {
-                    continue; // physically unreachable from here
-                }
-                let port = if candidates.contains(&(designated + half)) {
-                    designated + half
-                } else {
-                    candidates[designated as usize % candidates.len()]
-                };
-                lft.set(lid, PortNum(port as u8 + 1));
             }
         }
-        lfts.push(lft);
+        false
+    };
+
+    let max_lid = space.max_lid();
+    let mut lfts = Vec::with_capacity(num_switches);
+    let mut patches = Vec::new();
+    let mut switches_reprogrammed = 0;
+    for label in SwitchLabel::all(params) {
+        let sw = label.id(params);
+        let old = prev.lft(sw);
+        if !needs_rebuild(&label) {
+            lfts.push(old.clone());
+            continue;
+        }
+        let fresh = program_switch(net, &space, &label, &reach_down, &feasible);
+        let mut touched = false;
+        for raw in 1..=max_lid.0 {
+            let lid = Lid(raw);
+            let (was, now) = (old.get(lid), fresh.get(lid));
+            if was != now {
+                touched = true;
+                patches.push(LftPatch { sw, lid, port: now });
+            }
+        }
+        if touched {
+            switches_reprogrammed += 1;
+        }
+        lfts.push(fresh);
     }
 
-    Routing::assemble(kind, params, space, lfts)
+    let stats = RepairStats {
+        switches_reprogrammed,
+        entries_patched: patches.len(),
+        table_entries: num_switches * (max_lid.index() + 1),
+    };
+    state.reach_down = reach_down;
+    state.feasible = feasible;
+    state.live_mask = live_mask;
+    (Routing::assemble(kind, params, space, lfts), patches, stats)
 }
 
 /// The unique live down-port toward `node`, if its subtree link survives
 /// and the subtree can still reach the node.
 fn down_port_live(
     net: &Network,
-    params: ibfat_topology::TreeParams,
+    params: TreeParams,
     sw: SwitchId,
     level: Level,
     node: &NodeLabel,
@@ -204,7 +425,7 @@ fn down_port_live(
 
 /// Digit `n-1-l` of `lid - 1` in base `m/2` — the up-port index the base
 /// schemes designate (Equation 2 without the port offset).
-fn eq2_digit(params: ibfat_topology::TreeParams, lid: Lid, level: u32) -> u32 {
+fn eq2_digit(params: TreeParams, lid: Lid, level: u32) -> u32 {
     let half = params.half();
     ((lid.0 - 1) / half.pow(params.n() - 1 - level)) % half
 }
@@ -250,6 +471,51 @@ mod tests {
                     .unwrap_or_else(|e| panic!("{kind} after failing link {idx}: {e}"));
             }
         }
+    }
+
+    #[test]
+    fn incremental_repair_matches_full_rebuild() {
+        // Kill two inter-switch links one at a time; after each kill the
+        // patch-level repair must land on tables bit-identical to a
+        // from-scratch build, while touching far fewer entries.
+        let net = build(4, 3);
+        for kind in [RoutingKind::Mlid, RoutingKind::Slid] {
+            let mut routing = build_fault_tolerant(&net, kind);
+            let mut state = RepairState::new(&net);
+            let mut degraded = net.clone();
+            for (step, pick) in [3usize, 10].into_iter().enumerate() {
+                // Indices shift after a removal; recompute from the live set.
+                let live = degraded.inter_switch_link_indices();
+                degraded.remove_link(live[pick % live.len()]);
+                let (repaired, patches, stats) =
+                    repair_fault_tolerant(&degraded, kind, &routing, &mut state);
+                let full = build_fault_tolerant(&degraded, kind);
+                assert_eq!(
+                    repaired.lfts(),
+                    full.lfts(),
+                    "{kind} step {step}: incremental != full"
+                );
+                assert_eq!(stats.entries_patched, patches.len());
+                assert!(
+                    stats.entries_patched < stats.table_entries,
+                    "{kind} step {step}: repair touched the whole table"
+                );
+                assert!(!patches.is_empty(), "{kind} step {step}: a kill must patch");
+                routing = repaired;
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_repair_on_unchanged_network_is_empty() {
+        let net = build(4, 2);
+        let routing = build_fault_tolerant(&net, RoutingKind::Mlid);
+        let mut state = RepairState::new(&net);
+        let (repaired, patches, stats) =
+            repair_fault_tolerant(&net, RoutingKind::Mlid, &routing, &mut state);
+        assert_eq!(repaired.lfts(), routing.lfts());
+        assert!(patches.is_empty());
+        assert_eq!(stats.switches_reprogrammed, 0);
     }
 
     #[test]

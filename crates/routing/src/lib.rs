@@ -59,7 +59,7 @@ mod verify;
 
 pub use deadlock::{channel_dependency_graph, verify_deadlock_free, CdgReport};
 pub use error::RoutingError;
-pub use fault::build_fault_tolerant;
+pub use fault::{build_fault_tolerant, repair_fault_tolerant, LftPatch, RepairState, RepairStats};
 pub use lft::Lft;
 pub use lid::{Lid, LidSpace};
 pub use load::{all_to_all_loads, all_to_all_loads_oracle, loads_for_matrix, ChannelLoads};

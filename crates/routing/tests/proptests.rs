@@ -1,6 +1,9 @@
 //! Property-based tests for the routing schemes.
 
-use ibfat_routing::{Lid, MlidScheme, Routing, RoutingKind, RoutingScheme, SlidScheme};
+use ibfat_routing::{
+    build_fault_tolerant, repair_fault_tolerant, Lid, MlidScheme, RepairState, Routing,
+    RoutingKind, RoutingScheme, SlidScheme,
+};
 use ibfat_topology::{analysis, gcp_len, Network, NodeId, NodeLabel, TreeParams};
 use proptest::prelude::*;
 
@@ -129,6 +132,106 @@ proptest! {
             let label = ibfat_topology::SwitchLabel::from_id(net.params(), last.switch);
             prop_assert_eq!(u32::from(label.level().0), net.params().n() - 1);
         }
+    }
+}
+
+/// SplitMix64 — a tiny self-contained generator so the failure pick is
+/// reproducible from the proptest-supplied seed without an RNG dep.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Pick `k` distinct inter-switch links by partial Fisher–Yates.
+fn pick_inter_links(net: &Network, k: usize, seed: u64) -> Vec<usize> {
+    let mut pool = net.inter_switch_link_indices();
+    let mut s = seed;
+    for i in 0..k.min(pool.len()) {
+        let j = i + (splitmix(&mut s) as usize) % (pool.len() - i);
+        pool.swap(i, j);
+    }
+    pool.truncate(k.min(pool.len()));
+    pool
+}
+
+/// `net` minus the given link indices (removed high-to-low so the
+/// indices stay valid mid-removal).
+fn without_links(net: &Network, dead: &[usize]) -> Network {
+    let mut degraded = net.clone();
+    let mut order = dead.to_vec();
+    order.sort_unstable_by(|a, b| b.cmp(a));
+    for idxx in order {
+        degraded.remove_link(idxx);
+    }
+    degraded
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The fault subsystem's control-plane contract: patch-level repair
+    /// after `k` random inter-switch failures produces tables
+    /// bit-identical to a from-scratch `build_fault_tolerant`, the
+    /// reported patches are the *exact* entry-level delta, and repairs
+    /// chain across successive failures.
+    #[test]
+    fn repair_after_random_failures_matches_from_scratch_rebuild(
+        p in params(),
+        seed in any::<u64>(),
+        k in 1usize..=4,
+        kind in prop_oneof![Just(RoutingKind::Mlid), Just(RoutingKind::Slid)],
+    ) {
+        let net = Network::mport_ntree(p);
+        let dead = pick_inter_links(&net, k + 1, seed);
+        prop_assume!(dead.len() == k + 1);
+        let (first, extra) = (&dead[..k], dead[k]);
+
+        let degraded = without_links(&net, first);
+        let prev = Routing::build(&net, kind);
+        let mut state = RepairState::new(&net);
+        let (repaired, patches, stats) =
+            repair_fault_tolerant(&degraded, kind, &prev, &mut state);
+
+        // Bit-identical to rebuilding everything from the degraded graph.
+        let scratch = build_fault_tolerant(&degraded, kind);
+        prop_assert_eq!(repaired.lfts(), scratch.lfts());
+
+        // The patch list is the exact (switch, LID) delta, no more, no less.
+        prop_assert_eq!(stats.entries_patched, patches.len());
+        let patched: std::collections::HashMap<_, _> = patches
+            .iter()
+            .map(|pch| ((pch.sw, pch.lid), pch.port))
+            .collect();
+        prop_assert_eq!(patched.len(), patches.len(), "duplicate patch targets");
+        let max_lid = repaired.lid_space().max_lid();
+        for s in 0..net.num_switches() as u32 {
+            let sw = ibfat_topology::SwitchId(s);
+            for raw in 1..=max_lid.0 {
+                let lid = Lid(raw);
+                let (was, now) = (prev.lft(sw).get(lid), repaired.lft(sw).get(lid));
+                match patched.get(&(sw, lid)) {
+                    Some(&port) => {
+                        prop_assert_eq!(now, port);
+                        prop_assert_ne!(was, now, "patch that changes nothing");
+                    }
+                    None => prop_assert_eq!(was, now, "unpatched entry changed"),
+                }
+            }
+        }
+
+        // A further failure repairs incrementally from the advanced state.
+        let worse = without_links(&net, &dead);
+        let (repaired2, _, _) = repair_fault_tolerant(&worse, kind, &repaired, &mut state);
+        let scratch2 = build_fault_tolerant(&worse, kind);
+        prop_assert_eq!(
+            repaired2.lfts(),
+            scratch2.lfts(),
+            "chained repair diverged after also failing link {}",
+            extra
+        );
     }
 }
 

@@ -252,6 +252,11 @@ pub struct SimConfig {
     /// backends wherever the oracle applies.
     #[serde(default)]
     pub route_backend: RouteBackend,
+    /// Scheduled mid-run fabric failures (empty = subsystem disabled).
+    /// Requires the table backend and a non-adaptive MLID/SLID routing;
+    /// reports stay bit-identical at any thread or process count.
+    #[serde(default)]
+    pub faults: crate::FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -276,6 +281,7 @@ impl Default for SimConfig {
             partition: PartitionKind::default(),
             window_policy: WindowPolicy::default(),
             route_backend: RouteBackend::default(),
+            faults: crate::FaultPlan::default(),
         }
     }
 }
@@ -357,6 +363,14 @@ impl SimConfig {
             return Err("buffer_packets must be positive".into());
         }
         self.vl_arbitration.validate(self.num_vls)?;
+        if !self.faults.is_empty() {
+            if self.route_backend != RouteBackend::Table {
+                return Err("fault plans require the table route backend".into());
+            }
+            if self.adaptive_up {
+                return Err("fault plans cannot be combined with adaptive_up".into());
+            }
+        }
         Ok(())
     }
 }

@@ -308,6 +308,27 @@ impl DistSpec {
                 RouteBackend::Oracle => 1,
             },
         );
+        put_u32(&mut o, c.faults.events.len() as u32);
+        for ev in &c.faults.events {
+            put_u64(&mut o, ev.at_ns);
+            let (tag, id) = match ev.action {
+                crate::FaultAction::KillLink(l) => (0u8, l),
+                crate::FaultAction::KillSwitch(s) => (1, s),
+                crate::FaultAction::ReviveLink(l) => (2, l),
+                crate::FaultAction::ReviveSwitch(s) => (3, s),
+            };
+            put_u8(&mut o, tag);
+            put_u32(&mut o, id);
+        }
+        put_u8(
+            &mut o,
+            match c.faults.policy {
+                crate::FaultPolicy::Drop => 0,
+                crate::FaultPolicy::Stall => 1,
+            },
+        );
+        put_u64(&mut o, c.faults.detect_ns);
+        put_u64(&mut o, c.faults.per_switch_ns);
         match &self.pattern {
             TrafficPattern::Uniform => put_u8(&mut o, 0),
             TrafficPattern::Centric { hotspot, fraction } => {
@@ -427,6 +448,31 @@ impl DistSpec {
             1 => RouteBackend::Oracle,
             t => return Err(bridge_err(format!("bad route-backend tag {t}"))),
         };
+        let fault_events = {
+            let k = r.len()?;
+            let mut events = Vec::with_capacity(k);
+            for _ in 0..k {
+                let at_ns = r.u64()?;
+                let tag = r.u8()?;
+                let id = r.u32()?;
+                let action = match tag {
+                    0 => crate::FaultAction::KillLink(id),
+                    1 => crate::FaultAction::KillSwitch(id),
+                    2 => crate::FaultAction::ReviveLink(id),
+                    3 => crate::FaultAction::ReviveSwitch(id),
+                    t => return Err(bridge_err(format!("bad fault-action tag {t}"))),
+                };
+                events.push(crate::FaultEvent { at_ns, action });
+            }
+            events
+        };
+        let fault_policy = match r.u8()? {
+            0 => crate::FaultPolicy::Drop,
+            1 => crate::FaultPolicy::Stall,
+            t => return Err(bridge_err(format!("bad fault-policy tag {t}"))),
+        };
+        let fault_detect_ns = r.u64()?;
+        let fault_per_switch_ns = r.u64()?;
         let pattern = match r.u8()? {
             0 => TrafficPattern::Uniform,
             1 => {
@@ -476,6 +522,12 @@ impl DistSpec {
                 partition,
                 window_policy,
                 route_backend,
+                faults: crate::FaultPlan {
+                    events: fault_events,
+                    policy: fault_policy,
+                    detect_ns: fault_detect_ns,
+                    per_switch_ns: fault_per_switch_ns,
+                },
             },
             pattern,
             offered_load,
@@ -804,6 +856,9 @@ fn encode_partial(p: &ShardPartial) -> Vec<u8> {
     put_u64(&mut o, p.delivered_bytes);
     put_u64(&mut o, p.events_processed);
     put_u64(&mut o, p.out_of_order);
+    put_u64(&mut o, p.fault_lost);
+    put_u64(&mut o, p.fault_stalled);
+    put_u64(&mut o, p.fault_rerouted);
     put_latency(&mut o, &p.latency);
     put_latency(&mut o, &p.network_latency);
     put_u32(&mut o, p.sw_busy.len() as u32);
@@ -835,6 +890,9 @@ fn decode_partial(bytes: &[u8]) -> Result<ShardPartial, SimError> {
     let delivered_bytes = r.u64()?;
     let events_processed = r.u64()?;
     let out_of_order = r.u64()?;
+    let fault_lost = r.u64()?;
+    let fault_stalled = r.u64()?;
+    let fault_rerouted = r.u64()?;
     let latency = read_latency(&mut r)?;
     let network_latency = read_latency(&mut r)?;
     let k = r.len()?;
@@ -869,6 +927,9 @@ fn decode_partial(bytes: &[u8]) -> Result<ShardPartial, SimError> {
         delivered_bytes,
         events_processed,
         out_of_order,
+        fault_lost,
+        fault_stalled,
+        fault_rerouted,
         latency,
         network_latency,
         sw_busy,
@@ -1096,6 +1157,21 @@ pub fn run_child<B: ChildBridge>(
         }
         RouteBackend::Oracle => Routing::build_table_free(&net, spec.kind),
     };
+    // A faulted run needs full tables to compile LFT patch sets, but the
+    // shard routing above is a view that only materializes owned
+    // switches. Build the full tables once per worker, compile the
+    // runtime, and share it across every local shard; `validate()`
+    // already rejected fault plans on the oracle backend.
+    let fault_rt = if spec.cfg.faults.is_empty() {
+        None
+    } else {
+        let full = Routing::build(&net, spec.kind);
+        Some(Arc::new(crate::faults::compile(
+            &net,
+            &full,
+            &spec.cfg.faults,
+        )))
+    };
     // Deterministic, so every worker replays it identically — but only
     // the nodes this worker actually injects at have their scripts
     // retained: the rest are drawn (the RNG sequence is global) and
@@ -1152,6 +1228,10 @@ pub fn run_child<B: ChildBridge>(
             }
         }
         sim.scripted_inj = Some(script);
+        if let Some(rt) = &fault_rt {
+            sim.install_fault_runtime(rt.clone());
+            crate::par::schedule_fault_entries(&mut sim, &map, me);
+        }
         sims.push(sim);
     }
 
@@ -1419,6 +1499,32 @@ mod tests {
         cfg.partition = PartitionKind::Block;
         cfg.window_policy = WindowPolicy::Fixed;
         cfg.route_backend = RouteBackend::Oracle;
+        // Every fault action tag plus the non-default policy must
+        // survive the wire. (This spec is for codec coverage only — a
+        // real run would reject faults on the oracle backend.)
+        cfg.faults = crate::FaultPlan {
+            events: vec![
+                crate::FaultEvent {
+                    at_ns: 1_000,
+                    action: crate::FaultAction::KillLink(7),
+                },
+                crate::FaultEvent {
+                    at_ns: 2_000,
+                    action: crate::FaultAction::KillSwitch(3),
+                },
+                crate::FaultEvent {
+                    at_ns: 3_000,
+                    action: crate::FaultAction::ReviveLink(7),
+                },
+                crate::FaultEvent {
+                    at_ns: 4_000,
+                    action: crate::FaultAction::ReviveSwitch(3),
+                },
+            ],
+            policy: crate::FaultPolicy::Stall,
+            detect_ns: 123,
+            per_switch_ns: 45,
+        };
         let spec = DistSpec {
             telemetry: true,
             ..spec_for(
@@ -1640,6 +1746,9 @@ mod tests {
             delivered_bytes: 2048,
             events_processed: 333,
             out_of_order: 2,
+            fault_lost: 4,
+            fault_stalled: 6,
+            fault_rerouted: 5,
             latency: latency.clone(),
             network_latency: latency,
             sw_busy: vec![1, 2, 3, 0, 9],
@@ -1847,6 +1956,84 @@ mod tests {
                         "{kind} vl{num_vls} split {splits:?}: bridged run drifted"
                     );
                 }
+            }
+        }
+    }
+
+    /// The acceptance fixed point at the process level: a mid-run link
+    /// kill rides the spec across the bridge, every worker compiles the
+    /// same fault runtime, and the merged report — fault counters
+    /// included — is bit-identical to the sequential and threaded
+    /// engines under both dead-port policies.
+    #[test]
+    fn bridged_faulted_run_matches_sequential_and_threaded() {
+        let params = TreeParams::new(4, 3).unwrap();
+        let net = Network::mport_ntree(params);
+        let routing = Routing::build(&net, RoutingKind::Mlid);
+        let kill = crate::FaultPlan::pick_links(&net, 2, 42);
+        for policy in [crate::FaultPolicy::Drop, crate::FaultPolicy::Stall] {
+            let mut plan = crate::FaultPlan::kill_links_at(&kill, 5_000);
+            plan.policy = policy;
+            plan.detect_ns = 1_000;
+            plan.per_switch_ns = 50;
+            let mut cfg = SimConfig::paper(2);
+            cfg.faults = plan;
+            let spec = DistSpec {
+                m: 4,
+                n: 3,
+                kind: RoutingKind::Mlid,
+                cfg: cfg.clone(),
+                pattern: TrafficPattern::Uniform,
+                offered_load: 0.6,
+                sim_time_ns: 20_000,
+                warmup_ns: 0,
+                shards: 4,
+                lo: 0,
+                hi: 0,
+                telemetry: false,
+            };
+            assert_eq!(DistSpec::decode(&spec.encode()).unwrap(), spec);
+            let seq = normalized(
+                Simulator::new(
+                    &net,
+                    &routing,
+                    cfg.clone(),
+                    TrafficPattern::Uniform,
+                    0.6,
+                    20_000,
+                    0,
+                )
+                .run(),
+            );
+            match policy {
+                crate::FaultPolicy::Drop => {
+                    assert!(seq.fault_lost > 0, "dead cables under load must drop")
+                }
+                crate::FaultPolicy::Stall => {
+                    assert!(seq.fault_stalled > 0, "heads must park on dead ports")
+                }
+            }
+            let par = normalized(
+                ParSimulator::new(
+                    &net,
+                    &routing,
+                    cfg.clone(),
+                    TrafficPattern::Uniform,
+                    0.6,
+                    20_000,
+                    0,
+                    4,
+                )
+                .run()
+                .unwrap(),
+            );
+            assert_eq!(par, seq, "{policy:?}: threaded baseline drifted");
+            for splits in [vec![(0u32, 2u32), (2, 4)], vec![(0, 1), (1, 3), (3, 4)]] {
+                let dist = normalized(run_hub(&spec, &splits, 0.0));
+                assert_eq!(
+                    dist, seq,
+                    "{policy:?} split {splits:?}: bridged run drifted"
+                );
             }
         }
     }

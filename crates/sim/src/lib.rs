@@ -52,6 +52,7 @@ mod counters;
 pub mod dist;
 mod engine;
 mod error;
+mod faults;
 pub mod json;
 mod metrics;
 mod packet;
@@ -77,6 +78,10 @@ pub use engine::{
     CalendarKind, ChainClass, ChainQueue, EventQueue, HeapCalendar, Time, TimingWheel,
 };
 pub use error::SimError;
+pub use faults::{
+    disruption_report, DisruptionReport, FaultAction, FaultEvent, FaultPlan, FaultPolicy,
+    FaultSummary, LevelLoad, PathSurvival,
+};
 pub use metrics::{LatencyStats, LinkUse, Percentiles, SimReport};
 pub use packet::{Packet, PacketId, PacketSlab};
 pub use par::ParSimulator;

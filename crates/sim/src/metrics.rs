@@ -226,6 +226,52 @@ pub struct SimReport {
     /// paper's rank-based selection keeps every flow on one path and this
     /// count at zero.
     pub out_of_order: u64,
+    /// Packets discarded because of a live fault (dead-port arrivals and
+    /// dead-port routing under [`crate::FaultPolicy::Drop`]). Zero when
+    /// the run has no [`crate::FaultPlan`].
+    #[serde(default)]
+    pub fault_lost: u64,
+    /// Heads parked on a dead output port under
+    /// [`crate::FaultPolicy::Stall`] while tables were stale.
+    #[serde(default)]
+    pub fault_stalled: u64,
+    /// Parked heads re-routed when the SM reprogrammed their switch.
+    #[serde(default)]
+    pub fault_rerouted: u64,
+}
+
+impl Default for SimReport {
+    /// An all-zero report (no traffic, no measurements) — a convenient
+    /// base for analysis helpers that only read a few counters.
+    fn default() -> Self {
+        SimReport {
+            offered_load: 0.0,
+            sim_time_ns: 0,
+            warmup_ns: 0,
+            generated: 0,
+            dropped: 0,
+            total_generated: 0,
+            total_delivered: 0,
+            delivered: 0,
+            delivered_bytes: 0,
+            in_flight_at_end: 0,
+            accepted_bytes_per_ns_per_node: 0.0,
+            offered_bytes_per_ns_per_node: 0.0,
+            latency: LatencyStats::new(),
+            network_latency: LatencyStats::new(),
+            events_processed: 0,
+            events_per_sec: 0.0,
+            packets_per_sec: 0.0,
+            mean_link_utilization: 0.0,
+            max_link_utilization: 0.0,
+            link_utilization: None,
+            traces: None,
+            out_of_order: 0,
+            fault_lost: 0,
+            fault_stalled: 0,
+            fault_rerouted: 0,
+        }
+    }
 }
 
 impl SimReport {

@@ -490,7 +490,10 @@ pub(crate) fn scheduling_dev(ev: &Ev, num_nodes: u32) -> (u64, u32) {
         | Ev::SwTryOutput { sw, .. }
         | Ev::SwOutputDeparted { sw, .. }
         | Ev::CreditToSwitch { sw, .. }
-        | Ev::SwDiscardDone { sw, .. } => ((1 << 63) | (u64::from(sw) << 32), num_nodes + sw),
+        | Ev::SwDiscardDone { sw, .. }
+        | Ev::SwReprogram { sw, .. } => ((1 << 63) | (u64::from(sw) << 32), num_nodes + sw),
+        // Schedules nothing: the device context is never consumed.
+        Ev::FaultApply { .. } => (0, 0),
     }
 }
 
@@ -560,7 +563,12 @@ impl ShardQueue {
             | Ev::SwTryOutput { sw, .. }
             | Ev::SwOutputDeparted { sw, .. }
             | Ev::CreditToSwitch { sw, .. }
-            | Ev::SwDiscardDone { sw, .. } => self.map.sw[sw as usize],
+            | Ev::SwDiscardDone { sw, .. }
+            | Ev::SwReprogram { sw, .. } => self.map.sw[sw as usize],
+            // Seeded directly into each shard's calendar at
+            // construction, never scheduled through this seam; local by
+            // definition if it ever is.
+            Ev::FaultApply { .. } => self.me,
         }
     }
 }
@@ -661,6 +669,55 @@ pub(crate) fn injection_prepass(
         }
     }
     (scripts, gen.traces)
+}
+
+/// Seed one shard's calendar with the compiled fault plan, mirroring the
+/// sequential engine's `schedule_fault_events`: per fault, `FaultApply`
+/// lands on *every* shard (it only swaps shard-local masks, and keeping
+/// it global keeps `events_processed` engine-invariant) and one
+/// `SwReprogram` per patched switch lands on the switch's owner. The
+/// synthetic keys are rootless with bit 63 set, so within a timestamp
+/// cohort they sort after the (node-class) priming injections and before
+/// every dispatch-scheduled event — exactly where sequential FIFO places
+/// events scheduled by the pre-loop — and `(fault, k)` lexicographic
+/// order reproduces the sequential scheduling order at shared instants.
+pub(crate) fn schedule_fault_entries<P: Probe>(
+    sim: &mut Simulator<'_, P, ShardQueue>,
+    map: &ShardMap,
+    me: u32,
+) {
+    let Some(rt) = sim.faults.as_ref().and_then(|f| f.runtime.clone()) else {
+        return;
+    };
+    for (fi, cf) in rt.faults.iter().enumerate() {
+        let fault = fi as u32;
+        let key = |k: u32| {
+            Arc::new(EvKey {
+                sched: 0,
+                tb: (1 << 63) | (u64::from(fault) << 32) | u64::from(k),
+                parent: None,
+            })
+        };
+        sim.queue.cal.schedule(
+            cf.at,
+            ParEntry {
+                key: key(0),
+                ev: Ev::FaultApply { fault },
+            },
+        );
+        for (rank, &(sw, _)) in cf.patches.iter().enumerate() {
+            if map.sw[sw as usize] != me {
+                continue;
+            }
+            sim.queue.cal.schedule(
+                cf.reprogram_at,
+                ParEntry {
+                    key: key(1 + rank as u32),
+                    ev: Ev::SwReprogram { fault, sw },
+                },
+            );
+        }
+    }
 }
 
 /// Drain this shard's inbound mailbox lanes (parity side) into the
@@ -1060,6 +1117,9 @@ pub(crate) struct ShardPartial {
     pub(crate) delivered_bytes: u64,
     pub(crate) events_processed: u64,
     pub(crate) out_of_order: u64,
+    pub(crate) fault_lost: u64,
+    pub(crate) fault_stalled: u64,
+    pub(crate) fault_rerouted: u64,
     pub(crate) latency: LatencyStats,
     pub(crate) network_latency: LatencyStats,
     /// Per-(switch, port) link busy time, `sw * m + port` indexed over
@@ -1096,6 +1156,9 @@ impl ShardPartial {
             delivered_bytes: s.delivered_bytes_in_window,
             events_processed: s.events_processed,
             out_of_order: s.out_of_order,
+            fault_lost: s.faults.as_ref().map_or(0, |f| f.lost),
+            fault_stalled: s.faults.as_ref().map_or(0, |f| f.stalled),
+            fault_rerouted: s.faults.as_ref().map_or(0, |f| f.rerouted),
             latency: s.latency.clone(),
             network_latency: s.network_latency.clone(),
             sw_busy,
@@ -1129,6 +1192,9 @@ pub(crate) fn merge_partials(
     let mut delivered_bytes = 0u64;
     let mut events_processed = 0u64;
     let mut out_of_order = 0u64;
+    let mut fault_lost = 0u64;
+    let mut fault_stalled = 0u64;
+    let mut fault_rerouted = 0u64;
     let mut latency = LatencyStats::new();
     let mut network_latency = LatencyStats::new();
     let mut sw_busy = vec![0u64; num_sw * m];
@@ -1142,6 +1208,9 @@ pub(crate) fn merge_partials(
         delivered_bytes += s.delivered_bytes;
         events_processed += s.events_processed;
         out_of_order += s.out_of_order;
+        fault_lost += s.fault_lost;
+        fault_stalled += s.fault_stalled;
+        fault_rerouted += s.fault_rerouted;
         latency.merge(&s.latency);
         network_latency.merge(&s.network_latency);
         // Only the owning shard ever drives a device, so these sums
@@ -1233,6 +1302,9 @@ pub(crate) fn merge_partials(
         link_utilization,
         traces,
         out_of_order,
+        fault_lost,
+        fault_stalled,
+        fault_rerouted,
     }
 }
 
@@ -1501,6 +1573,7 @@ impl<'a, P: ParProbe> ParSimulator<'a, P> {
                 }
             }
             sim.scripted_inj = Some(script);
+            schedule_fault_entries(&mut sim, &map, me);
             sims.push(sim);
         }
 
@@ -1577,6 +1650,7 @@ impl<'a, P: ParProbe> ParSimulator<'a, P> {
         self,
         wl: &crate::Workload,
     ) -> Result<(crate::WorkloadReport, P), SimError> {
+        crate::workload::check_workload_faults(&self.cfg);
         let shards = self.effective_threads();
         if shards <= 1 {
             return Simulator::for_workload_observed(
@@ -1628,6 +1702,7 @@ impl<'a, P: ParProbe> ParSimulator<'a, P> {
                 }
                 sim.wl.as_mut().expect("installed").roots_by_node[node as usize] = roots;
             }
+            schedule_fault_entries(&mut sim, &map, me);
             sims.push(sim);
         }
 

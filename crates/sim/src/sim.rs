@@ -230,6 +230,15 @@ pub enum Ev {
     /// both engines — which keeps the notification a legal cross-shard
     /// event under the parallel engine's lookahead.
     WlArm { node: u32, msg: u32 },
+    /// A scheduled fault fires: swap the live dead-port masks and
+    /// killed-switch flags to the compiled post-fault state. Exists on
+    /// every shard of a parallel run (it touches only shared-shape
+    /// state), so event accounting stays engine-invariant.
+    FaultApply { fault: u32 },
+    /// The subnet manager finishes reprogramming one switch's forwarding
+    /// table with the patch set of fault `fault`, then re-routes input
+    /// heads that were parked on a dead output.
+    SwReprogram { fault: u32, sw: u32 },
 }
 
 /// The discrete-event simulator for one (network, routing, traffic, load)
@@ -308,6 +317,9 @@ pub struct Simulator<'a, P: Probe = NoopProbe, Q = ChainQueue<Ev>> {
     /// builds; debug builds assert instead). Checked by the run loops,
     /// which abort and surface it through the `try_run_*` entry points.
     pub(crate) invariant_err: Option<SimError>,
+    /// Live fault-injection state; `None` when the config carries no
+    /// fault plan, so the subsystem costs one branch on the hot paths.
+    pub(crate) faults: Option<Box<crate::faults::FaultState>>,
 
     pub(crate) probe: P,
 }
@@ -677,6 +689,23 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
             (switches, nodes)
         });
 
+        // Fault-injection state. The schedule compiles eagerly when this
+        // simulator holds full tables; a view-routed shard (a worker of
+        // the multi-process driver) cannot compile from its partial
+        // tables, so its worker builds the full routing once, compiles,
+        // and installs the shared runtime before the run starts.
+        let faults = if cfg.faults.is_empty() {
+            None
+        } else {
+            let runtime = (routing.has_tables() && !routing.is_view())
+                .then(|| std::sync::Arc::new(crate::faults::compile(net, routing, &cfg.faults)));
+            Some(Box::new(crate::faults::FaultState::new(
+                net,
+                &cfg.faults,
+                runtime,
+            )))
+        };
+
         Simulator {
             pkt_ns: cfg.packet_time_ns(),
             fly: cfg.fly_time_ns,
@@ -717,9 +746,23 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
             scripted_inj: None,
             wl: None,
             invariant_err: None,
+            faults,
             cfg,
             probe,
         }
+    }
+
+    /// Install the shared compiled fault schedule on a view-routed shard
+    /// (multi-process worker), which cannot compile it from its partial
+    /// tables. Must run before the first event dispatches.
+    pub(crate) fn install_fault_runtime(
+        &mut self,
+        rt: std::sync::Arc<crate::faults::FaultRuntime>,
+    ) {
+        self.faults
+            .as_mut()
+            .expect("installing a fault runtime without a fault plan")
+            .runtime = Some(rt);
     }
 }
 
@@ -758,6 +801,7 @@ impl<'a, P: Probe> Simulator<'a, P> {
             self.nodes[node as usize].next_gen = phase;
             self.queue.schedule(phase as Time, Ev::Inject { node });
         }
+        self.schedule_fault_events();
 
         while let Some((t, ev)) = self.queue.pop() {
             if t >= self.sim_time_ns {
@@ -791,6 +835,30 @@ impl<'a, P: Probe> Simulator<'a, P> {
 
 impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
     pub(crate) fn dispatch(&mut self, ev: Ev) {
+        if let Some(f) = &self.faults {
+            // A powered-off switch neither buffers, routes, arbitrates
+            // nor returns credits: its in-flight events dissolve here.
+            // SM reprogramming still lands (a later revive must see
+            // fresh tables) and `FaultApply` is global, so neither is
+            // filtered.
+            match ev {
+                Ev::SwHeaderArrive { sw, pkt, .. } if f.sw_killed[sw as usize] => {
+                    self.fault_drop_arrival(sw, pkt);
+                    return;
+                }
+                Ev::SwRouteDone { sw, .. }
+                | Ev::SwInputDeparted { sw, .. }
+                | Ev::SwTryOutput { sw, .. }
+                | Ev::SwOutputDeparted { sw, .. }
+                | Ev::CreditToSwitch { sw, .. }
+                | Ev::SwDiscardDone { sw, .. }
+                    if f.sw_killed[sw as usize] =>
+                {
+                    return;
+                }
+                _ => {}
+            }
+        }
         match ev {
             Ev::Inject { node } => self.inject(node),
             Ev::TryNodeSend { node } => {
@@ -823,7 +891,151 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
             Ev::Deliver { node, vl, pkt } => self.deliver(node, vl, pkt),
             Ev::SwDiscardDone { sw, port, vl } => self.sw_discard_done(sw, port, vl),
             Ev::WlArm { node, msg } => self.wl_arm(node, msg),
+            Ev::FaultApply { fault } => self.fault_apply(fault),
+            Ev::SwReprogram { fault, sw } => self.sw_reprogram(fault, sw),
         }
+    }
+
+    // ----- fault injection ---------------------------------------------
+
+    /// Schedule the compiled fault plan into the event queue: per fault,
+    /// one `FaultApply` at the fault instant and one `SwReprogram` per
+    /// patched switch at the reprogram instant. Called once, right after
+    /// injection priming, by the sequential run loops; the parallel and
+    /// distributed engines seed their shard calendars with the same
+    /// events under synthetic deterministic keys instead.
+    pub(crate) fn schedule_fault_events(&mut self) {
+        let Some(rt) = self.faults.as_ref().and_then(|f| f.runtime.clone()) else {
+            return;
+        };
+        for (fi, cf) in rt.faults.iter().enumerate() {
+            let fault = fi as u32;
+            self.queue.schedule(cf.at, Ev::FaultApply { fault });
+            for &(sw, _) in &cf.patches {
+                self.queue
+                    .schedule(cf.reprogram_at, Ev::SwReprogram { fault, sw });
+            }
+        }
+    }
+
+    /// Discard a packet whose header arrived through a dead port (or at a
+    /// powered-off switch): it never occupies an input buffer, so no
+    /// credit returns — the upstream sender leaks that credit, which is
+    /// exactly as deterministic as the wire it lost.
+    fn fault_drop_arrival(&mut self, sw: u32, pkt: PacketId) {
+        self.dropped += 1;
+        if P::COUNTERS {
+            self.probe.sw_drop(self.now, sw);
+        }
+        self.record(pkt, TraceEvent::Dropped { sw });
+        self.slab.remove(pkt);
+        self.faults.as_mut().expect("fault drop without state").lost += 1;
+    }
+
+    /// A scheduled fault fires: copy the compiled post-fault dead-port
+    /// masks into the live state. Packets already buffered or in flight
+    /// are untouched here — the guards on the arrival/routing/departure
+    /// paths react to the new masks as those packets progress.
+    fn fault_apply(&mut self, fault: u32) {
+        // Fault events are control-plane bookkeeping shared by every
+        // engine shard; keeping them out of the event count keeps
+        // `events_processed` identical across thread/process counts.
+        self.events_processed -= 1;
+        let f = self.faults.as_mut().expect("fault event without state");
+        let rt = f.runtime.clone().expect("fault event without runtime");
+        let cf = &rt.faults[fault as usize];
+        f.sw_dead.copy_from_slice(&cf.sw_dead);
+        f.sw_killed.copy_from_slice(&cf.sw_killed);
+    }
+
+    /// The SM's reprogramming of one switch lands: apply the fault's LFT
+    /// patches to the flattened table, then rescue input heads parked on
+    /// an output that is dead (or whose grant signal — an output
+    /// departure — can never come because the output buffer drained while
+    /// the port was dead): reset them to the routing stage so they look
+    /// up the freshly patched table.
+    fn sw_reprogram(&mut self, fault: u32, sw: u32) {
+        self.events_processed -= 1;
+        let st = self.faults.as_ref().expect("fault event without state");
+        let rt = st.runtime.clone().expect("fault event without runtime");
+        let cf = &rt.faults[fault as usize];
+        let patches = cf
+            .patches
+            .iter()
+            .find(|(s, _)| *s == sw)
+            .map(|(_, p)| p.as_slice())
+            .unwrap_or(&[]);
+        match &mut self.route {
+            RouteState::Table { lft, stride } => {
+                let row = &mut lft[sw as usize * *stride..(sw as usize + 1) * *stride];
+                for &(lid, port) in patches {
+                    row[lid as usize] = port;
+                }
+            }
+            RouteState::TableView {
+                row_of,
+                lft,
+                stride,
+            } => {
+                let r = row_of[sw as usize];
+                debug_assert_ne!(r, u32::MAX, "reprogramming an unowned switch");
+                if r != u32::MAX {
+                    let row = &mut lft[r as usize * *stride..(r as usize + 1) * *stride];
+                    for &(lid, port) in patches {
+                        row[lid as usize] = port;
+                    }
+                }
+            }
+            RouteState::Oracle(_) => unreachable!("fault plans require the table backend"),
+        }
+        let st = self.faults.as_ref().expect("checked above");
+        if st.sw_killed[sw as usize] {
+            return; // tables updated for a later revive; nothing to rescue
+        }
+        let dead_mask = st.sw_dead[sw as usize];
+        let num_ports = self.switches[sw as usize].len() as u8;
+        let mut rescued = 0u64;
+        for in_port in 0..num_ports {
+            for vl in 0..self.num_vls as u8 {
+                let Some(head) = self.switches[sw as usize][in_port as usize].in_q[vl as usize]
+                    .front()
+                    .copied()
+                else {
+                    continue;
+                };
+                let InState::Waiting(out) = head.state else {
+                    continue;
+                };
+                let out_dead = dead_mask & (1u64 << out) != 0;
+                let out_idle =
+                    self.switches[sw as usize][out as usize].out_q[vl as usize].is_empty();
+                if !(out_dead || out_idle) {
+                    continue; // a live departure on `out` will grant it
+                }
+                let w = &mut self.switches[sw as usize][out as usize].waiters[vl as usize];
+                if let Some(pos) = w.iter().position(|&p| p == in_port) {
+                    w.remove(pos);
+                }
+                self.switches[sw as usize][in_port as usize].in_q[vl as usize]
+                    .front_mut()
+                    .expect("checked nonempty")
+                    .state = InState::Routing;
+                if P::COUNTERS {
+                    self.probe.xmit_wait_end(self.now, sw, in_port, vl);
+                }
+                self.queue.schedule_chain(
+                    ChainClass::Route,
+                    self.now + self.route_ns,
+                    Ev::SwRouteDone {
+                        sw,
+                        port: in_port,
+                        vl,
+                    },
+                );
+                rescued += 1;
+            }
+        }
+        self.faults.as_mut().expect("checked above").rerouted += rescued;
     }
 
     /// Append a flight-recorder event for a traced packet.
@@ -943,7 +1155,14 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
         };
         self.nodes[node as usize].next_gen = next;
         let at = next as Time;
-        let next_at = (at < self.sim_time_ns).then(|| at.max(self.now));
+        // A node whose leaf switch is scheduled to die stops generating
+        // at the kill instant. The cut-off is a pure function of
+        // (network, fault plan), so the parallel engine's sequential
+        // injection pre-pass replays it bit-for-bit.
+        let horizon = self.faults.as_ref().map_or(self.sim_time_ns, |f| {
+            self.sim_time_ns.min(f.node_kill[node as usize])
+        });
+        let next_at = (at < horizon).then(|| at.max(self.now));
         (
             Some(InjectPayload {
                 dlid,
@@ -1101,6 +1320,18 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
     // ----- switch behaviour --------------------------------------------
 
     fn sw_header_arrive(&mut self, sw: u32, port: u8, vl: u8, pkt: PacketId) {
+        if let Some(f) = &self.faults {
+            // Under the drop policy a packet that was mid-wire when its
+            // link died is lost on arrival. Under the stall policy the
+            // wire is lossless: the packet buffers normally and only
+            // the (repaired) tables steer future traffic away.
+            if f.sw_dead[sw as usize] & (1u64 << port) != 0
+                && matches!(f.policy, crate::FaultPolicy::Drop)
+            {
+                self.fault_drop_arrival(sw, pkt);
+                return;
+            }
+        }
         self.record(pkt, TraceEvent::HeaderArrive { sw, port });
         let p = &mut self.switches[sw as usize][port as usize];
         let q = &mut p.in_q[vl as usize];
@@ -1189,6 +1420,44 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
         } else {
             out_port
         };
+        // The table still names a dead output in the window between a
+        // fault and the SM's reprogram of this switch. Drop policy:
+        // discard exactly like a missing LFT entry. Stall policy: park
+        // the head; `sw_reprogram` re-routes it against the patched
+        // table.
+        if let Some(f) = &self.faults {
+            if f.sw_dead[sw as usize] & (1u64 << out_port) != 0 {
+                let drop = matches!(f.policy, crate::FaultPolicy::Drop);
+                if drop {
+                    self.dropped += 1;
+                    if P::COUNTERS {
+                        self.probe.sw_drop(self.now, sw);
+                    }
+                    self.record(head.pkt, TraceEvent::Dropped { sw });
+                    self.slab.remove(head.pkt);
+                    let head_mut = self.switches[sw as usize][port as usize].in_q[vl as usize]
+                        .front_mut()
+                        .expect("checked nonempty");
+                    head_mut.state = InState::Departing;
+                    let drain = self.pkt_ns.saturating_sub(self.route_ns);
+                    self.queue
+                        .schedule(self.now + drain, Ev::SwDiscardDone { sw, port, vl });
+                    self.faults.as_mut().expect("checked above").lost += 1;
+                } else {
+                    let head_mut = self.switches[sw as usize][port as usize].in_q[vl as usize]
+                        .front_mut()
+                        .expect("checked nonempty");
+                    head_mut.state = InState::Waiting(out_port);
+                    self.switches[sw as usize][out_port as usize].waiters[vl as usize]
+                        .push_back(port);
+                    if P::COUNTERS {
+                        self.probe.xmit_wait_start(self.now, sw, port, vl, out_port);
+                    }
+                    self.faults.as_mut().expect("checked above").stalled += 1;
+                }
+                return;
+            }
+        }
         self.record(head.pkt, TraceEvent::Routed { sw, out_port });
         self.sw_request_output(sw, port, vl, out_port);
     }
@@ -1423,12 +1692,24 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
     }
 
     fn sw_output_departed(&mut self, sw: u32, port: u8, vl: u8) {
+        // While the port is dead, parked heads must not be granted into
+        // it — they stay in the waiter queue for `sw_reprogram` to
+        // re-route.
+        let fault_dead = self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.sw_dead[sw as usize] & (1u64 << port) != 0);
         let p = &mut self.switches[sw as usize][port as usize];
         let gone = p.out_q[vl as usize]
             .pop_front()
             .expect("departed from empty");
         debug_assert!(gone.transmitting);
         // Space freed: grant the oldest waiter for this (port, vl), if any.
+        if fault_dead {
+            // The link is still free for other buffered VLs to drain.
+            self.sw_try_output(sw, port);
+            return;
+        }
         if let Some(in_port) = p.waiters[vl as usize].pop_front() {
             let head = self.switches[sw as usize][in_port as usize].in_q[vl as usize]
                 .front()
@@ -1518,6 +1799,9 @@ impl<'a, P: Probe, Q: Sched> Simulator<'a, P, Q> {
             link_utilization,
             traces: (self.cfg.trace_first_packets > 0).then_some(self.traces),
             out_of_order: self.out_of_order,
+            fault_lost: self.faults.as_ref().map_or(0, |f| f.lost),
+            fault_stalled: self.faults.as_ref().map_or(0, |f| f.stalled),
+            fault_rerouted: self.faults.as_ref().map_or(0, |f| f.rerouted),
         };
         recycle_queues(self.switches, self.nodes);
         (report, self.probe)
@@ -1533,7 +1817,9 @@ pub(crate) fn phase_of(ev: &Ev) -> Phase {
         Ev::SwHeaderArrive { .. }
         | Ev::SwRouteDone { .. }
         | Ev::SwInputDeparted { .. }
-        | Ev::SwDiscardDone { .. } => Phase::Routing,
+        | Ev::SwDiscardDone { .. }
+        | Ev::FaultApply { .. }
+        | Ev::SwReprogram { .. } => Phase::Routing,
         Ev::SwTryOutput { .. } | Ev::SwOutputDeparted { .. } | Ev::CreditToSwitch { .. } => {
             Phase::Arbitration
         }

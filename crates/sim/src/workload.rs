@@ -290,6 +290,28 @@ impl<'a> Simulator<'a> {
     }
 }
 
+/// A workload must complete every message, so faults may only stall
+/// traffic, never lose it: the drop policy and switch kills (which drop
+/// on arrival and silence attached nodes) would leave the DAG
+/// permanently incomplete. Shared by the sequential and parallel
+/// workload constructors.
+pub(crate) fn check_workload_faults(cfg: &crate::SimConfig) {
+    if cfg.faults.is_empty() {
+        return;
+    }
+    assert!(
+        matches!(cfg.faults.policy, crate::FaultPolicy::Stall),
+        "workload runs require FaultPolicy::Stall (drops would stall the DAG)"
+    );
+    assert!(
+        !cfg.faults.events.iter().any(|e| matches!(
+            e.action,
+            crate::FaultAction::KillSwitch(_) | crate::FaultAction::ReviveSwitch(_)
+        )),
+        "workload runs support link faults only (switch kills lose packets)"
+    );
+}
+
 impl<'a, P: Probe> Simulator<'a, P> {
     /// Build a probed workload simulator; retrieve the probe with
     /// [`run_workload_observed`](Simulator::run_workload_observed).
@@ -300,6 +322,7 @@ impl<'a, P: Probe> Simulator<'a, P> {
         wl: &Workload,
         probe: P,
     ) -> Simulator<'a, P> {
+        check_workload_faults(&cfg);
         let mut sim = Simulator::with_probe(
             net,
             routing,
@@ -355,6 +378,7 @@ impl<'a, P: Probe> Simulator<'a, P> {
         for (node, msg) in prime {
             self.queue.schedule(0, Ev::WlArm { node, msg });
         }
+        self.schedule_fault_events();
 
         while let Some((t, ev)) = self.queue.pop() {
             debug_assert!(t >= self.now, "time went backwards");

@@ -27,8 +27,10 @@ mod discovery;
 mod mad;
 mod manager;
 mod recognize;
+mod reconverge;
 
 pub use discovery::{discover, DiscoveredDevice, DiscoveredTopology, Edge};
 pub use mad::{directed_routes, time_bring_up, BringUpReport, DirectedRoute, MadCosts};
 pub use manager::{SmError, SmOutcome, SubnetManager};
 pub use recognize::{recognize, RecognitionError, RecoveredFatTree};
+pub use reconverge::{Reconvergence, ReconvergenceModel};

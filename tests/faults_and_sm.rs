@@ -1,18 +1,31 @@
 //! Integration: the failure/repair/reconfiguration story through the
 //! public API.
+//!
+//! Failed links are chosen with [`FaultPlan::pick_links`] under pinned
+//! seeds — a seeded Fisher–Yates over the inter-switch cable list — so
+//! the scenarios are reproducible without depending on the enumeration
+//! order of `inter_switch_link_indices()` (which reshuffles whenever
+//! the cabling pass changes).
 
 use ib_fabric::prelude::*;
 use ib_fabric::sm::SubnetManager;
+use ib_fabric::{FaultPlan, RoutingError};
+
+fn picked(fabric: &Fabric, k: usize, seed: u64) -> Vec<usize> {
+    FaultPlan::pick_links(fabric.network(), k, seed)
+        .into_iter()
+        .map(|l| l as usize)
+        .collect()
+}
 
 #[test]
 fn degraded_fabric_routes_and_simulates_end_to_end() {
     let fabric = Fabric::builder(8, 2).build().unwrap();
-    let inter = fabric.network().inter_switch_link_indices();
-    let degraded = fabric.with_failed_links(&inter[..3]);
+    let degraded = fabric.with_failed_links(&picked(&fabric, 3, 0xFA11));
     assert!(degraded.network().is_connected());
 
-    // Everything still routes (8x2 keeps full up*/down* reachability with
-    // three inter-switch failures in this deterministic selection).
+    // Everything still routes (8x2 keeps full reachability with three
+    // inter-switch failures under this pinned selection).
     let nodes = degraded.num_nodes();
     for src in 0..nodes {
         for dst in 0..nodes {
@@ -58,16 +71,27 @@ fn sm_initialization_matches_fabric_builder() {
 #[test]
 fn repeated_failures_degrade_monotonically_not_catastrophically() {
     let fabric = Fabric::builder(8, 2).build().unwrap();
-    let inter = fabric.network().inter_switch_link_indices();
+    // One seeded shuffle; prefixes of it give nested failure sets, so
+    // "more failures" really means "the same failures plus new ones".
+    let shuffled = picked(&fabric, 8, 0xDE6_4ADE);
     let mut last_routable = u32::MAX;
     for k in [0, 2, 4, 8] {
-        let degraded = fabric.with_failed_links(&inter[..k]);
+        let degraded = fabric.with_failed_links(&shuffled[..k]);
         let nodes = degraded.num_nodes();
         let mut routable = 0u32;
         for src in 0..nodes {
             for dst in 0..nodes {
-                if src != dst && degraded.route(NodeId(src), NodeId(dst)).is_ok() {
-                    routable += 1;
+                if src == dst {
+                    continue;
+                }
+                match degraded.route(NodeId(src), NodeId(dst)) {
+                    Ok(_) => routable += 1,
+                    // The only legitimate way to lose a pair: the repair
+                    // dropped the destination's LFT entries because no
+                    // up*/down* path survives. Anything else (dangling
+                    // ports, loops, misdelivery) is a repair bug.
+                    Err(FabricError::Routing(RoutingError::NoLftEntry { .. })) => {}
+                    Err(e) => panic!("{src}->{dst} failed for the wrong reason: {e}"),
                 }
             }
         }
@@ -88,8 +112,7 @@ fn updown_handles_the_same_degraded_fabric() {
         .routing(RoutingKind::UpDown)
         .build()
         .unwrap();
-    let inter = fabric.network().inter_switch_link_indices();
-    let degraded = fabric.with_failed_links(&inter[..2]);
+    let degraded = fabric.with_failed_links(&picked(&fabric, 2, 0xFA11));
     let nodes = degraded.num_nodes();
     for src in 0..nodes {
         for dst in 0..nodes {
